@@ -1,0 +1,54 @@
+//! Criterion bench behind the ablations: the semantic engine's batch
+//! behaviour and RAG retrieval depth, measured in wall-clock time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tag_lm::prompts::{sem_filter_prompt, SemClaim};
+use tag_lm::sim::{SimConfig, SimLm};
+use tag_semops::SemEngine;
+
+fn bench_engine_batching(c: &mut Criterion) {
+    let prompts: Vec<String> = (0..64)
+        .map(|i| {
+            sem_filter_prompt(
+                &SemClaim::CityInRegion {
+                    region: "Bay Area".into(),
+                },
+                &format!("City {i}"),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_batch");
+    for batch in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let engine =
+                SemEngine::with_batch_size(Arc::new(SimLm::new(SimConfig::default())), batch);
+            b.iter(|| {
+                engine.reset();
+                engine.complete_batch(&prompts).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_retrieval_k(c: &mut Criterion) {
+    use tag_embed::{Embedder, RowStore};
+    let mut store = RowStore::new(Embedder::default());
+    for i in 0..2000 {
+        store.add_row(vec![
+            ("id".to_owned(), i.to_string()),
+            ("text".to_owned(), format!("record number {i} about topic {}", i % 37)),
+        ]);
+    }
+    let mut group = c.benchmark_group("ablation_retrieval_k");
+    for k in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| store.retrieve("records about topic 5", k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_batching, bench_retrieval_k);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench behind Figure 2: wall-clock cost of the three
+//! aggregation pipelines on the Sepang query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tag_bench::{Harness, MethodId, QueryType};
+
+fn bench_sepang(c: &mut Criterion) {
+    let mut harness = Harness::small();
+    let id = harness
+        .queries()
+        .iter()
+        .find(|q| q.qtype == QueryType::Aggregation && q.question().contains("Sepang"))
+        .expect("Sepang query")
+        .id;
+    let mut group = c.benchmark_group("figure2_sepang");
+    group.sample_size(10);
+    for method in [MethodId::Rag, MethodId::Text2SqlLm, MethodId::HandWritten] {
+        group.bench_function(method.label(), |b| {
+            b.iter(|| harness.run_one(method, id))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sepang);
+criterion_main!(benches);

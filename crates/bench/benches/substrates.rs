@@ -1,0 +1,100 @@
+//! Microbenchmarks of the substrates: the SQL engine's operators, the
+//! B+-tree index, the embedder, and flat vector search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tag_embed::{Embedder, FlatIndex};
+use tag_sql::index::BTreeIndex;
+use tag_sql::{Database, Value};
+
+fn populated_db(rows: usize) -> Database {
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, grp TEXT, x REAL, name TEXT)",
+    )
+    .unwrap();
+    for i in 0..rows {
+        db.execute(&format!(
+            "INSERT INTO t VALUES ({i}, 'g{}', {}.5, 'name {i}')",
+            i % 10,
+            i % 997
+        ))
+        .unwrap();
+    }
+    db.execute("CREATE INDEX idx_x ON t (x)").unwrap();
+    db
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut db = populated_db(10_000);
+    let mut group = c.benchmark_group("sql_engine");
+    group.bench_function("filter_scan_10k", |b| {
+        b.iter(|| db.execute("SELECT name FROM t WHERE grp = 'g3' AND x > 100").unwrap())
+    });
+    group.bench_function("index_probe_10k", |b| {
+        b.iter(|| db.execute("SELECT name FROM t WHERE id = 7777").unwrap())
+    });
+    group.bench_function("group_by_10k", |b| {
+        b.iter(|| {
+            db.execute("SELECT grp, COUNT(*), AVG(x) FROM t GROUP BY grp")
+                .unwrap()
+        })
+    });
+    group.bench_function("topk_10k", |b| {
+        b.iter(|| db.execute("SELECT name FROM t ORDER BY x DESC LIMIT 10").unwrap())
+    });
+    group.bench_function("self_join_1k", |b| {
+        let mut small = populated_db(1_000);
+        b.iter(move || {
+            small
+                .execute("SELECT COUNT(*) FROM t a JOIN t b ON a.id = b.id")
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_index");
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut idx = BTreeIndex::new();
+                for i in 0..n {
+                    idx.insert(Value::Int((i * 37 % n) as i64), i);
+                }
+                idx
+            })
+        });
+    }
+    let mut idx = BTreeIndex::new();
+    for i in 0..100_000usize {
+        idx.insert(Value::Int((i * 37 % 100_000) as i64), i);
+    }
+    group.bench_function("probe_100k", |b| {
+        b.iter(|| idx.get(&Value::Int(31415)))
+    });
+    group.bench_function("range_100k", |b| {
+        let lo = Value::Int(5_000);
+        let hi = Value::Int(5_500);
+        b.iter(|| idx.range(std::ops::Bound::Included(&lo), std::ops::Bound::Excluded(&hi)))
+    });
+    group.finish();
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let e = Embedder::default();
+    let mut group = c.benchmark_group("embedding");
+    group.bench_function("embed_sentence", |b| {
+        b.iter(|| e.embed("races held on Sepang International Circuit in 2010"))
+    });
+    let mut idx = FlatIndex::new(e.dims());
+    for i in 0..5_000 {
+        idx.add(e.embed(&format!("document number {i} about subject {}", i % 53)));
+    }
+    let q = e.embed("documents about subject 7");
+    group.bench_function("flat_search_5k_top10", |b| b.iter(|| idx.search(&q, 10)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql, bench_btree, bench_embed);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench behind Table 1: wall-clock cost of each method on a
+//! representative query of every type. (Accuracy and *simulated* ET come
+//! from `cargo run -p tag-bench --bin table1`; this measures the real
+//! cost of running the reproduction itself.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tag_bench::{Harness, MethodId, QueryType};
+
+fn representative_ids(harness: &Harness) -> Vec<(QueryType, usize)> {
+    [
+        QueryType::MatchBased,
+        QueryType::Comparison,
+        QueryType::Ranking,
+        QueryType::Aggregation,
+    ]
+    .iter()
+    .map(|t| {
+        (
+            *t,
+            harness
+                .queries()
+                .iter()
+                .find(|q| q.qtype == *t)
+                .expect("one query per type")
+                .id,
+        )
+    })
+    .collect()
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut harness = Harness::small();
+    let ids = representative_ids(&harness);
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for method in MethodId::all() {
+        for (qtype, id) in &ids {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), qtype.label()),
+                id,
+                |b, &id| b.iter(|| harness.run_one(method, id)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench behind Table 2: wall-clock cost of the strongest
+//! baseline (Text2SQL) and hand-written TAG on knowledge vs reasoning
+//! queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tag_bench::{Harness, MethodId, QueryKind};
+
+fn bench_kinds(c: &mut Criterion) {
+    let mut harness = Harness::small();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for kind in [QueryKind::Knowledge, QueryKind::Reasoning] {
+        let ids: Vec<usize> = harness
+            .queries()
+            .iter()
+            .filter(|q| q.kind == kind)
+            .take(3)
+            .map(|q| q.id)
+            .collect();
+        for method in [MethodId::Text2Sql, MethodId::HandWritten] {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), kind.label()),
+                &ids,
+                |b, ids| {
+                    b.iter(|| {
+                        for &id in ids {
+                            harness.run_one(method, id);
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kinds);
+criterion_main!(benches);

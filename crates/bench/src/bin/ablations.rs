@@ -1,0 +1,341 @@
+//! Ablation studies from DESIGN.md:
+//!
+//! - `batch` — execution time of hand-written TAG vs the semantic
+//!   engine's LM batch size (the §4.3 batched-inference claim behind the
+//!   3.1× win);
+//! - `retrieval-k` — RAG exact match vs retrieved rows `k` (§3 design
+//!   space: how far can pure retrieval get?);
+//! - `multihop` — compositional two-hop queries: single-hop TAG vs the
+//!   §2/§5 multi-hop extension;
+//! - `gen-pattern` — §2.3 generation patterns: hierarchical fold vs
+//!   sequential refinement on a large aggregation;
+//! - `coverage` — knowledge-coverage sweep: the recognition (TAG) vs
+//!   free-recall (Text2SQL) gap as parametric knowledge degrades.
+//!
+//! Run all with no argument, or name one.
+
+use std::sync::Arc;
+use tag_bench::{Harness, MethodId, QueryType};
+use tag_core::answer::{exact_match, Answer};
+use tag_core::env::TagEnv;
+use tag_core::methods::{HandWrittenTag, Rag};
+use tag_core::model::TagMethod;
+use tag_core::multihop::{run_two_hop, TwoHopQuery};
+use tag_datagen::{generate_all, Scale};
+use tag_lm::model::LanguageModel;
+use tag_lm::nlq::{NlFilter, NlQuery, SemProperty};
+use tag_lm::sim::{SimConfig, SimLm};
+use tag_semops::SemEngine;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    match which.as_str() {
+        "batch" => batch_ablation(),
+        "retrieval-k" => retrieval_k_ablation(),
+        "multihop" => multihop_ablation(),
+        "gen-pattern" => gen_pattern_ablation(),
+        "coverage" => coverage_ablation(),
+        "all" => {
+            batch_ablation();
+            println!();
+            retrieval_k_ablation();
+            println!();
+            multihop_ablation();
+            println!();
+            gen_pattern_ablation();
+            println!();
+            coverage_ablation();
+        }
+        other => {
+            eprintln!(
+                "unknown ablation {other:?}; expected one of: batch, retrieval-k, \
+                 multihop, gen-pattern, coverage, all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Ablation A: TAG execution time vs LM batch size.
+fn batch_ablation() {
+    println!("Ablation A: hand-written TAG execution time vs LM batch size");
+    println!("(mean simulated seconds over the 20 knowledge + reasoning match/comparison queries)\n");
+    println!("{:>10} {:>12} {:>12}", "batch", "mean ET(s)", "accuracy");
+    for batch in [1usize, 4, 16, 64] {
+        let mut harness = Harness::standard();
+        // Swap every domain's engine for one with the ablated batch size.
+        let domains: Vec<&'static str> = harness
+            .queries()
+            .iter()
+            .map(|q| q.domain)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for d in domains {
+            let env = harness.env_mut(d);
+            let lm = Arc::clone(&env.lm);
+            env.engine = SemEngine::with_batch_size(lm, batch);
+        }
+        let ids: Vec<usize> = harness
+            .queries()
+            .iter()
+            .filter(|q| {
+                matches!(q.qtype, QueryType::MatchBased | QueryType::Comparison)
+            })
+            .map(|q| q.id)
+            .collect();
+        let mut secs = 0.0;
+        let mut correct = 0usize;
+        let mut graded = 0usize;
+        for &id in &ids {
+            let o = harness.run_one(MethodId::HandWritten, id);
+            secs += o.seconds;
+            if let Some(c) = o.correct {
+                graded += 1;
+                correct += usize::from(c);
+            }
+        }
+        println!(
+            "{batch:>10} {:>12.2} {:>12.2}",
+            secs / ids.len() as f64,
+            correct as f64 / graded.max(1) as f64
+        );
+    }
+    println!("\nSmaller batches serialize the per-row LM judgments; accuracy is unchanged.");
+}
+
+/// Ablation B: RAG accuracy vs retrieval depth k.
+fn retrieval_k_ablation() {
+    println!("Ablation B: RAG exact match vs retrieved rows k");
+    println!("(all 60 graded queries)\n");
+    println!("{:>6} {:>12} {:>12}", "k", "accuracy", "mean ET(s)");
+    for k in [1usize, 5, 10, 50, 100] {
+        let mut harness = Harness::standard();
+        let queries = harness.queries().to_vec();
+        let mut correct = 0usize;
+        let mut graded = 0usize;
+        let mut secs = 0.0;
+        let mut runs = 0usize;
+        for q in &queries {
+            if q.qtype == QueryType::Aggregation {
+                continue;
+            }
+            let question = q.question();
+            let truth = harness.truth(q.id).map(<[String]>::to_vec);
+            let env = harness.env_mut(q.domain);
+            let _ = env.row_store();
+            env.reset_metrics();
+            let answer = Rag {
+                k,
+                list_format: true,
+            }
+            .answer(&question, env);
+            secs += env.elapsed_seconds();
+            runs += 1;
+            if let Some(t) = truth {
+                graded += 1;
+                correct += usize::from(exact_match(&answer, &t, q.ordered()));
+            }
+        }
+        println!(
+            "{k:>6} {:>12.2} {:>12.2}",
+            correct as f64 / graded.max(1) as f64,
+            secs / runs.max(1) as f64
+        );
+    }
+    println!("\nMore rows help until the context fills; exact computation never emerges.");
+}
+
+/// Ablation D: §2.3 generation patterns — batched hierarchical fold vs
+/// serial sequential refinement on one large aggregation input.
+fn gen_pattern_ablation() {
+    use tag_semops::{sem_agg, sem_agg_refine, DataFrame};
+    println!("Ablation D: LM generation patterns for aggregation (§2.3)\n");
+    let domains = generate_all(42, Scale::default());
+    let community = domains
+        .into_iter()
+        .find(|d| d.name == "codebase_community")
+        .expect("community domain");
+    let mut db = community.db;
+    let df = DataFrame::from_result(
+        db.execute("SELECT Text FROM comments").expect("comments scan"),
+    );
+    println!("Input: {} comment texts (forced multi-round via a small window)\n", df.len());
+    println!("{:<24} {:>10} {:>9} {:>9}", "pattern", "ET(s)", "calls", "batches");
+    for (name, refine) in [("hierarchical fold", false), ("sequential refinement", true)] {
+        let lm = Arc::new(SimLm::new(SimConfig {
+            context_window: 2048,
+            ..SimConfig::default()
+        }));
+        let engine = SemEngine::new(lm.clone() as Arc<dyn tag_lm::model::LanguageModel>);
+        let summary = if refine {
+            sem_agg_refine(&engine, &df, "Summarize the comments", None)
+        } else {
+            sem_agg(&engine, &df, "Summarize the comments", None)
+        }
+        .expect("aggregation succeeds");
+        assert!(!summary.is_empty());
+        println!(
+            "{name:<24} {:>10.2} {:>9} {:>9}",
+            lm.elapsed_seconds(),
+            lm.calls(),
+            lm.batches()
+        );
+    }
+    println!("\nThe fold batches each level's chunk summaries; refinement serializes them.");
+}
+
+/// Ablation E: knowledge-coverage sweep. TAG filters rows by per-fact
+/// *recognition*; Text2SQL must *enumerate* facts into SQL. Sweeping the
+/// model's coverage shows the gap directly.
+fn coverage_ablation() {
+    use tag_lm::KnowledgeConfig;
+    println!("Ablation E: accuracy on knowledge queries vs parametric coverage\n");
+    println!(
+        "{:>10} {:>12} {:>12}",
+        "coverage", "Text2SQL", "TAG"
+    );
+    for coverage in [0.5f64, 0.7, 0.9, 1.0] {
+        let lm_config = SimConfig {
+            knowledge: KnowledgeConfig {
+                coverage,
+                // Free recall stays systematically below recognition.
+                enumeration_coverage: (coverage * 0.55).min(1.0),
+                seed: 0x7A65,
+            },
+            ..SimConfig::default()
+        };
+        let mut harness = Harness::new(42, Scale::default(), lm_config);
+        let ids: Vec<usize> = harness
+            .queries()
+            .iter()
+            .filter(|q| {
+                q.kind == tag_bench::QueryKind::Knowledge
+                    && q.qtype != QueryType::Aggregation
+            })
+            .map(|q| q.id)
+            .collect();
+        let acc = |h: &mut Harness, m: MethodId| -> f64 {
+            let correct = ids
+                .iter()
+                .filter(|&&id| h.run_one(m, id).correct == Some(true))
+                .count();
+            correct as f64 / ids.len() as f64
+        };
+        let t2s = acc(&mut harness, MethodId::Text2Sql);
+        let tag = acc(&mut harness, MethodId::HandWritten);
+        println!("{coverage:>10.2} {t2s:>12.2} {tag:>12.2}");
+    }
+    println!(
+        "\nRecognition (row-wise judgments) degrades gracefully; free recall \
+         (IN-list enumeration) collapses much earlier."
+    );
+}
+
+/// Ablation C: multi-hop TAG vs forcing the composition into one hop.
+fn multihop_ablation() {
+    println!("Ablation C: compositional queries — single-hop vs two-hop TAG\n");
+    let domains = generate_all(42, Scale::default());
+    let community = domains
+        .into_iter()
+        .find(|d| d.name == "codebase_community")
+        .expect("community domain");
+    let lm = Arc::new(SimLm::new(SimConfig::default()));
+
+    // Ground truth from planted labels: sarcastic comments on technical
+    // posts (level >= 2).
+    let posts = community.db.catalog().table("posts").unwrap();
+    let id_i = posts.schema().index_of("Id").unwrap();
+    let technical_posts: std::collections::HashSet<i64> = posts
+        .rows()
+        .iter()
+        .filter_map(|r| {
+            let id = r[id_i].as_i64()?;
+            (community.labels.post_technicality[&id] >= 2).then_some(id)
+        })
+        .collect();
+    let comments = community.db.catalog().table("comments").unwrap();
+    let cid_i = comments.schema().index_of("Id").unwrap();
+    let pid_i = comments.schema().index_of("PostId").unwrap();
+    let truth = comments
+        .rows()
+        .iter()
+        .filter(|r| {
+            let cid = r[cid_i].as_i64().unwrap_or(0);
+            let pid = r[pid_i].as_i64().unwrap_or(0);
+            technical_posts.contains(&pid) && community.labels.comment_sarcastic[&cid]
+        })
+        .count();
+
+    let mut env = TagEnv::new(community.db.clone(), lm);
+
+    let hop1 = NlQuery::List {
+        entity: "posts".into(),
+        select_attr: "Id".into(),
+        filters: vec![NlFilter::Semantic {
+            attr: "Title".into(),
+            property: SemProperty::Technical,
+        }],
+    };
+    let hop2 = NlQuery::Count {
+        entity: "comments".into(),
+        filters: vec![NlFilter::Semantic {
+            attr: "Text".into(),
+            property: SemProperty::Sarcastic,
+        }],
+    };
+    let question = "How many sarcastic comments are there on technical posts?";
+
+    // Single-hop attempt: the composition cannot be expressed over one
+    // table, so the pipeline runs hop 2's filter alone.
+    env.reset_metrics();
+    let single = HandWrittenTag.answer_structured(&hop2, &mut env);
+    let single_secs = env.elapsed_seconds();
+
+    // Two-hop TAG.
+    env.reset_metrics();
+    let two = run_two_hop(
+        &TwoHopQuery {
+            hop1,
+            join_attr: "PostId".into(),
+            hop2,
+        },
+        &mut env,
+    );
+    let two_secs = env.elapsed_seconds();
+
+    let as_count = |a: &Answer| -> Option<f64> {
+        match a {
+            Answer::List(v) => v.first()?.parse().ok(),
+            _ => None,
+        }
+    };
+    let rel_err = |a: &Answer| -> String {
+        match as_count(a) {
+            Some(x) => format!(
+                "{:.0}% relative error",
+                ((x - truth as f64) / truth as f64 * 100.0).abs()
+            ),
+            None => "no numeric answer".to_owned(),
+        }
+    };
+    let fmt = |a: &Answer| match a {
+        Answer::List(v) => v.join(", "),
+        other => other.to_string(),
+    };
+    println!("Question: {question}");
+    println!("Ground truth:           {truth}");
+    println!(
+        "Single-hop TAG:         {} ({}; ignores the post constraint entirely; {:.2}s)",
+        fmt(&single),
+        rel_err(&single),
+        single_secs
+    );
+    println!(
+        "Two-hop TAG:            {} ({}; residual error is semantic judgment noise; {:.2}s)",
+        fmt(&two),
+        rel_err(&two),
+        two_secs
+    );
+    let _ = exact_match(&single, &[truth.to_string()], false);
+}

@@ -1,0 +1,29 @@
+//! Developer aid: per-query correctness grid (not part of the paper).
+
+use tag_bench::{Harness, MethodId};
+
+fn main() {
+    let mut h = Harness::standard();
+    let queries = h.queries().to_vec();
+    println!("{:>3} {:<12} {:<10} {:<9} t2s rag rrk t2l tag  question", "id", "type", "kind", "domain");
+    for q in &queries {
+        let mut marks = Vec::new();
+        for m in MethodId::all() {
+            let o = h.run_one(m, q.id);
+            marks.push(match o.correct {
+                Some(true) => "Y",
+                Some(false) => ".",
+                None => "-",
+            });
+        }
+        println!(
+            "{:>3} {:<12} {:<10} {:<9} {:^3} {:^3} {:^3} {:^3} {:^3}  {}",
+            q.id,
+            q.qtype.label(),
+            q.kind.label(),
+            &q.domain[..q.domain.len().min(9)],
+            marks[0], marks[1], marks[2], marks[3], marks[4],
+            &q.question()[..q.question().len().min(80)]
+        );
+    }
+}

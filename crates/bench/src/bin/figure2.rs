@@ -1,0 +1,10 @@
+//! Regenerates Figure 2 of the paper: qualitative aggregation answers
+//! for "Provide information about the races held on Sepang International
+//! Circuit." across RAG, Text2SQL + LM, and hand-written TAG.
+
+use tag_bench::{report, Harness};
+
+fn main() {
+    let mut harness = Harness::standard();
+    println!("{}", report::figure2(&mut harness));
+}

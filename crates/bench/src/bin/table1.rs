@@ -1,0 +1,12 @@
+//! Regenerates Table 1 of the paper: accuracy and execution time for all
+//! five methods across the 80 TAG-Bench queries.
+
+use tag_bench::{report, Harness, MethodId};
+
+fn main() {
+    let mut harness = Harness::standard();
+    eprintln!("Running 5 methods x 80 queries...");
+    let outcomes = harness.run_all(&MethodId::all());
+    let queries = harness.queries().to_vec();
+    println!("{}", report::table1(&outcomes, &queries));
+}

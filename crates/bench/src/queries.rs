@@ -1,0 +1,859 @@
+//! TAG-Bench: the 80 modified queries (§4.1).
+//!
+//! 20 of each BIRD query type (match-based, comparison, ranking,
+//! aggregation); within each type, half require **world knowledge** and
+//! half require **semantic reasoning** — 40/40 overall, exactly the
+//! paper's construction. Text parameters (post titles) are drawn from
+//! the generated data, mirroring how the paper's queries reference
+//! concrete BIRD rows.
+
+use tag_datagen::DomainData;
+use tag_lm::nlq::{CmpOp, NlFilter, NlQuery, SemProperty};
+
+/// BIRD query type (Table 1 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryType {
+    /// Point lookups of attribute values.
+    MatchBased,
+    /// Counting under comparisons.
+    Comparison,
+    /// Ordered top-k lists.
+    Ranking,
+    /// Free-form summarization (accuracy N/A, as in the paper).
+    Aggregation,
+}
+
+impl QueryType {
+    /// Display name as in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryType::MatchBased => "Match-based",
+            QueryType::Comparison => "Comparison",
+            QueryType::Ranking => "Ranking",
+            QueryType::Aggregation => "Aggregation",
+        }
+    }
+}
+
+/// What the modification demands of the system (Table 2 split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Requires LM world knowledge not present in the data.
+    Knowledge,
+    /// Requires LM semantic reasoning over text fields.
+    Reasoning,
+}
+
+impl QueryKind {
+    /// Display name as in Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryKind::Knowledge => "Knowledge",
+            QueryKind::Reasoning => "Reasoning",
+        }
+    }
+}
+
+/// One benchmark query.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Stable id (1..=80).
+    pub id: usize,
+    /// Domain name (matches `DomainData::name`).
+    pub domain: &'static str,
+    /// BIRD query type.
+    pub qtype: QueryType,
+    /// Knowledge vs reasoning.
+    pub kind: QueryKind,
+    /// The structured query (rendered to English for the methods).
+    pub query: NlQuery,
+}
+
+impl BenchQuery {
+    /// The natural-language question handed to methods under test.
+    pub fn question(&self) -> String {
+        self.query.render()
+    }
+
+    /// Is the answer order-sensitive (ranking queries)?
+    pub fn ordered(&self) -> bool {
+        self.qtype == QueryType::Ranking
+    }
+}
+
+fn num(attr: &str, op: CmpOp, value: f64) -> NlFilter {
+    NlFilter::NumCmp {
+        attr: attr.into(),
+        op,
+        value,
+    }
+}
+
+fn region(r: &str) -> NlFilter {
+    NlFilter::InRegion { region: r.into() }
+}
+
+fn taller(p: &str) -> NlFilter {
+    NlFilter::TallerThan { person: p.into() }
+}
+
+fn sem(attr: &str, p: SemProperty) -> NlFilter {
+    NlFilter::Semantic {
+        attr: attr.into(),
+        property: p,
+    }
+}
+
+fn title_eq(title: &str) -> NlFilter {
+    NlFilter::TextEq {
+        attr: "PostTitle".into(),
+        value: title.into(),
+    }
+}
+
+/// Pick `n` post titles (by ascending post id, starting at `from`) whose
+/// posts exist in the generated community domain.
+fn post_titles(community: &DomainData, from: i64, n: usize) -> Vec<String> {
+    let posts = community
+        .db
+        .catalog()
+        .table("posts")
+        .expect("posts table");
+    let title_idx = posts.schema().index_of("Title").expect("Title column");
+    let id_idx = posts.schema().index_of("Id").expect("Id column");
+    let mut rows: Vec<(i64, String)> = posts
+        .rows()
+        .iter()
+        .map(|r| (r[id_idx].as_i64().unwrap_or(0), r[title_idx].to_string()))
+        .collect();
+    rows.sort_by_key(|(id, _)| *id);
+    rows.into_iter()
+        .filter(|(id, _)| *id >= from)
+        .take(n)
+        .map(|(_, t)| t)
+        .collect()
+}
+
+/// Build the full 80-query benchmark over generated domains.
+///
+/// `domains` must contain the six datasets from
+/// [`tag_datagen::generate_all`].
+pub fn build_benchmark(domains: &[DomainData]) -> Vec<BenchQuery> {
+    let community = domains
+        .iter()
+        .find(|d| d.name == "codebase_community")
+        .expect("community domain present");
+    // Titles for aggregation (ids 1..=10) and for match/comparison
+    // reasoning queries (ids 11..).
+    let agg_titles = post_titles(community, 1, 10);
+    let reason_titles = post_titles(community, 11, 10);
+
+    let mut queries = Vec::with_capacity(80);
+    let mut id = 0usize;
+    let mut push = |domain: &'static str, qtype: QueryType, kind: QueryKind, query: NlQuery| {
+        id += 1;
+        queries.push(BenchQuery {
+            id,
+            domain,
+            qtype,
+            kind,
+            query,
+        });
+    };
+
+    use QueryKind::{Knowledge, Reasoning};
+    use QueryType::{Aggregation, Comparison, MatchBased, Ranking};
+
+    // ---- Match-based: 10 knowledge ------------------------------------
+    push(
+        "california_schools",
+        MatchBased,
+        Knowledge,
+        NlQuery::Superlative {
+            entity: "schools".into(),
+            select_attr: "GSoffered".into(),
+            rank_attr: "Longitude".into(),
+            highest: true,
+            filters: vec![region("Silicon Valley")],
+        },
+    );
+    push(
+        "california_schools",
+        MatchBased,
+        Knowledge,
+        NlQuery::Superlative {
+            entity: "schools".into(),
+            select_attr: "School".into(),
+            rank_attr: "Longitude".into(),
+            highest: false,
+            filters: vec![region("Bay Area")],
+        },
+    );
+    push(
+        "california_schools",
+        MatchBased,
+        Knowledge,
+        NlQuery::Superlative {
+            entity: "schools".into(),
+            select_attr: "School".into(),
+            rank_attr: "Latitude".into(),
+            highest: false,
+            filters: vec![region("Southern California")],
+        },
+    );
+    push(
+        "california_schools",
+        MatchBased,
+        Knowledge,
+        NlQuery::List {
+            entity: "schools".into(),
+            select_attr: "School".into(),
+            filters: vec![num("AvgScrMath", CmpOp::Over, 700.0), region("Bay Area")],
+        },
+    );
+    push(
+        "california_schools",
+        MatchBased,
+        Knowledge,
+        NlQuery::List {
+            entity: "schools".into(),
+            select_attr: "School".into(),
+            filters: vec![
+                num("AvgScrMath", CmpOp::Over, 705.0),
+                region("Central Valley"),
+            ],
+        },
+    );
+    push(
+        "debit_card_specializing",
+        MatchBased,
+        Knowledge,
+        NlQuery::Superlative {
+            entity: "customers".into(),
+            select_attr: "Segment".into(),
+            rank_attr: "Consumption".into(),
+            highest: true,
+            filters: vec![NlFilter::EuCountry],
+        },
+    );
+    push(
+        "debit_card_specializing",
+        MatchBased,
+        Knowledge,
+        NlQuery::List {
+            entity: "customers".into(),
+            select_attr: "CustomerID".into(),
+            filters: vec![NlFilter::EuCountry, num("Consumption", CmpOp::Over, 8800.0)],
+        },
+    );
+    push(
+        "european_football_2",
+        MatchBased,
+        Knowledge,
+        NlQuery::Superlative {
+            entity: "players".into(),
+            select_attr: "player_name".into(),
+            rank_attr: "height".into(),
+            highest: true,
+            filters: vec![taller("Kevin Durant")],
+        },
+    );
+    push(
+        "european_football_2",
+        MatchBased,
+        Knowledge,
+        NlQuery::List {
+            entity: "players".into(),
+            select_attr: "player_name".into(),
+            filters: vec![num("volley", CmpOp::Over, 85.0), taller("Stephen Curry")],
+        },
+    );
+    push(
+        "formula_1",
+        MatchBased,
+        Knowledge,
+        NlQuery::List {
+            entity: "races".into(),
+            select_attr: "name".into(),
+            filters: vec![
+                NlFilter::CircuitContinent {
+                    continent: "South America".into(),
+                },
+                num("year", CmpOp::Over, 2015.0),
+            ],
+        },
+    );
+
+    // ---- Match-based: 10 reasoning ------------------------------------
+    push(
+        "movies",
+        MatchBased,
+        Reasoning,
+        NlQuery::Superlative {
+            entity: "movies".into(),
+            select_attr: "movie_title".into(),
+            rank_attr: "revenue".into(),
+            highest: true,
+            filters: vec![sem("review", SemProperty::Positive)],
+        },
+    );
+    push(
+        "movies",
+        MatchBased,
+        Reasoning,
+        NlQuery::Superlative {
+            entity: "movies".into(),
+            select_attr: "movie_title".into(),
+            rank_attr: "revenue".into(),
+            highest: false,
+            filters: vec![sem("review", SemProperty::Negative)],
+        },
+    );
+    push(
+        "movies",
+        MatchBased,
+        Reasoning,
+        NlQuery::List {
+            entity: "movies".into(),
+            select_attr: "movie_title".into(),
+            filters: vec![
+                NlFilter::TextEq {
+                    attr: "genre".into(),
+                    value: "Romance".into(),
+                },
+                sem("review", SemProperty::Negative),
+            ],
+        },
+    );
+    push(
+        "movies",
+        MatchBased,
+        Reasoning,
+        NlQuery::List {
+            entity: "movies".into(),
+            select_attr: "movie_title".into(),
+            filters: vec![
+                NlFilter::TextEq {
+                    attr: "genre".into(),
+                    value: "SciFi".into(),
+                },
+                sem("review", SemProperty::Positive),
+            ],
+        },
+    );
+    for t in reason_titles.iter().take(4) {
+        push(
+            "codebase_community",
+            MatchBased,
+            Reasoning,
+            NlQuery::List {
+                entity: "comments".into(),
+                select_attr: "Id".into(),
+                filters: vec![title_eq(t), sem("Text", SemProperty::Positive)],
+            },
+        );
+    }
+    push(
+        "codebase_community",
+        MatchBased,
+        Reasoning,
+        NlQuery::Superlative {
+            entity: "posts".into(),
+            select_attr: "Title".into(),
+            rank_attr: "ViewCount".into(),
+            highest: true,
+            filters: vec![sem("Title", SemProperty::Technical)],
+        },
+    );
+    push(
+        "codebase_community",
+        MatchBased,
+        Reasoning,
+        NlQuery::Superlative {
+            entity: "posts".into(),
+            select_attr: "Id".into(),
+            rank_attr: "ViewCount".into(),
+            highest: false,
+            filters: vec![sem("Title", SemProperty::Technical)],
+        },
+    );
+
+    // ---- Comparison: 10 knowledge -------------------------------------
+    push(
+        "european_football_2",
+        Comparison,
+        Knowledge,
+        NlQuery::Count {
+            entity: "players".into(),
+            filters: vec![
+                num("height", CmpOp::Over, 180.0),
+                num("volley", CmpOp::Over, 70.0),
+                taller("Stephen Curry"),
+            ],
+        },
+    );
+    push(
+        "european_football_2",
+        Comparison,
+        Knowledge,
+        NlQuery::Count {
+            entity: "players".into(),
+            filters: vec![num("height", CmpOp::Over, 175.0), taller("Cristiano Ronaldo")],
+        },
+    );
+    push(
+        "european_football_2",
+        Comparison,
+        Knowledge,
+        NlQuery::Count {
+            entity: "players".into(),
+            filters: vec![num("dribbling", CmpOp::Over, 80.0), taller("Lionel Messi")],
+        },
+    );
+    push(
+        "california_schools",
+        Comparison,
+        Knowledge,
+        NlQuery::Count {
+            entity: "schools".into(),
+            filters: vec![num("AvgScrMath", CmpOp::Over, 560.0), region("Bay Area")],
+        },
+    );
+    push(
+        "california_schools",
+        Comparison,
+        Knowledge,
+        NlQuery::Count {
+            entity: "schools".into(),
+            filters: vec![region("Silicon Valley")],
+        },
+    );
+    push(
+        "california_schools",
+        Comparison,
+        Knowledge,
+        NlQuery::Count {
+            entity: "schools".into(),
+            filters: vec![
+                num("Enrollment", CmpOp::Over, 2000.0),
+                region("Central Valley"),
+            ],
+        },
+    );
+    push(
+        "debit_card_specializing",
+        Comparison,
+        Knowledge,
+        NlQuery::Count {
+            entity: "customers".into(),
+            filters: vec![NlFilter::EuCountry],
+        },
+    );
+    push(
+        "debit_card_specializing",
+        Comparison,
+        Knowledge,
+        NlQuery::Count {
+            entity: "customers".into(),
+            filters: vec![NlFilter::EuCountry, num("Consumption", CmpOp::Under, 1000.0)],
+        },
+    );
+    push(
+        "formula_1",
+        Comparison,
+        Knowledge,
+        NlQuery::Count {
+            entity: "races".into(),
+            filters: vec![
+                NlFilter::CircuitContinent {
+                    continent: "Asia".into(),
+                },
+                num("year", CmpOp::Over, 2010.0),
+            ],
+        },
+    );
+    push(
+        "formula_1",
+        Comparison,
+        Knowledge,
+        NlQuery::Count {
+            entity: "races".into(),
+            filters: vec![
+                NlFilter::CircuitContinent {
+                    continent: "Europe".into(),
+                },
+                num("year", CmpOp::Over, 2016.0),
+            ],
+        },
+    );
+
+    // ---- Comparison: 10 reasoning -------------------------------------
+    for t in reason_titles.iter().take(4) {
+        push(
+            "codebase_community",
+            Comparison,
+            Reasoning,
+            NlQuery::Count {
+                entity: "comments".into(),
+                filters: vec![title_eq(t), sem("Text", SemProperty::Sarcastic)],
+            },
+        );
+    }
+    for t in reason_titles.iter().skip(4).take(2) {
+        push(
+            "codebase_community",
+            Comparison,
+            Reasoning,
+            NlQuery::Count {
+                entity: "comments".into(),
+                filters: vec![title_eq(t), sem("Text", SemProperty::Positive)],
+            },
+        );
+    }
+    push(
+        "movies",
+        Comparison,
+        Reasoning,
+        NlQuery::Count {
+            entity: "movies".into(),
+            filters: vec![
+                NlFilter::TextEq {
+                    attr: "genre".into(),
+                    value: "Romance".into(),
+                },
+                sem("review", SemProperty::Positive),
+            ],
+        },
+    );
+    push(
+        "movies",
+        Comparison,
+        Reasoning,
+        NlQuery::Count {
+            entity: "movies".into(),
+            filters: vec![sem("review", SemProperty::Negative)],
+        },
+    );
+    push(
+        "codebase_community",
+        Comparison,
+        Reasoning,
+        NlQuery::Count {
+            entity: "posts".into(),
+            filters: vec![
+                num("ViewCount", CmpOp::Over, 9000.0),
+                sem("Title", SemProperty::Technical),
+            ],
+        },
+    );
+    push(
+        "codebase_community",
+        Comparison,
+        Reasoning,
+        NlQuery::Count {
+            entity: "comments".into(),
+            filters: vec![
+                num("Score", CmpOp::Over, 20.0),
+                sem("Text", SemProperty::Sarcastic),
+            ],
+        },
+    );
+
+    // ---- Ranking: 10 knowledge ----------------------------------------
+    push(
+        "california_schools",
+        Ranking,
+        Knowledge,
+        NlQuery::TopK {
+            entity: "schools".into(),
+            select_attr: "School".into(),
+            rank_attr: "Longitude".into(),
+            k: 3,
+            highest: true,
+            filters: vec![region("Bay Area")],
+        },
+    );
+    push(
+        "california_schools",
+        Ranking,
+        Knowledge,
+        NlQuery::TopK {
+            entity: "schools".into(),
+            select_attr: "School".into(),
+            rank_attr: "Latitude".into(),
+            k: 4,
+            highest: true,
+            filters: vec![region("Southern California")],
+        },
+    );
+    push(
+        "california_schools",
+        Ranking,
+        Knowledge,
+        NlQuery::TopK {
+            entity: "schools".into(),
+            select_attr: "School".into(),
+            rank_attr: "Latitude".into(),
+            k: 3,
+            highest: false,
+            filters: vec![region("Central Valley")],
+        },
+    );
+    push(
+        "european_football_2",
+        Ranking,
+        Knowledge,
+        NlQuery::TopK {
+            entity: "players".into(),
+            select_attr: "player_name".into(),
+            rank_attr: "height".into(),
+            k: 5,
+            highest: true,
+            filters: vec![taller("Stephen Curry")],
+        },
+    );
+    push(
+        "european_football_2",
+        Ranking,
+        Knowledge,
+        NlQuery::TopK {
+            entity: "players".into(),
+            select_attr: "player_name".into(),
+            rank_attr: "height".into(),
+            k: 3,
+            highest: true,
+            filters: vec![taller("Kevin Durant")],
+        },
+    );
+    push(
+        "european_football_2",
+        Ranking,
+        Knowledge,
+        NlQuery::TopK {
+            entity: "players".into(),
+            select_attr: "player_name".into(),
+            rank_attr: "height".into(),
+            k: 4,
+            highest: true,
+            filters: vec![taller("Usain Bolt")],
+        },
+    );
+    push(
+        "debit_card_specializing",
+        Ranking,
+        Knowledge,
+        NlQuery::TopK {
+            entity: "customers".into(),
+            select_attr: "CustomerID".into(),
+            rank_attr: "Consumption".into(),
+            k: 3,
+            highest: true,
+            filters: vec![NlFilter::EuCountry],
+        },
+    );
+    push(
+        "debit_card_specializing",
+        Ranking,
+        Knowledge,
+        NlQuery::TopK {
+            entity: "customers".into(),
+            select_attr: "CustomerID".into(),
+            rank_attr: "Consumption".into(),
+            k: 5,
+            highest: false,
+            filters: vec![NlFilter::EuCountry],
+        },
+    );
+    push(
+        "formula_1",
+        Ranking,
+        Knowledge,
+        NlQuery::TopK {
+            entity: "races".into(),
+            select_attr: "name".into(),
+            rank_attr: "year".into(),
+            k: 3,
+            highest: true,
+            filters: vec![NlFilter::CircuitContinent {
+                continent: "North America".into(),
+            }],
+        },
+    );
+    push(
+        "formula_1",
+        Ranking,
+        Knowledge,
+        NlQuery::TopK {
+            entity: "races".into(),
+            select_attr: "name".into(),
+            rank_attr: "year".into(),
+            k: 4,
+            highest: true,
+            filters: vec![NlFilter::CircuitContinent {
+                continent: "South America".into(),
+            }],
+        },
+    );
+
+    // ---- Ranking: 10 reasoning ----------------------------------------
+    for (k, select) in [(5usize, "Title"), (4, "Title"), (3, "Title"), (5, "Id"), (4, "Id")]
+    {
+        push(
+            "codebase_community",
+            Ranking,
+            Reasoning,
+            NlQuery::SemanticRank {
+                entity: "posts".into(),
+                select_attr: select.into(),
+                rank_attr: "ViewCount".into(),
+                k,
+                property: SemProperty::Technical,
+                on_attr: "Title".into(),
+            },
+        );
+    }
+    for (k, property) in [
+        (4usize, SemProperty::Positive),
+        (3, SemProperty::Positive),
+        (4, SemProperty::Negative),
+        (3, SemProperty::Negative),
+        (2, SemProperty::Positive),
+    ] {
+        push(
+            "movies",
+            Ranking,
+            Reasoning,
+            NlQuery::SemanticRank {
+                entity: "movies".into(),
+                select_attr: "movie_title".into(),
+                rank_attr: "revenue".into(),
+                k,
+                property,
+                on_attr: "review".into(),
+            },
+        );
+    }
+
+    // ---- Aggregation: 10 knowledge (Figure 2 family) -------------------
+    for circuit in [
+        "Sepang International Circuit",
+        "Autodromo Nazionale di Monza",
+        "Silverstone Circuit",
+        "Circuit de Monaco",
+        "Marina Bay Street Circuit",
+        "Suzuka Circuit",
+        "Shanghai International Circuit",
+        "Circuit de Spa-Francorchamps",
+        "Circuit Gilles Villeneuve",
+        "Bahrain International Circuit",
+    ] {
+        push(
+            "formula_1",
+            Aggregation,
+            Knowledge,
+            NlQuery::ProvideInfo {
+                entity: "races".into(),
+                filters: vec![NlFilter::AtCircuit {
+                    circuit: circuit.into(),
+                }],
+            },
+        );
+    }
+
+    // ---- Aggregation: 10 reasoning -------------------------------------
+    for t in &agg_titles {
+        push(
+            "codebase_community",
+            Aggregation,
+            Reasoning,
+            NlQuery::Summarize {
+                entity: "comments".into(),
+                topic: "Text".into(),
+                filters: vec![title_eq(t)],
+            },
+        );
+    }
+
+    assert_eq!(queries.len(), 80, "benchmark must have exactly 80 queries");
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tag_datagen::{generate_all, Scale};
+
+    fn small_domains() -> Vec<DomainData> {
+        generate_all(
+            42,
+            Scale {
+                schools: 120,
+                players: 150,
+                posts: 60,
+                customers: 120,
+                drivers: 10,
+            },
+        )
+    }
+
+    #[test]
+    fn composition_matches_the_paper() {
+        let qs = build_benchmark(&small_domains());
+        assert_eq!(qs.len(), 80);
+        for t in [
+            QueryType::MatchBased,
+            QueryType::Comparison,
+            QueryType::Ranking,
+            QueryType::Aggregation,
+        ] {
+            let of_type: Vec<_> = qs.iter().filter(|q| q.qtype == t).collect();
+            assert_eq!(of_type.len(), 20, "{t:?}");
+            let knowledge = of_type
+                .iter()
+                .filter(|q| q.kind == QueryKind::Knowledge)
+                .count();
+            assert_eq!(knowledge, 10, "{t:?}");
+        }
+        let knowledge_total = qs.iter().filter(|q| q.kind == QueryKind::Knowledge).count();
+        assert_eq!(knowledge_total, 40);
+    }
+
+    #[test]
+    fn all_questions_render_and_parse_back() {
+        for q in build_benchmark(&small_domains()) {
+            let text = q.question();
+            let parsed = NlQuery::parse(&text);
+            assert_eq!(parsed.as_ref(), Some(&q.query), "query {}: {text}", q.id);
+        }
+    }
+
+    #[test]
+    fn kind_flags_match_query_structure() {
+        for q in build_benchmark(&small_domains()) {
+            match q.kind {
+                QueryKind::Knowledge => {
+                    assert!(
+                        q.query.needs_knowledge()
+                            || matches!(q.query, NlQuery::ProvideInfo { .. }),
+                        "query {} marked knowledge but has no knowledge clause",
+                        q.id
+                    );
+                }
+                QueryKind::Reasoning => {
+                    assert!(
+                        q.query.needs_reasoning(),
+                        "query {} marked reasoning but has no reasoning demand",
+                        q.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_and_unique() {
+        let qs = build_benchmark(&small_domains());
+        let ids: Vec<usize> = qs.iter().map(|q| q.id).collect();
+        assert_eq!(ids, (1..=80).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,230 @@
+//! Table and figure renderers: regenerate the paper's Table 1, Table 2,
+//! and Figure 2 from harness outcomes.
+
+use crate::eval::{Harness, MethodId, Outcome};
+use crate::queries::{BenchQuery, QueryKind, QueryType};
+
+/// Accuracy + execution-time aggregate for one method over one bucket.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cell {
+    correct: usize,
+    graded: usize,
+    seconds: f64,
+    runs: usize,
+}
+
+impl Cell {
+    fn add(&mut self, o: &Outcome) {
+        if let Some(c) = o.correct {
+            self.graded += 1;
+            if c {
+                self.correct += 1;
+            }
+        }
+        self.seconds += o.seconds;
+        self.runs += 1;
+    }
+
+    /// Exact-match accuracy, `None` when nothing was graded (aggregation).
+    pub fn accuracy(&self) -> Option<f64> {
+        if self.graded == 0 {
+            None
+        } else {
+            Some(self.correct as f64 / self.graded as f64)
+        }
+    }
+
+    /// Mean execution time in (simulated) seconds.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.seconds / self.runs as f64
+        }
+    }
+
+    fn fmt_accuracy(&self) -> String {
+        match self.accuracy() {
+            Some(a) => format!("{a:.2}"),
+            None => "N/A".to_owned(),
+        }
+    }
+}
+
+fn bucket<'a>(
+    outcomes: &'a [Outcome],
+    queries: &'a [BenchQuery],
+    method: MethodId,
+    pred: impl Fn(&BenchQuery) -> bool + 'a,
+) -> Cell {
+    let mut cell = Cell::default();
+    for o in outcomes.iter().filter(|o| o.method == method) {
+        let q = queries
+            .iter()
+            .find(|q| q.id == o.query_id)
+            .expect("outcome query");
+        if pred(q) {
+            cell.add(o);
+        }
+    }
+    cell
+}
+
+/// Render Table 1: accuracy and execution time per method × query type.
+pub fn table1(outcomes: &[Outcome], queries: &[BenchQuery]) -> String {
+    let types = [
+        QueryType::MatchBased,
+        QueryType::Comparison,
+        QueryType::Ranking,
+        QueryType::Aggregation,
+    ];
+    let mut out = String::new();
+    out.push_str(
+        "Table 1: Accuracy (exact match) and execution time (simulated s) per query type\n\n",
+    );
+    out.push_str(&format!(
+        "{:<21} {:>8} {:>7} ",
+        "Method", "Overall", "ET(s)"
+    ));
+    for t in types {
+        out.push_str(&format!("| {:>12} {:>7} ", t.label(), "ET(s)"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(21 + 17 + types.len() * 24));
+    out.push('\n');
+    for m in MethodId::all() {
+        let overall = bucket(outcomes, queries, m, |_| true);
+        out.push_str(&format!(
+            "{:<21} {:>8} {:>7.2} ",
+            m.label(),
+            overall.fmt_accuracy(),
+            overall.mean_seconds()
+        ));
+        for t in types {
+            let c = bucket(outcomes, queries, m, |q| q.qtype == t);
+            out.push_str(&format!(
+                "| {:>12} {:>7.2} ",
+                c.fmt_accuracy(),
+                c.mean_seconds()
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "\nNote: exact match excludes aggregation queries (graded qualitatively), as in the paper.\n",
+    );
+    out
+}
+
+/// Render Table 2: accuracy and execution time per method × query kind.
+pub fn table2(outcomes: &[Outcome], queries: &[BenchQuery]) -> String {
+    let kinds = [QueryKind::Knowledge, QueryKind::Reasoning];
+    let mut out = String::new();
+    out.push_str(
+        "Table 2: results averaged over queries requiring Knowledge or Reasoning\n\n",
+    );
+    out.push_str(&format!("{:<21} ", "Method"));
+    for k in kinds {
+        out.push_str(&format!("| {:>10} {:>7} ", k.label(), "ET(s)"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(21 + kinds.len() * 22));
+    out.push('\n');
+    for m in MethodId::all() {
+        out.push_str(&format!("{:<21} ", m.label()));
+        for k in kinds {
+            let c = bucket(outcomes, queries, m, |q| q.kind == k);
+            out.push_str(&format!(
+                "| {:>10} {:>7.2} ",
+                c.fmt_accuracy(),
+                c.mean_seconds()
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Reproduce Figure 2: qualitative aggregation answers for the Sepang
+/// query across RAG, Text2SQL + LM, and hand-written TAG.
+pub fn figure2(harness: &mut Harness) -> String {
+    let sepang_id = harness
+        .queries()
+        .iter()
+        .find(|q| q.qtype == QueryType::Aggregation && q.question().contains("Sepang"))
+        .expect("Sepang aggregation query in benchmark")
+        .id;
+    let question = harness
+        .queries()
+        .iter()
+        .find(|q| q.id == sepang_id)
+        .unwrap()
+        .question();
+    let mut out = String::new();
+    out.push_str(&format!("Figure 2 — Query: {question}\n\n"));
+    for m in [MethodId::Rag, MethodId::Text2SqlLm, MethodId::HandWritten] {
+        let o = harness.run_one(m, sepang_id);
+        out.push_str(&format!("== {} ==\n{}\n\n", m.label(), o.answer));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tag_core::answer::Answer;
+
+    fn fake_queries() -> Vec<BenchQuery> {
+        use tag_lm::nlq::NlQuery;
+        vec![
+            BenchQuery {
+                id: 1,
+                domain: "x",
+                qtype: QueryType::MatchBased,
+                kind: QueryKind::Knowledge,
+                query: NlQuery::Count {
+                    entity: "t".into(),
+                    filters: vec![],
+                },
+            },
+            BenchQuery {
+                id: 2,
+                domain: "x",
+                qtype: QueryType::Aggregation,
+                kind: QueryKind::Reasoning,
+                query: NlQuery::ProvideInfo {
+                    entity: "t".into(),
+                    filters: vec![],
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn cells_aggregate_and_format() {
+        let queries = fake_queries();
+        let outcomes = vec![
+            Outcome {
+                query_id: 1,
+                method: MethodId::Rag,
+                correct: Some(true),
+                seconds: 2.0,
+                answer: Answer::List(vec!["1".into()]),
+            },
+            Outcome {
+                query_id: 2,
+                method: MethodId::Rag,
+                correct: None,
+                seconds: 4.0,
+                answer: Answer::Text("summary".into()),
+            },
+        ];
+        let t1 = table1(&outcomes, &queries);
+        assert!(t1.contains("RAG"));
+        assert!(t1.contains("N/A"), "{t1}");
+        assert!(t1.contains("1.00"), "{t1}");
+        let t2 = table2(&outcomes, &queries);
+        assert!(t2.contains("Knowledge"));
+        assert!(t2.contains("Reasoning"));
+    }
+}

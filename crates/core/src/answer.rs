@@ -1,0 +1,128 @@
+//! Answer representation and the exact-match metric.
+
+use std::fmt;
+
+/// The natural-language answer `A` produced by a TAG system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// A list of values, the format the benchmark's match-based,
+    /// comparison, and ranking queries are graded on.
+    List(Vec<String>),
+    /// Free text (aggregation queries; graded qualitatively, as in §4.3).
+    Text(String),
+    /// The method failed outright (invalid SQL, context overflow, ...).
+    Error(String),
+}
+
+impl Answer {
+    /// The list values, if this is a list answer.
+    pub fn as_list(&self) -> Option<&[String]> {
+        match self {
+            Answer::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The text, if this is a free-text answer.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Answer::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Did the method fail?
+    pub fn is_error(&self) -> bool {
+        matches!(self, Answer::Error(_))
+    }
+}
+
+impl fmt::Display for Answer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Answer::List(v) => write!(f, "[{}]", v.join(", ")),
+            Answer::Text(t) => write!(f, "{t}"),
+            Answer::Error(e) => write!(f, "<error: {e}>"),
+        }
+    }
+}
+
+/// Normalize one value for comparison: trim, lowercase, and collapse
+/// numeric formatting (so `"560"`, `560`, and `560.0` all match).
+pub fn normalize_value(v: &str) -> String {
+    let t = v.trim().trim_matches('"').trim();
+    if let Ok(x) = t.parse::<f64>() {
+        if x.fract() == 0.0 && x.is_finite() {
+            return format!("{}", x as i64);
+        }
+        return format!("{x}");
+    }
+    t.to_lowercase()
+}
+
+/// Exact match between a produced answer and the labeled truth.
+///
+/// `ordered` is true for ranking queries (the order is the answer) and
+/// false for match-based / comparison queries (set semantics, as "a list
+/// of values evaluatable in Python" compared against labels).
+pub fn exact_match(answer: &Answer, truth: &[String], ordered: bool) -> bool {
+    let Some(values) = answer.as_list() else {
+        return false;
+    };
+    let got: Vec<String> = values.iter().map(|v| normalize_value(v)).collect();
+    let want: Vec<String> = truth.iter().map(|v| normalize_value(v)).collect();
+    if ordered {
+        got == want
+    } else {
+        let mut g = got;
+        let mut w = want;
+        g.sort_unstable();
+        w.sort_unstable();
+        g == w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize_value(" \"Gunn High\" "), "gunn high");
+        assert_eq!(normalize_value("560.0"), "560");
+        assert_eq!(normalize_value("560"), "560");
+        assert_eq!(normalize_value("2.5"), "2.5");
+    }
+
+    #[test]
+    fn unordered_match() {
+        let a = Answer::List(vec!["B".into(), "a".into()]);
+        assert!(exact_match(&a, &["A".into(), "b".into()], false));
+        assert!(!exact_match(&a, &["A".into()], false));
+    }
+
+    #[test]
+    fn ordered_match() {
+        let a = Answer::List(vec!["x".into(), "y".into()]);
+        assert!(exact_match(&a, &["X".into(), "Y".into()], true));
+        assert!(!exact_match(&a, &["Y".into(), "X".into()], true));
+    }
+
+    #[test]
+    fn numeric_equivalence() {
+        let a = Answer::List(vec!["8".into()]);
+        assert!(exact_match(&a, &["8.0".into()], false));
+    }
+
+    #[test]
+    fn errors_and_text_never_match() {
+        assert!(!exact_match(&Answer::Error("x".into()), &["8".into()], false));
+        assert!(!exact_match(&Answer::Text("8".into()), &["8".into()], false));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Answer::List(vec!["a".into()]).to_string(), "[a]");
+        assert!(Answer::Error("boom".into()).to_string().contains("boom"));
+    }
+}

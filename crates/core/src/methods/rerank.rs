@@ -1,0 +1,124 @@
+//! The Retrieval + LM Rank baseline (§4.2): retrieve a candidate pool,
+//! rerank with LM relevance scores (STaRK-style), keep the top rows.
+
+use crate::answer::Answer;
+use crate::env::TagEnv;
+use crate::methods::response_to_answer;
+use crate::model::TagMethod;
+use tag_lm::model::LmRequest;
+use tag_lm::prompts::{answer_free_prompt, answer_list_prompt, relevance_prompt};
+
+/// Retrieval with LM reranking.
+#[derive(Debug, Clone, Copy)]
+pub struct RetrievalLmRank {
+    /// Candidate pool retrieved by embedding similarity.
+    pub pool: usize,
+    /// Rows kept after reranking (fed to generation).
+    pub k: usize,
+    /// List-answer vs free-form prompt.
+    pub list_format: bool,
+}
+
+impl Default for RetrievalLmRank {
+    fn default() -> Self {
+        RetrievalLmRank {
+            pool: 30,
+            k: 10,
+            list_format: true,
+        }
+    }
+}
+
+impl RetrievalLmRank {
+    /// Variant with the free-form aggregation prompt.
+    pub fn aggregation() -> Self {
+        RetrievalLmRank {
+            list_format: false,
+            ..Self::default()
+        }
+    }
+}
+
+impl TagMethod for RetrievalLmRank {
+    fn name(&self) -> &'static str {
+        "Retrieval + LM Rank"
+    }
+
+    fn answer(&self, request: &str, env: &mut TagEnv) -> Answer {
+        let candidates: Vec<Vec<(String, String)>> = env
+            .row_store()
+            .retrieve(request, self.pool)
+            .into_iter()
+            .map(|(row, _)| row.clone())
+            .collect();
+
+        // Score every candidate 0–1 with the LM, in one batch.
+        let prompts: Vec<String> = candidates
+            .iter()
+            .map(|row| {
+                let text = row
+                    .iter()
+                    .map(|(c, v)| format!("- {c}: {v}"))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                relevance_prompt(request, &text)
+            })
+            .collect();
+        let scores = match env.engine.complete_batch(&prompts) {
+            Ok(s) => s,
+            Err(e) => return Answer::Error(e.to_string()),
+        };
+        let mut scored: Vec<(f64, usize)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.trim().parse::<f64>().unwrap_or(0.0), i))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let points: Vec<Vec<(String, String)>> = scored
+            .iter()
+            .take(self.k)
+            .map(|(_, i)| candidates[*i].clone())
+            .collect();
+
+        let prompt = if self.list_format {
+            answer_list_prompt(request, &points)
+        } else {
+            answer_free_prompt(request, &points)
+        };
+        match env.lm.generate(&LmRequest::new(prompt)) {
+            Ok(r) => response_to_answer(&r.text, self.list_format),
+            Err(e) => Answer::Error(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tag_lm::sim::{SimConfig, SimLm};
+    use tag_sql::Database;
+
+    #[test]
+    fn rerank_keeps_k_and_answers() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE posts (Id INTEGER, Title TEXT, ViewCount INTEGER)")
+            .unwrap();
+        for i in 0..40 {
+            db.execute(&format!(
+                "INSERT INTO posts VALUES ({i}, 'post about topic {i}', {})",
+                1000 - i
+            ))
+            .unwrap();
+        }
+        let mut env = TagEnv::new(db, Arc::new(SimLm::new(SimConfig::default())));
+        let ans = RetrievalLmRank::default().answer(
+            "How many posts with ViewCount over 990 are there?",
+            &mut env,
+        );
+        // The reranker feeds only 10 rows; the true count is 10 (views
+        // 991..1000). Whether it matches depends on retrieval quality —
+        // the method must at least produce a list.
+        assert!(matches!(ans, Answer::List(_)), "{ans:?}");
+    }
+}

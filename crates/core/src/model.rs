@@ -1,0 +1,109 @@
+//! The TAG model: `syn`, `exec`, `gen` (§2).
+//!
+//! TAG is defined by three functions:
+//!
+//! ```text
+//! syn(R)    -> Q      (query synthesis)
+//! exec(Q)   -> T      (query execution)
+//! gen(R, T) -> A      (answer generation)
+//! ```
+//!
+//! [`TagPipeline`] composes pluggable `syn` and `gen` stages around the
+//! database engine's `exec`. The baselines in [`crate::methods`] are
+//! special cases: Text2SQL uses an LM `syn` and the identity `gen`; RAG
+//! uses retrieval as `syn`+`exec` and a single LM call as `gen`.
+
+use crate::answer::Answer;
+use crate::env::TagEnv;
+use tag_sql::ResultSet;
+
+/// The query-synthesis stage: natural language request → database query.
+pub trait QuerySynthesis {
+    /// Produce an executable SQL query for the request.
+    fn synthesize(&self, request: &str, env: &mut TagEnv) -> Result<String, String>;
+}
+
+/// The answer-generation stage: request + computed table → answer.
+pub trait AnswerGeneration {
+    /// Produce the final answer from the request and the computed table.
+    fn generate(&self, request: &str, table: &ResultSet, env: &mut TagEnv) -> Answer;
+}
+
+/// A composable single-iteration TAG pipeline over the SQL engine.
+pub struct TagPipeline<S, G> {
+    syn: S,
+    gen: G,
+}
+
+impl<S: QuerySynthesis, G: AnswerGeneration> TagPipeline<S, G> {
+    /// Compose a pipeline from its stages.
+    pub fn new(syn: S, gen: G) -> Self {
+        TagPipeline { syn, gen }
+    }
+
+    /// Run `gen(R, exec(syn(R)))`.
+    pub fn answer(&self, request: &str, env: &mut TagEnv) -> Answer {
+        let query = match self.syn.synthesize(request, env) {
+            Ok(q) => q,
+            Err(e) => return Answer::Error(format!("query synthesis failed: {e}")),
+        };
+        let table = match env.db.execute(&query) {
+            Ok(t) => t,
+            Err(e) => return Answer::Error(format!("query execution failed: {e}")),
+        };
+        self.gen.generate(request, &table, env)
+    }
+}
+
+/// A named method under evaluation (one row of Table 1).
+pub trait TagMethod {
+    /// Display name, matching the paper's method names.
+    fn name(&self) -> &'static str;
+    /// Answer a natural-language request over the environment.
+    fn answer(&self, request: &str, env: &mut TagEnv) -> Answer;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tag_lm::sim::{SimConfig, SimLm};
+    use tag_sql::Database;
+
+    struct FixedSyn(&'static str);
+    impl QuerySynthesis for FixedSyn {
+        fn synthesize(&self, _r: &str, _e: &mut TagEnv) -> Result<String, String> {
+            Ok(self.0.to_owned())
+        }
+    }
+
+    struct CountGen;
+    impl AnswerGeneration for CountGen {
+        fn generate(&self, _r: &str, t: &ResultSet, _e: &mut TagEnv) -> Answer {
+            Answer::List(vec![t.len().to_string()])
+        }
+    }
+
+    fn env() -> TagEnv {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1), (2), (3);",
+        )
+        .unwrap();
+        TagEnv::new(db, Arc::new(SimLm::new(SimConfig::default())))
+    }
+
+    #[test]
+    fn pipeline_composes_stages() {
+        let p = TagPipeline::new(FixedSyn("SELECT * FROM t WHERE x > 1"), CountGen);
+        let mut env = env();
+        assert_eq!(p.answer("how many?", &mut env), Answer::List(vec!["2".into()]));
+    }
+
+    #[test]
+    fn execution_failure_surfaces_as_error() {
+        let p = TagPipeline::new(FixedSyn("SELECT * FROM missing"), CountGen);
+        let mut env = env();
+        assert!(p.answer("?", &mut env).is_error());
+    }
+}

@@ -1,0 +1,167 @@
+//! Multi-hop TAG (§2: "one can consider extending TAG in a multi-hop
+//! fashion"; §5: "future work may explore extending this in an agentic
+//! loop").
+//!
+//! A two-hop query runs a first TAG iteration, substitutes its answer
+//! into the second question's filter, and runs a second iteration. The
+//! ablation harness compares this against forcing both constraints into
+//! a single hop.
+
+use crate::answer::Answer;
+use crate::env::TagEnv;
+use crate::methods::HandWrittenTag;
+use tag_lm::nlq::{NlFilter, NlQuery};
+
+/// A compositional two-hop question: hop 1 computes a value set; hop 2
+/// consumes it as an `attr IN (hop-1 answers)` constraint.
+///
+/// `hop2` must be a filterable shape (Superlative / Count / List / TopK /
+/// Summarize / ProvideInfo); a `SemanticRank` hop 2 has no filter slot
+/// and would silently ignore the hop-1 constraint.
+#[derive(Debug, Clone)]
+pub struct TwoHopQuery {
+    /// The first hop (must produce a list answer).
+    pub hop1: NlQuery,
+    /// Column of `hop2`'s entity matched against hop 1's answers.
+    pub join_attr: String,
+    /// The second hop, evaluated with the extra membership constraint.
+    pub hop2: NlQuery,
+}
+
+/// Run a two-hop query with hand-written TAG pipelines per hop.
+pub fn run_two_hop(query: &TwoHopQuery, env: &mut TagEnv) -> Answer {
+    let first = HandWrittenTag.answer_structured(&query.hop1, env);
+    let values = match first {
+        Answer::List(v) => v,
+        other => return other,
+    };
+    if values.is_empty() {
+        return Answer::List(Vec::new());
+    }
+    // Inject the hop-1 result as TextEq constraints (one per value,
+    // OR-semantics realised by unioning per-value runs).
+    let mut merged: Vec<String> = Vec::new();
+    for v in &values {
+        let mut hop2 = query.hop2.clone();
+        push_filter(
+            &mut hop2,
+            NlFilter::TextEq {
+                attr: query.join_attr.clone(),
+                value: v.clone(),
+            },
+        );
+        match HandWrittenTag.answer_structured(&hop2, env) {
+            Answer::List(mut vs) => merged.append(&mut vs),
+            other => return other,
+        }
+    }
+    // Counts compose additively; value lists concatenate.
+    if matches!(query.hop2, NlQuery::Count { .. }) {
+        let total: i64 = merged.iter().filter_map(|v| v.parse::<i64>().ok()).sum();
+        Answer::List(vec![total.to_string()])
+    } else {
+        Answer::List(merged)
+    }
+}
+
+fn push_filter(q: &mut NlQuery, f: NlFilter) {
+    match q {
+        NlQuery::Superlative { filters, .. }
+        | NlQuery::Count { filters, .. }
+        | NlQuery::List { filters, .. }
+        | NlQuery::TopK { filters, .. }
+        | NlQuery::Summarize { filters, .. }
+        | NlQuery::ProvideInfo { filters, .. } => filters.push(f),
+        NlQuery::SemanticRank { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tag_lm::nlq::{CmpOp, SemProperty};
+    use tag_lm::sim::{SimConfig, SimLm};
+    use tag_lm::KnowledgeConfig;
+    use tag_sql::Database;
+
+    fn env() -> TagEnv {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE posts (Id INTEGER, Title TEXT, OwnerId INTEGER, ViewCount INTEGER);
+             INSERT INTO posts VALUES
+               (1, 'Bayesian regression with kernel regularization tricks', 10, 900),
+               (2, 'My lunch diary', 11, 800),
+               (3, 'Gradient boosting optimization', 10, 700);
+             CREATE TABLE comments (Id INTEGER, PostId INTEGER, Text TEXT);
+             INSERT INTO comments VALUES
+               (1, 1, 'helpful and clear derivation, excellent'),
+               (2, 1, 'what a surprise, it diverges. pure genius'),
+               (3, 2, 'nice lunch'),
+               (4, 3, 'oh great, another boosting question. truly groundbreaking'),
+               (5, 1, 'thanks, this is wonderful');",
+        )
+        .unwrap();
+        TagEnv::new(
+            db,
+            Arc::new(SimLm::new(SimConfig {
+                knowledge: KnowledgeConfig {
+                    coverage: 1.0,
+                    enumeration_coverage: 1.0,
+                    seed: 3,
+                },
+                judgment_noise: 0.0,
+                ..SimConfig::default()
+            })),
+        )
+    }
+
+    #[test]
+    fn two_hop_counts_compose() {
+        // Hop 1: ids of technical posts. Hop 2: count their sarcastic comments.
+        let q = TwoHopQuery {
+            hop1: NlQuery::List {
+                entity: "posts".into(),
+                select_attr: "Id".into(),
+                filters: vec![NlFilter::Semantic {
+                    attr: "Title".into(),
+                    property: SemProperty::Technical,
+                }],
+            },
+            join_attr: "PostId".into(),
+            hop2: NlQuery::Count {
+                entity: "comments".into(),
+                filters: vec![NlFilter::Semantic {
+                    attr: "Text".into(),
+                    property: SemProperty::Sarcastic,
+                }],
+            },
+        };
+        let mut env = env();
+        let ans = run_two_hop(&q, &mut env);
+        // Posts 1 and 3 are technical; each has one sarcastic comment.
+        assert_eq!(ans, Answer::List(vec!["2".into()]));
+    }
+
+    #[test]
+    fn empty_first_hop_short_circuits() {
+        let q = TwoHopQuery {
+            hop1: NlQuery::List {
+                entity: "posts".into(),
+                select_attr: "Id".into(),
+                filters: vec![NlFilter::NumCmp {
+                    attr: "ViewCount".into(),
+                    op: CmpOp::Over,
+                    value: 100_000.0,
+                }],
+            },
+            join_attr: "PostId".into(),
+            hop2: NlQuery::Count {
+                entity: "comments".into(),
+                filters: vec![],
+            },
+        };
+        let mut env = env();
+        assert_eq!(run_two_hop(&q, &mut env), Answer::List(vec![]));
+    }
+}

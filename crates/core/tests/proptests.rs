@@ -1,0 +1,48 @@
+//! Property-based tests for answers and the exact-match metric.
+
+use proptest::prelude::*;
+use tag_core::answer::{exact_match, normalize_value, Answer};
+
+proptest! {
+    /// Normalization is idempotent and insensitive to surrounding quotes
+    /// and whitespace.
+    #[test]
+    fn normalize_idempotent(v in "\\PC{0,30}") {
+        let once = normalize_value(&v);
+        prop_assert_eq!(normalize_value(&once), once.clone());
+        let decorated = format!("  \"{v}\"  ");
+        // Quoting + trimming must not change the normal form unless the
+        // value itself contains quote characters.
+        if !v.contains('"') {
+            prop_assert_eq!(normalize_value(&decorated), once);
+        }
+    }
+
+    /// Integer-valued floats normalize to the integer form.
+    #[test]
+    fn normalize_numeric_forms(n in -100000i64..100000) {
+        prop_assert_eq!(normalize_value(&n.to_string()), n.to_string());
+        prop_assert_eq!(normalize_value(&format!("{n}.0")), n.to_string());
+    }
+
+    /// Unordered exact match is symmetric under permutation; ordered
+    /// match is not (unless the permutation is the identity).
+    #[test]
+    fn match_order_semantics(vals in prop::collection::vec("[a-z]{1,6}", 1..6)) {
+        let answer = Answer::List(vals.clone());
+        let mut reversed = vals.clone();
+        reversed.reverse();
+        prop_assert!(exact_match(&answer, &vals, true));
+        prop_assert!(exact_match(&answer, &reversed, false));
+        if reversed != vals {
+            prop_assert!(!exact_match(&answer, &reversed, true));
+        }
+    }
+
+    /// Errors and free text never match any truth.
+    #[test]
+    fn non_lists_never_match(vals in prop::collection::vec("[a-z]{1,6}", 0..4)) {
+        prop_assert!(!exact_match(&Answer::Error("x".into()), &vals, false));
+        prop_assert!(!exact_match(&Answer::Text("x".into()), &vals, false));
+    }
+}

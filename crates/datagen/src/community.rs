@@ -1,0 +1,237 @@
+//! The `codebase_community` domain (stats.stackexchange-style): `posts`,
+//! `comments` (denormalized with `PostTitle`, as BIRD tables are wide),
+//! and `users` — with *planted* technicality / sentiment / sarcasm labels.
+
+use crate::{DomainData, Labels};
+use crate::corpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tag_sql::Database;
+
+/// Generate the domain with `n_posts` posts (comments scale ~4× that).
+pub fn generate(seed: u64, n_posts: usize) -> DomainData {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+    let mut db = Database::new();
+    let mut labels = Labels::default();
+
+    db.execute(
+        "CREATE TABLE users (
+            Id INTEGER PRIMARY KEY,
+            DisplayName TEXT,
+            Reputation INTEGER
+        )",
+    )
+    .expect("create users");
+    db.execute(
+        "CREATE TABLE posts (
+            Id INTEGER PRIMARY KEY,
+            Title TEXT,
+            ViewCount INTEGER,
+            Score INTEGER,
+            OwnerUserId INTEGER,
+            AnswerCount INTEGER,
+            CommentCount INTEGER,
+            FavoriteCount INTEGER,
+            CreationDate TEXT
+        )",
+    )
+    .expect("create posts");
+    db.execute(
+        "CREATE TABLE comments (
+            Id INTEGER PRIMARY KEY,
+            PostId INTEGER,
+            PostTitle TEXT,
+            Text TEXT,
+            Score INTEGER,
+            UserId INTEGER,
+            CreationDate TEXT
+        )",
+    )
+    .expect("create comments");
+
+    let n_users = (n_posts / 4).max(8);
+    for id in 0..n_users {
+        db.execute(&format!(
+            "INSERT INTO users VALUES ({}, 'user{}', {})",
+            id + 1,
+            id + 1,
+            rng.gen_range(1..20_000)
+        ))
+        .expect("insert user");
+    }
+
+    // Distinct ViewCounts so "top k posts by ViewCount" has a unique
+    // answer set; technicality level planted per post. The benchmark
+    // relies on the *top* posts having distinct levels, so levels cycle
+    // 0..=4 with the sequence phase-shifted against the view ordering.
+    let mut view_counts: Vec<i64> = (0..n_posts as i64)
+        .map(|i| 10_000 - i * 7 - (i % 5))
+        .collect();
+    // Shuffle-lite: deterministic swap pattern decorrelates views and ids.
+    for i in (1..view_counts.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        view_counts.swap(i, j);
+    }
+
+    // Rank of each post's ViewCount (0 = highest). Technicality level is
+    // keyed to the view rank so every top-k cut (k <= 5) has distinct
+    // planted levels — ranking queries then have a unique ground truth.
+    let mut rank_of: Vec<usize> = vec![0; n_posts];
+    {
+        let mut order: Vec<usize> = (0..n_posts).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(view_counts[i]));
+        for (rank, &i) in order.iter().enumerate() {
+            rank_of[i] = rank;
+        }
+    }
+    // Permuted so the technicality order of any top-k (k <= 5) view cut
+    // differs from the view order itself — otherwise ORDER BY ViewCount
+    // would accidentally produce the semantic ranking.
+    const LEVEL_OF_RANK: [usize; 5] = [1, 3, 0, 4, 2];
+    for id in 0..n_posts {
+        let level = LEVEL_OF_RANK[rank_of[id] % 5];
+        let title = corpus::technical_title(&mut rng, level).replace('\'', "''");
+        labels
+            .post_technicality
+            .insert((id + 1) as i64, level as u8);
+        db.execute(&format!(
+            "INSERT INTO posts VALUES ({}, '{title}', {}, {}, {}, {}, {}, {}, \
+             '201{}-0{}-2{}')",
+            id + 1,
+            view_counts[id],
+            rng.gen_range(-4..120),
+            rng.gen_range(1..=n_users),
+            rng.gen_range(0..9),
+            rng.gen_range(0..20),
+            rng.gen_range(0..30),
+            rng.gen_range(0..6),
+            rng.gen_range(1..9),
+            rng.gen_range(0..8),
+        ))
+        .expect("insert post");
+    }
+
+    // Comments: a deterministic mix of neutral / positive / negative /
+    // sarcastic per post.
+    let mut comment_id = 0i64;
+    for post_id in 1..=(n_posts as i64) {
+        let title: String = {
+            let rs = db
+                .execute(&format!("SELECT Title FROM posts WHERE Id = {post_id}"))
+                .expect("post title");
+            rs.rows[0][0].to_string()
+        };
+        // At least 4 comments per post: the cyclic type pattern then
+        // guarantees every post has a neutral, positive, negative, and
+        // sarcastic comment — keeping per-post semantic queries nonempty.
+        let n_comments = rng.gen_range(8..17);
+        for c in 0..n_comments {
+            comment_id += 1;
+            let topic = corpus::pick(&mut rng, corpus::TOPICS);
+            let (text, sentiment, sarcastic) = match (post_id + c) % 4 {
+                0 => (corpus::neutral_comment(&mut rng, topic), 0i8, false),
+                1 => (corpus::positive_comment(&mut rng, topic), 1, false),
+                2 => (corpus::negative_comment(&mut rng, topic), -1, false),
+                _ => (corpus::sarcastic_comment(&mut rng, topic), -1, true),
+            };
+            labels.comment_sentiment.insert(comment_id, sentiment);
+            labels.comment_sarcastic.insert(comment_id, sarcastic);
+            db.execute(&format!(
+                "INSERT INTO comments VALUES ({comment_id}, {post_id}, '{}', '{}', {}, \
+                 {}, '201{}-0{}-1{}')",
+                title.replace('\'', "''"),
+                text.replace('\'', "''"),
+                rng.gen_range(0..25),
+                rng.gen_range(1..=n_users),
+                rng.gen_range(0..6),
+                rng.gen_range(1..9),
+                rng.gen_range(0..8),
+            ))
+            .expect("insert comment");
+        }
+    }
+
+    // Auxiliary badges table (BIRD's codebase_community has many side
+    // tables; one suffices to widen the schema realistically).
+    db.execute(
+        "CREATE TABLE badges (
+            Id INTEGER PRIMARY KEY,
+            UserId INTEGER,
+            Name TEXT,
+            Date TEXT
+        )",
+    )
+    .expect("create badges");
+    const BADGES: &[&str] = &["Teacher", "Student", "Editor", "Supporter", "Scholar"];
+    for b in 1..=(n_users as i64 * 2) {
+        db.execute(&format!(
+            "INSERT INTO badges VALUES ({b}, {}, '{}', '2014-0{}-15')",
+            rng.gen_range(1..=n_users),
+            BADGES[rng.gen_range(0..BADGES.len())],
+            rng.gen_range(1..10),
+        ))
+        .expect("insert badge");
+    }
+    DomainData::with_labels("codebase_community", db, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tag_lm::lexicon;
+
+    #[test]
+    fn tables_and_labels_align() {
+        let d = generate(1, 60);
+        let posts = d.db.catalog().table("posts").unwrap();
+        assert_eq!(posts.len(), 60);
+        assert_eq!(d.labels.post_technicality.len(), 60);
+        let comments = d.db.catalog().table("comments").unwrap();
+        assert_eq!(d.labels.comment_sentiment.len(), comments.len());
+        assert!(comments.len() >= 120);
+    }
+
+    #[test]
+    fn view_counts_are_distinct() {
+        let d = generate(2, 80);
+        let mut db = d.db;
+        let distinct = db
+            .query_scalar("SELECT COUNT(DISTINCT ViewCount) FROM posts")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(distinct, 80);
+    }
+
+    #[test]
+    fn planted_sarcasm_recoverable_by_lexicon() {
+        let d = generate(3, 40);
+        let comments = d.db.catalog().table("comments").unwrap();
+        let mut agree = 0usize;
+        for row in comments.rows() {
+            let id = row[0].as_i64().unwrap();
+            let text = row[3].to_string();
+            let planted = d.labels.comment_sarcastic[&id];
+            let detected = lexicon::sarcasm_score(&text) > 0.35;
+            if planted == detected {
+                agree += 1;
+            }
+        }
+        let rate = agree as f64 / comments.len() as f64;
+        assert!(rate > 0.9, "lexicon agreement too low: {rate}");
+    }
+
+    #[test]
+    fn comments_carry_post_title() {
+        let mut db = generate(4, 20).db;
+        let n = db
+            .query_scalar(
+                "SELECT COUNT(*) FROM comments c JOIN posts p ON c.PostId = p.Id \
+                 WHERE c.PostTitle != p.Title",
+            )
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(n, 0, "denormalized PostTitle must match");
+    }
+}

@@ -1,0 +1,251 @@
+//! Text corpora for synthetic data: templated text with *planted*
+//! semantic labels.
+//!
+//! Generated comments, reviews, and titles carry known ground-truth
+//! properties (sentiment, sarcasm, technicality level). The templates
+//! draw their signal words from `tag_lm::lexicon` so the simulated LM's
+//! reasoning circuits can plausibly recover the labels — with realistic
+//! imperfection on low-signal text — while the oracle grades against the
+//! planted label, never the LM's own scores.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tag_lm::lexicon::{NEGATIVE_WORDS, POSITIVE_WORDS, SARCASM_MARKERS, TECHNICAL_TERMS};
+
+/// Neutral topic nouns for filler text.
+pub const TOPICS: &[&str] = &[
+    "dataset", "notebook", "survey", "figure", "appendix", "chapter", "course",
+    "lecture", "homework", "project", "experiment", "report",
+];
+
+/// Casual, jargon-free title fragments.
+pub const CASUAL_SUBJECTS: &[&str] = &[
+    "my weekend hiking trip",
+    "favorite lunch recipes",
+    "pictures from the conference dinner",
+    "thoughts on office plants",
+    "a question about scheduling",
+    "looking for book recommendations",
+    "how to organize my desk",
+    "travel tips for the summer",
+];
+
+/// Pick an element deterministically.
+pub fn pick<'a, T: ?Sized>(rng: &mut StdRng, items: &'a [&'a T]) -> &'a T {
+    items.choose(rng).expect("nonempty pool")
+}
+
+/// A clearly positive comment (planted sentiment = +1).
+pub fn positive_comment(rng: &mut StdRng, topic: &str) -> String {
+    let a = pick(rng, POSITIVE_WORDS);
+    let b = pick(rng, POSITIVE_WORDS);
+    format!("This {topic} answer is {a} and genuinely {b}, it settled my question.")
+}
+
+/// A clearly negative comment (planted sentiment = -1).
+pub fn negative_comment(rng: &mut StdRng, topic: &str) -> String {
+    let a = pick(rng, NEGATIVE_WORDS);
+    let b = pick(rng, NEGATIVE_WORDS);
+    format!("The {topic} derivation here is {a} and frankly {b}, it misses the point.")
+}
+
+/// A neutral comment (planted sentiment = 0, not sarcastic). A fraction
+/// opens with "Obviously," — sincere emphasis that a sarcasm detector
+/// (human or model) can misread, like real annotation-boundary data.
+pub fn neutral_comment(rng: &mut StdRng, topic: &str) -> String {
+    let t2 = pick(rng, TOPICS);
+    let n: u32 = rng.gen_range(2..9);
+    if rng.gen_range(0..6) == 0 {
+        format!("Obviously the {topic} in section {n} assumes the {t2} is complete.")
+    } else {
+        format!("See also the {topic} in section {n} and the linked {t2} for details.")
+    }
+}
+
+/// A sarcastic comment (planted sarcastic = true). Roughly half carry a
+/// strong double signal; the rest are drier (single marker, no
+/// exclamation) and sit near a detector's decision boundary.
+pub fn sarcastic_comment(rng: &mut StdRng, topic: &str) -> String {
+    let marker = pick(rng, SARCASM_MARKERS);
+    let marker = {
+        // Capitalize the leading letter for natural text.
+        let mut c = marker.chars();
+        match c.next() {
+            Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+            None => String::new(),
+        }
+    };
+    if rng.gen_bool(0.5) {
+        format!("{marker}, yet another {topic} that ignores the assumptions entirely!")
+    } else {
+        format!("{marker}, the {topic} settles it then.")
+    }
+}
+
+/// A post title with `level` planted technicality (0 = casual chatter,
+/// higher = more jargon-dense). Levels are comparable: a level-`n` title
+/// contains exactly `n` distinct jargon terms over a fixed-length frame.
+pub fn technical_title(rng: &mut StdRng, level: usize) -> String {
+    if level == 0 {
+        return format!("Chatting about {}", pick(rng, CASUAL_SUBJECTS));
+    }
+    let start = rng.gen_range(0..TECHNICAL_TERMS.len());
+    let terms: Vec<&str> = (0..level)
+        .map(|i| TECHNICAL_TERMS[(start + i * 7) % TECHNICAL_TERMS.len()])
+        .collect();
+    let base = match level {
+        1 => format!("A question about {} in practice", terms[0]),
+        2 => format!("How does {} interact with {}?", terms[0], terms[1]),
+        3 => format!(
+            "Choosing {} under {} with {} constraints",
+            terms[0], terms[1], terms[2]
+        ),
+        _ => format!(
+            "On {} and {} for {} with {} guarantees",
+            terms[0],
+            terms[1],
+            terms[2],
+            terms[3 % terms.len()]
+        ),
+    };
+    // A variable-length filler tail makes jargon *density* overlap
+    // between adjacent levels — adjacent-level comparisons become
+    // genuinely hard judgments, as in real ranking data.
+    const TAILS: &[&str] = &[
+        "",
+        " - any references welcome",
+        " for a small dataset",
+        " when sample sizes are tiny and noisy",
+    ];
+    format!("{base}{}", TAILS[rng.gen_range(0..TAILS.len())])
+}
+
+/// A positive movie review (planted sentiment = +1).
+pub fn positive_review(rng: &mut StdRng, title: &str) -> String {
+    graded_review(rng, title, 2)
+}
+
+/// A negative movie review (planted sentiment = -1).
+pub fn negative_review(rng: &mut StdRng, title: &str) -> String {
+    graded_review(rng, title, -2)
+}
+
+/// A review with graded sentiment `level` in {-2, -1, 1, 2}: the mix of
+/// positive/negative words is chosen so the lexicon score strictly
+/// increases with the level (-1.0, -0.33, 0.33, 1.0), giving ranking
+/// queries a recoverable total order.
+pub fn graded_review(rng: &mut StdRng, title: &str, level: i8) -> String {
+    // Each level has a strong and a hedged variant; hedged variants sit
+    // closer to the neighbouring level, so rankings are recoverable but
+    // not trivial.
+    let strong = rng.gen_bool(0.5);
+    let (pos, neg) = match (level, strong) {
+        (2, true) => (3, 0),
+        (2, false) => (4, 1),
+        (1, true) => (2, 1),
+        (1, false) => (3, 2),
+        (-1, true) => (1, 2),
+        (-1, false) => (2, 3),
+        (_, true) => (0, 3),
+        (_, false) => (1, 4),
+    };
+    let mut words: Vec<String> = Vec::new();
+    for _ in 0..pos {
+        words.push((*pick(rng, POSITIVE_WORDS)).to_owned());
+    }
+    for _ in 0..neg {
+        words.push((*pick(rng, NEGATIVE_WORDS)).to_owned());
+    }
+    let mut sentence = format!("{title} is {}", words[0]);
+    for (i, w) in words.iter().enumerate().skip(1) {
+        if i == words.len() - 1 {
+            sentence.push_str(&format!(" and {w} overall"));
+        } else {
+            sentence.push_str(&format!(", {w}"));
+        }
+    }
+    sentence.push('.');
+    sentence
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tag_lm::lexicon::{sarcasm_score, sentiment_score, technicality_score};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn planted_sentiment_is_recoverable() {
+        let mut r = rng();
+        for _ in 0..20 {
+            assert!(sentiment_score(&positive_comment(&mut r, "boosting")) > 0.3);
+            assert!(sentiment_score(&negative_comment(&mut r, "boosting")) < -0.3);
+            assert_eq!(sentiment_score(&neutral_comment(&mut r, "boosting")), 0.0);
+        }
+    }
+
+    #[test]
+    fn planted_sarcasm_is_mostly_recoverable() {
+        let mut r = rng();
+        // Sarcastic comments always carry at least one marker; neutral
+        // comments are usually clean but a deliberate minority open with
+        // sincere "Obviously", which detectors misread (ambiguity is part
+        // of the design).
+        let mut neutral_false_positives = 0;
+        for _ in 0..60 {
+            let s = sarcastic_comment(&mut r, "regression");
+            assert!(sarcasm_score(&s) > 0.35, "{s}");
+            let n = neutral_comment(&mut r, "regression");
+            if sarcasm_score(&n) >= 0.35 {
+                neutral_false_positives += 1;
+            }
+        }
+        assert!(
+            (1..=25).contains(&neutral_false_positives),
+            "got {neutral_false_positives}"
+        );
+    }
+
+    #[test]
+    fn technicality_levels_are_ordered_on_average() {
+        let mut r = rng();
+        // Per-sample scores may overlap between adjacent levels (the
+        // filler tails create genuinely hard comparisons), but the means
+        // must be strictly increasing and the extremes well separated.
+        let mut means = [0.0f64; 5];
+        const N: usize = 60;
+        for (lvl, mean) in means.iter_mut().enumerate() {
+            for _ in 0..N {
+                *mean += technicality_score(&technical_title(&mut r, lvl));
+            }
+            *mean /= N as f64;
+        }
+        for w in means.windows(2) {
+            assert!(w[1] > w[0], "means must increase: {means:?}");
+        }
+        assert!(means[0] < 0.05, "{means:?}");
+        assert!(means[4] > 0.5, "{means:?}");
+    }
+
+    #[test]
+    fn reviews_have_planted_signal() {
+        let mut r = rng();
+        assert!(sentiment_score(&positive_review(&mut r, "Titanic")) > 0.3);
+        assert!(sentiment_score(&negative_review(&mut r, "Titanic")) < -0.3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_eq!(
+            positive_comment(&mut a, "x"),
+            positive_comment(&mut b, "x")
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! The `debit_card_specializing` domain: `customers` and monthly
+//! consumption (`yearmonth`), with EU / non-EU countries.
+
+use crate::DomainData;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tag_sql::Database;
+
+const COUNTRIES: &[&str] = &[
+    "Italy", "Belgium", "Germany", "France", "Spain", "Netherlands", "Poland",
+    "Austria", "Czech Republic", "Slovakia", "UK", "Switzerland", "Norway", "USA",
+];
+const SEGMENTS: &[&str] = &["SME", "LAM", "KAM"];
+const CURRENCIES: &[&str] = &["EUR", "CZK", "GBP", "CHF", "NOK", "USD"];
+
+/// Generate the domain with `n` customers.
+pub fn generate(seed: u64, n: usize) -> DomainData {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEB1);
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE customers (
+            CustomerID INTEGER PRIMARY KEY,
+            Segment TEXT,
+            Country TEXT,
+            Currency TEXT,
+            Consumption REAL,
+            ContractType TEXT,
+            JoinDate TEXT,
+            CardCount INTEGER
+        )",
+    )
+    .expect("create customers");
+    db.execute(
+        "CREATE TABLE yearmonth (
+            CustomerID INTEGER,
+            Date TEXT,
+            Consumption REAL
+        )",
+    )
+    .expect("create yearmonth");
+
+    for id in 1..=(n as i64) {
+        let country = COUNTRIES[rng.gen_range(0..COUNTRIES.len())];
+        let segment = SEGMENTS[rng.gen_range(0..SEGMENTS.len())];
+        let currency = CURRENCIES[rng.gen_range(0..CURRENCIES.len())];
+        let annual: f64 = rng.gen_range(50.0..9000.0);
+        db.execute(&format!(
+            "INSERT INTO customers VALUES ({id}, '{segment}', '{country}', \
+             '{currency}', {annual:.2}, '{}', '201{}-0{}-0{}', {})",
+            ["Prepaid", "Postpaid"][rng.gen_range(0..2)],
+            rng.gen_range(0..6),
+            rng.gen_range(1..9),
+            rng.gen_range(1..9),
+            rng.gen_range(1..40),
+        ))
+        .expect("insert customer");
+        // A few monthly records per customer.
+        for month in 1..=rng.gen_range(2..6) {
+            let c = annual / 12.0 * rng.gen_range(0.5..1.5);
+            db.execute(&format!(
+                "INSERT INTO yearmonth VALUES ({id}, '2013-{month:02}', {c:.2})"
+            ))
+            .expect("insert yearmonth");
+        }
+    }
+    // Auxiliary tables from the BIRD domain.
+    db.execute(
+        "CREATE TABLE gasstations (
+            GasStationID INTEGER PRIMARY KEY,
+            ChainID INTEGER,
+            Country TEXT,
+            Segment TEXT
+        )",
+    )
+    .expect("create gasstations");
+    for g in 1..=(n as i64 / 3).max(20) {
+        db.execute(&format!(
+            "INSERT INTO gasstations VALUES ({g}, {}, '{}', '{}')",
+            rng.gen_range(1..40),
+            COUNTRIES[rng.gen_range(0..COUNTRIES.len())],
+            SEGMENTS[rng.gen_range(0..SEGMENTS.len())],
+        ))
+        .expect("insert gasstation");
+    }
+    db.execute(
+        "CREATE TABLE products (
+            ProductID INTEGER PRIMARY KEY,
+            Description TEXT
+        )",
+    )
+    .expect("create products");
+    for (i, p) in ["Diesel", "Petrol 95", "Petrol 98", "LPG", "AdBlue", "Car wash",
+                   "Motor oil", "Snacks", "Coffee", "Windshield fluid"]
+        .iter()
+        .enumerate()
+    {
+        db.execute(&format!(
+            "INSERT INTO products VALUES ({}, '{p}')",
+            i + 1
+        ))
+        .expect("insert product");
+    }
+    DomainData::new("debit_card_specializing", db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_eu_and_non_eu_present() {
+        let mut db = generate(1, 300).db;
+        let eu = db
+            .query_scalar(
+                "SELECT COUNT(*) FROM customers WHERE Country IN ('Italy','Germany','France')",
+            )
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        let non = db
+            .query_scalar(
+                "SELECT COUNT(*) FROM customers WHERE Country IN ('UK','USA','Norway')",
+            )
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert!(eu > 20);
+        assert!(non > 20);
+    }
+
+    #[test]
+    fn yearmonth_joins_back() {
+        let mut db = generate(2, 100).db;
+        let orphans = db
+            .query_scalar(
+                "SELECT COUNT(*) FROM yearmonth y \
+                 WHERE y.CustomerID NOT IN (SELECT CustomerID FROM customers)",
+            )
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(orphans, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(5, 50).db.catalog().table("customers").unwrap().rows(),
+            generate(5, 50).db.catalog().table("customers").unwrap().rows()
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The `european_football_2` domain: a `players` table with physical
+//! and skill attributes (the source of the "taller than Stephen Curry"
+//! comparison queries).
+
+use crate::DomainData;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tag_sql::Database;
+
+const FIRST: &[&str] = &[
+    "Luka", "Marco", "Jan", "Pavel", "Sergio", "Thomas", "Niklas", "Andrei", "Milan",
+    "Victor", "Jonas", "Emil", "Mateo", "Ivan", "Felix", "Oscar", "Hugo", "Dario",
+];
+const LAST: &[&str] = &[
+    "Novak", "Rossi", "Keller", "Svoboda", "Garcia", "Meyer", "Larsen", "Petrov",
+    "Horvat", "Lindgren", "Bakker", "Weber", "Moretti", "Kovac", "Jansen", "Berg",
+];
+const COUNTRIES: &[&str] = &[
+    "Italy", "Belgium", "Germany", "France", "Spain", "Netherlands", "Poland",
+    "Austria", "Czech Republic", "Slovakia", "UK", "Switzerland", "Norway", "Brazil",
+];
+
+/// Generate the domain with `n` players.
+pub fn generate(seed: u64, n: usize) -> DomainData {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00B);
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE players (
+            id INTEGER PRIMARY KEY,
+            player_name TEXT NOT NULL,
+            height REAL,
+            weight INTEGER,
+            overall_rating INTEGER,
+            volley INTEGER,
+            dribbling INTEGER,
+            Country TEXT,
+            preferred_foot TEXT,
+            crossing INTEGER,
+            finishing INTEGER,
+            agility INTEGER,
+            stamina INTEGER,
+            strength INTEGER,
+            birthday TEXT
+        )",
+    )
+    .expect("create players");
+
+    for id in 0..n {
+        let name = format!(
+            "{} {}",
+            FIRST[rng.gen_range(0..FIRST.len())],
+            LAST[rng.gen_range(0..LAST.len())]
+        );
+        // Heights straddle the famous reference heights (Curry 188,
+        // Messi 170, Crouch 201, Durant 208) so "taller than X" clauses
+        // genuinely discriminate.
+        // A per-id epsilon makes heights unique, so height rankings are
+        // always well-posed.
+        let height: f64 = 162.0 + rng.gen_range(0.0..50.0) + id as f64 * 1e-4;
+        let weight: i64 = (height - 100.0) as i64 + rng.gen_range(-8..12);
+        let rating: i64 = rng.gen_range(48..94);
+        let volley: i64 = rng.gen_range(20..95);
+        let dribbling: i64 = rng.gen_range(25..96);
+        let country = COUNTRIES[rng.gen_range(0..COUNTRIES.len())];
+        db.execute(&format!(
+            "INSERT INTO players VALUES ({}, '{name}', {height:.4}, {weight}, {rating}, \
+             {volley}, {dribbling}, '{country}', '{}', {}, {}, {}, {}, {}, \
+             '19{}-0{}-1{}')",
+            id + 1,
+            if rng.gen_bool(0.75) { "right" } else { "left" },
+            rng.gen_range(20..95),
+            rng.gen_range(20..95),
+            rng.gen_range(30..95),
+            rng.gen_range(30..95),
+            rng.gen_range(30..95),
+            rng.gen_range(80..99),
+            rng.gen_range(1..9),
+            rng.gen_range(0..9),
+        ))
+        .expect("insert player");
+    }
+    // Auxiliary tables mirroring the BIRD domain's breadth.
+    db.execute(
+        "CREATE TABLE teams (
+            team_id INTEGER PRIMARY KEY,
+            team_name TEXT,
+            Country TEXT
+        )",
+    )
+    .expect("create teams");
+    let n_teams = 40;
+    for t in 1..=n_teams {
+        let country = COUNTRIES[rng.gen_range(0..COUNTRIES.len())];
+        db.execute(&format!(
+            "INSERT INTO teams VALUES ({t}, 'FC {} {t}', '{country}')",
+            LAST[t as usize % LAST.len()]
+        ))
+        .expect("insert team");
+    }
+    db.execute(
+        "CREATE TABLE matches (
+            match_id INTEGER PRIMARY KEY,
+            season TEXT,
+            home_team INTEGER,
+            away_team INTEGER,
+            home_goals INTEGER,
+            away_goals INTEGER
+        )",
+    )
+    .expect("create matches");
+    for m in 1..=(n as i64) {
+        let home = rng.gen_range(1..=n_teams);
+        let mut away = rng.gen_range(1..=n_teams);
+        if away == home {
+            away = home % n_teams + 1;
+        }
+        db.execute(&format!(
+            "INSERT INTO matches VALUES ({m}, '2015/2016', {home}, {away}, {}, {})",
+            rng.gen_range(0..6),
+            rng.gen_range(0..6),
+        ))
+        .expect("insert match");
+    }
+    DomainData::new("european_football_2", db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heights_straddle_references() {
+        let d = generate(1, 400);
+        let mut db = d.db;
+        let above = db
+            .query_scalar("SELECT COUNT(*) FROM players WHERE height > 188")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        let below = db
+            .query_scalar("SELECT COUNT(*) FROM players WHERE height <= 188")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert!(above > 50, "above={above}");
+        assert!(below > 50, "below={below}");
+    }
+
+    #[test]
+    fn eu_and_non_eu_countries_present() {
+        let d = generate(2, 300);
+        let mut db = d.db;
+        let eu = db
+            .query_scalar("SELECT COUNT(*) FROM players WHERE Country = 'Italy'")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        let non_eu = db
+            .query_scalar("SELECT COUNT(*) FROM players WHERE Country IN ('UK', 'Brazil')")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert!(eu > 0);
+        assert!(non_eu > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(9, 40).db.catalog().table("players").unwrap().rows(),
+            generate(9, 40).db.catalog().table("players").unwrap().rows()
+        );
+    }
+}

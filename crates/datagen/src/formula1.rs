@@ -1,0 +1,187 @@
+//! The `formula_1` domain: `races`, `drivers`, and `results` tables.
+//!
+//! Sepang hosts the Malaysian Grand Prix exactly 1999–2017, matching the
+//! Figure 2 qualitative example.
+
+use crate::DomainData;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tag_lm::knowledge::{KnowledgeBase, KnowledgeConfig};
+use tag_sql::Database;
+
+const DRIVER_FIRST: &[&str] = &[
+    "Ayao", "Nico", "Miguel", "Jenson", "Rubens", "Felipe", "Kimi", "Fernando",
+    "Mark", "Romain", "Sergio", "Valtteri",
+];
+const DRIVER_LAST: &[&str] = &[
+    "Komatsu", "Keller", "Santos", "Field", "Moreira", "Costa", "Virtanen", "Alvarez",
+    "Bennett", "Durand", "Reyes", "Niemi",
+];
+
+/// Hosting year ranges per circuit (inclusive). Sepang's range is the
+/// paper's 1999–2017.
+fn year_range(circuit: &str) -> (i64, i64) {
+    match circuit {
+        "Sepang International Circuit" => (1999, 2017),
+        "Autodromo Nazionale di Monza" => (1990, 2017),
+        "Silverstone Circuit" => (1990, 2017),
+        "Circuit de Monaco" => (1990, 2017),
+        "Marina Bay Street Circuit" => (2008, 2017),
+        "Suzuka Circuit" => (1990, 2017),
+        "Shanghai International Circuit" => (2004, 2017),
+        "Circuit de Spa-Francorchamps" => (1992, 2017),
+        "Circuit Gilles Villeneuve" => (1990, 2017),
+        "Bahrain International Circuit" => (2004, 2017),
+        "Autodromo Jose Carlos Pace" => (1990, 2017),
+        "Yas Marina Circuit" => (2009, 2017),
+        _ => (2000, 2017),
+    }
+}
+
+/// Generate the domain: all circuit-years plus drivers and podium results.
+pub fn generate(seed: u64, drivers: usize) -> DomainData {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF1F1);
+    let kb = KnowledgeBase::new(KnowledgeConfig {
+        coverage: 1.0,
+        enumeration_coverage: 1.0,
+        seed: 0,
+    });
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE races (
+            raceId INTEGER PRIMARY KEY,
+            year INTEGER,
+            round INTEGER,
+            name TEXT,
+            Circuit TEXT,
+            date TEXT
+        )",
+    )
+    .expect("create races");
+    db.execute(
+        "CREATE TABLE drivers (
+            driverId INTEGER PRIMARY KEY,
+            driver_name TEXT,
+            nationality TEXT
+        )",
+    )
+    .expect("create drivers");
+    db.execute(
+        "CREATE TABLE results (
+            resultId INTEGER PRIMARY KEY,
+            raceId INTEGER,
+            driverId INTEGER,
+            position INTEGER,
+            points REAL
+        )",
+    )
+    .expect("create results");
+
+    let driver_count = drivers.max(6);
+    for id in 0..driver_count {
+        let name = format!(
+            "{} {}",
+            DRIVER_FIRST[id % DRIVER_FIRST.len()],
+            DRIVER_LAST[(id / DRIVER_FIRST.len() + id) % DRIVER_LAST.len()]
+        );
+        let nat = ["Italy", "UK", "Brazil", "Germany", "France", "Japan"]
+            [rng.gen_range(0..6)];
+        db.execute(&format!(
+            "INSERT INTO drivers VALUES ({}, '{name}', '{nat}')",
+            id + 1
+        ))
+        .expect("insert driver");
+    }
+
+    let mut race_id = 0i64;
+    let mut result_id = 0i64;
+    for circuit in kb.circuit_names() {
+        let fact = kb.true_circuit_fact(circuit).expect("known circuit");
+        let (from, to) = year_range(circuit);
+        for year in from..=to {
+            race_id += 1;
+            let round = rng.gen_range(1..=19);
+            let month = rng.gen_range(3..=10);
+            let day = rng.gen_range(1..=28);
+            db.execute(&format!(
+                "INSERT INTO races VALUES ({race_id}, {year}, {round}, \
+                 '{year} {}', '{}', '{year}-{month:02}-{day:02}')",
+                fact.grand_prix,
+                circuit.replace('\'', "''"),
+            ))
+            .expect("insert race");
+            // Podium results for each race.
+            let mut podium: Vec<i64> = Vec::new();
+            while podium.len() < 3 {
+                let d = rng.gen_range(1..=driver_count as i64);
+                if !podium.contains(&d) {
+                    podium.push(d);
+                }
+            }
+            for (pos, d) in podium.iter().enumerate() {
+                result_id += 1;
+                let points = [25.0, 18.0, 15.0][pos];
+                db.execute(&format!(
+                    "INSERT INTO results VALUES ({result_id}, {race_id}, {d}, {}, {points})",
+                    pos + 1
+                ))
+                .expect("insert result");
+            }
+        }
+    }
+    DomainData::new("formula_1", db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sepang_hosts_1999_to_2017() {
+        let mut db = generate(1, 12).db;
+        let n = db
+            .query_scalar(
+                "SELECT COUNT(*) FROM races WHERE Circuit = 'Sepang International Circuit'",
+            )
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(n, 19);
+        let years = db
+            .execute(
+                "SELECT MIN(year), MAX(year) FROM races \
+                 WHERE Circuit = 'Sepang International Circuit'",
+            )
+            .unwrap();
+        assert_eq!(years.rows[0][0].as_i64(), Some(1999));
+        assert_eq!(years.rows[0][1].as_i64(), Some(2017));
+    }
+
+    #[test]
+    fn every_circuit_has_races_and_results_join() {
+        let mut db = generate(1, 12).db;
+        let circuits = db
+            .query_scalar("SELECT COUNT(DISTINCT Circuit) FROM races")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert!(circuits >= 10);
+        let podium = db
+            .query_scalar(
+                "SELECT COUNT(*) FROM results r JOIN races ra ON r.raceId = ra.raceId \
+                 WHERE ra.year = 2010 AND r.position = 1",
+            )
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert!(podium > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(4, 10).db.catalog().table("races").unwrap().rows(),
+            generate(4, 10).db.catalog().table("races").unwrap().rows()
+        );
+    }
+}

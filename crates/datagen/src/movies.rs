@@ -1,0 +1,179 @@
+//! The movies table from Figure 1: titles, genres, revenue, and a
+//! free-text review per film. Titanic is the highest-grossing romance
+//! classic, so the paper's running example has its intended answer.
+//!
+//! Review sentiment is *graded* (levels -2, -1, +1, +2) and keyed to the
+//! revenue rank, so "most positive review" rankings over any top-k
+//! (k ≤ 4) revenue cut have a unique planted ground truth.
+
+use crate::corpus;
+use crate::{DomainData, Labels};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tag_lm::knowledge::{KnowledgeBase, KnowledgeConfig};
+use tag_sql::Database;
+
+const GENRES: &[&str] = &["Romance", "SciFi", "Action", "Drama", "Comedy", "Horror"];
+
+const FILLER_TITLES: &[&str] = &[
+    "Midnight Express Lane", "The Quiet Harbor", "Steel Horizon", "Paper Lanterns",
+    "The Last Orchard", "Crimson Tide Pool", "Echoes of Tomorrow", "The Glass Garden",
+    "Northbound", "Silent Circuit", "The Velvet Hour", "Falling Slowly",
+    "Desert of Mirrors", "The Cartographer", "Blue Evening", "Harvest Moon Waltz",
+    "The Seventh Door", "Gravity's Edge", "A Winter Abroad", "The Lighthouse Keeper",
+    "Salt and Cedar", "The Ninth Meridian", "Afternoon Static", "The Paper Kite",
+    "Ember Season", "Two Rivers Down", "The Long Causeway", "Copper Sky",
+    "A Quiet Arithmetic", "The Night Ferry", "Winterlight", "The Second Garden",
+    "Stonefruit", "The Hollow Crown Road", "Driftwood Letters", "The Far Shore",
+    "Morning Divide", "The Clockmaker's Son", "Amber Crossing", "The Tenth Summer",
+    "Low Tide Hotel", "The Iron Meadow", "Glass Pilgrims", "The Orchard Gate",
+    "Signal Fires", "The Borrowed Coast", "Pale Harbor Lights", "The Atlas Room",
+];
+
+// Permuted so sentiment order differs from revenue order on every
+// top-k cut (k <= 4), in both the positive and negative direction.
+const LEVELS: [i8; 4] = [-1, 2, -2, 1];
+
+/// Generate the movies table. Classics (from the knowledge base) are
+/// included alongside filler titles; Titanic gets the top revenue among
+/// romance classics.
+pub fn generate(seed: u64) -> DomainData {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3017);
+    let kb = KnowledgeBase::new(KnowledgeConfig {
+        coverage: 1.0,
+        enumeration_coverage: 1.0,
+        seed: 0,
+    });
+    let mut db = Database::new();
+    let mut labels = Labels::default();
+    db.execute(
+        "CREATE TABLE movies (
+            movie_title TEXT PRIMARY KEY,
+            genre TEXT,
+            revenue REAL,
+            review TEXT
+        )",
+    )
+    .expect("create movies");
+
+    // Assemble (title, genre, revenue) first so review levels can be
+    // keyed to the revenue rank.
+    let mut films: Vec<(String, &str, f64)> = Vec::new();
+    for classic in kb.true_classics() {
+        let (genre, revenue) = if classic == "Titanic" {
+            ("Romance", 2257.8)
+        } else {
+            (
+                ["Romance", "Drama"][rng.gen_range(0..2)],
+                rng.gen_range(80.0..900.0),
+            )
+        };
+        films.push((classic.to_owned(), genre, revenue));
+    }
+    for (i, title) in FILLER_TITLES.iter().enumerate() {
+        let genre = GENRES[i % GENRES.len()];
+        let revenue = if i % 7 == 0 {
+            rng.gen_range(2300.0..2900.0)
+        } else {
+            rng.gen_range(10.0..700.0)
+        };
+        films.push(((*title).to_owned(), genre, revenue));
+    }
+
+    // Revenue rank → graded review level.
+    let mut order: Vec<usize> = (0..films.len()).collect();
+    order.sort_by(|&a, &b| films[b].2.total_cmp(&films[a].2));
+    let mut level_of = vec![0i8; films.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        level_of[i] = LEVELS[rank % LEVELS.len()];
+    }
+
+    for (i, (title, genre, revenue)) in films.iter().enumerate() {
+        let level = level_of[i];
+        let review = corpus::graded_review(&mut rng, title, level);
+        labels.review_sentiment.insert(title.clone(), level);
+        db.execute(&format!(
+            "INSERT INTO movies VALUES ('{}', '{genre}', {revenue:.1}, '{}')",
+            title.replace('\'', "''"),
+            review.replace('\'', "''"),
+        ))
+        .expect("insert movie");
+    }
+    DomainData::with_labels("movies", db, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tag_lm::lexicon::sentiment_score;
+
+    #[test]
+    fn titanic_tops_romance_classics() {
+        let d = generate(1);
+        let mut db = d.db;
+        let kb = KnowledgeBase::new(KnowledgeConfig {
+            coverage: 1.0,
+            enumeration_coverage: 1.0,
+            seed: 0,
+        });
+        let rs = db
+            .execute("SELECT movie_title, revenue FROM movies WHERE genre = 'Romance'")
+            .unwrap();
+        let best = rs
+            .rows
+            .iter()
+            .filter(|r| kb.true_is_classic_movie(&r[0].to_string()))
+            .max_by(|a, b| a[1].total_cmp(&b[1]))
+            .unwrap();
+        assert_eq!(best[0].to_string(), "Titanic");
+    }
+
+    #[test]
+    fn some_non_classics_out_gross_titanic() {
+        let mut db = generate(1).db;
+        let n = db
+            .query_scalar("SELECT COUNT(*) FROM movies WHERE revenue > 2257.8")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert!(n >= 1, "the superlative must require the classic filter");
+    }
+
+    #[test]
+    fn top_4_by_revenue_have_distinct_review_levels() {
+        let d = generate(2);
+        let mut db = d.db;
+        let rs = db
+            .execute("SELECT movie_title FROM movies ORDER BY revenue DESC LIMIT 4")
+            .unwrap();
+        let levels: Vec<i8> = rs
+            .rows
+            .iter()
+            .map(|r| d.labels.review_sentiment[&r[0].to_string()])
+            .collect();
+        let mut sorted = levels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "levels: {levels:?}");
+    }
+
+    #[test]
+    fn lexicon_scores_track_planted_levels() {
+        let d = generate(3);
+        let movies = d.db.catalog().table("movies").unwrap();
+        for row in movies.rows() {
+            let title = row[0].to_string();
+            let review = row[3].to_string();
+            let level = d.labels.review_sentiment[&title];
+            let score = sentiment_score(&review);
+            // Hedged variants shrink the gaps, but the sign and coarse
+            // ordering must always follow the planted level.
+            match level {
+                2 => assert!(score > 0.5, "{review} -> {score}"),
+                1 => assert!((0.1..0.5).contains(&score), "{review} -> {score}"),
+                -1 => assert!((-0.5..-0.1).contains(&score), "{review} -> {score}"),
+                _ => assert!(score < -0.5, "{review} -> {score}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The `california_schools` domain: one wide `schools` table, BIRD-style.
+
+use crate::DomainData;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tag_lm::knowledge::{KnowledgeBase, KnowledgeConfig};
+use tag_sql::Database;
+
+/// Cities used in the table: every region city from the knowledge base
+/// plus region-neutral filler towns, each with a plausible longitude.
+fn city_pool(kb: &KnowledgeBase) -> Vec<(String, f64)> {
+    let mut cities: Vec<String> = Vec::new();
+    for region in kb.known_regions() {
+        for c in kb.true_cities_in_region(region) {
+            if !cities.iter().any(|x| x == c) {
+                cities.push(c.to_owned());
+            }
+        }
+    }
+    for extra in [
+        "Eureka", "Redding", "Chico", "Truckee", "Barstow", "Needles", "Bishop",
+        "Ukiah", "Susanville", "Alturas",
+    ] {
+        cities.push(extra.to_owned());
+    }
+    cities
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            // Deterministic per-city base longitude in [-124.2, -114.2].
+            let lon = -124.2 + (i as f64 * 0.37) % 10.0;
+            (c, lon)
+        })
+        .collect()
+}
+
+/// Generate the domain with `n` schools.
+pub fn generate(seed: u64, n: usize) -> DomainData {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5C00);
+    let kb = KnowledgeBase::new(KnowledgeConfig {
+        coverage: 1.0,
+        enumeration_coverage: 1.0,
+        seed: 0,
+    });
+    let cities = city_pool(&kb);
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE schools (
+            CDSCode INTEGER PRIMARY KEY,
+            School TEXT NOT NULL,
+            City TEXT,
+            County TEXT,
+            Longitude REAL,
+            Latitude REAL,
+            AvgScrMath INTEGER,
+            AvgScrRead INTEGER,
+            Enrollment INTEGER,
+            GSoffered TEXT,
+            Charter INTEGER,
+            FundingType TEXT,
+            DOC TEXT,
+            SOC TEXT,
+            EdOpsName TEXT,
+            Virtual TEXT,
+            Magnet INTEGER,
+            Phone TEXT,
+            Zip TEXT,
+            AdmFName TEXT,
+            AdmLName TEXT,
+            AdmEmail TEXT,
+            LastUpdate TEXT
+        )",
+    )
+    .expect("create schools");
+
+    const NAME_PARTS: &[&str] = &[
+        "Washington", "Lincoln", "Jefferson", "Mission", "Valley", "Creek", "Summit",
+        "Oak", "Cedar", "Sierra", "Pacific", "Golden", "Bayview", "Hillside", "Meadow",
+    ];
+    const KINDS: &[&str] = &["Elementary", "Middle", "High", "Charter Academy"];
+    const GRADES: &[&str] = &["K-5", "K-8", "K-12", "6-8", "9-12"];
+
+    for id in 0..n {
+        let (city, base_lon) = &cities[rng.gen_range(0..cities.len())];
+        let name = format!(
+            "{} {} {}",
+            NAME_PARTS[rng.gen_range(0..NAME_PARTS.len())],
+            city,
+            KINDS[rng.gen_range(0..KINDS.len())]
+        );
+        let lon = base_lon + rng.gen_range(-0.05..0.05);
+        let lat = 37.0 + rng.gen_range(-4.5..4.5);
+        let math: i64 = rng.gen_range(380..720);
+        let read: i64 = math + rng.gen_range(-60..60);
+        let enrollment: i64 = rng.gen_range(120..3200);
+        let grades = GRADES[rng.gen_range(0..GRADES.len())];
+        let charter = i64::from(rng.gen_bool(0.2));
+        let funding = ["Directly funded", "Locally funded", "Not in CS funding model"]
+            [rng.gen_range(0..3)];
+        db.execute(&format!(
+            "INSERT INTO schools VALUES ({}, '{}', '{}', '{} County', {:.4}, {:.4}, \
+             {math}, {read}, {enrollment}, '{grades}', {charter}, '{funding}', \
+             '{:02}', '{:02}', 'Traditional', 'N', {}, '(555) 555-{:04}', \
+             '9{:04}', 'Alex', 'Rivera', 'admin{}@example.edu', '2015-06-{:02}')",
+            id + 1,
+            name.replace('\'', "''"),
+            city.replace('\'', "''"),
+            city.replace('\'', "''"),
+            lon,
+            lat,
+            rng.gen_range(52..66),
+            rng.gen_range(60..70),
+            i64::from(rng.gen_bool(0.1)),
+            rng.gen_range(0..9999),
+            rng.gen_range(1000..5999),
+            id + 1,
+            rng.gen_range(1..28),
+        ))
+        .expect("insert school");
+    }
+    // Auxiliary BIRD tables (frpm, satscores): referenced by Text2SQL
+    // prompts and indexed by RAG, widening schemas to realistic BIRD
+    // proportions. Benchmark queries only target `schools`.
+    db.execute(
+        "CREATE TABLE frpm (
+            CDSCode INTEGER PRIMARY KEY,
+            \"Academic Year\" TEXT,
+            \"Free Meal Count\" INTEGER,
+            \"FRPM Count\" INTEGER,
+            \"Enrollment K12\" INTEGER,
+            \"Charter School\" INTEGER
+        )",
+    )
+    .expect("create frpm");
+    db.execute(
+        "CREATE TABLE satscores (
+            cds INTEGER PRIMARY KEY,
+            NumTstTakr INTEGER,
+            AvgScrVerbal INTEGER,
+            NumGE1500 INTEGER
+        )",
+    )
+    .expect("create satscores");
+    for id in 1..=(n as i64) {
+        let enroll = rng.gen_range(120..3200);
+        let free = rng.gen_range(0..enroll);
+        db.execute(&format!(
+            "INSERT INTO frpm VALUES ({id}, '2014-2015', {free}, {}, {enroll}, {})",
+            free + rng.gen_range(0..50),
+            i64::from(rng.gen_bool(0.2)),
+        ))
+        .expect("insert frpm");
+        let takers = rng.gen_range(20..600);
+        db.execute(&format!(
+            "INSERT INTO satscores VALUES ({id}, {takers}, {}, {})",
+            rng.gen_range(380..720),
+            rng.gen_range(0..takers),
+        ))
+        .expect("insert satscores");
+    }
+    DomainData::new("california_schools", db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_rows() {
+        let d = generate(1, 300);
+        let t = d.db.catalog().table("schools").unwrap();
+        assert_eq!(t.len(), 300);
+        assert_eq!(t.schema().len(), 23);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(1, 50);
+        let b = generate(1, 50);
+        assert_eq!(
+            a.db.catalog().table("schools").unwrap().rows(),
+            b.db.catalog().table("schools").unwrap().rows()
+        );
+        let c = generate(2, 50);
+        assert_ne!(
+            a.db.catalog().table("schools").unwrap().rows(),
+            c.db.catalog().table("schools").unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn covers_region_and_neutral_cities() {
+        let d = generate(3, 500);
+        let mut db = d.db;
+        let sv = db
+            .query_scalar(
+                "SELECT COUNT(*) FROM schools WHERE City IN ('Palo Alto', 'Cupertino', 'San Jose')",
+            )
+            .unwrap();
+        let neutral = db
+            .query_scalar("SELECT COUNT(*) FROM schools WHERE City = 'Eureka'")
+            .unwrap();
+        assert!(sv.as_i64().unwrap() > 0);
+        assert!(neutral.as_i64().unwrap() > 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Property-based tests for the synthetic data generators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tag_datagen::corpus;
+use tag_lm::lexicon;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated comments carry their planted signal for any seed/topic:
+    /// positive > 0, negative < 0, sarcastic above the detector
+    /// threshold.
+    #[test]
+    fn comment_signals_hold(seed in any::<u64>(), topic in "[a-z]{3,10}") {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(lexicon::sentiment_score(&corpus::positive_comment(&mut rng, &topic)) > 0.3);
+        prop_assert!(lexicon::sentiment_score(&corpus::negative_comment(&mut rng, &topic)) < -0.3);
+        prop_assert!(lexicon::sarcasm_score(&corpus::sarcastic_comment(&mut rng, &topic)) > 0.35);
+    }
+
+    /// Graded reviews order by planted level under the lexicon score,
+    /// for any seed.
+    #[test]
+    fn review_grades_are_ordered(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scores: Vec<f64> = [-2i8, -1, 1, 2]
+            .iter()
+            .map(|l| lexicon::sentiment_score(&corpus::graded_review(&mut rng, "T", *l)))
+            .collect();
+        for w in scores.windows(2) {
+            prop_assert!(w[0] < w[1], "scores must strictly increase: {scores:?}");
+        }
+    }
+
+    /// Domain generation is a pure function of the seed.
+    #[test]
+    fn schools_deterministic(seed in any::<u64>()) {
+        let a = tag_datagen::schools::generate(seed, 25);
+        let b = tag_datagen::schools::generate(seed, 25);
+        prop_assert_eq!(
+            a.db.catalog().table("schools").unwrap().rows(),
+            b.db.catalog().table("schools").unwrap().rows()
+        );
+    }
+}

@@ -1,0 +1,714 @@
+//! The simulated model's parametric world knowledge.
+//!
+//! The TAG benchmark's *knowledge* queries require facts that are not in
+//! the database: which cities form a region, how tall a basketball
+//! player is, where an F1 circuit is, which countries are in the EU,
+//! which films are canon "classics". A pre-trained LM holds such facts
+//! imperfectly; we model that with a deterministic per-fact recall test
+//! driven by a coverage parameter — the same fact is always either known
+//! or unknown for a given seed, like weights frozen at training time.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// Knowledge-recall configuration.
+#[derive(Debug, Clone)]
+pub struct KnowledgeConfig {
+    /// Probability that any individual fact is *recognizable* when asked
+    /// about directly ("is Palo Alto in Silicon Valley?").
+    pub coverage: f64,
+    /// Probability that a fact surfaces under *free recall* ("list every
+    /// Silicon Valley city") — systematically lower than recognition,
+    /// the reason inlining knowledge into SQL underperforms per-row
+    /// filtering.
+    pub enumeration_coverage: f64,
+    /// Seed fixing which facts fall inside the coverage.
+    pub seed: u64,
+}
+
+impl Default for KnowledgeConfig {
+    fn default() -> Self {
+        // A strong instruction-tuned model recalls most but not all of
+        // these mid-frequency facts.
+        KnowledgeConfig {
+            coverage: 0.90,
+            enumeration_coverage: 0.45,
+            seed: 0x7A65,
+        }
+    }
+}
+
+/// The world-knowledge base.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    config: KnowledgeConfig,
+    regions: HashMap<&'static str, HashSet<&'static str>>,
+    heights_cm: HashMap<&'static str, f64>,
+    circuits: HashMap<&'static str, CircuitFact>,
+    country_continent: HashMap<&'static str, &'static str>,
+    eu_members: HashSet<&'static str>,
+    classic_movies: HashSet<&'static str>,
+    company_verticals: HashMap<&'static str, &'static str>,
+}
+
+/// Facts about one Formula 1 circuit.
+#[derive(Debug, Clone)]
+pub struct CircuitFact {
+    /// Host city.
+    pub city: &'static str,
+    /// Host country.
+    pub country: &'static str,
+    /// Grand Prix name usually held there.
+    pub grand_prix: &'static str,
+    /// Street circuit (vs purpose-built track)?
+    pub street: bool,
+}
+
+impl Default for KnowledgeBase {
+    fn default() -> Self {
+        Self::new(KnowledgeConfig::default())
+    }
+}
+
+impl KnowledgeBase {
+    /// Build the knowledge base with the given recall configuration.
+    pub fn new(config: KnowledgeConfig) -> Self {
+        let mut regions: HashMap<&'static str, HashSet<&'static str>> = HashMap::new();
+        regions.insert(
+            "bay area",
+            [
+                "San Francisco", "Oakland", "San Jose", "Berkeley", "Palo Alto", "Fremont",
+                "Hayward", "Sunnyvale", "Santa Clara", "Richmond", "Daly City", "San Mateo",
+                "Redwood City", "Mountain View", "Alameda", "Vallejo", "Concord",
+                "Walnut Creek", "Cupertino", "Milpitas", "Menlo Park", "Los Altos",
+            ]
+            .into_iter()
+            .collect(),
+        );
+        regions.insert(
+            "silicon valley",
+            [
+                "San Jose", "Palo Alto", "Mountain View", "Sunnyvale", "Santa Clara",
+                "Cupertino", "Menlo Park", "Redwood City", "Milpitas", "Los Altos",
+                "Campbell", "Saratoga", "Los Gatos",
+            ]
+            .into_iter()
+            .collect(),
+        );
+        regions.insert(
+            "southern california",
+            [
+                "Los Angeles", "San Diego", "Long Beach", "Anaheim", "Santa Ana",
+                "Riverside", "Irvine", "Pasadena", "Glendale", "Torrance", "Burbank",
+                "Santa Monica",
+            ]
+            .into_iter()
+            .collect(),
+        );
+        regions.insert(
+            "central valley",
+            [
+                "Fresno", "Sacramento", "Stockton", "Modesto", "Bakersfield", "Visalia",
+                "Merced",
+            ]
+            .into_iter()
+            .collect(),
+        );
+
+        let heights_cm: HashMap<&'static str, f64> = [
+            ("Stephen Curry", 188.0),
+            ("LeBron James", 206.0),
+            ("Lionel Messi", 170.0),
+            ("Cristiano Ronaldo", 187.0),
+            ("Peter Crouch", 201.0),
+            ("Kylian Mbappe", 178.0),
+            ("Usain Bolt", 195.0),
+            ("Kevin Durant", 208.0),
+            ("Shaquille O'Neal", 216.0),
+            ("Tom Cruise", 170.0),
+        ]
+        .into_iter()
+        .collect();
+
+        let circuits: HashMap<&'static str, CircuitFact> = [
+            (
+                "Sepang International Circuit",
+                CircuitFact {
+                    city: "Kuala Lumpur",
+                    country: "Malaysia",
+                    grand_prix: "Malaysian Grand Prix",
+                    street: false,
+                },
+            ),
+            (
+                "Autodromo Nazionale di Monza",
+                CircuitFact {
+                    city: "Monza",
+                    country: "Italy",
+                    grand_prix: "Italian Grand Prix",
+                    street: false,
+                },
+            ),
+            (
+                "Silverstone Circuit",
+                CircuitFact {
+                    city: "Silverstone",
+                    country: "UK",
+                    grand_prix: "British Grand Prix",
+                    street: false,
+                },
+            ),
+            (
+                "Circuit de Monaco",
+                CircuitFact {
+                    city: "Monte-Carlo",
+                    country: "Monaco",
+                    grand_prix: "Monaco Grand Prix",
+                    street: true,
+                },
+            ),
+            (
+                "Marina Bay Street Circuit",
+                CircuitFact {
+                    city: "Singapore",
+                    country: "Singapore",
+                    grand_prix: "Singapore Grand Prix",
+                    street: true,
+                },
+            ),
+            (
+                "Suzuka Circuit",
+                CircuitFact {
+                    city: "Suzuka",
+                    country: "Japan",
+                    grand_prix: "Japanese Grand Prix",
+                    street: false,
+                },
+            ),
+            (
+                "Shanghai International Circuit",
+                CircuitFact {
+                    city: "Shanghai",
+                    country: "China",
+                    grand_prix: "Chinese Grand Prix",
+                    street: false,
+                },
+            ),
+            (
+                "Circuit de Spa-Francorchamps",
+                CircuitFact {
+                    city: "Spa",
+                    country: "Belgium",
+                    grand_prix: "Belgian Grand Prix",
+                    street: false,
+                },
+            ),
+            (
+                "Circuit Gilles Villeneuve",
+                CircuitFact {
+                    city: "Montreal",
+                    country: "Canada",
+                    grand_prix: "Canadian Grand Prix",
+                    street: true,
+                },
+            ),
+            (
+                "Bahrain International Circuit",
+                CircuitFact {
+                    city: "Sakhir",
+                    country: "Bahrain",
+                    grand_prix: "Bahrain Grand Prix",
+                    street: false,
+                },
+            ),
+            (
+                "Autodromo Jose Carlos Pace",
+                CircuitFact {
+                    city: "Sao Paulo",
+                    country: "Brazil",
+                    grand_prix: "Brazilian Grand Prix",
+                    street: false,
+                },
+            ),
+            (
+                "Yas Marina Circuit",
+                CircuitFact {
+                    city: "Abu Dhabi",
+                    country: "UAE",
+                    grand_prix: "Abu Dhabi Grand Prix",
+                    street: false,
+                },
+            ),
+        ]
+        .into_iter()
+        .collect();
+
+        let country_continent: HashMap<&'static str, &'static str> = [
+            ("Malaysia", "Asia"),
+            ("Italy", "Europe"),
+            ("UK", "Europe"),
+            ("Monaco", "Europe"),
+            ("Singapore", "Asia"),
+            ("Japan", "Asia"),
+            ("China", "Asia"),
+            ("Belgium", "Europe"),
+            ("Canada", "North America"),
+            ("Bahrain", "Asia"),
+            ("Brazil", "South America"),
+            ("UAE", "Asia"),
+            ("Germany", "Europe"),
+            ("France", "Europe"),
+            ("Spain", "Europe"),
+            ("Netherlands", "Europe"),
+            ("Poland", "Europe"),
+            ("Austria", "Europe"),
+            ("Czech Republic", "Europe"),
+            ("Slovakia", "Europe"),
+            ("Switzerland", "Europe"),
+            ("Norway", "Europe"),
+            ("USA", "North America"),
+        ]
+        .into_iter()
+        .collect();
+
+        let eu_members: HashSet<&'static str> = [
+            "Italy", "Belgium", "Germany", "France", "Spain", "Netherlands", "Poland",
+            "Austria", "Czech Republic", "Slovakia",
+        ]
+        .into_iter()
+        .collect();
+
+        let classic_movies: HashSet<&'static str> = [
+            "Titanic",
+            "Casablanca",
+            "Gone with the Wind",
+            "Roman Holiday",
+            "Doctor Zhivago",
+            "An Affair to Remember",
+            "West Side Story",
+            "Breakfast at Tiffany's",
+            "Ghost",
+            "Dirty Dancing",
+        ]
+        .into_iter()
+        .collect();
+
+        let company_verticals: HashMap<&'static str, &'static str> = [
+            ("NorthMart", "retail"),
+            ("ShopRight", "retail"),
+            ("Cartwheel Stores", "retail"),
+            ("Basket & Co", "retail"),
+            ("Vertex Systems", "technology"),
+            ("CloudNine Software", "technology"),
+            ("Quanta Devices", "technology"),
+            ("First Meridian Bank", "finance"),
+            ("Argent Capital", "finance"),
+            ("Helix Pharma", "healthcare"),
+            ("CarePoint Clinics", "healthcare"),
+            ("TransGlobal Freight", "logistics"),
+        ]
+        .into_iter()
+        .collect();
+
+        KnowledgeBase {
+            config,
+            regions,
+            heights_cm,
+            circuits,
+            country_continent,
+            eu_members,
+            classic_movies,
+            company_verticals,
+        }
+    }
+
+    /// Deterministic per-fact *recognition*: can the model confirm this
+    /// fact when asked about it directly?
+    pub fn recalls(&self, fact_key: &str) -> bool {
+        self.fact_fraction(fact_key) < self.config.coverage
+    }
+
+    /// Deterministic per-fact *free recall*: does this fact surface when
+    /// the model must enumerate from memory (e.g. inline an IN-list into
+    /// SQL)? Uses the same per-fact draw, so everything enumerable is
+    /// also recognizable.
+    pub fn recalls_enumerated(&self, fact_key: &str) -> bool {
+        self.fact_fraction(fact_key) < self.config.enumeration_coverage
+    }
+
+    fn fact_fraction(&self, fact_key: &str) -> f64 {
+        let mut h = DefaultHasher::new();
+        self.config.seed.hash(&mut h);
+        fact_key.to_ascii_lowercase().hash(&mut h);
+        (h.finish() % 10_000) as f64 / 10_000.0
+    }
+
+    /// Region names the model knows about.
+    pub fn known_regions(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self.regions.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Is `city` in `region`? `None` when the model can't recall the fact.
+    pub fn is_city_in_region(&self, city: &str, region: &str) -> Option<bool> {
+        let set = self.regions.get(region.to_ascii_lowercase().as_str())?;
+        let key = format!("region:{region}:{city}");
+        if !self.recalls(&key) {
+            return None;
+        }
+        Some(set.iter().any(|c| c.eq_ignore_ascii_case(city)))
+    }
+
+    /// The cities the model can *enumerate* for `region` (free recall —
+    /// a strict subset of what it can recognize).
+    pub fn recalled_cities_in_region(&self, region: &str) -> Vec<&'static str> {
+        let Some(set) = self.regions.get(region.to_ascii_lowercase().as_str()) else {
+            return Vec::new();
+        };
+        let mut v: Vec<&'static str> = set
+            .iter()
+            .copied()
+            .filter(|c| self.recalls_enumerated(&format!("region:{region}:{c}")))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Ground-truth city list for a region (oracle use only).
+    pub fn true_cities_in_region(&self, region: &str) -> Vec<&'static str> {
+        let Some(set) = self.regions.get(region.to_ascii_lowercase().as_str()) else {
+            return Vec::new();
+        };
+        let mut v: Vec<&'static str> = set.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// A famous person's height in cm, if recalled.
+    pub fn person_height_cm(&self, name: &str) -> Option<f64> {
+        let (key, height) = self
+            .heights_cm
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))?;
+        if self.recalls(&format!("height:{key}")) {
+            Some(*height)
+        } else {
+            None
+        }
+    }
+
+    /// Ground-truth height (oracle use only).
+    pub fn true_person_height_cm(&self, name: &str) -> Option<f64> {
+        self.heights_cm
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, h)| *h)
+    }
+
+    /// Facts about a circuit, if recalled.
+    pub fn circuit_fact(&self, circuit: &str) -> Option<&CircuitFact> {
+        let (key, fact) = self
+            .circuits
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(circuit))?;
+        if self.recalls(&format!("circuit:{key}")) {
+            Some(fact)
+        } else {
+            None
+        }
+    }
+
+    /// Ground-truth circuit fact (oracle use only).
+    pub fn true_circuit_fact(&self, circuit: &str) -> Option<&CircuitFact> {
+        self.circuits
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(circuit))
+            .map(|(_, f)| f)
+    }
+
+    /// All circuit names in the knowledge base.
+    pub fn circuit_names(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self.circuits.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The continent of a country, if recalled.
+    pub fn country_continent(&self, country: &str) -> Option<&'static str> {
+        let (key, cont) = self
+            .country_continent
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(country))?;
+        if self.recalls(&format!("continent:{key}")) {
+            Some(cont)
+        } else {
+            None
+        }
+    }
+
+    /// Ground-truth continent (oracle use only).
+    pub fn true_country_continent(&self, country: &str) -> Option<&'static str> {
+        self.country_continent
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(country))
+            .map(|(_, c)| *c)
+    }
+
+    /// Is the country an EU member? `None` if not recalled.
+    pub fn is_eu_member(&self, country: &str) -> Option<bool> {
+        if !self.country_continent.keys().any(|k| k.eq_ignore_ascii_case(country)) {
+            return None;
+        }
+        if !self.recalls(&format!("eu:{}", country.to_ascii_lowercase())) {
+            return None;
+        }
+        Some(self.eu_members.iter().any(|c| c.eq_ignore_ascii_case(country)))
+    }
+
+    /// Ground-truth EU membership (oracle use only).
+    pub fn true_is_eu_member(&self, country: &str) -> bool {
+        self.eu_members.iter().any(|c| c.eq_ignore_ascii_case(country))
+    }
+
+    /// Is this film considered a classic? `None` if not recalled.
+    pub fn is_classic_movie(&self, title: &str) -> Option<bool> {
+        if !self.recalls(&format!("classic:{}", title.to_ascii_lowercase())) {
+            return None;
+        }
+        Some(
+            self.classic_movies
+                .iter()
+                .any(|m| m.eq_ignore_ascii_case(title)),
+        )
+    }
+
+    /// Ground-truth classic flag (oracle use only).
+    pub fn true_is_classic_movie(&self, title: &str) -> bool {
+        self.classic_movies
+            .iter()
+            .any(|m| m.eq_ignore_ascii_case(title))
+    }
+
+    /// A company's business vertical, if recalled.
+    pub fn company_vertical(&self, company: &str) -> Option<&'static str> {
+        let (key, vertical) = self
+            .company_verticals
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(company))?;
+        if self.recalls(&format!("vertical:{key}")) {
+            Some(vertical)
+        } else {
+            None
+        }
+    }
+
+    /// Ground-truth vertical (oracle use only).
+    pub fn true_company_vertical(&self, company: &str) -> Option<&'static str> {
+        self.company_verticals
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(company))
+            .map(|(_, v)| *v)
+    }
+
+    /// EU member countries the model can recall (for SQL inlining).
+    pub fn recalled_eu_members(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self
+            .eu_members
+            .iter()
+            .copied()
+            .filter(|c| self.recalls_enumerated(&format!("eu:{}", c.to_ascii_lowercase())))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Circuits the model believes are on `continent` (subject to recall).
+    pub fn recalled_circuits_in_continent(&self, continent: &str) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self
+            .circuits
+            .iter()
+            .filter(|(name, fact)| {
+                self.recalls_enumerated(&format!("circuit:{name}"))
+                    && self
+                        .country_continent
+                        .get(fact.country)
+                        .map(|c| c.eq_ignore_ascii_case(continent))
+                        .unwrap_or(false)
+            })
+            .map(|(name, _)| *name)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Ground-truth circuits on a continent (oracle use only).
+    pub fn true_circuits_in_continent(&self, continent: &str) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self
+            .circuits
+            .iter()
+            .filter(|(_, fact)| {
+                self.country_continent
+                    .get(fact.country)
+                    .map(|c| c.eq_ignore_ascii_case(continent))
+                    .unwrap_or(false)
+            })
+            .map(|(name, _)| *name)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Classic films the model can recall (for SQL inlining).
+    pub fn recalled_classics(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self
+            .classic_movies
+            .iter()
+            .copied()
+            .filter(|m| self.recalls_enumerated(&format!("classic:{}", m.to_ascii_lowercase())))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Companies the model believes are in `vertical` (subject to recall).
+    pub fn recalled_companies_in_vertical(&self, vertical: &str) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self
+            .company_verticals
+            .iter()
+            .filter(|(name, v0)| {
+                v0.eq_ignore_ascii_case(vertical)
+                    && self.recalls_enumerated(&format!("vertical:{name}"))
+            })
+            .map(|(name, _)| *name)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Ground-truth companies in a vertical (oracle use only).
+    pub fn true_companies_in_vertical(&self, vertical: &str) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self
+            .company_verticals
+            .iter()
+            .filter(|(_, v0)| v0.eq_ignore_ascii_case(vertical))
+            .map(|(name, _)| *name)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Ground-truth EU members (oracle use only).
+    pub fn true_eu_members(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self.eu_members.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Ground-truth classics (oracle use only).
+    pub fn true_classics(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self.classic_movies.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The configured coverage.
+    pub fn coverage(&self) -> f64 {
+        self.config.coverage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full() -> KnowledgeBase {
+        KnowledgeBase::new(KnowledgeConfig {
+            coverage: 1.0,
+            enumeration_coverage: 1.0,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn regions_with_full_coverage() {
+        let kb = full();
+        assert_eq!(kb.is_city_in_region("Palo Alto", "Silicon Valley"), Some(true));
+        assert_eq!(kb.is_city_in_region("Fresno", "silicon valley"), Some(false));
+        assert_eq!(kb.is_city_in_region("Palo Alto", "Atlantis"), None);
+        assert!(kb
+            .recalled_cities_in_region("bay area")
+            .contains(&"Berkeley"));
+    }
+
+    #[test]
+    fn partial_coverage_drops_some_facts() {
+        let kb = KnowledgeBase::new(KnowledgeConfig {
+            coverage: 0.5,
+            enumeration_coverage: 0.5,
+            seed: 42,
+        });
+        let recalled = kb.recalled_cities_in_region("bay area");
+        let all = kb.true_cities_in_region("bay area");
+        assert!(recalled.len() < all.len());
+        assert!(!recalled.is_empty());
+        // Determinism: same config, same result.
+        let kb2 = KnowledgeBase::new(KnowledgeConfig {
+            coverage: 0.5,
+            enumeration_coverage: 0.5,
+            seed: 42,
+        });
+        assert_eq!(recalled, kb2.recalled_cities_in_region("bay area"));
+    }
+
+    #[test]
+    fn heights() {
+        let kb = full();
+        assert_eq!(kb.person_height_cm("stephen curry"), Some(188.0));
+        assert_eq!(kb.person_height_cm("Nobody Famous"), None);
+        assert_eq!(kb.true_person_height_cm("Peter Crouch"), Some(201.0));
+    }
+
+    #[test]
+    fn circuits_and_continents() {
+        let kb = full();
+        let sepang = kb.circuit_fact("Sepang International Circuit").unwrap();
+        assert_eq!(sepang.country, "Malaysia");
+        assert_eq!(sepang.grand_prix, "Malaysian Grand Prix");
+        assert_eq!(kb.country_continent("Malaysia"), Some("Asia"));
+        assert_eq!(kb.country_continent("Italy"), Some("Europe"));
+        assert!(kb.circuit_names().len() >= 10);
+    }
+
+    #[test]
+    fn eu_membership() {
+        let kb = full();
+        assert_eq!(kb.is_eu_member("Italy"), Some(true));
+        assert_eq!(kb.is_eu_member("UK"), Some(false));
+        assert_eq!(kb.is_eu_member("Narnia"), None);
+    }
+
+    #[test]
+    fn classics_and_verticals() {
+        let kb = full();
+        assert_eq!(kb.is_classic_movie("Titanic"), Some(true));
+        assert_eq!(kb.is_classic_movie("Sharknado"), Some(false));
+        assert_eq!(kb.company_vertical("NorthMart"), Some("retail"));
+        assert_eq!(kb.company_vertical("Unknown Corp"), None);
+    }
+
+    #[test]
+    fn recall_is_deterministic_and_seed_sensitive() {
+        let a = KnowledgeBase::new(KnowledgeConfig { coverage: 0.5, enumeration_coverage: 0.5, seed: 1 });
+        let b = KnowledgeBase::new(KnowledgeConfig { coverage: 0.5, enumeration_coverage: 0.5, seed: 2 });
+        let keys: Vec<String> = (0..200).map(|i| format!("fact{i}")).collect();
+        let ra: Vec<bool> = keys.iter().map(|k| a.recalls(k)).collect();
+        let ra2: Vec<bool> = keys.iter().map(|k| a.recalls(k)).collect();
+        let rb: Vec<bool> = keys.iter().map(|k| b.recalls(k)).collect();
+        assert_eq!(ra, ra2);
+        assert_ne!(ra, rb);
+        let frac = ra.iter().filter(|x| **x).count() as f64 / ra.len() as f64;
+        assert!((0.35..0.65).contains(&frac), "got {frac}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # tag-lm — simulated language model substrate
+//!
+//! Stands in for Llama-3.1-70B-Instruct (served by vLLM on 8×A100) in the
+//! reproduction of *"Text2SQL is Not Enough: Unifying AI and Databases
+//! with TAG"* (CIDR 2025). The substitution is documented in DESIGN.md;
+//! in short, the paper's findings are structural, and this crate
+//! reproduces the structures:
+//!
+//! - a [`model::LanguageModel`] trait with **batch-first** inference and a
+//!   deterministic **cost model** ([`cost`]) so execution time is
+//!   measurable and reproducible;
+//! - imperfect **world knowledge** ([`knowledge`]) with per-fact recall;
+//! - lexicon-based **semantic reasoning** ([`lexicon`]) with borderline
+//!   judgment noise;
+//! - a long-context **attention model** that loses in-context items as
+//!   prompts grow (the single-call generation failure mode);
+//! - a **Text2SQL skill** ([`text2sql`]) that translates relational
+//!   clauses faithfully, inlines knowledge clauses from imperfect memory,
+//!   and drops or mangles reasoning clauses;
+//! - the **prompt protocols** ([`prompts`]) used by all TAG methods, and
+//!   the canonical **question templates** ([`nlq`]).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod knowledge;
+pub mod lexicon;
+pub mod model;
+pub mod nlq;
+pub mod prompts;
+pub mod sim;
+pub mod summarize;
+pub mod text2sql;
+pub mod tokenizer;
+
+pub use cost::{CostModel, VirtualClock};
+pub use knowledge::{KnowledgeBase, KnowledgeConfig};
+pub use model::{LanguageModel, LmError, LmRequest, LmResponse, LmResult};
+pub use nlq::{CmpOp, NlFilter, NlQuery, SemProperty};
+pub use sim::{SimConfig, SimLm};

@@ -1,0 +1,134 @@
+//! The language-model abstraction used by every TAG component.
+//!
+//! The paper runs Llama-3.1-70B-Instruct behind vLLM; here the same role
+//! is played by any implementor of [`LanguageModel`]. The trait is
+//! batch-first because batched inference is the mechanism behind the
+//! hand-written TAG pipelines' execution-time advantage (§4.3).
+
+use std::fmt;
+
+/// One generation request.
+#[derive(Debug, Clone)]
+pub struct LmRequest {
+    /// The full prompt text.
+    pub prompt: String,
+    /// Generation budget in tokens.
+    pub max_tokens: usize,
+}
+
+impl LmRequest {
+    /// A request with the default 512-token budget.
+    pub fn new(prompt: impl Into<String>) -> Self {
+        LmRequest {
+            prompt: prompt.into(),
+            max_tokens: 512,
+        }
+    }
+
+    /// Set the generation budget.
+    pub fn with_max_tokens(mut self, n: usize) -> Self {
+        self.max_tokens = n;
+        self
+    }
+}
+
+/// One generation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmResponse {
+    /// Generated text.
+    pub text: String,
+    /// Tokens consumed by the prompt.
+    pub prompt_tokens: usize,
+    /// Tokens generated.
+    pub completion_tokens: usize,
+}
+
+/// Errors surfaced by a language model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LmError {
+    /// The prompt exceeded the model's context window. The paper observes
+    /// exactly this failure on the Text2SQL + LM baseline (§4.3).
+    ContextLength {
+        /// Tokens in the offending prompt.
+        prompt_tokens: usize,
+        /// The model's window.
+        max_context: usize,
+    },
+    /// Any other failure (malformed request, backend error).
+    Other(String),
+}
+
+impl fmt::Display for LmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LmError::ContextLength {
+                prompt_tokens,
+                max_context,
+            } => write!(
+                f,
+                "prompt of {prompt_tokens} tokens exceeds the {max_context}-token context window"
+            ),
+            LmError::Other(m) => write!(f, "LM error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LmError {}
+
+/// Result alias for LM operations.
+pub type LmResult<T> = Result<T, LmError>;
+
+/// A batched text-generation model.
+///
+/// Implementations must be cheap to share (`&self` methods) and are
+/// expected to meter simulated inference time on a virtual clock so that
+/// benchmark harnesses can report execution time deterministically.
+pub trait LanguageModel: Send + Sync {
+    /// Generate completions for a batch of prompts. The whole batch is
+    /// metered as one inference round (vLLM-style continuous batching).
+    fn generate_batch(&self, requests: &[LmRequest]) -> LmResult<Vec<LmResponse>>;
+
+    /// Single-prompt convenience wrapper.
+    fn generate(&self, request: &LmRequest) -> LmResult<LmResponse> {
+        let mut out = self.generate_batch(std::slice::from_ref(request))?;
+        Ok(out.pop().expect("batch of one yields one response"))
+    }
+
+    /// Simulated seconds of inference accumulated on the virtual clock.
+    fn elapsed_seconds(&self) -> f64;
+
+    /// Reset the virtual clock and call counters.
+    fn reset_metrics(&self);
+
+    /// Number of `generate_batch` rounds so far.
+    fn batches(&self) -> u64;
+
+    /// Number of individual prompts served so far.
+    fn calls(&self) -> u64;
+
+    /// The model's context window in tokens.
+    fn context_window(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder() {
+        let r = LmRequest::new("hi").with_max_tokens(7);
+        assert_eq!(r.prompt, "hi");
+        assert_eq!(r.max_tokens, 7);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LmError::ContextLength {
+            prompt_tokens: 9000,
+            max_context: 8192,
+        };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("8192"));
+        assert!(LmError::Other("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,889 @@
+//! Natural-language query templates: structured form, renderer, parser.
+//!
+//! TAG-Bench builds its questions by *modifying BIRD queries with
+//! knowledge or reasoning clauses* (§4.1). We reproduce that pipeline
+//! with an explicit structured query form ([`NlQuery`]): the benchmark
+//! constructs a structure, renders it to canonical English, and hands
+//! only the English to the methods under test. The simulated LM parses
+//! the English back into the structure — standing in for an instruction-
+//! tuned model's (reliable) reading comprehension — while its *knowledge*
+//! and *computation* remain imperfect, which is where the paper's
+//! failure modes live.
+//!
+//! `parse(render(q)) == q` is property-tested below.
+
+use std::fmt::Write as _;
+
+/// Comparison operators appearing in questions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// strictly greater than
+    Over,
+    /// strictly less than
+    Under,
+}
+
+/// Semantic (reasoning) properties of text the benchmark asks about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemProperty {
+    /// Positive sentiment.
+    Positive,
+    /// Negative sentiment.
+    Negative,
+    /// Sarcastic tone.
+    Sarcastic,
+    /// Technical content.
+    Technical,
+}
+
+impl SemProperty {
+    fn word(self) -> &'static str {
+        match self {
+            SemProperty::Positive => "positive",
+            SemProperty::Negative => "negative",
+            SemProperty::Sarcastic => "sarcastic",
+            SemProperty::Technical => "technical",
+        }
+    }
+
+    fn from_word(w: &str) -> Option<SemProperty> {
+        match w {
+            "positive" => Some(SemProperty::Positive),
+            "negative" => Some(SemProperty::Negative),
+            "sarcastic" => Some(SemProperty::Sarcastic),
+            "technical" => Some(SemProperty::Technical),
+            _ => None,
+        }
+    }
+}
+
+/// One filter clause in a question.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NlFilter {
+    /// `with {attr} over/under {value}` — plain relational predicate.
+    NumCmp {
+        /// Column name.
+        attr: String,
+        /// Direction.
+        op: CmpOp,
+        /// Threshold.
+        value: f64,
+    },
+    /// `with {attr} equal to '{value}'` — plain relational predicate.
+    TextEq {
+        /// Column name.
+        attr: String,
+        /// Required value.
+        value: String,
+    },
+    /// `located in the {region} region` — world knowledge (cities).
+    InRegion {
+        /// Region name, e.g. "Silicon Valley".
+        region: String,
+    },
+    /// `taller than {person}` — world knowledge (heights).
+    TallerThan {
+        /// The person to compare against.
+        person: String,
+    },
+    /// `from European Union countries` — world knowledge.
+    EuCountry,
+    /// `held at circuits in {continent}` — world knowledge (geography).
+    CircuitContinent {
+        /// Continent name.
+        continent: String,
+    },
+    /// `held on {circuit}` — plain predicate used by aggregation queries.
+    AtCircuit {
+        /// Circuit name.
+        circuit: String,
+    },
+    /// `considered a classic` — world knowledge (film canon).
+    ClassicMovie,
+    /// `in the {vertical} vertical` — world knowledge (business).
+    VerticalIs {
+        /// Vertical name, e.g. "retail".
+        vertical: String,
+    },
+    /// `whose {attr} is {property}` — semantic reasoning over text.
+    Semantic {
+        /// Text column the property applies to.
+        attr: String,
+        /// The property.
+        property: SemProperty,
+    },
+}
+
+impl NlFilter {
+    /// Does this filter require world knowledge (vs. data or reasoning)?
+    pub fn needs_knowledge(&self) -> bool {
+        matches!(
+            self,
+            NlFilter::InRegion { .. }
+                | NlFilter::TallerThan { .. }
+                | NlFilter::EuCountry
+                | NlFilter::CircuitContinent { .. }
+                | NlFilter::ClassicMovie
+                | NlFilter::VerticalIs { .. }
+        )
+    }
+
+    /// Does this filter require semantic reasoning over text?
+    pub fn needs_reasoning(&self) -> bool {
+        matches!(self, NlFilter::Semantic { .. })
+    }
+
+    /// Is this expressible in plain relational algebra?
+    pub fn is_relational(&self) -> bool {
+        !self.needs_knowledge() && !self.needs_reasoning()
+    }
+
+    fn render(&self) -> String {
+        match self {
+            NlFilter::NumCmp { attr, op, value } => {
+                let dir = match op {
+                    CmpOp::Over => "over",
+                    CmpOp::Under => "under",
+                };
+                format!("with {attr} {dir} {}", fmt_num(*value))
+            }
+            NlFilter::TextEq { attr, value } => {
+                format!("with {attr} equal to '{value}'")
+            }
+            NlFilter::InRegion { region } => format!("located in the {region} region"),
+            NlFilter::TallerThan { person } => format!("taller than {person}"),
+            NlFilter::EuCountry => "from European Union countries".to_owned(),
+            NlFilter::CircuitContinent { continent } => {
+                format!("held at circuits in {continent}")
+            }
+            NlFilter::AtCircuit { circuit } => format!("held on {circuit}"),
+            NlFilter::ClassicMovie => "considered a classic".to_owned(),
+            NlFilter::VerticalIs { vertical } => format!("in the {vertical} vertical"),
+            NlFilter::Semantic { attr, property } => {
+                format!("whose {attr} is {}", property.word())
+            }
+        }
+    }
+
+    fn parse(text: &str) -> Option<NlFilter> {
+        let t = text.trim();
+        if let Some(rest) = t.strip_prefix("with ") {
+            if let Some((attr, value)) = split_once_str(rest, " equal to '") {
+                let value = value.strip_suffix('\'')?;
+                return Some(NlFilter::TextEq {
+                    attr: attr.to_owned(),
+                    value: value.to_owned(),
+                });
+            }
+            if let Some((attr, v)) = split_once_str(rest, " over ") {
+                return Some(NlFilter::NumCmp {
+                    attr: attr.to_owned(),
+                    op: CmpOp::Over,
+                    value: v.parse().ok()?,
+                });
+            }
+            if let Some((attr, v)) = split_once_str(rest, " under ") {
+                return Some(NlFilter::NumCmp {
+                    attr: attr.to_owned(),
+                    op: CmpOp::Under,
+                    value: v.parse().ok()?,
+                });
+            }
+            return None;
+        }
+        if let Some(rest) = t.strip_prefix("located in the ") {
+            let region = rest.strip_suffix(" region")?;
+            return Some(NlFilter::InRegion {
+                region: region.to_owned(),
+            });
+        }
+        if let Some(person) = t.strip_prefix("taller than ") {
+            return Some(NlFilter::TallerThan {
+                person: person.to_owned(),
+            });
+        }
+        if t == "from European Union countries" {
+            return Some(NlFilter::EuCountry);
+        }
+        if let Some(continent) = t.strip_prefix("held at circuits in ") {
+            return Some(NlFilter::CircuitContinent {
+                continent: continent.to_owned(),
+            });
+        }
+        if let Some(circuit) = t.strip_prefix("held on ") {
+            return Some(NlFilter::AtCircuit {
+                circuit: circuit.to_owned(),
+            });
+        }
+        if t == "considered a classic" {
+            return Some(NlFilter::ClassicMovie);
+        }
+        if let Some(rest) = t.strip_prefix("in the ") {
+            let vertical = rest.strip_suffix(" vertical")?;
+            return Some(NlFilter::VerticalIs {
+                vertical: vertical.to_owned(),
+            });
+        }
+        if let Some(rest) = t.strip_prefix("whose ") {
+            let (attr, word) = split_once_str(rest, " is ")?;
+            let property = SemProperty::from_word(word)?;
+            return Some(NlFilter::Semantic {
+                attr: attr.to_owned(),
+                property,
+            });
+        }
+        None
+    }
+}
+
+/// A structured TAG-Bench question.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NlQuery {
+    /// Match-based: one attribute of the single best row under filters.
+    /// "What is the `{select_attr}` of the `{entity}` with the
+    /// highest/lowest `{rank_attr}` among those `{filters}`?"
+    Superlative {
+        /// Entity noun = table name (plural), e.g. "schools".
+        entity: String,
+        /// Attribute to return.
+        select_attr: String,
+        /// Attribute ranked on.
+        rank_attr: String,
+        /// highest (true) or lowest (false).
+        highest: bool,
+        /// Filter clauses.
+        filters: Vec<NlFilter>,
+    },
+    /// Comparison: "How many `{entity}` `{filters}` are there?"
+    Count {
+        /// Entity noun = table name.
+        entity: String,
+        /// Filter clauses.
+        filters: Vec<NlFilter>,
+    },
+    /// Match-based list: "List the `{select_attr}` of `{entity}` `{filters}`."
+    List {
+        /// Entity noun = table name.
+        entity: String,
+        /// Attribute to return (one per matching row).
+        select_attr: String,
+        /// Filter clauses.
+        filters: Vec<NlFilter>,
+    },
+    /// Ranking with relational pre-cut and semantic ordering:
+    /// "Of the `{k}` `{entity}` with the highest `{rank_attr}`, list their
+    /// `{select_attr}` in order of most `{property}` `{on_attr}` to least
+    /// `{property}` `{on_attr}`."
+    SemanticRank {
+        /// Entity noun = table name.
+        entity: String,
+        /// Attribute to return, in semantic order.
+        select_attr: String,
+        /// Pre-cut ranking attribute.
+        rank_attr: String,
+        /// Pre-cut size.
+        k: usize,
+        /// The ordering property.
+        property: SemProperty,
+        /// Text attribute the property is judged on.
+        on_attr: String,
+    },
+    /// Ranking by a plain attribute under (possibly non-relational)
+    /// filters: "List the top `{k}` `{entity}` by `{rank_attr}`: give
+    /// their `{select_attr}` among those `{filters}`."
+    TopK {
+        /// Entity noun = table name.
+        entity: String,
+        /// Attribute to return.
+        select_attr: String,
+        /// Ranking attribute.
+        rank_attr: String,
+        /// Number of rows.
+        k: usize,
+        /// highest (true) or lowest (false).
+        highest: bool,
+        /// Filter clauses.
+        filters: Vec<NlFilter>,
+    },
+    /// Aggregation: "Summarize the `{topic}` of `{entity}` `{filters}`."
+    Summarize {
+        /// Entity noun = table name.
+        entity: String,
+        /// What to summarize, e.g. "comments" (display only).
+        topic: String,
+        /// Filter clauses.
+        filters: Vec<NlFilter>,
+    },
+    /// Aggregation (Figure 2 form): "Provide information about the
+    /// `{entity}` `{filters}`."
+    ProvideInfo {
+        /// Entity noun = table name.
+        entity: String,
+        /// Filter clauses.
+        filters: Vec<NlFilter>,
+    },
+}
+
+impl NlQuery {
+    /// All filters of the query.
+    pub fn filters(&self) -> &[NlFilter] {
+        match self {
+            NlQuery::Superlative { filters, .. }
+            | NlQuery::Count { filters, .. }
+            | NlQuery::List { filters, .. }
+            | NlQuery::TopK { filters, .. }
+            | NlQuery::Summarize { filters, .. }
+            | NlQuery::ProvideInfo { filters, .. } => filters,
+            NlQuery::SemanticRank { .. } => &[],
+        }
+    }
+
+    /// Does answering require world knowledge?
+    pub fn needs_knowledge(&self) -> bool {
+        self.filters().iter().any(NlFilter::needs_knowledge)
+    }
+
+    /// Does answering require semantic reasoning?
+    pub fn needs_reasoning(&self) -> bool {
+        matches!(self, NlQuery::SemanticRank { .. } | NlQuery::Summarize { .. })
+            || self.filters().iter().any(NlFilter::needs_reasoning)
+    }
+
+    /// The Summarize topic column, if this is a Summarize query.
+    pub fn topic(&self) -> Option<&str> {
+        match self {
+            NlQuery::Summarize { topic, .. } => Some(topic),
+            _ => None,
+        }
+    }
+
+    /// The entity noun (= table name).
+    pub fn entity(&self) -> &str {
+        match self {
+            NlQuery::Superlative { entity, .. }
+            | NlQuery::Count { entity, .. }
+            | NlQuery::List { entity, .. }
+            | NlQuery::SemanticRank { entity, .. }
+            | NlQuery::TopK { entity, .. }
+            | NlQuery::Summarize { entity, .. }
+            | NlQuery::ProvideInfo { entity, .. } => entity,
+        }
+    }
+
+    /// Render to canonical English.
+    pub fn render(&self) -> String {
+        match self {
+            NlQuery::Superlative {
+                entity,
+                select_attr,
+                rank_attr,
+                highest,
+                filters,
+            } => {
+                let dir = if *highest { "highest" } else { "lowest" };
+                let mut s = format!(
+                    "What is the {select_attr} of the {entity} with the {dir} {rank_attr}"
+                );
+                if !filters.is_empty() {
+                    let _ = write!(s, " among those {}", render_filters(filters));
+                }
+                s.push('?');
+                s
+            }
+            NlQuery::Count { entity, filters } => {
+                if filters.is_empty() {
+                    format!("How many {entity} are there?")
+                } else {
+                    format!(
+                        "How many {entity} {} are there?",
+                        render_filters(filters)
+                    )
+                }
+            }
+            NlQuery::List {
+                entity,
+                select_attr,
+                filters,
+            } => {
+                if filters.is_empty() {
+                    format!("List the {select_attr} of {entity}.")
+                } else {
+                    format!(
+                        "List the {select_attr} of {entity} {}.",
+                        render_filters(filters)
+                    )
+                }
+            }
+            NlQuery::SemanticRank {
+                entity,
+                select_attr,
+                rank_attr,
+                k,
+                property,
+                on_attr,
+            } => format!(
+                "Of the {k} {entity} with the highest {rank_attr}, list their \
+                 {select_attr} in order of most {p} {on_attr} to least {p} {on_attr}.",
+                p = property.word()
+            ),
+            NlQuery::TopK {
+                entity,
+                select_attr,
+                rank_attr,
+                k,
+                highest,
+                filters,
+            } => {
+                let dir = if *highest { "top" } else { "bottom" };
+                let mut s = format!(
+                    "List the {dir} {k} {entity} by {rank_attr}: give their {select_attr}"
+                );
+                if !filters.is_empty() {
+                    let _ = write!(s, " among those {}", render_filters(filters));
+                }
+                s.push('.');
+                s
+            }
+            NlQuery::Summarize {
+                entity,
+                topic,
+                filters,
+            } => {
+                if filters.is_empty() {
+                    format!("Summarize the {topic} of {entity}.")
+                } else {
+                    format!(
+                        "Summarize the {topic} of {entity} {}.",
+                        render_filters(filters)
+                    )
+                }
+            }
+            NlQuery::ProvideInfo { entity, filters } => {
+                if filters.is_empty() {
+                    format!("Provide information about the {entity}.")
+                } else {
+                    format!(
+                        "Provide information about the {entity} {}.",
+                        render_filters(filters)
+                    )
+                }
+            }
+        }
+    }
+
+    /// Parse canonical English back to the structure.
+    pub fn parse(text: &str) -> Option<NlQuery> {
+        let t = text.trim();
+        if let Some(rest) = t.strip_prefix("What is the ") {
+            let rest = rest.strip_suffix('?')?;
+            let (select_attr, rest) = split_once_str(rest, " of the ")?;
+            let (entity, rest) = split_once_str(rest, " with the ")?;
+            let (dir, rest) = split_once_str(rest, " ")?;
+            let highest = match dir {
+                "highest" => true,
+                "lowest" => false,
+                _ => return None,
+            };
+            let (rank_attr, filters) = match split_once_str(rest, " among those ") {
+                Some((r, f)) => (r, parse_filters(f)?),
+                None => (rest, Vec::new()),
+            };
+            return Some(NlQuery::Superlative {
+                entity: entity.to_owned(),
+                select_attr: select_attr.to_owned(),
+                rank_attr: rank_attr.to_owned(),
+                highest,
+                filters,
+            });
+        }
+        if let Some(rest) = t.strip_prefix("How many ") {
+            let rest = rest.strip_suffix(" are there?")?;
+            let (entity, filters) = match split_entity_filters(rest) {
+                Some((e, f)) => (e, f),
+                None => (rest, Vec::new()),
+            };
+            return Some(NlQuery::Count {
+                entity: entity.to_owned(),
+                filters,
+            });
+        }
+        if let Some(rest) = t.strip_prefix("Of the ") {
+            let rest = rest.strip_suffix('.')?;
+            let (k, rest) = split_once_str(rest, " ")?;
+            let (entity, rest) = split_once_str(rest, " with the highest ")?;
+            let (rank_attr, rest) = split_once_str(rest, ", list their ")?;
+            let (select_attr, rest) = split_once_str(rest, " in order of most ")?;
+            let (p1, p2) = split_once_str(rest, " to least ")?;
+            if p1 != p2 {
+                return None;
+            }
+            let (word, on_attr) = split_once_str(p1, " ")?;
+            return Some(NlQuery::SemanticRank {
+                entity: entity.to_owned(),
+                select_attr: select_attr.to_owned(),
+                rank_attr: rank_attr.to_owned(),
+                k: k.parse().ok()?,
+                property: SemProperty::from_word(word)?,
+                on_attr: on_attr.to_owned(),
+            });
+        }
+        if let Some(rest) = t.strip_prefix("List the ") {
+            let rest = rest.strip_suffix('.')?;
+            // TopK form?
+            for (dir_word, highest) in [("top ", true), ("bottom ", false)] {
+                if let Some(r) = rest.strip_prefix(dir_word) {
+                    let (k, r) = split_once_str(r, " ")?;
+                    let (entity, r) = split_once_str(r, " by ")?;
+                    let (rank_attr, r) = split_once_str(r, ": give their ")?;
+                    let (select_attr, filters) = match split_once_str(r, " among those ") {
+                        Some((s, f)) => (s, parse_filters(f)?),
+                        None => (r, Vec::new()),
+                    };
+                    return Some(NlQuery::TopK {
+                        entity: entity.to_owned(),
+                        select_attr: select_attr.to_owned(),
+                        rank_attr: rank_attr.to_owned(),
+                        k: k.parse().ok()?,
+                        highest,
+                        filters,
+                    });
+                }
+            }
+            let (select_attr, rest) = split_once_str(rest, " of ")?;
+            let (entity, filters) = match split_entity_filters(rest) {
+                Some((e, f)) => (e, f),
+                None => (rest, Vec::new()),
+            };
+            return Some(NlQuery::List {
+                entity: entity.to_owned(),
+                select_attr: select_attr.to_owned(),
+                filters,
+            });
+        }
+        if let Some(rest) = t.strip_prefix("Summarize the ") {
+            let rest = rest.strip_suffix('.')?;
+            let (topic, rest) = split_once_str(rest, " of ")?;
+            let (entity, filters) = match split_entity_filters(rest) {
+                Some((e, f)) => (e, f),
+                None => (rest, Vec::new()),
+            };
+            return Some(NlQuery::Summarize {
+                entity: entity.to_owned(),
+                topic: topic.to_owned(),
+                filters,
+            });
+        }
+        if let Some(rest) = t.strip_prefix("Provide information about the ") {
+            let rest = rest.strip_suffix('.')?;
+            let (entity, filters) = match split_entity_filters(rest) {
+                Some((e, f)) => (e, f),
+                None => (rest, Vec::new()),
+            };
+            return Some(NlQuery::ProvideInfo {
+                entity: entity.to_owned(),
+                filters,
+            });
+        }
+        None
+    }
+}
+
+/// Join filters as "f1, f2, and f3" (Oxford style; single filter plain).
+fn render_filters(filters: &[NlFilter]) -> String {
+    let parts: Vec<String> = filters.iter().map(NlFilter::render).collect();
+    match parts.len() {
+        0 => String::new(),
+        1 => parts.into_iter().next().expect("one part"),
+        2 => format!("{} and {}", parts[0], parts[1]),
+        _ => {
+            let (last, init) = parts.split_last().expect("nonempty");
+            format!("{}, and {last}", init.join(", "))
+        }
+    }
+}
+
+fn parse_filters(text: &str) -> Option<Vec<NlFilter>> {
+    // Undo the "a, b, and c" / "a and b" joining. Commas inside quoted
+    // values are protected by splitting only on ", " outside quotes.
+    let mut chunks: Vec<String> = Vec::new();
+    for piece in split_outside_quotes(text, ", ") {
+        chunks.push(piece);
+    }
+    // The final chunk may carry "and " prefixes; also a two-filter join
+    // has no comma at all.
+    let mut flat: Vec<String> = Vec::new();
+    for (i, chunk) in chunks.iter().enumerate() {
+        let c = chunk.trim();
+        let c = c.strip_prefix("and ").unwrap_or(c);
+        if i == chunks.len() - 1 && chunks.len() == 1 {
+            // maybe "x and y" with no comma
+            if let Some((a, b)) = try_split_and(c) {
+                flat.push(a);
+                flat.push(b);
+                continue;
+            }
+        }
+        flat.push(c.to_owned());
+    }
+    let mut out = Vec::with_capacity(flat.len());
+    for c in &flat {
+        out.push(NlFilter::parse(c)?);
+    }
+    Some(out)
+}
+
+/// Try to split "x and y" such that both halves parse as filters.
+fn try_split_and(text: &str) -> Option<(String, String)> {
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(" and ") {
+        let idx = start + pos;
+        let (a, b) = (&text[..idx], &text[idx + 5..]);
+        if NlFilter::parse(a).is_some() && NlFilter::parse(b).is_some() {
+            return Some((a.to_owned(), b.to_owned()));
+        }
+        start = idx + 5;
+    }
+    None
+}
+
+/// Split "entity filter-string" at the first space such that the
+/// remainder parses as a filter list. Entities are single nouns.
+fn split_entity_filters(text: &str) -> Option<(&str, Vec<NlFilter>)> {
+    let (entity, rest) = split_once_str(text, " ")?;
+    let filters = parse_filters(rest)?;
+    Some((entity, filters))
+}
+
+/// Split on a separator, ignoring separators inside single quotes.
+fn split_outside_quotes(text: &str, sep: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_quote = false;
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            in_quote = !in_quote;
+        }
+        if !in_quote && text[i..].starts_with(sep) {
+            out.push(std::mem::take(&mut current));
+            i += sep.len();
+            continue;
+        }
+        let ch_len = text[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+        current.push_str(&text[i..i + ch_len]);
+        i += ch_len;
+    }
+    out.push(current);
+    out
+}
+
+fn split_once_str<'a>(text: &'a str, sep: &str) -> Option<(&'a str, &'a str)> {
+    let idx = text.find(sep)?;
+    Some((&text[..idx], &text[idx + sep.len()..]))
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.is_finite() {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(q: NlQuery) {
+        let text = q.render();
+        let parsed = NlQuery::parse(&text)
+            .unwrap_or_else(|| panic!("failed to parse: {text}"));
+        assert_eq!(parsed, q, "text was: {text}");
+    }
+
+    #[test]
+    fn superlative_round_trip() {
+        round_trip(NlQuery::Superlative {
+            entity: "schools".into(),
+            select_attr: "GSoffered".into(),
+            rank_attr: "Longitude".into(),
+            highest: true,
+            filters: vec![NlFilter::InRegion {
+                region: "Silicon Valley".into(),
+            }],
+        });
+    }
+
+    #[test]
+    fn count_round_trip_multi_filter() {
+        round_trip(NlQuery::Count {
+            entity: "players".into(),
+            filters: vec![
+                NlFilter::NumCmp {
+                    attr: "height".into(),
+                    op: CmpOp::Over,
+                    value: 180.0,
+                },
+                NlFilter::NumCmp {
+                    attr: "volley".into(),
+                    op: CmpOp::Over,
+                    value: 70.0,
+                },
+                NlFilter::TallerThan {
+                    person: "Stephen Curry".into(),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn count_no_filters() {
+        round_trip(NlQuery::Count {
+            entity: "races".into(),
+            filters: vec![],
+        });
+        assert_eq!(
+            NlQuery::parse("How many races are there?").unwrap(),
+            NlQuery::Count {
+                entity: "races".into(),
+                filters: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn semantic_rank_round_trip() {
+        round_trip(NlQuery::SemanticRank {
+            entity: "posts".into(),
+            select_attr: "Title".into(),
+            rank_attr: "ViewCount".into(),
+            k: 5,
+            property: SemProperty::Technical,
+            on_attr: "Title".into(),
+        });
+    }
+
+    #[test]
+    fn topk_round_trip() {
+        round_trip(NlQuery::TopK {
+            entity: "schools".into(),
+            select_attr: "School".into(),
+            rank_attr: "AvgScrMath".into(),
+            k: 3,
+            highest: true,
+            filters: vec![NlFilter::InRegion {
+                region: "Bay Area".into(),
+            }],
+        });
+    }
+
+    #[test]
+    fn summarize_round_trip_with_quoted_value() {
+        round_trip(NlQuery::Summarize {
+            entity: "comments".into(),
+            topic: "Text".into(),
+            filters: vec![NlFilter::TextEq {
+                attr: "PostTitle".into(),
+                value: "How does gentle boosting differ from AdaBoost?".into(),
+            }],
+        });
+    }
+
+    #[test]
+    fn provide_info_round_trip() {
+        round_trip(NlQuery::ProvideInfo {
+            entity: "races".into(),
+            filters: vec![NlFilter::AtCircuit {
+                circuit: "Sepang International Circuit".into(),
+            }],
+        });
+    }
+
+    #[test]
+    fn two_filters_and_join() {
+        round_trip(NlQuery::List {
+            entity: "customers".into(),
+            select_attr: "CustomerID".into(),
+            filters: vec![
+                NlFilter::EuCountry,
+                NlFilter::NumCmp {
+                    attr: "Consumption".into(),
+                    op: CmpOp::Under,
+                    value: 500.5,
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn semantic_filter_round_trip() {
+        round_trip(NlQuery::Count {
+            entity: "comments".into(),
+            filters: vec![NlFilter::Semantic {
+                attr: "Text".into(),
+                property: SemProperty::Sarcastic,
+            }],
+        });
+    }
+
+    #[test]
+    fn classification_flags() {
+        let knowledge = NlQuery::Superlative {
+            entity: "schools".into(),
+            select_attr: "GSoffered".into(),
+            rank_attr: "Longitude".into(),
+            highest: true,
+            filters: vec![NlFilter::InRegion {
+                region: "Silicon Valley".into(),
+            }],
+        };
+        assert!(knowledge.needs_knowledge());
+        assert!(!knowledge.needs_reasoning());
+        let reasoning = NlQuery::SemanticRank {
+            entity: "posts".into(),
+            select_attr: "Title".into(),
+            rank_attr: "ViewCount".into(),
+            k: 5,
+            property: SemProperty::Technical,
+            on_attr: "Title".into(),
+        };
+        assert!(reasoning.needs_reasoning());
+        assert!(!reasoning.needs_knowledge());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(NlQuery::parse("Tell me a joke").is_none());
+        assert!(NlQuery::parse("How many").is_none());
+        assert!(NlQuery::parse("").is_none());
+    }
+
+    #[test]
+    fn exact_paper_like_strings() {
+        let q = NlQuery::Superlative {
+            entity: "schools".into(),
+            select_attr: "GSoffered".into(),
+            rank_attr: "Longitude".into(),
+            highest: true,
+            filters: vec![NlFilter::InRegion {
+                region: "Silicon Valley".into(),
+            }],
+        };
+        assert_eq!(
+            q.render(),
+            "What is the GSoffered of the schools with the highest Longitude \
+             among those located in the Silicon Valley region?"
+        );
+        let q = NlQuery::ProvideInfo {
+            entity: "races".into(),
+            filters: vec![NlFilter::AtCircuit {
+                circuit: "Sepang International Circuit".into(),
+            }],
+        };
+        assert_eq!(
+            q.render(),
+            "Provide information about the races held on Sepang International Circuit."
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Extractive summarization.
+//!
+//! Stands in for the LM's free-form generation on aggregation queries
+//! (e.g. "Summarize the comments…", "Provide information about the races
+//! held on Sepang International Circuit"). Sentences are scored by term
+//! frequency and position, then stitched together; structured rows are
+//! summarized field-by-field so the output provably covers every row it
+//! was given — which is exactly the property Figure 2 contrasts across
+//! methods.
+
+use std::collections::HashMap;
+
+/// Stop words excluded from term-frequency scoring.
+const STOP_WORDS: &[&str] = &[
+    "the", "a", "an", "and", "or", "of", "to", "in", "on", "is", "are", "was", "were",
+    "it", "this", "that", "for", "with", "as", "at", "by", "be", "from", "has", "have",
+];
+
+fn words(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric() && c != '\'')
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_ascii_lowercase())
+        .collect()
+}
+
+/// Split text into sentences (`.`, `!`, `?` boundaries).
+pub fn sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        if matches!(c, '.' | '!' | '?') {
+            let s = text[start..=i].trim();
+            if !s.is_empty() {
+                out.push(s);
+            }
+            start = i + c.len_utf8();
+        }
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+/// Extractively summarize free text to at most `max_sentences` sentences,
+/// keeping original order among the selected sentences.
+pub fn summarize_text(text: &str, max_sentences: usize) -> String {
+    let sents = sentences(text);
+    if sents.len() <= max_sentences {
+        return sents.join(" ");
+    }
+    // Term frequencies over the whole document.
+    let mut tf: HashMap<String, f64> = HashMap::new();
+    for w in words(text) {
+        if !STOP_WORDS.contains(&w.as_str()) {
+            *tf.entry(w).or_default() += 1.0;
+        }
+    }
+    let mut scored: Vec<(usize, f64)> = sents
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let ws = words(s);
+            let score: f64 = ws
+                .iter()
+                .map(|w| tf.get(w).copied().unwrap_or(0.0))
+                .sum::<f64>()
+                / (ws.len().max(1) as f64)
+                // Mild lead bias: earlier sentences carry context.
+                + 0.25 / (i + 1) as f64;
+            (i, score)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut keep: Vec<usize> = scored.iter().take(max_sentences).map(|(i, _)| *i).collect();
+    keep.sort_unstable();
+    keep.iter().map(|&i| sents[i]).collect::<Vec<_>>().join(" ")
+}
+
+/// Summarize structured rows (each row = `(field, value)` pairs) into a
+/// compact report: a count line plus one clause per row built from the
+/// lead fields. Every input row contributes, so coverage is total.
+pub fn summarize_rows(
+    subject: &str,
+    rows: &[Vec<(String, String)>],
+    max_fields: usize,
+) -> String {
+    if rows.is_empty() {
+        return format!("No {subject} were found in the provided data.");
+    }
+    let mut out = format!("Found {} {subject}. ", rows.len());
+    let clauses: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .take(max_fields)
+                .map(|(k, v)| format!("{k} {v}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        })
+        .collect();
+    out.push_str(&clauses.join("; "));
+    out.push('.');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentence_splitting() {
+        let s = sentences("One. Two! Three? Four");
+        assert_eq!(s, vec!["One.", "Two!", "Three?", "Four"]);
+        assert!(sentences("").is_empty());
+    }
+
+    #[test]
+    fn short_text_returned_whole() {
+        let text = "Short text. Nothing to cut.";
+        assert_eq!(summarize_text(text, 5), text);
+    }
+
+    #[test]
+    fn long_text_is_shortened_and_ordered() {
+        let text = "Boosting combines weak learners. The weather was nice. \
+                    Boosting iterates on residuals. Lunch was pasta. \
+                    Gentle boosting uses smaller steps than AdaBoost boosting.";
+        let summary = summarize_text(text, 2);
+        assert_eq!(sentences(&summary).len(), 2);
+        // The boosting sentences dominate term frequency.
+        assert!(summary.to_lowercase().contains("boosting"));
+        // Selected sentences keep document order.
+        if let (Some(a), Some(b)) = (
+            summary.find("combines").or(summary.find("iterates")),
+            summary.find("Gentle"),
+        ) {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn rows_summary_covers_every_row() {
+        let rows: Vec<Vec<(String, String)>> = (1999..=2017)
+            .map(|y| {
+                vec![
+                    ("year".to_owned(), y.to_string()),
+                    ("round".to_owned(), "2".to_owned()),
+                ]
+            })
+            .collect();
+        let s = summarize_rows("races", &rows, 2);
+        assert!(s.starts_with("Found 19 races."));
+        for y in 1999..=2017 {
+            assert!(s.contains(&y.to_string()), "missing year {y}");
+        }
+    }
+
+    #[test]
+    fn empty_rows() {
+        let s = summarize_rows("races", &[], 2);
+        assert!(s.contains("No races"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let text = "Alpha beta gamma. Delta epsilon zeta. Eta theta iota. Kappa lambda mu.";
+        assert_eq!(summarize_text(text, 2), summarize_text(text, 2));
+    }
+}

@@ -1,0 +1,614 @@
+//! The simulated model's Text2SQL "skill".
+//!
+//! Given a BIRD-style prompt (CREATE TABLE schemas + a question), the
+//! simulated LM synthesizes SQL. Its behaviour reproduces the failure
+//! taxonomy the paper measures:
+//!
+//! - **Relational clauses** translate correctly — Text2SQL is a solved
+//!   problem for questions with direct relational equivalents.
+//! - **Knowledge clauses** are inlined from the model's *imperfect*
+//!   parametric memory (e.g. `City IN (...)` from the recalled subset of
+//!   Silicon Valley cities), so answers are sometimes silently wrong.
+//! - **Reasoning clauses** have no relational equivalent: the model
+//!   either silently drops them or hallucinates a non-existent function,
+//!   yielding invalid SQL — the two dominant error modes in §4.3.
+
+use crate::knowledge::KnowledgeBase;
+use crate::nlq::{CmpOp, NlFilter, NlQuery, SemProperty};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A table schema extracted from a CREATE TABLE prompt block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromptTable {
+    /// Table name.
+    pub name: String,
+    /// Column names in order.
+    pub columns: Vec<String>,
+}
+
+/// Extract `CREATE TABLE name (col type, ...)` blocks from prompt text.
+/// Tolerates the BIRD prompt's elisions ("...").
+pub fn parse_schemas(text: &str) -> Vec<PromptTable> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(idx) = find_ci(rest, "CREATE TABLE") {
+        rest = &rest[idx + "CREATE TABLE".len()..];
+        let Some(open) = rest.find('(') else { break };
+        let name = rest[..open].trim().trim_matches('"').trim_matches('`').to_owned();
+        let Some(close) = matching_paren(rest, open) else {
+            break;
+        };
+        let body = &rest[open + 1..close];
+        let mut columns = Vec::new();
+        for piece in split_top_level(body, ',') {
+            let piece = piece.trim();
+            if piece.is_empty() || piece == "..." {
+                continue;
+            }
+            let upper = piece.to_ascii_uppercase();
+            if upper.starts_with("PRIMARY KEY")
+                || upper.starts_with("FOREIGN KEY")
+                || upper.starts_with("UNIQUE")
+                || upper.starts_with("CONSTRAINT")
+            {
+                continue;
+            }
+            // Column name may be quoted and may contain spaces if quoted.
+            let col = if let Some(q) = piece.strip_prefix('"') {
+                q.split('"').next().unwrap_or_default().to_owned()
+            } else if let Some(q) = piece.strip_prefix('`') {
+                q.split('`').next().unwrap_or_default().to_owned()
+            } else {
+                piece.split_whitespace().next().unwrap_or_default().to_owned()
+            };
+            if !col.is_empty() {
+                columns.push(col);
+            }
+        }
+        out.push(PromptTable { name, columns });
+        rest = &rest[close..];
+    }
+    out
+}
+
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    let h = haystack.to_ascii_uppercase();
+    h.find(&needle.to_ascii_uppercase())
+}
+
+fn matching_paren(text: &str, open: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn split_top_level(text: &str, sep: char) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            c if c == sep && depth == 0 => {
+                out.push(&text[start..i]);
+                start = i + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    out.push(&text[start..]);
+    out
+}
+
+/// The outcome of attempting to translate one filter clause to SQL.
+enum ClauseSql {
+    /// A WHERE fragment.
+    Where(String),
+    /// The clause was silently dropped (no relational equivalent, or the
+    /// model recalled nothing useful).
+    Dropped,
+    /// The model hallucinated invalid SQL.
+    Invalid(String),
+}
+
+/// Synthesize SQL for a parsed question against the prompt's schemas.
+///
+/// `retrieval_only` produces a `SELECT *` retrieving candidate rows with
+/// only the *relational* clauses applied (the Text2SQL + LM baseline's
+/// strategy: fetch the data, let generation handle the rest).
+pub fn synthesize_sql(
+    query: &NlQuery,
+    tables: &[PromptTable],
+    kb: &KnowledgeBase,
+    retrieval_only: bool,
+    seed: u64,
+) -> String {
+    let table = match resolve_table(query.entity(), tables) {
+        Some(t) => t,
+        None => {
+            // No matching table: the model guesses, producing SQL that
+            // will fail at execution.
+            return format!("SELECT * FROM {}", query.entity());
+        }
+    };
+
+    let mut wheres: Vec<String> = Vec::new();
+    let mut invalid: Option<String> = None;
+    for f in query.filters() {
+        let clause = if retrieval_only && !f.is_relational() {
+            // Retrieval-only mode defers non-relational clauses to gen.
+            ClauseSql::Dropped
+        } else {
+            filter_to_sql(f, table, kb, seed)
+        };
+        match clause {
+            ClauseSql::Where(w) => wheres.push(w),
+            ClauseSql::Dropped => {}
+            ClauseSql::Invalid(w) => {
+                invalid = Some(w);
+            }
+        }
+    }
+    if let Some(w) = invalid {
+        wheres.push(w);
+    }
+    let where_sql = if wheres.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {}", wheres.join(" AND "))
+    };
+
+    if retrieval_only {
+        // Vague aggregation requests ("provide information about ...",
+        // "summarize ...") are where Text2SQL retrieval goes wrong in
+        // practice: the model abbreviates the entity it filters on and
+        // retrieves nothing. Which queries trip it is a stable property
+        // of (question, seed).
+        if matches!(query, NlQuery::Summarize { .. } | NlQuery::ProvideInfo { .. }) {
+            let mut h = DefaultHasher::new();
+            seed.hash(&mut h);
+            query.render().hash(&mut h);
+            if h.finish() % 10 < 6 {
+                let abbreviated: Vec<String> = query
+                    .filters()
+                    .iter()
+                    .filter_map(|f| match f {
+                        NlFilter::AtCircuit { circuit } => Some(format!(
+                            "Circuit = '{}'",
+                            circuit.split_whitespace().next().unwrap_or(circuit)
+                        )),
+                        NlFilter::TextEq { attr, value } => {
+                            let short: Vec<&str> =
+                                value.split_whitespace().take(3).collect();
+                            Some(format!(
+                                "{} = '{}'",
+                                quote_attr(attr, table),
+                                short.join(" ").replace('\'', "''")
+                            ))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                if !abbreviated.is_empty() {
+                    return format!(
+                        "SELECT * FROM {} WHERE {} LIMIT 500",
+                        table.name,
+                        abbreviated.join(" AND ")
+                    );
+                }
+            }
+        }
+        // Keep the retrieved set small enough to have a chance to fit in
+        // context, but large enough to (often) cover the answer.
+        return format!("SELECT * FROM {}{} LIMIT 500", table.name, where_sql);
+    }
+
+    match query {
+        NlQuery::Superlative {
+            select_attr,
+            rank_attr,
+            highest,
+            ..
+        } => {
+            let dir = if *highest { "DESC" } else { "ASC" };
+            format!(
+                "SELECT {} FROM {}{} ORDER BY {} {} LIMIT 1",
+                quote_attr(select_attr, table),
+                table.name,
+                where_sql,
+                quote_attr(rank_attr, table),
+                dir
+            )
+        }
+        NlQuery::Count { .. } => {
+            format!("SELECT COUNT(*) FROM {}{}", table.name, where_sql)
+        }
+        NlQuery::List { select_attr, .. } => format!(
+            "SELECT {} FROM {}{}",
+            quote_attr(select_attr, table),
+            table.name,
+            where_sql
+        ),
+        NlQuery::TopK {
+            select_attr,
+            rank_attr,
+            k,
+            highest,
+            ..
+        } => {
+            let dir = if *highest { "DESC" } else { "ASC" };
+            format!(
+                "SELECT {} FROM {}{} ORDER BY {} {} LIMIT {}",
+                quote_attr(select_attr, table),
+                table.name,
+                where_sql,
+                quote_attr(rank_attr, table),
+                dir,
+                k
+            )
+        }
+        NlQuery::SemanticRank {
+            select_attr,
+            rank_attr,
+            k,
+            ..
+        } => {
+            // The semantic reordering has no SQL equivalent; the model
+            // returns the pre-cut in attribute order — usually close but
+            // not exactly the asked-for order (paper: ranking is the
+            // hardest type for Text2SQL).
+            format!(
+                "SELECT {} FROM {} ORDER BY {} DESC LIMIT {}",
+                quote_attr(select_attr, table),
+                table.name,
+                quote_attr(rank_attr, table),
+                k
+            )
+        }
+        NlQuery::Summarize { .. } | NlQuery::ProvideInfo { .. } => {
+            format!("SELECT * FROM {}{}", table.name, where_sql)
+        }
+    }
+}
+
+fn resolve_table<'a>(entity: &str, tables: &'a [PromptTable]) -> Option<&'a PromptTable> {
+    tables
+        .iter()
+        .find(|t| t.name.eq_ignore_ascii_case(entity))
+        .or_else(|| {
+            // singular/plural mismatch tolerance
+            tables.iter().find(|t| {
+                let a = t.name.to_ascii_lowercase();
+                let b = entity.to_ascii_lowercase();
+                a.trim_end_matches('s') == b.trim_end_matches('s')
+            })
+        })
+}
+
+fn quote_attr(attr: &str, table: &PromptTable) -> String {
+    // Use the schema's exact casing when the column exists.
+    let resolved = table
+        .columns
+        .iter()
+        .find(|c| c.eq_ignore_ascii_case(attr))
+        .map(|c| c.as_str())
+        .unwrap_or(attr);
+    if resolved.contains(' ') {
+        format!("\"{resolved}\"")
+    } else {
+        resolved.to_owned()
+    }
+}
+
+fn find_column<'a>(table: &'a PromptTable, candidates: &[&str]) -> Option<&'a str> {
+    for cand in candidates {
+        if let Some(c) = table
+            .columns
+            .iter()
+            .find(|c| c.eq_ignore_ascii_case(cand))
+        {
+            return Some(c);
+        }
+    }
+    None
+}
+
+fn sql_in_list(column: &str, values: &[&str]) -> String {
+    let quoted: Vec<String> = values
+        .iter()
+        .map(|v| format!("'{}'", v.replace('\'', "''")))
+        .collect();
+    format!("{column} IN ({})", quoted.join(", "))
+}
+
+fn filter_to_sql(
+    f: &NlFilter,
+    table: &PromptTable,
+    kb: &KnowledgeBase,
+    seed: u64,
+) -> ClauseSql {
+    match f {
+        NlFilter::NumCmp { attr, op, value } => {
+            let dir = match op {
+                CmpOp::Over => ">",
+                CmpOp::Under => "<",
+            };
+            ClauseSql::Where(format!("{} {dir} {value}", quote_attr(attr, table)))
+        }
+        NlFilter::TextEq { attr, value } => ClauseSql::Where(format!(
+            "{} = '{}'",
+            quote_attr(attr, table),
+            value.replace('\'', "''")
+        )),
+        NlFilter::AtCircuit { circuit } => {
+            let col = find_column(table, &["Circuit", "circuit", "CircuitName"])
+                .unwrap_or("Circuit");
+            ClauseSql::Where(format!("{col} = '{}'", circuit.replace('\'', "''")))
+        }
+        NlFilter::InRegion { region } => {
+            let cities = kb.recalled_cities_in_region(region);
+            if cities.is_empty() {
+                return ClauseSql::Dropped;
+            }
+            let col = find_column(table, &["City", "city"]).unwrap_or("City");
+            ClauseSql::Where(sql_in_list(col, &cities))
+        }
+        NlFilter::TallerThan { person } => match kb.person_height_cm(person) {
+            Some(h) => {
+                let col =
+                    find_column(table, &["height", "Height"]).unwrap_or("height");
+                ClauseSql::Where(format!("{col} > {h}"))
+            }
+            None => ClauseSql::Dropped,
+        },
+        NlFilter::EuCountry => {
+            let members = kb.recalled_eu_members();
+            if members.is_empty() {
+                return ClauseSql::Dropped;
+            }
+            let col = find_column(table, &["Country", "country"]).unwrap_or("Country");
+            ClauseSql::Where(sql_in_list(col, &members))
+        }
+        NlFilter::CircuitContinent { continent } => {
+            let circuits = kb.recalled_circuits_in_continent(continent);
+            if circuits.is_empty() {
+                return ClauseSql::Dropped;
+            }
+            let col = find_column(table, &["Circuit", "circuit"]).unwrap_or("Circuit");
+            ClauseSql::Where(sql_in_list(col, &circuits))
+        }
+        NlFilter::ClassicMovie => {
+            let classics = kb.recalled_classics();
+            if classics.is_empty() {
+                return ClauseSql::Dropped;
+            }
+            let col = find_column(table, &["movie_title", "title", "Title"])
+                .unwrap_or("title");
+            ClauseSql::Where(sql_in_list(col, &classics))
+        }
+        NlFilter::VerticalIs { vertical } => {
+            let companies = kb.recalled_companies_in_vertical(vertical);
+            if companies.is_empty() {
+                return ClauseSql::Dropped;
+            }
+            let col = find_column(table, &["account_name", "Company", "company"])
+                .unwrap_or("account_name");
+            ClauseSql::Where(sql_in_list(col, &companies))
+        }
+        NlFilter::Semantic { attr, property } => {
+            // No relational equivalent. The model either silently drops
+            // the clause or hallucinates a function; which one is a
+            // stable property of the (question, seed) pair.
+            let mut h = DefaultHasher::new();
+            seed.hash(&mut h);
+            attr.hash(&mut h);
+            (*property as u8).hash(&mut h);
+            if h.finish() % 10 < 7 {
+                ClauseSql::Dropped
+            } else {
+                let func = match property {
+                    SemProperty::Positive => "IS_POSITIVE",
+                    SemProperty::Negative => "IS_NEGATIVE",
+                    SemProperty::Sarcastic => "IS_SARCASTIC",
+                    SemProperty::Technical => "IS_TECHNICAL",
+                };
+                ClauseSql::Invalid(format!("{func}({})", quote_attr(attr, table)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::KnowledgeConfig;
+
+    fn kb() -> KnowledgeBase {
+        KnowledgeBase::new(KnowledgeConfig {
+            coverage: 1.0,
+            enumeration_coverage: 1.0,
+            seed: 7,
+        })
+    }
+
+    fn schools() -> Vec<PromptTable> {
+        vec![PromptTable {
+            name: "schools".into(),
+            columns: vec![
+                "CDSCode".into(),
+                "School".into(),
+                "City".into(),
+                "Longitude".into(),
+                "GSoffered".into(),
+            ],
+        }]
+    }
+
+    #[test]
+    fn parse_bird_style_schema() {
+        let text = "CREATE TABLE frpm\n(\nCDSCode TEXT not null primary key,\n\
+                    \"Academic Year\" TEXT null,\n...\n)\n\nCREATE TABLE satscores\n(\n\
+                    AvgScrRead INTEGER null,\nAvgScrMath INTEGER null\n)";
+        let tables = parse_schemas(text);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].name, "frpm");
+        assert_eq!(tables[0].columns, vec!["CDSCode", "Academic Year"]);
+        assert_eq!(tables[1].columns.len(), 2);
+    }
+
+    #[test]
+    fn relational_count() {
+        let q = NlQuery::Count {
+            entity: "schools".into(),
+            filters: vec![NlFilter::NumCmp {
+                attr: "Longitude".into(),
+                op: CmpOp::Over,
+                value: -120.0,
+            }],
+        };
+        let sql = synthesize_sql(&q, &schools(), &kb(), false, 1);
+        assert_eq!(
+            sql,
+            "SELECT COUNT(*) FROM schools WHERE Longitude > -120"
+        );
+    }
+
+    #[test]
+    fn knowledge_clause_inlined_from_memory() {
+        let q = NlQuery::Superlative {
+            entity: "schools".into(),
+            select_attr: "GSoffered".into(),
+            rank_attr: "Longitude".into(),
+            highest: true,
+            filters: vec![NlFilter::InRegion {
+                region: "Silicon Valley".into(),
+            }],
+        };
+        let sql = synthesize_sql(&q, &schools(), &kb(), false, 1);
+        assert!(sql.contains("City IN ("), "{sql}");
+        assert!(sql.contains("'Palo Alto'"), "{sql}");
+        assert!(sql.ends_with("ORDER BY Longitude DESC LIMIT 1"), "{sql}");
+    }
+
+    #[test]
+    fn partial_recall_inlines_fewer_cities() {
+        let weak = KnowledgeBase::new(KnowledgeConfig {
+            coverage: 0.4,
+            enumeration_coverage: 0.4,
+            seed: 3,
+        });
+        let q = NlQuery::List {
+            entity: "schools".into(),
+            select_attr: "School".into(),
+            filters: vec![NlFilter::InRegion {
+                region: "Bay Area".into(),
+            }],
+        };
+        let full_sql = synthesize_sql(&q, &schools(), &kb(), false, 1);
+        let weak_sql = synthesize_sql(&q, &schools(), &weak, false, 1);
+        let count = |s: &str| s.matches(", '").count();
+        assert!(count(&weak_sql) < count(&full_sql));
+    }
+
+    #[test]
+    fn reasoning_clause_dropped_or_invalid() {
+        let posts = vec![PromptTable {
+            name: "posts".into(),
+            columns: vec!["Id".into(), "Title".into(), "ViewCount".into()],
+        }];
+        let q = NlQuery::Count {
+            entity: "posts".into(),
+            filters: vec![NlFilter::Semantic {
+                attr: "Title".into(),
+                property: SemProperty::Technical,
+            }],
+        };
+        // Across seeds, both behaviours appear.
+        let mut dropped = 0;
+        let mut invalid = 0;
+        for seed in 0..40 {
+            let sql = synthesize_sql(&q, &posts, &kb(), false, seed);
+            if sql.contains("IS_TECHNICAL") {
+                invalid += 1;
+            } else {
+                assert_eq!(sql, "SELECT COUNT(*) FROM posts");
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0 && invalid > 0, "dropped={dropped} invalid={invalid}");
+    }
+
+    #[test]
+    fn retrieval_only_defers_non_relational() {
+        let q = NlQuery::Count {
+            entity: "schools".into(),
+            filters: vec![
+                NlFilter::NumCmp {
+                    attr: "Longitude".into(),
+                    op: CmpOp::Under,
+                    value: -120.0,
+                },
+                NlFilter::InRegion {
+                    region: "Bay Area".into(),
+                },
+            ],
+        };
+        let sql = synthesize_sql(&q, &schools(), &kb(), true, 1);
+        assert!(sql.starts_with("SELECT * FROM schools WHERE Longitude < -120"));
+        assert!(!sql.contains("City IN"));
+        assert!(sql.ends_with("LIMIT 500"));
+    }
+
+    #[test]
+    fn taller_than_uses_known_height() {
+        let players = vec![PromptTable {
+            name: "players".into(),
+            columns: vec!["name".into(), "height".into(), "volley".into()],
+        }];
+        let q = NlQuery::Count {
+            entity: "players".into(),
+            filters: vec![NlFilter::TallerThan {
+                person: "Stephen Curry".into(),
+            }],
+        };
+        let sql = synthesize_sql(&q, &players, &kb(), false, 1);
+        assert_eq!(sql, "SELECT COUNT(*) FROM players WHERE height > 188");
+    }
+
+    #[test]
+    fn quoted_attr_with_space() {
+        let t = PromptTable {
+            name: "frpm".into(),
+            columns: vec!["Academic Year".into()],
+        };
+        assert_eq!(quote_attr("academic year", &t), "\"Academic Year\"");
+    }
+
+    #[test]
+    fn singular_plural_table_resolution() {
+        let tables = vec![PromptTable {
+            name: "race".into(),
+            columns: vec!["year".into()],
+        }];
+        let q = NlQuery::Count {
+            entity: "races".into(),
+            filters: vec![],
+        };
+        let sql = synthesize_sql(&q, &tables, &kb(), false, 1);
+        assert_eq!(sql, "SELECT COUNT(*) FROM race");
+    }
+}

@@ -1,0 +1,81 @@
+//! Approximate token counting.
+//!
+//! The cost model and context-window checks need token counts, not exact
+//! BPE ids. We approximate with a word-piece heuristic calibrated to
+//! Llama-style tokenizers: one token per ~4 characters of prose, with
+//! punctuation and numbers counted individually.
+
+/// Approximate the number of tokens in `text`.
+///
+/// Heuristic: each whitespace-separated word contributes
+/// `ceil(len / 4)` tokens (sub-word splitting), and standalone
+/// punctuation contributes one token each.
+pub fn count_tokens(text: &str) -> usize {
+    let mut tokens = 0usize;
+    for word in text.split_whitespace() {
+        let alnum: usize = word.chars().filter(|c| c.is_alphanumeric()).count();
+        let punct = word.chars().count() - alnum;
+        tokens += alnum.div_ceil(4).max(usize::from(alnum > 0)) + punct;
+    }
+    tokens
+}
+
+/// Truncate text to approximately `max_tokens` tokens, keeping whole
+/// words. Returns the truncated text and whether truncation occurred.
+pub fn truncate_to_tokens(text: &str, max_tokens: usize) -> (String, bool) {
+    let mut used = 0usize;
+    let mut end_byte = 0usize;
+    let mut truncated = false;
+    for word in text.split_inclusive(char::is_whitespace) {
+        let t = count_tokens(word);
+        if used + t > max_tokens {
+            truncated = true;
+            break;
+        }
+        used += t;
+        end_byte += word.len();
+    }
+    (text[..end_byte].to_owned(), truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert_eq!(count_tokens(""), 0);
+        assert_eq!(count_tokens("   \n\t "), 0);
+    }
+
+    #[test]
+    fn words_split_into_subwords() {
+        assert_eq!(count_tokens("hi"), 1);
+        assert_eq!(count_tokens("hello"), 2); // 5 chars -> 2 tokens
+        assert_eq!(count_tokens("internationalization"), 5); // 20 chars
+    }
+
+    #[test]
+    fn punctuation_counts() {
+        assert!(count_tokens("a, b, c") >= 5);
+        assert_eq!(count_tokens("..."), 3);
+    }
+
+    #[test]
+    fn scales_roughly_linearly() {
+        let short = count_tokens("the quick brown fox");
+        let long = count_tokens(&"the quick brown fox ".repeat(10));
+        assert!(long >= short * 9 && long <= short * 11);
+    }
+
+    #[test]
+    fn truncation() {
+        let text = "alpha beta gamma delta epsilon";
+        let (t, was) = truncate_to_tokens(text, 4);
+        assert!(was);
+        assert!(t.split_whitespace().count() < 5);
+        let (t, was) = truncate_to_tokens(text, 1000);
+        assert!(!was);
+        assert_eq!(t, text);
+    }
+}

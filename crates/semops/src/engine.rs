@@ -1,0 +1,244 @@
+//! The semantic execution engine: batched, cached LM access.
+//!
+//! The paper attributes the hand-written TAG pipelines' 3.1× execution-
+//! time advantage to "efficient batched inference of LMs" (§4.3). This
+//! engine is where that happens: semantic operators submit whole prompt
+//! batches; identical prompts are answered from a cache.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tag_lm::model::{LanguageModel, LmRequest, LmResult};
+
+/// Execution statistics for one engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Prompts answered from cache.
+    pub cache_hits: u64,
+    /// Prompts sent to the model.
+    pub lm_prompts: u64,
+    /// Batches sent to the model.
+    pub lm_batches: u64,
+}
+
+/// Batched + cached LM executor shared by all semantic operators.
+pub struct SemEngine {
+    lm: Arc<dyn LanguageModel>,
+    /// Maximum prompts per LM round (further split by the model's own
+    /// batching limits).
+    batch_size: usize,
+    cache: Mutex<HashMap<String, String>>,
+    stats: Mutex<EngineStats>,
+}
+
+impl SemEngine {
+    /// Wrap a model with the default batch size.
+    pub fn new(lm: Arc<dyn LanguageModel>) -> Self {
+        Self::with_batch_size(lm, 64)
+    }
+
+    /// Wrap a model with an explicit batch size (ablation hook).
+    pub fn with_batch_size(lm: Arc<dyn LanguageModel>, batch_size: usize) -> Self {
+        SemEngine {
+            lm,
+            batch_size: batch_size.max(1),
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(EngineStats::default()),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn lm(&self) -> &Arc<dyn LanguageModel> {
+        &self.lm
+    }
+
+    /// Configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.lock()
+    }
+
+    /// Clear cache and statistics.
+    pub fn reset(&self) {
+        self.cache.lock().clear();
+        *self.stats.lock() = EngineStats::default();
+    }
+
+    /// Complete a batch of prompts, deduplicating against the cache and
+    /// batching the misses.
+    pub fn complete_batch(&self, prompts: &[String]) -> LmResult<Vec<String>> {
+        let mut results: Vec<Option<String>> = vec![None; prompts.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let cache = self.cache.lock();
+            for (i, p) in prompts.iter().enumerate() {
+                if let Some(hit) = cache.get(p) {
+                    results[i] = Some(hit.clone());
+                } else {
+                    misses.push(i);
+                }
+            }
+        }
+        {
+            let mut stats = self.stats.lock();
+            stats.cache_hits += (prompts.len() - misses.len()) as u64;
+        }
+        // Dedup identical prompts within the miss set too.
+        let mut unique: Vec<usize> = Vec::new();
+        let mut assign: HashMap<&str, usize> = HashMap::new();
+        for &i in &misses {
+            let p = prompts[i].as_str();
+            if !assign.contains_key(p) {
+                assign.insert(p, unique.len());
+                unique.push(i);
+            }
+        }
+        for chunk in unique.chunks(self.batch_size) {
+            let requests: Vec<LmRequest> = chunk
+                .iter()
+                .map(|&i| LmRequest::new(prompts[i].clone()))
+                .collect();
+            let responses = self.lm.generate_batch(&requests)?;
+            let mut stats = self.stats.lock();
+            stats.lm_prompts += requests.len() as u64;
+            stats.lm_batches += 1;
+            drop(stats);
+            let mut cache = self.cache.lock();
+            for (&i, r) in chunk.iter().zip(responses) {
+                cache.insert(prompts[i].clone(), r.text);
+            }
+        }
+        let cache = self.cache.lock();
+        for (i, p) in prompts.iter().enumerate() {
+            if results[i].is_none() {
+                results[i] = cache.get(p).cloned();
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every prompt resolved"))
+            .collect())
+    }
+
+    /// Complete one prompt (cached).
+    pub fn complete(&self, prompt: &str) -> LmResult<String> {
+        Ok(self
+            .complete_batch(std::slice::from_ref(&prompt.to_owned()))?
+            .pop()
+            .expect("one prompt yields one result"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tag_lm::model::{LmError, LmResponse};
+
+    /// A counting fake model for engine tests.
+    struct EchoLm {
+        calls: Mutex<u64>,
+        batches: Mutex<u64>,
+    }
+
+    impl EchoLm {
+        fn new() -> Self {
+            EchoLm {
+                calls: Mutex::new(0),
+                batches: Mutex::new(0),
+            }
+        }
+    }
+
+    impl LanguageModel for EchoLm {
+        fn generate_batch(&self, requests: &[LmRequest]) -> LmResult<Vec<LmResponse>> {
+            *self.calls.lock() += requests.len() as u64;
+            *self.batches.lock() += 1;
+            Ok(requests
+                .iter()
+                .map(|r| LmResponse {
+                    text: format!("echo:{}", r.prompt),
+                    prompt_tokens: 1,
+                    completion_tokens: 1,
+                })
+                .collect())
+        }
+        fn elapsed_seconds(&self) -> f64 {
+            0.0
+        }
+        fn reset_metrics(&self) {}
+        fn batches(&self) -> u64 {
+            *self.batches.lock()
+        }
+        fn calls(&self) -> u64 {
+            *self.calls.lock()
+        }
+        fn context_window(&self) -> usize {
+            8192
+        }
+    }
+
+    #[test]
+    fn caching_deduplicates() {
+        let lm = Arc::new(EchoLm::new());
+        let engine = SemEngine::new(lm.clone());
+        let prompts: Vec<String> = vec!["a".into(), "b".into(), "a".into(), "a".into()];
+        let out = engine.complete_batch(&prompts).unwrap();
+        assert_eq!(out, vec!["echo:a", "echo:b", "echo:a", "echo:a"]);
+        assert_eq!(lm.calls(), 2, "only unique prompts hit the model");
+        // Second round: fully cached.
+        engine.complete_batch(&prompts).unwrap();
+        assert_eq!(lm.calls(), 2);
+        let stats = engine.stats();
+        assert_eq!(stats.lm_prompts, 2);
+        assert!(stats.cache_hits >= 4);
+    }
+
+    #[test]
+    fn batch_size_splits_rounds() {
+        let lm = Arc::new(EchoLm::new());
+        let engine = SemEngine::with_batch_size(lm.clone(), 4);
+        let prompts: Vec<String> = (0..10).map(|i| format!("p{i}")).collect();
+        engine.complete_batch(&prompts).unwrap();
+        assert_eq!(lm.batches(), 3); // 4 + 4 + 2
+        assert_eq!(lm.calls(), 10);
+    }
+
+    #[test]
+    fn reset_clears_cache() {
+        let lm = Arc::new(EchoLm::new());
+        let engine = SemEngine::new(lm.clone());
+        engine.complete("x").unwrap();
+        engine.reset();
+        engine.complete("x").unwrap();
+        assert_eq!(lm.calls(), 2);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        struct FailLm;
+        impl LanguageModel for FailLm {
+            fn generate_batch(&self, _: &[LmRequest]) -> LmResult<Vec<LmResponse>> {
+                Err(LmError::Other("down".into()))
+            }
+            fn elapsed_seconds(&self) -> f64 {
+                0.0
+            }
+            fn reset_metrics(&self) {}
+            fn batches(&self) -> u64 {
+                0
+            }
+            fn calls(&self) -> u64 {
+                0
+            }
+            fn context_window(&self) -> usize {
+                0
+            }
+        }
+        let engine = SemEngine::new(Arc::new(FailLm));
+        assert!(engine.complete("x").is_err());
+    }
+}

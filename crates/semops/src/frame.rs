@@ -1,0 +1,371 @@
+//! A small DataFrame: the host structure for semantic operators.
+//!
+//! Mirrors the pandas surface the LOTUS pipelines in the paper's
+//! Appendix C are written against: column selection, filtering, sorting,
+//! head, and merge (equi-join) — plus conversion from/to the SQL engine's
+//! result sets.
+
+use tag_sql::{ResultSet, SqlError, SqlResult, Value};
+
+/// An ordered, named-column, row-major data frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataFrame {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl DataFrame {
+    /// Build from columns and rows; every row must match the width.
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<Value>>) -> SqlResult<DataFrame> {
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != columns.len() {
+                return Err(SqlError::Catalog(format!(
+                    "row {i} has {} values for {} columns",
+                    r.len(),
+                    columns.len()
+                )));
+            }
+        }
+        Ok(DataFrame { columns, rows })
+    }
+
+    /// An empty frame with the given columns.
+    pub fn empty(columns: Vec<String>) -> DataFrame {
+        DataFrame {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build from a SQL result set.
+    pub fn from_result(rs: ResultSet) -> DataFrame {
+        DataFrame {
+            columns: rs.columns,
+            rows: rs.rows,
+        }
+    }
+
+    /// Convert into a SQL result set.
+    pub fn into_result(self) -> ResultSet {
+        ResultSet::new(self.columns, self.rows)
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column (case-insensitive).
+    pub fn column_index(&self, name: &str) -> SqlResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .ok_or_else(|| SqlError::Binding(format!("no such column: {name}")))
+    }
+
+    /// The values of one column.
+    pub fn column(&self, name: &str) -> SqlResult<Vec<Value>> {
+        let i = self.column_index(name)?;
+        Ok(self.rows.iter().map(|r| r[i].clone()).collect())
+    }
+
+    /// Keep rows where `pred(row)` is true.
+    pub fn filter(&self, mut pred: impl FnMut(&[Value]) -> bool) -> DataFrame {
+        DataFrame {
+            columns: self.columns.clone(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| pred(r))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Keep rows whose `column` value satisfies `pred`.
+    pub fn filter_col(
+        &self,
+        column: &str,
+        mut pred: impl FnMut(&Value) -> bool,
+    ) -> SqlResult<DataFrame> {
+        let i = self.column_index(column)?;
+        Ok(self.filter(|r| pred(&r[i])))
+    }
+
+    /// Keep rows whose `column` value is in `values`.
+    pub fn is_in(&self, column: &str, values: &[Value]) -> SqlResult<DataFrame> {
+        let set: std::collections::HashSet<&Value> = values.iter().collect();
+        self.filter_col(column, |v| set.contains(v))
+    }
+
+    /// Stable sort by one column.
+    pub fn sort_by(&self, column: &str, descending: bool) -> SqlResult<DataFrame> {
+        let i = self.column_index(column)?;
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            let ord = a[i].total_cmp(&b[i]);
+            if descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        Ok(DataFrame {
+            columns: self.columns.clone(),
+            rows,
+        })
+    }
+
+    /// Stable sort by the absolute numeric value of one column
+    /// (`key=abs` in the Appendix C pipelines).
+    pub fn sort_by_abs(&self, column: &str, descending: bool) -> SqlResult<DataFrame> {
+        let i = self.column_index(column)?;
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            let xa = a[i].as_f64().map(f64::abs).unwrap_or(f64::NEG_INFINITY);
+            let xb = b[i].as_f64().map(f64::abs).unwrap_or(f64::NEG_INFINITY);
+            let ord = xa.total_cmp(&xb);
+            if descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        Ok(DataFrame {
+            columns: self.columns.clone(),
+            rows,
+        })
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> DataFrame {
+        DataFrame {
+            columns: self.columns.clone(),
+            rows: self.rows.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Project to a subset of columns.
+    pub fn select(&self, columns: &[&str]) -> SqlResult<DataFrame> {
+        let idxs: Vec<usize> = columns
+            .iter()
+            .map(|c| self.column_index(c))
+            .collect::<SqlResult<_>>()?;
+        Ok(DataFrame {
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+                .collect(),
+        })
+    }
+
+    /// Distinct values of one column, in first-seen order.
+    pub fn unique(&self, column: &str) -> SqlResult<Vec<Value>> {
+        let i = self.column_index(column)?;
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for r in &self.rows {
+            if seen.insert(r[i].clone()) {
+                out.push(r[i].clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inner equi-join (pandas `merge`). Right columns are suffixed with
+    /// `_r` when they collide with left columns.
+    pub fn merge(
+        &self,
+        right: &DataFrame,
+        left_on: &str,
+        right_on: &str,
+    ) -> SqlResult<DataFrame> {
+        let li = self.column_index(left_on)?;
+        let ri = right.column_index(right_on)?;
+        let mut columns = self.columns.clone();
+        for c in &right.columns {
+            if self
+                .columns
+                .iter()
+                .any(|l| l.eq_ignore_ascii_case(c))
+            {
+                columns.push(format!("{c}_r"));
+            } else {
+                columns.push(c.clone());
+            }
+        }
+        let mut table: std::collections::HashMap<&Value, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (j, r) in right.rows.iter().enumerate() {
+            if !r[ri].is_null() {
+                table.entry(&r[ri]).or_default().push(j);
+            }
+        }
+        let mut rows = Vec::new();
+        for l in &self.rows {
+            if let Some(ids) = table.get(&l[li]) {
+                for &j in ids {
+                    let mut row = l.clone();
+                    row.extend(right.rows[j].iter().cloned());
+                    rows.push(row);
+                }
+            }
+        }
+        Ok(DataFrame { columns, rows })
+    }
+
+    /// Add a column computed from each row.
+    pub fn with_column(
+        &self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&[Value]) -> Value,
+    ) -> DataFrame {
+        let mut columns = self.columns.clone();
+        columns.push(name.into());
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = r.clone();
+                row.push(f(r));
+                row
+            })
+            .collect();
+        DataFrame { columns, rows }
+    }
+
+    /// Render each row as the `(column, value)` string pairs used for LM
+    /// context ("data points").
+    pub fn to_data_points(&self) -> Vec<Vec<(String, String)>> {
+        self.rows
+            .iter()
+            .map(|r| {
+                self.columns
+                    .iter()
+                    .zip(r)
+                    .map(|(c, v)| (c.clone(), v.to_string()))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::new(
+            vec!["id".into(), "city".into(), "score".into()],
+            vec![
+                vec![Value::Int(1), Value::text("PA"), Value::Float(3.0)],
+                vec![Value::Int(2), Value::text("SF"), Value::Float(1.0)],
+                vec![Value::Int(3), Value::text("PA"), Value::Float(2.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_width() {
+        assert!(DataFrame::new(vec!["a".into()], vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn filter_sort_head() {
+        let d = df();
+        let pa = d.filter_col("city", |v| v == &Value::text("PA")).unwrap();
+        assert_eq!(pa.len(), 2);
+        let sorted = d.sort_by("score", true).unwrap();
+        assert_eq!(sorted.rows()[0][0], Value::Int(1));
+        assert_eq!(sorted.head(1).len(), 1);
+    }
+
+    #[test]
+    fn sort_by_abs() {
+        let d = DataFrame::new(
+            vec!["x".into()],
+            vec![
+                vec![Value::Float(-5.0)],
+                vec![Value::Float(3.0)],
+                vec![Value::Float(-1.0)],
+            ],
+        )
+        .unwrap();
+        let s = d.sort_by_abs("x", true).unwrap();
+        assert_eq!(s.rows()[0][0], Value::Float(-5.0));
+        assert_eq!(s.rows()[2][0], Value::Float(-1.0));
+    }
+
+    #[test]
+    fn select_unique_is_in() {
+        let d = df();
+        let sel = d.select(&["city"]).unwrap();
+        assert_eq!(sel.columns(), &["city".to_string()]);
+        assert_eq!(
+            d.unique("city").unwrap(),
+            vec![Value::text("PA"), Value::text("SF")]
+        );
+        let only = d.is_in("city", &[Value::text("SF")]).unwrap();
+        assert_eq!(only.len(), 1);
+    }
+
+    #[test]
+    fn merge_inner_join_with_collision_suffix() {
+        let left = df();
+        let right = DataFrame::new(
+            vec!["id".into(), "tag".into()],
+            vec![
+                vec![Value::Int(1), Value::text("one")],
+                vec![Value::Int(3), Value::text("three")],
+                vec![Value::Int(9), Value::text("nine")],
+            ],
+        )
+        .unwrap();
+        let joined = left.merge(&right, "id", "id").unwrap();
+        assert_eq!(joined.len(), 2);
+        assert!(joined.columns().contains(&"id_r".to_string()));
+        assert!(joined.columns().contains(&"tag".to_string()));
+    }
+
+    #[test]
+    fn with_column_and_data_points() {
+        let d = df().with_column("double", |r| {
+            Value::Float(r[2].as_f64().unwrap_or(0.0) * 2.0)
+        });
+        assert_eq!(d.rows()[0][3], Value::Float(6.0));
+        let pts = d.head(1).to_data_points();
+        assert_eq!(pts[0][1], ("city".to_string(), "PA".to_string()));
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        assert!(df().column("nope").is_err());
+        assert!(df().sort_by("nope", false).is_err());
+    }
+
+    #[test]
+    fn result_set_round_trip() {
+        let d = df();
+        let rs = d.clone().into_result();
+        let back = DataFrame::from_result(rs);
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,121 @@
+//! The catalog: a named collection of tables.
+
+use crate::error::{SqlError, SqlResult};
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// A case-insensitive table namespace.
+///
+/// Keys are stored upper-cased; original table names are preserved on the
+/// [`Table`] values themselves.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a table; errors if the name is taken.
+    pub fn add_table(&mut self, table: Table) -> SqlResult<()> {
+        let key = table.name().to_ascii_uppercase();
+        if self.tables.contains_key(&key) {
+            return Err(SqlError::Catalog(format!(
+                "table {} already exists",
+                table.name()
+            )));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Replace or insert a table unconditionally.
+    pub fn put_table(&mut self, table: Table) {
+        self.tables
+            .insert(table.name().to_ascii_uppercase(), table);
+    }
+
+    /// Remove a table; returns it if present.
+    pub fn remove_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(&name.to_ascii_uppercase())
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> SqlResult<&Table> {
+        self.tables
+            .get(&name.to_ascii_uppercase())
+            .ok_or_else(|| SqlError::Catalog(format!("no such table: {name}")))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_uppercase())
+            .ok_or_else(|| SqlError::Catalog(format!("no such table: {name}")))
+    }
+
+    /// Does a table exist?
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_uppercase())
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.values().map(|t| t.name().to_owned()).collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables exist.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType, Schema};
+
+    fn table(name: &str) -> Table {
+        Table::new(
+            name,
+            Schema::new(vec![Column::new("id", DataType::Integer)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn add_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.add_table(table("Schools")).unwrap();
+        assert!(c.table("schools").is_ok());
+        assert!(c.table("SCHOOLS").is_ok());
+        assert_eq!(c.table("schools").unwrap().name(), "Schools");
+        assert!(c.table("missing").is_err());
+        assert!(c.contains("sChOoLs"));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut c = Catalog::new();
+        c.add_table(table("t")).unwrap();
+        assert!(c.add_table(table("T")).is_err());
+        c.put_table(table("T")); // replace is fine
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove() {
+        let mut c = Catalog::new();
+        c.add_table(table("t")).unwrap();
+        assert!(c.remove_table("T").is_some());
+        assert!(c.remove_table("T").is_none());
+        assert!(c.is_empty());
+    }
+}

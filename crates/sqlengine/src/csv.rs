@@ -1,0 +1,231 @@
+//! Minimal CSV parsing and loading (RFC-4180-ish, from scratch).
+//!
+//! Supports quoted fields with embedded commas/newlines and `""` escapes.
+//! Types are inferred per column (integer → float → text) when no schema
+//! is supplied.
+
+use crate::error::{SqlError, SqlResult};
+use crate::schema::{Column, DataType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Parse CSV text into records of string fields.
+pub fn parse_csv(text: &str) -> SqlResult<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(SqlError::Parse(
+                            "unexpected quote inside unquoted CSV field".into(),
+                        ));
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(SqlError::Parse("unterminated quoted CSV field".into()));
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Infer a column type from sample string values (empty = NULL ignored).
+fn infer_type(values: &[&str]) -> DataType {
+    let mut all_int = true;
+    let mut all_num = true;
+    let mut saw_any = false;
+    for v in values {
+        if v.is_empty() {
+            continue;
+        }
+        saw_any = true;
+        if v.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if v.parse::<f64>().is_err() {
+            all_num = false;
+        }
+    }
+    if !saw_any {
+        DataType::Text
+    } else if all_int {
+        DataType::Integer
+    } else if all_num {
+        DataType::Real
+    } else {
+        DataType::Text
+    }
+}
+
+/// Build a table from CSV text whose first record is the header.
+/// Column types are inferred from the data.
+pub fn table_from_csv(name: &str, text: &str) -> SqlResult<Table> {
+    let records = parse_csv(text)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or_else(|| {
+        SqlError::Parse("CSV must contain a header record".into())
+    })?;
+    let data: Vec<Vec<String>> = iter.collect();
+
+    let mut columns = Vec::with_capacity(header.len());
+    for (i, h) in header.iter().enumerate() {
+        let samples: Vec<&str> = data
+            .iter()
+            .filter_map(|r| r.get(i).map(String::as_str))
+            .collect();
+        columns.push(Column::new(h.trim(), infer_type(&samples)));
+    }
+    let schema = Schema::new(columns)?;
+    let mut table = Table::new(name, schema);
+    for (line, record) in data.iter().enumerate() {
+        if record.len() != header.len() {
+            return Err(SqlError::Parse(format!(
+                "CSV record {} has {} fields, expected {}",
+                line + 2,
+                record.len(),
+                header.len()
+            )));
+        }
+        let row: Vec<Value> = record
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    Value::Null
+                } else {
+                    Value::text(s.clone())
+                }
+            })
+            .collect();
+        table.insert(row)?; // schema affinity coerces numerics
+    }
+    Ok(table)
+}
+
+/// Serialize a table back to CSV (header + rows); NULL becomes empty.
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| escape_field(&c.name))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| {
+                if v.is_null() {
+                    String::new()
+                } else {
+                    escape_field(&v.to_string())
+                }
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_parse() {
+        let recs = parse_csv("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1], vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let recs = parse_csv("name,quote\nAlice,\"said \"\"hi\"\", then left\"\n").unwrap();
+        assert_eq!(recs[1][1], "said \"hi\", then left");
+        let recs = parse_csv("a\n\"multi\nline\"\n").unwrap();
+        assert_eq!(recs[1][0], "multi\nline");
+    }
+
+    #[test]
+    fn missing_trailing_newline_and_crlf() {
+        let recs = parse_csv("a,b\r\n1,2").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_csv("a\n\"open").is_err());
+        assert!(parse_csv("a\nx\"y\n").is_err());
+    }
+
+    #[test]
+    fn table_with_inference() {
+        let t = table_from_csv("t", "id,score,name\n1,2.5,alpha\n2,3.5,beta\n,,\n").unwrap();
+        assert_eq!(t.schema().column(0).dtype, DataType::Integer);
+        assert_eq!(t.schema().column(1).dtype, DataType::Real);
+        assert_eq!(t.schema().column(2).dtype, DataType::Text);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.row(0)[0], Value::Int(1));
+        assert!(t.row(2)[0].is_null());
+    }
+
+    #[test]
+    fn round_trip() {
+        let csv = "id,name\n1,\"a,b\"\n2,plain\n";
+        let t = table_from_csv("t", csv).unwrap();
+        let back = table_to_csv(&t);
+        let t2 = table_from_csv("t", &back).unwrap();
+        assert_eq!(t.rows(), t2.rows());
+    }
+
+    #[test]
+    fn ragged_record_rejected() {
+        assert!(table_from_csv("t", "a,b\n1\n").is_err());
+    }
+}

@@ -1,0 +1,613 @@
+//! The top-level database engine: statement dispatch over a catalog.
+
+use crate::ast::{ColumnDef, InsertStmt, Statement};
+use crate::catalog::Catalog;
+use crate::error::{SqlError, SqlResult};
+use crate::exec::execute;
+use crate::optimizer::optimize;
+use crate::parser::{parse_statement, parse_statements};
+use crate::planner::{Planner, Scope};
+use crate::result::ResultSet;
+use crate::schema::{Column, Schema};
+use crate::table::{IndexKind, Table};
+use crate::udf::{ScalarUdf, UdfRegistry};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// An in-memory SQL database: catalog + UDF registry + query pipeline.
+///
+/// ```
+/// use tag_sql::Database;
+///
+/// let mut db = Database::new();
+/// db.execute("CREATE TABLE movies (title TEXT, revenue REAL)").unwrap();
+/// db.execute("INSERT INTO movies VALUES ('Titanic', 2257.8), ('Clueless', 56.6)").unwrap();
+/// let result = db.execute("SELECT title FROM movies ORDER BY revenue DESC LIMIT 1").unwrap();
+/// assert_eq!(result.rows[0][0].to_string(), "Titanic");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+    udfs: UdfRegistry,
+    /// Rows scanned / produced counters could live here later.
+    statements_run: u64,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying catalog (read access).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access for programmatic table construction.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Register a scalar UDF (e.g. an LM-backed function).
+    pub fn register_udf(&mut self, udf: Arc<dyn ScalarUdf>) {
+        self.udfs.register(udf);
+    }
+
+    /// The UDF registry.
+    pub fn udfs(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
+    /// Number of statements executed so far.
+    pub fn statements_run(&self) -> u64 {
+        self.statements_run
+    }
+
+    /// Parse, plan, optimize, and run one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> SqlResult<ResultSet> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Run several semicolon-separated statements; returns the last result.
+    pub fn execute_script(&mut self, sql: &str) -> SqlResult<ResultSet> {
+        let stmts = parse_statements(sql)?;
+        let mut last = ResultSet::empty();
+        for stmt in stmts {
+            last = self.execute_statement(stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Plan a SELECT and return its optimized plan (EXPLAIN support).
+    pub fn explain(&self, sql: &str) -> SqlResult<String> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(sel) => {
+                let planner = Planner::new(&self.catalog, &self.udfs);
+                let plan = planner.plan_select(&sel)?;
+                let plan = optimize(plan, &self.catalog);
+                Ok(plan.explain())
+            }
+            _ => Err(SqlError::Unsupported(
+                "EXPLAIN is only available for SELECT".into(),
+            )),
+        }
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_statement(&mut self, stmt: Statement) -> SqlResult<ResultSet> {
+        self.statements_run += 1;
+        match stmt {
+            Statement::Select(sel) => {
+                let planner = Planner::new(&self.catalog, &self.udfs);
+                let plan = planner.plan_select(&sel)?;
+                let plan = optimize(plan, &self.catalog);
+                let columns = plan.columns();
+                let rows = execute(&plan, &self.catalog)?;
+                Ok(ResultSet::new(columns, rows))
+            }
+            Statement::CompoundSelect { first, rest } => {
+                let run_arm = |sel: &crate::ast::SelectStmt| -> SqlResult<ResultSet> {
+                    let planner = Planner::new(&self.catalog, &self.udfs);
+                    let plan = planner.plan_select(sel)?;
+                    let plan = optimize(plan, &self.catalog);
+                    let columns = plan.columns();
+                    let rows = execute(&plan, &self.catalog)?;
+                    Ok(ResultSet::new(columns, rows))
+                };
+                let mut acc = run_arm(&first)?;
+                for (all, arm) in &rest {
+                    let next = run_arm(arm)?;
+                    if next.columns.len() != acc.columns.len() {
+                        return Err(SqlError::Binding(format!(
+                            "UNION arms have different widths ({} vs {})",
+                            acc.columns.len(),
+                            next.columns.len()
+                        )));
+                    }
+                    acc.rows.extend(next.rows);
+                    if !all {
+                        // Plain UNION dedups the accumulated result
+                        // (SQLite semantics).
+                        let mut seen = std::collections::HashSet::new();
+                        acc.rows.retain(|r| seen.insert(r.clone()));
+                    }
+                }
+                Ok(acc)
+            }
+            Statement::CreateTable(c) => {
+                if self.catalog.contains(&c.name) {
+                    if c.if_not_exists {
+                        return Ok(ResultSet::empty());
+                    }
+                    return Err(SqlError::Catalog(format!(
+                        "table {} already exists",
+                        c.name
+                    )));
+                }
+                let schema = Schema::new(
+                    c.columns
+                        .iter()
+                        .map(|ColumnDef { name, dtype, not_null, primary_key }| {
+                            let mut col = Column::new(name.clone(), *dtype);
+                            if *not_null {
+                                col = col.not_null();
+                            }
+                            if *primary_key {
+                                col = col.primary_key();
+                            }
+                            col
+                        })
+                        .collect(),
+                )?;
+                let mut table = Table::new(c.name.clone(), schema);
+                // A single-column PRIMARY KEY gets a unique B-tree index.
+                if let Some(pk) = c.columns.iter().find(|col| col.primary_key) {
+                    table.create_index(
+                        format!("pk_{}", c.name),
+                        &pk.name,
+                        IndexKind::BTree,
+                        true,
+                    )?;
+                }
+                self.catalog.add_table(table)?;
+                Ok(ResultSet::empty())
+            }
+            Statement::Insert(ins) => self.run_insert(ins),
+            Statement::DropTable { name, if_exists } => {
+                if self.catalog.remove_table(&name).is_none() && !if_exists {
+                    return Err(SqlError::Catalog(format!("no such table: {name}")));
+                }
+                Ok(ResultSet::empty())
+            }
+            Statement::Delete { table, predicate } => {
+                let planner = Planner::new(&self.catalog, &self.udfs);
+                let bound = match &predicate {
+                    Some(p) => {
+                        let t = self.catalog.table(&table)?;
+                        let scope = scope_for_table(&table, t);
+                        Some(planner.bind(p, &scope, None)?)
+                    }
+                    None => None,
+                };
+                let t = self.catalog.table_mut(&table)?;
+                let removed = t.delete_where(|row| match &bound {
+                    Some(b) => b.eval_predicate(row),
+                    None => Ok(true),
+                })?;
+                Ok(ResultSet::new(
+                    vec!["deleted".into()],
+                    vec![vec![Value::Int(removed as i64)]],
+                ))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let planner = Planner::new(&self.catalog, &self.udfs);
+                let t = self.catalog.table(&table)?;
+                let scope = scope_for_table(&table, t);
+                let bound_pred = match &predicate {
+                    Some(p) => Some(planner.bind(p, &scope, None)?),
+                    None => None,
+                };
+                let mut bound_assignments = Vec::with_capacity(assignments.len());
+                for (col, e) in &assignments {
+                    let idx = t.schema().index_of(col).ok_or_else(|| {
+                        SqlError::Binding(format!("no such column: {col}"))
+                    })?;
+                    bound_assignments.push((idx, planner.bind(e, &scope, None)?));
+                }
+                let t = self.catalog.table_mut(&table)?;
+                let changed = t.update_where(
+                    |row| match &bound_pred {
+                        Some(b) => b.eval_predicate(row),
+                        None => Ok(true),
+                    },
+                    |row| {
+                        let mut new_row = row.clone();
+                        for (idx, e) in &bound_assignments {
+                            new_row[*idx] = e.eval(row)?;
+                        }
+                        Ok(new_row)
+                    },
+                )?;
+                Ok(ResultSet::new(
+                    vec!["updated".into()],
+                    vec![vec![Value::Int(changed as i64)]],
+                ))
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+                unique,
+            } => {
+                let t = self.catalog.table_mut(&table)?;
+                t.create_index(name, &column, IndexKind::BTree, unique)?;
+                Ok(ResultSet::empty())
+            }
+        }
+    }
+
+    fn run_insert(&mut self, ins: InsertStmt) -> SqlResult<ResultSet> {
+        // Evaluate row expressions first (they may contain subqueries or
+        // arithmetic but no column references).
+        let planner = Planner::new(&self.catalog, &self.udfs);
+        let empty_scope = Scope::default();
+        let mut evaluated: Vec<Vec<Value>> = Vec::with_capacity(ins.rows.len());
+        for row in &ins.rows {
+            let vals = row
+                .iter()
+                .map(|e| planner.bind(e, &empty_scope, None)?.eval(&[]))
+                .collect::<SqlResult<Vec<Value>>>()?;
+            evaluated.push(vals);
+        }
+
+        let t = self.catalog.table_mut(&ins.table)?;
+        let schema_len = t.schema().len();
+        let mapping: Option<Vec<usize>> = match &ins.columns {
+            Some(cols) => {
+                let mut m = Vec::with_capacity(cols.len());
+                for c in cols {
+                    m.push(t.schema().index_of(c).ok_or_else(|| {
+                        SqlError::Binding(format!(
+                            "no such column {c:?} in table {}",
+                            ins.table
+                        ))
+                    })?);
+                }
+                Some(m)
+            }
+            None => None,
+        };
+        let mut inserted = 0i64;
+        for vals in evaluated {
+            let row = match &mapping {
+                Some(m) => {
+                    if vals.len() != m.len() {
+                        return Err(SqlError::Catalog(format!(
+                            "INSERT has {} values for {} columns",
+                            vals.len(),
+                            m.len()
+                        )));
+                    }
+                    let mut row = vec![Value::Null; schema_len];
+                    for (v, &idx) in vals.into_iter().zip(m.iter()) {
+                        row[idx] = v;
+                    }
+                    row
+                }
+                None => vals,
+            };
+            t.insert(row)?;
+            inserted += 1;
+        }
+        Ok(ResultSet::new(
+            vec!["inserted".into()],
+            vec![vec![Value::Int(inserted)]],
+        ))
+    }
+
+    /// Convenience: run a SELECT and pull a single scalar.
+    pub fn query_scalar(&mut self, sql: &str) -> SqlResult<Value> {
+        let rs = self.execute(sql)?;
+        rs.scalar().cloned().ok_or_else(|| {
+            SqlError::Eval(format!(
+                "expected a 1x1 result, got {}x{}",
+                rs.len(),
+                rs.columns.len()
+            ))
+        })
+    }
+}
+
+fn scope_for_table(name: &str, table: &Table) -> Scope {
+    let mut scope = Scope::default();
+    for c in table.schema().columns() {
+        scope.columns.push(crate::planner::ScopeColumn {
+            qualifier: Some(name.to_owned()),
+            name: c.name.clone(),
+        });
+    }
+    scope
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE schools (CDSCode INTEGER PRIMARY KEY, City TEXT, Longitude REAL);
+             INSERT INTO schools VALUES (1, 'Palo Alto', -122.1), (2, 'Fresno', -119.8),
+                                        (3, 'San Jose', -121.9), (4, 'Palo Alto', -122.2);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let mut db = db();
+        let rs = db
+            .execute("SELECT City, COUNT(*) AS n FROM schools GROUP BY City ORDER BY n DESC, City")
+            .unwrap();
+        assert_eq!(rs.columns, vec!["City", "n"]);
+        assert_eq!(rs.rows[0][0], Value::text("Palo Alto"));
+        assert_eq!(rs.rows[0][1], Value::Int(2));
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn primary_key_gets_unique_index() {
+        let mut db = db();
+        let err = db
+            .execute("INSERT INTO schools VALUES (1, 'Dup', 0.0)")
+            .unwrap_err();
+        assert!(err.message().contains("UNIQUE"));
+        // And equality lookups use it.
+        let explain = db
+            .explain("SELECT * FROM schools WHERE CDSCode = 2")
+            .unwrap();
+        assert!(explain.contains("IndexProbe"), "{explain}");
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let mut db = db();
+        db.execute("INSERT INTO schools (CDSCode, City) VALUES (9, 'Gilroy')")
+            .unwrap();
+        let rs = db
+            .execute("SELECT Longitude FROM schools WHERE CDSCode = 9")
+            .unwrap();
+        assert!(rs.rows[0][0].is_null());
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let mut db = db();
+        let rs = db
+            .execute("DELETE FROM schools WHERE City = 'Palo Alto'")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(2));
+        let rs = db
+            .execute("UPDATE schools SET Longitude = Longitude + 1 WHERE CDSCode = 2")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+        assert_eq!(
+            db.query_scalar("SELECT Longitude FROM schools WHERE CDSCode = 2")
+                .unwrap(),
+            Value::Float(-118.8)
+        );
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut db = db();
+        db.execute("DROP TABLE schools").unwrap();
+        assert!(db.execute("SELECT * FROM schools").is_err());
+        db.execute("DROP TABLE IF EXISTS schools").unwrap();
+        assert!(db.execute("DROP TABLE schools").is_err());
+    }
+
+    #[test]
+    fn udf_in_query() {
+        let mut db = db();
+        db.udfs.register_fn("is_bay_area", Some(1), |args| {
+            let city = args[0].to_string();
+            Ok(Value::from(matches!(
+                city.as_str(),
+                "Palo Alto" | "San Jose" | "Oakland"
+            )))
+        });
+        let rs = db
+            .execute("SELECT COUNT(*) FROM schools WHERE is_bay_area(City)")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn if_not_exists() {
+        let mut db = db();
+        db.execute("CREATE TABLE IF NOT EXISTS schools (x TEXT)")
+            .unwrap();
+        assert!(db.execute("CREATE TABLE schools (x TEXT)").is_err());
+    }
+
+    #[test]
+    fn create_index_statement() {
+        let mut db = db();
+        db.execute("CREATE INDEX idx_city ON schools (City)").unwrap();
+        let explain = db
+            .explain("SELECT * FROM schools WHERE City = 'Fresno'")
+            .unwrap();
+        assert!(explain.contains("IndexProbe"), "{explain}");
+    }
+
+    #[test]
+    fn query_scalar_shape_errors() {
+        let mut db = db();
+        assert!(db.query_scalar("SELECT * FROM schools").is_err());
+        assert_eq!(
+            db.query_scalar("SELECT COUNT(*) FROM schools").unwrap(),
+            Value::Int(4)
+        );
+    }
+
+    #[test]
+    fn union_and_union_all() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE a (x INTEGER); INSERT INTO a VALUES (1), (2);
+             CREATE TABLE b (x INTEGER); INSERT INTO b VALUES (2), (3);",
+        )
+        .unwrap();
+        let rs = db
+            .execute("SELECT x FROM a UNION ALL SELECT x FROM b")
+            .unwrap();
+        assert_eq!(rs.len(), 4);
+        let rs = db.execute("SELECT x FROM a UNION SELECT x FROM b").unwrap();
+        let mut vals: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![1, 2, 3]);
+        // width mismatch
+        let err = db
+            .execute("SELECT x FROM a UNION SELECT x, x FROM b")
+            .unwrap_err();
+        assert!(err.message().contains("widths"));
+        // per-arm clauses still work
+        let rs = db
+            .execute(
+                "SELECT x FROM a WHERE x > 1 UNION ALL SELECT x FROM b ORDER BY x DESC LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn correlated_subqueries() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE posts (Id INTEGER, Title TEXT);
+             INSERT INTO posts VALUES (1, 'a'), (2, 'b'), (3, 'c');
+             CREATE TABLE comments (Id INTEGER, PostId INTEGER, Score INTEGER);
+             INSERT INTO comments VALUES (1, 1, 5), (2, 1, 7), (3, 2, 1);",
+        )
+        .unwrap();
+        // EXISTS with an outer reference.
+        let rs = db
+            .execute(
+                "SELECT Title FROM posts p WHERE EXISTS \
+                 (SELECT 1 FROM comments c WHERE c.PostId = p.Id AND c.Score > 4)",
+            )
+            .unwrap();
+        assert_eq!(rs.column_values("Title").unwrap(), vec![Value::text("a")]);
+        // Correlated scalar in the select list.
+        let rs = db
+            .execute(
+                "SELECT Title, (SELECT COUNT(*) FROM comments c WHERE c.PostId = p.Id) \
+                 AS n FROM posts p ORDER BY Title",
+            )
+            .unwrap();
+        let counts: Vec<i64> = rs.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
+        assert_eq!(counts, vec![2, 1, 0]);
+        // NOT EXISTS.
+        let rs = db
+            .execute(
+                "SELECT Title FROM posts p WHERE NOT EXISTS \
+                 (SELECT 1 FROM comments c WHERE c.PostId = p.Id)",
+            )
+            .unwrap();
+        assert_eq!(rs.column_values("Title").unwrap(), vec![Value::text("c")]);
+        // Correlated IN.
+        let rs = db
+            .execute(
+                "SELECT Title FROM posts p WHERE 7 IN \
+                 (SELECT Score FROM comments c WHERE c.PostId = p.Id)",
+            )
+            .unwrap();
+        assert_eq!(rs.column_values("Title").unwrap(), vec![Value::text("a")]);
+        // Correlated scalar compared in WHERE.
+        let rs = db
+            .execute(
+                "SELECT Title FROM posts p WHERE \
+                 (SELECT MAX(Score) FROM comments c WHERE c.PostId = p.Id) > 4",
+            )
+            .unwrap();
+        assert_eq!(rs.column_values("Title").unwrap(), vec![Value::text("a")]);
+    }
+
+    #[test]
+    fn correlated_subquery_with_join_in_outer_query() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE a (x INTEGER); INSERT INTO a VALUES (1), (2);
+             CREATE TABLE b (y INTEGER); INSERT INTO b VALUES (1), (3);
+             CREATE TABLE c (z INTEGER); INSERT INTO c VALUES (1);",
+        )
+        .unwrap();
+        // The correlated predicate references a column from the left join
+        // side; the optimizer must keep the outer refs consistent when it
+        // pushes or rewrites the filter.
+        let rs = db
+            .execute(
+                "SELECT a.x, b.y FROM a CROSS JOIN b \
+                 WHERE EXISTS (SELECT 1 FROM c WHERE c.z = a.x) ORDER BY b.y",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        for r in &rs.rows {
+            assert_eq!(r[0], Value::Int(1));
+        }
+    }
+
+    #[test]
+    fn correlated_exists_in_having_binds_group_keys() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE orders (cust INTEGER, amount INTEGER);
+             INSERT INTO orders VALUES (1, 10), (1, 20), (2, 5), (3, 50);
+             CREATE TABLE vip (id INTEGER);
+             INSERT INTO vip VALUES (1), (3);",
+        )
+        .unwrap();
+        // The outer reference inside the subquery resolves against the
+        // aggregate output scope (the rows HAVING filters).
+        let rs = db
+            .execute(
+                "SELECT cust, SUM(amount) FROM orders o GROUP BY cust \
+                 HAVING EXISTS (SELECT 1 FROM vip WHERE vip.id = cust)",
+            )
+            .unwrap();
+        let custs: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(custs, vec![1, 3]);
+    }
+
+    #[test]
+    fn unknown_column_still_errors_with_outer_scope() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1);",
+        )
+        .unwrap();
+        let err = db
+            .execute("SELECT x FROM t WHERE EXISTS (SELECT nope FROM t)")
+            .unwrap_err();
+        assert!(err.message().contains("no such column"), "{err}");
+    }
+
+    #[test]
+    fn execute_script_returns_last() {
+        let mut db = Database::new();
+        let rs = db
+            .execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); SELECT a FROM t")
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(1)]]);
+        assert_eq!(db.statements_run(), 3);
+    }
+}

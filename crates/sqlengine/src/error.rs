@@ -1,0 +1,99 @@
+//! Error types for the SQL engine.
+
+use std::fmt;
+
+/// All errors produced by the SQL engine.
+///
+/// Each variant carries a human-readable message describing the failing
+/// construct, mirroring the error surface a driver would expose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The tokenizer found a character sequence that is not valid SQL.
+    Lex(String),
+    /// The parser found a token sequence that is not valid SQL.
+    Parse(String),
+    /// Name resolution failed (unknown table, column, or function).
+    Binding(String),
+    /// A value had the wrong type for the requested operation.
+    Type(String),
+    /// Runtime evaluation failed (division by zero, bad cast, ...).
+    Eval(String),
+    /// Catalog-level failure (duplicate table, missing table, arity mismatch).
+    Catalog(String),
+    /// A user-defined function reported an error.
+    Udf(String),
+    /// The statement is recognized but not supported by this engine.
+    Unsupported(String),
+}
+
+impl SqlError {
+    /// The error category as a static string, useful for test assertions.
+    pub fn category(&self) -> &'static str {
+        match self {
+            SqlError::Lex(_) => "lex",
+            SqlError::Parse(_) => "parse",
+            SqlError::Binding(_) => "binding",
+            SqlError::Type(_) => "type",
+            SqlError::Eval(_) => "eval",
+            SqlError::Catalog(_) => "catalog",
+            SqlError::Udf(_) => "udf",
+            SqlError::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// The embedded message.
+    pub fn message(&self) -> &str {
+        match self {
+            SqlError::Lex(m)
+            | SqlError::Parse(m)
+            | SqlError::Binding(m)
+            | SqlError::Type(m)
+            | SqlError::Eval(m)
+            | SqlError::Catalog(m)
+            | SqlError::Udf(m)
+            | SqlError::Unsupported(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.category(), self.message())
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience alias used across the engine.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = SqlError::Parse("unexpected token `FROM`".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token `FROM`");
+        assert_eq!(e.category(), "parse");
+        assert_eq!(e.message(), "unexpected token `FROM`");
+    }
+
+    #[test]
+    fn categories_are_distinct() {
+        let variants = [
+            SqlError::Lex(String::new()),
+            SqlError::Parse(String::new()),
+            SqlError::Binding(String::new()),
+            SqlError::Type(String::new()),
+            SqlError::Eval(String::new()),
+            SqlError::Catalog(String::new()),
+            SqlError::Udf(String::new()),
+            SqlError::Unsupported(String::new()),
+        ];
+        let mut cats: Vec<_> = variants.iter().map(|v| v.category()).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        assert_eq!(cats.len(), variants.len());
+    }
+}

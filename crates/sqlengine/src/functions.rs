@@ -1,0 +1,307 @@
+//! Built-in scalar functions (SQLite-compatible subset).
+
+use crate::error::{SqlError, SqlResult};
+use crate::value::Value;
+
+/// Evaluate a built-in scalar function, or return `None` if the name is
+/// not a built-in (the caller then consults the UDF registry).
+pub fn eval_builtin(name: &str, args: &[Value]) -> Option<SqlResult<Value>> {
+    let upper = name.to_ascii_uppercase();
+    let result = match upper.as_str() {
+        "ABS" => Some(unary(args, &upper, |v| match v.coerce_numeric()? {
+            Value::Int(i) => Ok(Value::Int(i.abs())),
+            Value::Float(f) => Ok(Value::Float(f.abs())),
+            _ => Ok(Value::Null),
+        })),
+        "LOWER" => Some(unary_text(args, &upper, |s| s.to_lowercase())),
+        "UPPER" => Some(unary_text(args, &upper, |s| s.to_uppercase())),
+        "LENGTH" => Some(unary(args, &upper, |v| match v {
+            Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
+            other => Ok(Value::Int(other.to_string().chars().count() as i64)),
+        })),
+        "TRIM" => Some(unary_text(args, &upper, |s| s.trim().to_owned())),
+        "LTRIM" => Some(unary_text(args, &upper, |s| s.trim_start().to_owned())),
+        "RTRIM" => Some(unary_text(args, &upper, |s| s.trim_end().to_owned())),
+        "ROUND" => Some(round(args)),
+        "COALESCE" => Some(Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null))),
+        "IFNULL" => Some(if args.len() == 2 {
+            Ok(if args[0].is_null() {
+                args[1].clone()
+            } else {
+                args[0].clone()
+            })
+        } else {
+            Err(arity_err(&upper, 2, args.len()))
+        }),
+        "NULLIF" => Some(if args.len() == 2 {
+            Ok(match args[0].sql_eq(&args[1]) {
+                Some(true) => Value::Null,
+                _ => args[0].clone(),
+            })
+        } else {
+            Err(arity_err(&upper, 2, args.len()))
+        }),
+        "SUBSTR" | "SUBSTRING" => Some(substr(args)),
+        "REPLACE" => Some(if args.len() == 3 {
+            if args.iter().any(Value::is_null) {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Text(args[0].to_string().replace(
+                    &args[1].to_string(),
+                    &args[2].to_string(),
+                )))
+            }
+        } else {
+            Err(arity_err(&upper, 3, args.len()))
+        }),
+        "INSTR" => Some(if args.len() == 2 {
+            if args.iter().any(Value::is_null) {
+                Ok(Value::Null)
+            } else {
+                let hay = args[0].to_string();
+                let needle = args[1].to_string();
+                Ok(Value::Int(
+                    hay.find(&needle)
+                        .map(|byte| hay[..byte].chars().count() as i64 + 1)
+                        .unwrap_or(0),
+                ))
+            }
+        } else {
+            Err(arity_err(&upper, 2, args.len()))
+        }),
+        "TYPEOF" => Some(unary(args, &upper, |v| {
+            Ok(Value::text(match v {
+                Value::Null => "null",
+                Value::Int(_) => "integer",
+                Value::Float(_) => "real",
+                Value::Text(_) => "text",
+            }))
+        })),
+        // Scalar MIN/MAX over 2+ arguments (SQLite semantics). Note the
+        // single-argument forms are aggregates and never reach here.
+        "MIN" if args.len() >= 2 => Some(Ok(minmax(args, true))),
+        "MAX" if args.len() >= 2 => Some(Ok(minmax(args, false))),
+        _ => None,
+    };
+    result
+}
+
+fn arity_err(name: &str, want: usize, got: usize) -> SqlError {
+    SqlError::Eval(format!("{name} expects {want} argument(s), got {got}"))
+}
+
+fn unary(
+    args: &[Value],
+    name: &str,
+    f: impl Fn(&Value) -> SqlResult<Value>,
+) -> SqlResult<Value> {
+    if args.len() != 1 {
+        return Err(arity_err(name, 1, args.len()));
+    }
+    if args[0].is_null() {
+        return Ok(Value::Null);
+    }
+    f(&args[0])
+}
+
+fn unary_text(args: &[Value], name: &str, f: impl Fn(&str) -> String) -> SqlResult<Value> {
+    unary(args, name, |v| Ok(Value::Text(f(&v.to_string()))))
+}
+
+fn round(args: &[Value]) -> SqlResult<Value> {
+    if args.is_empty() || args.len() > 2 {
+        return Err(SqlError::Eval(format!(
+            "ROUND expects 1 or 2 arguments, got {}",
+            args.len()
+        )));
+    }
+    if args[0].is_null() {
+        return Ok(Value::Null);
+    }
+    let x = args[0]
+        .as_f64()
+        .ok_or_else(|| SqlError::Type("ROUND expects a numeric argument".into()))?;
+    let digits = if args.len() == 2 {
+        args[1].as_i64().unwrap_or(0).clamp(-15, 15)
+    } else {
+        0
+    };
+    let factor = 10f64.powi(digits as i32);
+    Ok(Value::Float((x * factor).round() / factor))
+}
+
+fn substr(args: &[Value]) -> SqlResult<Value> {
+    if args.len() < 2 || args.len() > 3 {
+        return Err(SqlError::Eval(format!(
+            "SUBSTR expects 2 or 3 arguments, got {}",
+            args.len()
+        )));
+    }
+    if args[0].is_null() || args[1].is_null() {
+        return Ok(Value::Null);
+    }
+    let s: Vec<char> = args[0].to_string().chars().collect();
+    // SQLite: 1-based start; negative counts from the end.
+    let start = args[1]
+        .as_i64()
+        .ok_or_else(|| SqlError::Type("SUBSTR start must be an integer".into()))?;
+    let len = match args.get(2) {
+        Some(v) if v.is_null() => return Ok(Value::Null),
+        Some(v) => Some(
+            v.as_i64()
+                .ok_or_else(|| SqlError::Type("SUBSTR length must be an integer".into()))?
+                .max(0) as usize,
+        ),
+        None => None,
+    };
+    let begin = if start > 0 {
+        (start - 1) as usize
+    } else if start == 0 {
+        0
+    } else {
+        s.len().saturating_sub((-start) as usize)
+    };
+    if begin >= s.len() {
+        return Ok(Value::text(""));
+    }
+    let end = match len {
+        Some(l) => (begin + l).min(s.len()),
+        None => s.len(),
+    };
+    Ok(Value::Text(s[begin..end].iter().collect()))
+}
+
+fn minmax(args: &[Value], want_min: bool) -> Value {
+    if args.iter().any(Value::is_null) {
+        return Value::Null;
+    }
+    let mut best = args[0].clone();
+    for v in &args[1..] {
+        let replace = if want_min { v < &best } else { v > &best };
+        if replace {
+            best = v.clone();
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(name: &str, args: &[Value]) -> Value {
+        eval_builtin(name, args).unwrap().unwrap()
+    }
+
+    #[test]
+    fn abs_lower_upper_length() {
+        assert_eq!(call("abs", &[Value::Int(-3)]), Value::Int(3));
+        assert_eq!(call("ABS", &[Value::Float(-2.5)]), Value::Float(2.5));
+        assert_eq!(call("lower", &[Value::text("AbC")]), Value::text("abc"));
+        assert_eq!(call("UPPER", &[Value::text("aé")]), Value::text("AÉ"));
+        assert_eq!(call("length", &[Value::text("héllo")]), Value::Int(5));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(call("abs", &[Value::Null]), Value::Null);
+        assert_eq!(call("lower", &[Value::Null]), Value::Null);
+        assert_eq!(
+            call("coalesce", &[Value::Null, Value::Null, Value::Int(3)]),
+            Value::Int(3)
+        );
+        assert_eq!(call("coalesce", &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn round_with_digits() {
+        assert_eq!(call("round", &[Value::Float(2.567)]), Value::Float(3.0));
+        assert_eq!(
+            call("round", &[Value::Float(2.567), Value::Int(2)]),
+            Value::Float(2.57)
+        );
+        assert_eq!(
+            call("round", &[Value::Float(1234.5), Value::Int(-2)]),
+            Value::Float(1200.0)
+        );
+    }
+
+    #[test]
+    fn substr_positions() {
+        let s = Value::text("database");
+        assert_eq!(call("substr", &[s.clone(), Value::Int(1), Value::Int(4)]), Value::text("data"));
+        assert_eq!(call("substr", &[s.clone(), Value::Int(5)]), Value::text("base"));
+        assert_eq!(call("substr", &[s.clone(), Value::Int(-4)]), Value::text("base"));
+        assert_eq!(call("substr", &[s.clone(), Value::Int(100)]), Value::text(""));
+        assert_eq!(call("substr", &[s, Value::Int(0), Value::Int(2)]), Value::text("da"));
+    }
+
+    #[test]
+    fn replace_instr() {
+        assert_eq!(
+            call(
+                "replace",
+                &[Value::text("a-b-c"), Value::text("-"), Value::text("+")]
+            ),
+            Value::text("a+b+c")
+        );
+        assert_eq!(
+            call("instr", &[Value::text("hello"), Value::text("ll")]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            call("instr", &[Value::text("hello"), Value::text("z")]),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn nullif_ifnull_typeof() {
+        assert_eq!(
+            call("nullif", &[Value::Int(1), Value::Int(1)]),
+            Value::Null
+        );
+        assert_eq!(
+            call("nullif", &[Value::Int(1), Value::Int(2)]),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call("ifnull", &[Value::Null, Value::text("x")]),
+            Value::text("x")
+        );
+        assert_eq!(call("typeof", &[Value::Float(1.0)]), Value::text("real"));
+    }
+
+    #[test]
+    fn scalar_min_max() {
+        assert_eq!(
+            call("min", &[Value::Int(3), Value::Int(1), Value::Int(2)]),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call("max", &[Value::Int(3), Value::Float(3.5)]),
+            Value::Float(3.5)
+        );
+        assert_eq!(
+            call("max", &[Value::Int(3), Value::Null]),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn unknown_returns_none() {
+        assert!(eval_builtin("not_a_function", &[]).is_none());
+        // MIN with one arg is the aggregate, not the scalar builtin.
+        assert!(eval_builtin("min", &[Value::Int(1)]).is_none());
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(eval_builtin("abs", &[]).unwrap().is_err());
+        assert!(eval_builtin("replace", &[Value::Null]).unwrap().is_err());
+    }
+}

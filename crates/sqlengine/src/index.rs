@@ -1,0 +1,474 @@
+//! Secondary indexes: a from-scratch B+-tree and a hash index.
+//!
+//! Both map a column value to the set of row ids holding that value.
+//! The B+-tree supports ordered range scans (used for `<`, `BETWEEN`,
+//! and index-ordered iteration); the hash index serves equality probes.
+//!
+//! Deletion removes entries from leaves without rebalancing ("lazy
+//! deletion"): the tree stays correct but may become sparse under heavy
+//! churn. This is the classic trade-off for analytic, insert-mostly
+//! workloads like ours; `rebuild` compacts when needed.
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// Fan-out of the B+-tree. Small enough to exercise splits in tests,
+/// large enough to keep depth low at our table sizes.
+const ORDER: usize = 16;
+
+/// A single-column B+-tree index mapping values to row ids.
+#[derive(Debug, Clone)]
+pub struct BTreeIndex {
+    root: Node,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        keys: Vec<Value>,
+        /// Row-id postings, parallel to `keys`.
+        rows: Vec<Vec<usize>>,
+    },
+    Internal {
+        /// `keys[i]` is the smallest key reachable via `children[i + 1]`.
+        keys: Vec<Value>,
+        children: Vec<Node>,
+    },
+}
+
+impl Default for BTreeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTreeIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        BTreeIndex {
+            root: Node::Leaf {
+                keys: Vec::new(),
+                rows: Vec::new(),
+            },
+            len: 0,
+        }
+    }
+
+    /// Number of (key, row) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a (key, row id) pair. Duplicate keys accumulate postings.
+    pub fn insert(&mut self, key: Value, row: usize) {
+        self.len += 1;
+        if let Some((split_key, right)) = insert_rec(&mut self.root, key, row) {
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Internal {
+                    keys: Vec::new(),
+                    children: Vec::new(),
+                },
+            );
+            self.root = Node::Internal {
+                keys: vec![split_key],
+                children: vec![old_root, right],
+            };
+        }
+    }
+
+    /// Remove a specific (key, row id) pair. Returns true when it existed.
+    pub fn remove(&mut self, key: &Value, row: usize) -> bool {
+        let removed = remove_rec(&mut self.root, key, row);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Row ids with exactly this key.
+    pub fn get(&self, key: &Value) -> Vec<usize> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = &children[idx];
+                }
+                Node::Leaf { keys, rows } => {
+                    return match keys.binary_search(key) {
+                        Ok(i) => rows[i].clone(),
+                        Err(_) => Vec::new(),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Row ids whose keys fall in the given bounds, in key order.
+    pub fn range(&self, low: Bound<&Value>, high: Bound<&Value>) -> Vec<usize> {
+        let mut out = Vec::new();
+        range_rec(&self.root, low, high, &mut out);
+        out
+    }
+
+    /// All (key, row ids) entries in key order.
+    pub fn iter_ordered(&self) -> Vec<(Value, Vec<usize>)> {
+        let mut out = Vec::new();
+        collect_rec(&self.root, &mut out);
+        out
+    }
+
+    /// Height of the tree (1 for a single leaf). Exposed for tests.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            h += 1;
+            node = &children[0];
+        }
+        h
+    }
+
+    /// Verify structural invariants; panics with a description on violation.
+    /// Used by property tests.
+    pub fn check_invariants(&self) {
+        check_rec(&self.root, None, None, true);
+        let total: usize = self
+            .iter_ordered()
+            .iter()
+            .map(|(_, rows)| rows.len())
+            .sum();
+        assert_eq!(total, self.len, "len counter out of sync");
+    }
+}
+
+/// Insert into a subtree; on split, return (separator key, right sibling).
+fn insert_rec(node: &mut Node, key: Value, row: usize) -> Option<(Value, Node)> {
+    match node {
+        Node::Leaf { keys, rows } => {
+            match keys.binary_search(&key) {
+                Ok(i) => rows[i].push(row),
+                Err(i) => {
+                    keys.insert(i, key);
+                    rows.insert(i, vec![row]);
+                }
+            }
+            if keys.len() > ORDER {
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_rows = rows.split_off(mid);
+                let sep = right_keys[0].clone();
+                return Some((
+                    sep,
+                    Node::Leaf {
+                        keys: right_keys,
+                        rows: right_rows,
+                    },
+                ));
+            }
+            None
+        }
+        Node::Internal { keys, children } => {
+            let idx = keys.partition_point(|k| *k <= key);
+            if let Some((sep, right)) = insert_rec(&mut children[idx], key, row) {
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+                if children.len() > ORDER {
+                    let mid = keys.len() / 2;
+                    let sep = keys[mid].clone();
+                    let right_keys = keys.split_off(mid + 1);
+                    keys.pop(); // the separator moves up
+                    let right_children = children.split_off(mid + 1);
+                    return Some((
+                        sep,
+                        Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        },
+                    ));
+                }
+            }
+            None
+        }
+    }
+}
+
+fn remove_rec(node: &mut Node, key: &Value, row: usize) -> bool {
+    match node {
+        Node::Leaf { keys, rows } => match keys.binary_search(key) {
+            Ok(i) => {
+                if let Some(pos) = rows[i].iter().position(|r| *r == row) {
+                    rows[i].swap_remove(pos);
+                    if rows[i].is_empty() {
+                        keys.remove(i);
+                        rows.remove(i);
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(_) => false,
+        },
+        Node::Internal { keys, children } => {
+            let idx = keys.partition_point(|k| k <= key);
+            remove_rec(&mut children[idx], key, row)
+        }
+    }
+}
+
+fn range_rec(node: &Node, low: Bound<&Value>, high: Bound<&Value>, out: &mut Vec<usize>) {
+    let below_low = |k: &Value| match low {
+        Bound::Unbounded => false,
+        Bound::Included(l) => k < l,
+        Bound::Excluded(l) => k <= l,
+    };
+    let above_high = |k: &Value| match high {
+        Bound::Unbounded => false,
+        Bound::Included(h) => k > h,
+        Bound::Excluded(h) => k >= h,
+    };
+    match node {
+        Node::Leaf { keys, rows } => {
+            for (k, rs) in keys.iter().zip(rows) {
+                if below_low(k) {
+                    continue;
+                }
+                if above_high(k) {
+                    break;
+                }
+                out.extend_from_slice(rs);
+            }
+        }
+        Node::Internal { keys, children } => {
+            // Child i covers keys < keys[i]; child i+1 covers >= keys[i].
+            for (i, child) in children.iter().enumerate() {
+                // Prune children strictly outside the bounds.
+                let child_min_ok = i == 0 || !above_high(&keys[i - 1]);
+                let child_max_ok = i == keys.len() || !below_low(&keys[i]);
+                if child_min_ok && child_max_ok {
+                    range_rec(child, low, high, out);
+                }
+            }
+        }
+    }
+}
+
+fn collect_rec(node: &Node, out: &mut Vec<(Value, Vec<usize>)>) {
+    match node {
+        Node::Leaf { keys, rows } => {
+            for (k, rs) in keys.iter().zip(rows) {
+                out.push((k.clone(), rs.clone()));
+            }
+        }
+        Node::Internal { children, .. } => {
+            for c in children {
+                collect_rec(c, out);
+            }
+        }
+    }
+}
+
+fn check_rec(node: &Node, min: Option<&Value>, max: Option<&Value>, is_root: bool) -> usize {
+    match node {
+        Node::Leaf { keys, rows } => {
+            assert_eq!(keys.len(), rows.len(), "leaf keys/rows length mismatch");
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaf keys not sorted");
+            for k in keys {
+                if let Some(m) = min {
+                    assert!(k >= m, "leaf key below subtree min");
+                }
+                if let Some(m) = max {
+                    assert!(k < m, "leaf key at or above subtree max");
+                }
+            }
+            assert!(rows.iter().all(|r| !r.is_empty()), "empty posting list");
+            1
+        }
+        Node::Internal { keys, children } => {
+            assert_eq!(children.len(), keys.len() + 1, "internal arity mismatch");
+            assert!(!keys.is_empty() || is_root, "internal node with no keys");
+            assert!(
+                keys.windows(2).all(|w| w[0] < w[1]),
+                "internal keys not sorted"
+            );
+            let mut depth = None;
+            for (i, child) in children.iter().enumerate() {
+                let lo = if i == 0 { min } else { Some(&keys[i - 1]) };
+                let hi = if i == keys.len() { max } else { Some(&keys[i]) };
+                let d = check_rec(child, lo, hi, false);
+                if let Some(prev) = depth {
+                    assert_eq!(prev, d, "unbalanced children");
+                }
+                depth = Some(d);
+            }
+            depth.unwrap_or(0) + 1
+        }
+    }
+}
+
+/// Hash index for equality lookups.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<Value, Vec<usize>>,
+    len: usize,
+}
+
+impl HashIndex {
+    /// An empty hash index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a (key, row id) pair.
+    pub fn insert(&mut self, key: Value, row: usize) {
+        self.map.entry(key).or_default().push(row);
+        self.len += 1;
+    }
+
+    /// Remove a specific (key, row id) pair.
+    pub fn remove(&mut self, key: &Value, row: usize) -> bool {
+        if let Some(rows) = self.map.get_mut(key) {
+            if let Some(pos) = rows.iter().position(|r| *r == row) {
+                rows.swap_remove(pos);
+                if rows.is_empty() {
+                    self.map.remove(key);
+                }
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Row ids with exactly this key.
+    pub fn get(&self, key: &Value) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of (key, row) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut idx = BTreeIndex::new();
+        for i in 0..100 {
+            idx.insert(Value::Int(i % 10), i as usize);
+        }
+        idx.check_invariants();
+        assert_eq!(idx.len(), 100);
+        let mut rows = idx.get(&Value::Int(3));
+        rows.sort_unstable();
+        assert_eq!(rows, vec![3, 13, 23, 33, 43, 53, 63, 73, 83, 93]);
+        assert!(idx.get(&Value::Int(11)).is_empty());
+    }
+
+    #[test]
+    fn splits_grow_height() {
+        let mut idx = BTreeIndex::new();
+        assert_eq!(idx.height(), 1);
+        for i in 0..1000 {
+            idx.insert(Value::Int(i), i as usize);
+        }
+        idx.check_invariants();
+        assert!(idx.height() >= 3, "height {} too small", idx.height());
+        // Ordered iteration yields sorted unique keys.
+        let entries = idx.iter_ordered();
+        assert_eq!(entries.len(), 1000);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut idx = BTreeIndex::new();
+        for i in 0..50 {
+            idx.insert(Value::Int(i), i as usize);
+        }
+        let lo = Value::Int(10);
+        let hi = Value::Int(15);
+        let mut rows = idx.range(Bound::Included(&lo), Bound::Excluded(&hi));
+        rows.sort_unstable();
+        assert_eq!(rows, vec![10, 11, 12, 13, 14]);
+        let rows = idx.range(Bound::Excluded(&lo), Bound::Included(&hi));
+        assert_eq!(rows, vec![11, 12, 13, 14, 15]);
+        let all = idx.range(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(all.len(), 50);
+    }
+
+    #[test]
+    fn remove_entries() {
+        let mut idx = BTreeIndex::new();
+        for i in 0..200 {
+            idx.insert(Value::Int(i / 2), i as usize);
+        }
+        assert!(idx.remove(&Value::Int(5), 10));
+        assert!(idx.remove(&Value::Int(5), 11));
+        assert!(!idx.remove(&Value::Int(5), 10));
+        assert!(idx.get(&Value::Int(5)).is_empty());
+        assert_eq!(idx.len(), 198);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn mixed_type_keys_order() {
+        let mut idx = BTreeIndex::new();
+        idx.insert(Value::text("zebra"), 0);
+        idx.insert(Value::Int(5), 1);
+        idx.insert(Value::Null, 2);
+        idx.insert(Value::Float(2.5), 3);
+        idx.check_invariants();
+        let keys: Vec<Value> = idx.iter_ordered().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                Value::Null,
+                Value::Float(2.5),
+                Value::Int(5),
+                Value::text("zebra")
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_index_basics() {
+        let mut h = HashIndex::new();
+        h.insert(Value::text("a"), 1);
+        h.insert(Value::text("a"), 2);
+        h.insert(Value::text("b"), 3);
+        assert_eq!(h.get(&Value::text("a")), &[1, 2]);
+        assert!(h.remove(&Value::text("a"), 1));
+        assert_eq!(h.get(&Value::text("a")), &[2]);
+        assert!(!h.remove(&Value::text("c"), 9));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn hash_index_int_float_unify() {
+        // Int(2) and Float(2.0) compare equal and hash alike, so they must
+        // share a posting list.
+        let mut h = HashIndex::new();
+        h.insert(Value::Int(2), 1);
+        h.insert(Value::Float(2.0), 2);
+        assert_eq!(h.get(&Value::Int(2)), &[1, 2]);
+    }
+}

@@ -1,0 +1,375 @@
+//! SQL tokenizer.
+//!
+//! Produces a flat token stream; keyword classification happens in the
+//! parser so that keywords can still be used as identifiers where SQLite
+//! allows it.
+
+use crate::error::{SqlError, SqlResult};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare or quoted identifier / keyword. The `bool` is true when the
+    /// identifier was quoted (and therefore can never be a keyword).
+    Ident(String, bool),
+    /// Integer literal (kept as text until parse).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal, quotes removed and `''` unescaped.
+    Str(String),
+    /// Punctuation or operator.
+    Sym(Sym),
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Concat,
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sym::LParen => "(",
+            Sym::RParen => ")",
+            Sym::Comma => ",",
+            Sym::Dot => ".",
+            Sym::Semicolon => ";",
+            Sym::Star => "*",
+            Sym::Plus => "+",
+            Sym::Minus => "-",
+            Sym::Slash => "/",
+            Sym::Percent => "%",
+            Sym::Eq => "=",
+            Sym::NotEq => "!=",
+            Sym::Lt => "<",
+            Sym::LtEq => "<=",
+            Sym::Gt => ">",
+            Sym::GtEq => ">=",
+            Sym::Concat => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s, _) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Tokenize a SQL string.
+///
+/// Supports `--` line comments and `/* */` block comments, single-quoted
+/// strings with `''` escapes, double-quote and backtick quoted
+/// identifiers, and decimal/float numeric literals.
+pub fn tokenize(sql: &str) -> SqlResult<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        // Decode the actual char so multibyte input can't be mis-sliced.
+        let c = sql[i..].chars().next().expect("i is on a char boundary");
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(SqlError::Lex(format!(
+                            "unterminated block comment at byte {start}"
+                        )));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_quoted(sql, i, '\'')?;
+                out.push(Token::Str(s));
+                i = next;
+            }
+            '"' | '`' => {
+                let (s, next) = lex_quoted(sql, i, c)?;
+                out.push(Token::Ident(s, true));
+                i = next;
+            }
+            '(' => push_sym(&mut out, Sym::LParen, &mut i),
+            ')' => push_sym(&mut out, Sym::RParen, &mut i),
+            ',' => push_sym(&mut out, Sym::Comma, &mut i),
+            ';' => push_sym(&mut out, Sym::Semicolon, &mut i),
+            '*' => push_sym(&mut out, Sym::Star, &mut i),
+            '+' => push_sym(&mut out, Sym::Plus, &mut i),
+            '-' => push_sym(&mut out, Sym::Minus, &mut i),
+            '/' => push_sym(&mut out, Sym::Slash, &mut i),
+            '%' => push_sym(&mut out, Sym::Percent, &mut i),
+            '=' => {
+                i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                out.push(Token::Sym(Sym::Eq));
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym(Sym::NotEq));
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex("unexpected '!'".into()));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Token::Sym(Sym::LtEq));
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Token::Sym(Sym::NotEq));
+                    i += 2;
+                }
+                _ => push_sym(&mut out, Sym::Lt, &mut i),
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym(Sym::GtEq));
+                    i += 2;
+                } else {
+                    push_sym(&mut out, Sym::Gt, &mut i);
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token::Sym(Sym::Concat));
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex("unexpected '|' (did you mean '||'?)".into()));
+                }
+            }
+            '.' if bytes
+                .get(i + 1)
+                .map(|b| b.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                let (tok, next) = lex_number(sql, i)?;
+                out.push(tok);
+                i = next;
+            }
+            '.' => push_sym(&mut out, Sym::Dot, &mut i),
+            '0'..='9' => {
+                let (tok, next) = lex_number(sql, i)?;
+                out.push(tok);
+                i = next;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                for (off, ch) in sql[start..].char_indices() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i = start + off + ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(sql[start..i].to_owned(), false));
+            }
+            other => {
+                return Err(SqlError::Lex(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push_sym(out: &mut Vec<Token>, sym: Sym, i: &mut usize) {
+    out.push(Token::Sym(sym));
+    *i += 1;
+}
+
+fn lex_quoted(sql: &str, start: usize, quote: char) -> SqlResult<(String, usize)> {
+    let bytes = sql.as_bytes();
+    let q = quote as u8;
+    let mut i = start + 1;
+    let mut s = String::new();
+    loop {
+        if i >= bytes.len() {
+            return Err(SqlError::Lex(format!(
+                "unterminated {quote}-quoted token starting at byte {start}"
+            )));
+        }
+        if bytes[i] == q {
+            // Doubled quote is an escape inside single-quoted strings.
+            if quote == '\'' && bytes.get(i + 1) == Some(&q) {
+                s.push(quote);
+                i += 2;
+                continue;
+            }
+            return Ok((s, i + 1));
+        }
+        // Advance by full UTF-8 characters.
+        let ch_len = utf8_len(bytes[i]);
+        s.push_str(&sql[i..i + ch_len]);
+        i += ch_len;
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn lex_number(sql: &str, start: usize) -> SqlResult<(Token, usize)> {
+    let bytes = sql.as_bytes();
+    let mut i = start;
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'0'..=b'9' => i += 1,
+            b'.' if !seen_dot && !seen_exp => {
+                seen_dot = true;
+                i += 1;
+            }
+            b'e' | b'E' if !seen_exp => {
+                seen_exp = true;
+                i += 1;
+                if matches!(bytes.get(i), Some(b'+') | Some(b'-')) {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let text = &sql[start..i];
+    if !seen_dot && !seen_exp {
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok((Token::Int(v), i));
+        }
+    }
+    text.parse::<f64>()
+        .map(|v| (Token::Float(v), i))
+        .map_err(|_| SqlError::Lex(format!("bad numeric literal {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap()
+    }
+
+    #[test]
+    fn basic_select_tokens() {
+        let toks = lex("SELECT a, b FROM t WHERE a >= 10;");
+        assert_eq!(toks.len(), 11);
+        assert_eq!(toks[0], Token::Ident("SELECT".into(), false));
+        assert_eq!(toks[8], Token::Sym(Sym::GtEq));
+        assert_eq!(toks[9], Token::Int(10));
+        assert_eq!(toks[10], Token::Sym(Sym::Semicolon));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex("'it''s'");
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = lex("\"Academic Year\" `col`");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("Academic Year".into(), true),
+                Token::Ident("col".into(), true)
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42"), vec![Token::Int(42)]);
+        assert_eq!(lex("3.5"), vec![Token::Float(3.5)]);
+        assert_eq!(lex(".5"), vec![Token::Float(0.5)]);
+        assert_eq!(lex("1e3"), vec![Token::Float(1000.0)]);
+        assert_eq!(lex("2.5e-1"), vec![Token::Float(0.25)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT 1 -- trailing\n/* block\ncomment */ + 2");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into(), false),
+                Token::Int(1),
+                Token::Sym(Sym::Plus),
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operator_variants() {
+        let toks = lex("a <> b != c == d");
+        assert_eq!(toks[1], Token::Sym(Sym::NotEq));
+        assert_eq!(toks[3], Token::Sym(Sym::NotEq));
+        assert_eq!(toks[5], Token::Sym(Sym::Eq));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("/* open").is_err());
+        assert!(tokenize("a | b").is_err());
+        assert!(tokenize("SELECT #").is_err());
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let toks = lex("'café ☕'");
+        assert_eq!(toks, vec![Token::Str("café ☕".into())]);
+    }
+
+    #[test]
+    fn concat_operator() {
+        assert_eq!(lex("a || b")[1], Token::Sym(Sym::Concat));
+    }
+}

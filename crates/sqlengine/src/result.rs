@@ -1,0 +1,165 @@
+//! Query result sets.
+
+use crate::schema::Row;
+use crate::value::Value;
+use std::fmt;
+
+/// The materialized output of a query: column names plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output column names, in order.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Build a result set.
+    pub fn new(columns: Vec<String>, rows: Vec<Row>) -> Self {
+        ResultSet { columns, rows }
+    }
+
+    /// An empty result with no columns (used by DDL/DML statements).
+    pub fn empty() -> Self {
+        ResultSet::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&Value> {
+        self.rows.get(row).and_then(|r| r.get(col))
+    }
+
+    /// Cell accessor by column name.
+    pub fn cell_by_name(&self, row: usize, name: &str) -> Option<&Value> {
+        self.column_index(name).and_then(|c| self.cell(row, c))
+    }
+
+    /// The single scalar value of a 1×1 result, if it is one.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// The values of one column.
+    pub fn column_values(&self, name: &str) -> Option<Vec<Value>> {
+        let idx = self.column_index(name)?;
+        Some(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Render as an ASCII table (for examples and debugging).
+    pub fn to_ascii_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!(" {c:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &rendered {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs() -> ResultSet {
+        ResultSet::new(
+            vec!["id".into(), "name".into()],
+            vec![
+                vec![Value::Int(1), Value::text("alpha")],
+                vec![Value::Int(2), Value::text("beta")],
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let r = rs();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.column_index("NAME"), Some(1));
+        assert_eq!(r.cell(0, 1), Some(&Value::text("alpha")));
+        assert_eq!(r.cell_by_name(1, "id"), Some(&Value::Int(2)));
+        assert_eq!(r.cell(5, 0), None);
+        assert!(r.scalar().is_none());
+    }
+
+    #[test]
+    fn scalar_of_1x1() {
+        let r = ResultSet::new(vec!["n".into()], vec![vec![Value::Int(42)]]);
+        assert_eq!(r.scalar(), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn column_values() {
+        let r = rs();
+        assert_eq!(
+            r.column_values("name").unwrap(),
+            vec![Value::text("alpha"), Value::text("beta")]
+        );
+        assert!(r.column_values("missing").is_none());
+    }
+
+    #[test]
+    fn ascii_table_alignment() {
+        let t = rs().to_ascii_table();
+        assert!(t.contains("| id | name  |"));
+        assert!(t.contains("| 1  | alpha |"));
+    }
+}

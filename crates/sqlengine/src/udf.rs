@@ -1,0 +1,174 @@
+//! User-defined scalar functions.
+//!
+//! The TAG paper (§2.1) notes that some database APIs "execute LM UDFs
+//! within SQL queries". This registry is the extension point: the LM
+//! crates register functions such as `LLM_FILTER('is {x} a classic', col)`
+//! here, and the expression evaluator dispatches unknown function names
+//! through it.
+
+use crate::error::{SqlError, SqlResult};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A scalar user-defined function.
+pub trait ScalarUdf: Send + Sync {
+    /// Function name as used in SQL (matched case-insensitively).
+    fn name(&self) -> &str;
+    /// Evaluate over one row's argument values.
+    fn call(&self, args: &[Value]) -> SqlResult<Value>;
+    /// Arity check; `None` means variadic. Default: variadic.
+    fn arity(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A UDF built from a closure.
+pub struct FnUdf<F> {
+    name: String,
+    arity: Option<usize>,
+    f: F,
+}
+
+impl<F> FnUdf<F>
+where
+    F: Fn(&[Value]) -> SqlResult<Value> + Send + Sync,
+{
+    /// Wrap a closure as a UDF.
+    pub fn new(name: impl Into<String>, arity: Option<usize>, f: F) -> Self {
+        FnUdf {
+            name: name.into(),
+            arity,
+            f,
+        }
+    }
+}
+
+impl<F> ScalarUdf for FnUdf<F>
+where
+    F: Fn(&[Value]) -> SqlResult<Value> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn call(&self, args: &[Value]) -> SqlResult<Value> {
+        (self.f)(args)
+    }
+    fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+}
+
+/// Registry of UDFs, keyed by upper-cased name.
+#[derive(Clone, Default)]
+pub struct UdfRegistry {
+    funcs: HashMap<String, Arc<dyn ScalarUdf>>,
+}
+
+impl UdfRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a UDF; replaces any previous function of the same name.
+    pub fn register(&mut self, udf: Arc<dyn ScalarUdf>) {
+        self.funcs.insert(udf.name().to_ascii_uppercase(), udf);
+    }
+
+    /// Register a closure-based UDF.
+    pub fn register_fn<F>(&mut self, name: &str, arity: Option<usize>, f: F)
+    where
+        F: Fn(&[Value]) -> SqlResult<Value> + Send + Sync + 'static,
+    {
+        self.register(Arc::new(FnUdf::new(name, arity, f)));
+    }
+
+    /// Look up by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn ScalarUdf>> {
+        self.funcs.get(&name.to_ascii_uppercase())
+    }
+
+    /// Invoke a registered UDF with arity checking.
+    pub fn call(&self, name: &str, args: &[Value]) -> SqlResult<Value> {
+        let udf = self.get(name).ok_or_else(|| {
+            SqlError::Binding(format!("unknown function {name:?}"))
+        })?;
+        if let Some(n) = udf.arity() {
+            if args.len() != n {
+                return Err(SqlError::Udf(format!(
+                    "{} expects {} argument(s), got {}",
+                    udf.name(),
+                    n,
+                    args.len()
+                )));
+            }
+        }
+        udf.call(args)
+    }
+
+    /// Names of all registered functions.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.funcs.keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+}
+
+impl std::fmt::Debug for UdfRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdfRegistry")
+            .field("functions", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_call() {
+        let mut reg = UdfRegistry::new();
+        reg.register_fn("double", Some(1), |args| {
+            crate::value::arith::mul(&args[0], &Value::Int(2))
+        });
+        assert_eq!(
+            reg.call("DOUBLE", &[Value::Int(21)]).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            reg.call("double", &[Value::Float(1.5)]).unwrap(),
+            Value::Float(3.0)
+        );
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut reg = UdfRegistry::new();
+        reg.register_fn("one_arg", Some(1), |_| Ok(Value::Null));
+        let err = reg.call("one_arg", &[]).unwrap_err();
+        assert_eq!(err.category(), "udf");
+    }
+
+    #[test]
+    fn unknown_function_is_binding_error() {
+        let reg = UdfRegistry::new();
+        let err = reg.call("nope", &[]).unwrap_err();
+        assert_eq!(err.category(), "binding");
+    }
+
+    #[test]
+    fn replace_same_name() {
+        let mut reg = UdfRegistry::new();
+        reg.register_fn("f", None, |_| Ok(Value::Int(1)));
+        reg.register_fn("F", None, |_| Ok(Value::Int(2)));
+        assert_eq!(reg.call("f", &[]).unwrap(), Value::Int(2));
+        assert_eq!(reg.names(), vec!["F".to_string()]);
+    }
+}

@@ -1,0 +1,537 @@
+//! Runtime values and the engine's coercion / comparison rules.
+//!
+//! The value model follows SQLite's dynamic typing: every cell holds a
+//! [`Value`], and operators coerce between integers, floats, and text
+//! according to a small, well-defined set of rules.
+
+use crate::error::{SqlError, SqlResult};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically typed SQL value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl Value {
+    /// Build a text value from anything string-like.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// True iff this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The numeric interpretation, if one exists (ints and floats only).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The integer interpretation, if exact.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The text content, if this is a text value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued truthiness: NULL is unknown, numbers are true when
+    /// nonzero, text is true when it parses as a nonzero number (SQLite rule).
+    pub fn truthiness(&self) -> Option<bool> {
+        match self {
+            Value::Null => None,
+            Value::Int(i) => Some(*i != 0),
+            Value::Float(f) => Some(*f != 0.0),
+            Value::Text(s) => Some(s.trim().parse::<f64>().map(|f| f != 0.0).unwrap_or(false)),
+        }
+    }
+
+    /// Total ordering used by ORDER BY, B-tree indexes, and DISTINCT:
+    /// `NULL < numeric (by value) < text (lexicographic)`.
+    ///
+    /// NaN floats sort after all other numerics so the order stays total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Int(_) | Float(_) => 1,
+                Text(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// SQL equality (`=`). Returns `None` when either side is NULL.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other) == Ordering::Equal)
+    }
+
+    /// SQL comparison for `<`, `<=`, `>`, `>=`. Returns `None` on NULL.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other))
+    }
+
+    /// Coerce to a numeric value for arithmetic; text that parses as a
+    /// number is accepted (SQLite affinity rule).
+    pub fn coerce_numeric(&self) -> SqlResult<Value> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(_) | Value::Float(_) => Ok(self.clone()),
+            Value::Text(s) => {
+                let t = s.trim();
+                if let Ok(i) = t.parse::<i64>() {
+                    Ok(Value::Int(i))
+                } else if let Ok(f) = t.parse::<f64>() {
+                    Ok(Value::Float(f))
+                } else {
+                    Err(SqlError::Type(format!(
+                        "cannot use text {t:?} as a number"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Render as SQL literal syntax (used by plan display and tests).
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".into(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() {
+                    format!("{f:.1}")
+                } else {
+                    f.to_string()
+                }
+            }
+            Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            // Ints and equal-valued floats must hash alike because they
+            // compare equal under `total_cmp`.
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_u64((*i as f64).to_bits());
+            }
+            Value::Float(f) => {
+                state.write_u8(1);
+                state.write_u64(f.to_bits());
+            }
+            Value::Text(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+/// Arithmetic on values with SQL NULL propagation.
+pub mod arith {
+    use super::*;
+
+    fn binary_numeric(
+        lhs: &Value,
+        rhs: &Value,
+        int_op: impl Fn(i64, i64) -> SqlResult<Value>,
+        float_op: impl Fn(f64, f64) -> SqlResult<Value>,
+    ) -> SqlResult<Value> {
+        let l = lhs.coerce_numeric()?;
+        let r = rhs.coerce_numeric()?;
+        match (l, r) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Int(a), Value::Int(b)) => int_op(a, b),
+            (a, b) => float_op(a.as_f64().unwrap(), b.as_f64().unwrap()),
+        }
+    }
+
+    /// `lhs + rhs` with integer overflow promoting to float.
+    pub fn add(lhs: &Value, rhs: &Value) -> SqlResult<Value> {
+        binary_numeric(
+            lhs,
+            rhs,
+            |a, b| {
+                Ok(a.checked_add(b)
+                    .map(Value::Int)
+                    .unwrap_or_else(|| Value::Float(a as f64 + b as f64)))
+            },
+            |a, b| Ok(Value::Float(a + b)),
+        )
+    }
+
+    /// `lhs - rhs`.
+    pub fn sub(lhs: &Value, rhs: &Value) -> SqlResult<Value> {
+        binary_numeric(
+            lhs,
+            rhs,
+            |a, b| {
+                Ok(a.checked_sub(b)
+                    .map(Value::Int)
+                    .unwrap_or_else(|| Value::Float(a as f64 - b as f64)))
+            },
+            |a, b| Ok(Value::Float(a - b)),
+        )
+    }
+
+    /// `lhs * rhs`.
+    pub fn mul(lhs: &Value, rhs: &Value) -> SqlResult<Value> {
+        binary_numeric(
+            lhs,
+            rhs,
+            |a, b| {
+                Ok(a.checked_mul(b)
+                    .map(Value::Int)
+                    .unwrap_or_else(|| Value::Float(a as f64 * b as f64)))
+            },
+            |a, b| Ok(Value::Float(a * b)),
+        )
+    }
+
+    /// `lhs / rhs`. Integer division truncates; division by zero yields NULL
+    /// (SQLite behaviour) rather than an error.
+    pub fn div(lhs: &Value, rhs: &Value) -> SqlResult<Value> {
+        binary_numeric(
+            lhs,
+            rhs,
+            |a, b| {
+                if b == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            },
+            |a, b| {
+                if b == 0.0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Float(a / b))
+                }
+            },
+        )
+    }
+
+    /// `lhs % rhs`. Modulo by zero yields NULL.
+    pub fn rem(lhs: &Value, rhs: &Value) -> SqlResult<Value> {
+        binary_numeric(
+            lhs,
+            rhs,
+            |a, b| {
+                if b == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(a % b))
+                }
+            },
+            |a, b| {
+                if b == 0.0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Float(a % b))
+                }
+            },
+        )
+    }
+
+    /// Unary negation.
+    pub fn neg(v: &Value) -> SqlResult<Value> {
+        match v.coerce_numeric()? {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(i
+                .checked_neg()
+                .map(Value::Int)
+                .unwrap_or(Value::Float(-(i as f64)))),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            _ => unreachable!("coerce_numeric returns numeric or null"),
+        }
+    }
+
+    /// String concatenation (`||`); NULL-propagating.
+    pub fn concat(lhs: &Value, rhs: &Value) -> SqlResult<Value> {
+        if lhs.is_null() || rhs.is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(Value::Text(format!("{lhs}{rhs}")))
+    }
+}
+
+/// SQL `LIKE` pattern matching with `%` and `_` wildcards.
+///
+/// Case-insensitive for ASCII, matching SQLite's default behaviour.
+/// Iterative with single-level backtracking to the most recent `%`
+/// (the classic glob algorithm): O(text × pattern) worst case, so
+/// adversarial many-`%` patterns cannot blow up a query.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t = text.as_bytes();
+    let p = pattern.as_bytes();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    // Position of the last `%` seen, and the text position it matched to.
+    let (mut star, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == b'_' || p[pi].eq_ignore_ascii_case(&t[ti])) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == b'%' {
+            star = pi;
+            star_t = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            // Backtrack: let the last `%` consume one more byte.
+            star_t += 1;
+            ti = star_t;
+            pi = star + 1;
+        } else {
+            return false;
+        }
+    }
+    // Only trailing `%`s may remain.
+    while pi < p.len() && p[pi] == b'%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_ranks_null_numeric_text() {
+        let mut vals = vec![
+            Value::text("apple"),
+            Value::Int(3),
+            Value::Null,
+            Value::Float(1.5),
+            Value::text("Banana"),
+            Value::Int(-2),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Int(-2),
+                Value::Float(1.5),
+                Value::Int(3),
+                Value::text("Banana"),
+                Value::text("apple"),
+            ]
+        );
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert!(Value::Int(2) == Value::Float(2.0));
+    }
+
+    #[test]
+    fn equal_int_and_float_hash_alike() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&Value::Int(7)), h(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn null_propagates_through_comparisons() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(arith::add(&Value::Int(2), &Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            arith::mul(&Value::Int(2), &Value::Float(1.5)).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(arith::div(&Value::Int(7), &Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(arith::div(&Value::Int(7), &Value::Int(0)).unwrap(), Value::Null);
+        assert_eq!(arith::rem(&Value::Int(7), &Value::Int(4)).unwrap(), Value::Int(3));
+        assert_eq!(arith::add(&Value::Null, &Value::Int(1)).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic_overflow_promotes_to_float() {
+        let big = Value::Int(i64::MAX);
+        match arith::add(&big, &Value::Int(1)).unwrap() {
+            Value::Float(f) => assert!(f >= i64::MAX as f64),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_coercion_of_text() {
+        assert_eq!(Value::text("42").coerce_numeric().unwrap(), Value::Int(42));
+        assert_eq!(
+            Value::text(" 2.5 ").coerce_numeric().unwrap(),
+            Value::Float(2.5)
+        );
+        assert!(Value::text("abc").coerce_numeric().is_err());
+    }
+
+    #[test]
+    fn truthiness_rules() {
+        assert_eq!(Value::Null.truthiness(), None);
+        assert_eq!(Value::Int(0).truthiness(), Some(false));
+        assert_eq!(Value::Int(5).truthiness(), Some(true));
+        assert_eq!(Value::text("1").truthiness(), Some(true));
+        assert_eq!(Value::text("hello").truthiness(), Some(false));
+    }
+
+    #[test]
+    fn like_pathological_patterns_terminate_fast() {
+        let text = "a".repeat(2000);
+        let pattern = "%a%a%a%a%a%a%a%a%b";
+        let start = std::time::Instant::now();
+        assert!(!like_match(&text, pattern));
+        assert!(
+            start.elapsed().as_millis() < 500,
+            "took {:?}",
+            start.elapsed()
+        );
+        assert!(like_match(&text, "%a%a%a%a%a%a%a%a%"));
+    }
+
+    #[test]
+    fn like_wildcards() {
+        assert!(like_match("Titanic", "T%"));
+        assert!(like_match("Titanic", "%tanic"));
+        assert!(like_match("Titanic", "_itanic"));
+        assert!(like_match("Titanic", "%TAN%"));
+        assert!(!like_match("Titanic", "X%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn sql_literal_round_trip_quoting() {
+        assert_eq!(Value::text("it's").to_sql_literal(), "'it''s'");
+        assert_eq!(Value::Null.to_sql_literal(), "NULL");
+        assert_eq!(Value::Float(2.0).to_sql_literal(), "2.0");
+    }
+
+    #[test]
+    fn concat_behaviour() {
+        assert_eq!(
+            arith::concat(&Value::text("ab"), &Value::Int(3)).unwrap(),
+            Value::text("ab3")
+        );
+        assert_eq!(
+            arith::concat(&Value::Null, &Value::text("x")).unwrap(),
+            Value::Null
+        );
+    }
+}

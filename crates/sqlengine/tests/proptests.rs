@@ -1,0 +1,255 @@
+//! Property-based tests for the SQL engine.
+
+use proptest::prelude::*;
+use std::ops::Bound;
+use tag_sql::index::BTreeIndex;
+use tag_sql::parser::{parse_expr, parse_statement};
+use tag_sql::value::{arith, like_match, Value};
+use tag_sql::Database;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1.0e6f64..1.0e6).prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::text),
+    ]
+}
+
+proptest! {
+    /// total_cmp really is a total order: antisymmetric and transitive on
+    /// random triples.
+    #[test]
+    fn value_order_is_total(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+
+    /// Values that compare equal must hash equal (HashMap correctness).
+    #[test]
+    fn equal_values_hash_equal(a in value_strategy(), b in value_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    /// Addition/multiplication commute (when both succeed).
+    #[test]
+    fn arith_commutes(a in value_strategy(), b in value_strategy()) {
+        if let (Ok(x), Ok(y)) = (arith::add(&a, &b), arith::add(&b, &a)) {
+            prop_assert_eq!(x, y);
+        }
+        if let (Ok(x), Ok(y)) = (arith::mul(&a, &b), arith::mul(&b, &a)) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// The tokenizer and parser never panic on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse_statement(&input);
+        let _ = parse_expr(&input);
+    }
+
+    /// LIKE with a bare '%' matches everything; a pattern equal to the
+    /// text (no wildcards) matches itself.
+    #[test]
+    fn like_properties(text in "[a-zA-Z0-9 ]{0,20}") {
+        prop_assert!(like_match(&text, "%"));
+        let no_wild: String = text.chars().filter(|c| *c != '%' && *c != '_').collect();
+        prop_assert!(like_match(&no_wild, &no_wild));
+    }
+
+    /// The iterative LIKE matcher agrees with a straightforward
+    /// recursive reference implementation on small random inputs.
+    #[test]
+    fn like_matches_reference(
+        text in "[ab]{0,10}",
+        pattern in "[ab%_]{0,8}",
+    ) {
+        fn reference(t: &[u8], p: &[u8]) -> bool {
+            if p.is_empty() {
+                return t.is_empty();
+            }
+            match p[0] {
+                b'%' => (0..=t.len()).any(|i| reference(&t[i..], &p[1..])),
+                b'_' => !t.is_empty() && reference(&t[1..], &p[1..]),
+                c => !t.is_empty() && t[0] == c && reference(&t[1..], &p[1..]),
+            }
+        }
+        prop_assert_eq!(
+            like_match(&text, &pattern),
+            reference(text.as_bytes(), pattern.as_bytes()),
+            "text={:?} pattern={:?}", text, pattern
+        );
+    }
+
+    /// B+-tree: after arbitrary insert/remove sequences, invariants hold
+    /// and lookups agree with a reference BTreeMap model.
+    #[test]
+    fn btree_matches_model(ops in prop::collection::vec(
+        (any::<bool>(), -50i64..50, 0usize..100), 0..400)
+    ) {
+        use std::collections::BTreeMap;
+        let mut tree = BTreeIndex::new();
+        let mut model: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+        for (is_insert, key, row) in ops {
+            if is_insert {
+                tree.insert(Value::Int(key), row);
+                model.entry(key).or_default().push(row);
+            } else {
+                let expected = model.get_mut(&key)
+                    .and_then(|v| v.iter().position(|r| *r == row).map(|p| { v.swap_remove(p); }))
+                    .is_some();
+                if let Some(v) = model.get(&key) {
+                    if v.is_empty() { model.remove(&key); }
+                }
+                let got = tree.remove(&Value::Int(key), row);
+                prop_assert_eq!(got, expected);
+            }
+        }
+        tree.check_invariants();
+        for (k, rows) in &model {
+            let mut got = tree.get(&Value::Int(*k));
+            got.sort_unstable();
+            let mut want = rows.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+        // Ordered iteration matches the model's key order.
+        let keys: Vec<i64> = tree.iter_ordered().into_iter()
+            .map(|(k, _)| k.as_i64().unwrap()).collect();
+        let want: Vec<i64> = model.keys().copied().collect();
+        prop_assert_eq!(keys, want);
+    }
+
+    /// B+-tree range scans agree with filtering the model.
+    #[test]
+    fn btree_range_matches_model(
+        keys in prop::collection::vec(-100i64..100, 1..200),
+        lo in -120i64..120,
+        span in 0i64..100,
+    ) {
+        let mut tree = BTreeIndex::new();
+        for (row, k) in keys.iter().enumerate() {
+            tree.insert(Value::Int(*k), row);
+        }
+        let hi = lo + span;
+        let lo_v = Value::Int(lo);
+        let hi_v = Value::Int(hi);
+        let mut got = tree.range(Bound::Included(&lo_v), Bound::Excluded(&hi_v));
+        got.sort_unstable();
+        let mut want: Vec<usize> = keys.iter().enumerate()
+            .filter(|(_, k)| **k >= lo && **k < hi)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// ORDER BY x LIMIT k through the engine (TopK path) equals sorting
+    /// the full result client-side and truncating.
+    #[test]
+    fn topk_equals_sort_then_limit(
+        vals in prop::collection::vec(-1000i64..1000, 0..60),
+        k in 1u64..10,
+    ) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        for v in &vals {
+            db.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+        }
+        let rs = db.execute(&format!("SELECT x FROM t ORDER BY x DESC LIMIT {k}")).unwrap();
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut want = vals.clone();
+        want.sort_unstable_by(|a, b| b.cmp(a));
+        want.truncate(k as usize);
+        prop_assert_eq!(got, want);
+    }
+
+    /// COUNT/SUM/AVG/MIN/MAX agree with client-side computation.
+    #[test]
+    fn aggregates_match_reference(vals in prop::collection::vec(-100i64..100, 1..50)) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        for v in &vals {
+            db.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+        }
+        let rs = db.execute(
+            "SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) FROM t"
+        ).unwrap();
+        let row = &rs.rows[0];
+        prop_assert_eq!(row[0].as_i64().unwrap(), vals.len() as i64);
+        prop_assert_eq!(row[1].as_i64().unwrap(), vals.iter().sum::<i64>());
+        let avg = vals.iter().sum::<i64>() as f64 / vals.len() as f64;
+        prop_assert!((row[2].as_f64().unwrap() - avg).abs() < 1e-9);
+        prop_assert_eq!(row[3].as_i64().unwrap(), *vals.iter().min().unwrap());
+        prop_assert_eq!(row[4].as_i64().unwrap(), *vals.iter().max().unwrap());
+    }
+
+    /// A filtered query over an indexed column returns the same rows as
+    /// over an unindexed copy of the data (index transparency).
+    #[test]
+    fn index_is_transparent(
+        keys in prop::collection::vec(0i64..30, 0..80),
+        probe in 0i64..30,
+    ) {
+        let mut with_idx = Database::new();
+        with_idx.execute("CREATE TABLE t (k INTEGER, pos INTEGER)").unwrap();
+        with_idx.execute("CREATE INDEX idx_k ON t (k)").unwrap();
+        let mut without = Database::new();
+        without.execute("CREATE TABLE t (k INTEGER, pos INTEGER)").unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            let stmt = format!("INSERT INTO t VALUES ({k}, {i})");
+            with_idx.execute(&stmt).unwrap();
+            without.execute(&stmt).unwrap();
+        }
+        for sql in [
+            format!("SELECT pos FROM t WHERE k = {probe} ORDER BY pos"),
+            format!("SELECT pos FROM t WHERE k < {probe} ORDER BY pos"),
+            format!("SELECT pos FROM t WHERE k BETWEEN {} AND {} ORDER BY pos", probe - 5, probe + 5),
+        ] {
+            let a = with_idx.execute(&sql).unwrap();
+            let b = without.execute(&sql).unwrap();
+            prop_assert_eq!(a.rows, b.rows, "query: {}", sql);
+        }
+    }
+
+    /// DISTINCT returns exactly the set of unique values.
+    #[test]
+    fn distinct_is_set_semantics(vals in prop::collection::vec(0i64..10, 0..60)) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        for v in &vals {
+            db.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+        }
+        let rs = db.execute("SELECT DISTINCT x FROM t ORDER BY x").unwrap();
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut want: Vec<i64> = vals.clone();
+        want.sort_unstable();
+        want.dedup();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Literal round trip: a value rendered with to_sql_literal and
+    /// selected back compares equal to the original.
+    #[test]
+    fn literal_round_trip(v in value_strategy()) {
+        let mut db = Database::new();
+        let rs = db.execute(&format!("SELECT {}", v.to_sql_literal())).unwrap();
+        match (&v, &rs.rows[0][0]) {
+            (Value::Float(a), Value::Float(b)) => prop_assert!((a - b).abs() <= a.abs() * 1e-12),
+            (a, b) => prop_assert_eq!(a, b),
+        }
+    }
+}

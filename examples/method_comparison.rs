@@ -1,0 +1,62 @@
+//! Run every Table 1 method on a handful of TAG-Bench queries and show
+//! answers, correctness, and simulated execution time side by side.
+//!
+//! Run with: `cargo run --release --example method_comparison`
+
+use tag_repro::tag_bench::{Harness, MethodId, QueryType};
+
+fn main() {
+    let mut harness = Harness::standard();
+
+    // One query of each graded type.
+    let picks: Vec<usize> = [
+        QueryType::MatchBased,
+        QueryType::Comparison,
+        QueryType::Ranking,
+    ]
+    .iter()
+    .map(|t| {
+        harness
+            .queries()
+            .iter()
+            .find(|q| q.qtype == *t)
+            .expect("query of each type")
+            .id
+    })
+    .collect();
+
+    for id in picks {
+        let q = harness
+            .queries()
+            .iter()
+            .find(|q| q.id == id)
+            .expect("picked id")
+            .clone();
+        println!("── Query {} ({}, {})", q.id, q.qtype.label(), q.kind.label());
+        println!("   {}", q.question());
+        if let Some(truth) = harness.truth(q.id) {
+            println!("   ground truth: [{}]", truth.join(", "));
+        }
+        for m in MethodId::all() {
+            let o = harness.run_one(m, q.id);
+            let verdict = match o.correct {
+                Some(true) => "correct",
+                Some(false) => "wrong",
+                None => "n/a",
+            };
+            let mut shown = o.answer.to_string();
+            if shown.len() > 90 {
+                shown.truncate(90);
+                shown.push('…');
+            }
+            println!(
+                "   {:<20} {:>7} {:>6.2}s  {}",
+                m.label(),
+                verdict,
+                o.seconds,
+                shown
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the TAG reproduction workspace.
+//!
+//! Re-exports every subsystem so examples and integration tests can use a
+//! single dependency. See the individual crates for the real APIs:
+//!
+//! - [`tag_sql`] — in-memory SQL engine (SQLite stand-in)
+//! - [`tag_lm`] — simulated language model substrate
+//! - [`tag_embed`] — embeddings + vector store (FAISS/E5 stand-in)
+//! - [`tag_semops`] — LOTUS-style semantic operator runtime
+//! - [`tag_core`] — the TAG model and all five evaluated methods
+//! - [`tag_datagen`] — synthetic BIRD-style domain databases
+//! - [`tag_bench`] — TAG-Bench: 80 queries, oracle ground truth, harness
+
+pub use tag_bench;
+pub use tag_core;
+pub use tag_datagen;
+pub use tag_embed;
+pub use tag_lm;
+pub use tag_semops;
+pub use tag_sql;

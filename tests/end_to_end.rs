@@ -1,0 +1,119 @@
+//! End-to-end integration tests spanning every crate: generated domains,
+//! the SQL engine, the simulated LM, semantic operators, and the five
+//! TAG methods.
+
+use std::sync::Arc;
+use tag_repro::tag_core::answer::Answer;
+use tag_repro::tag_core::env::TagEnv;
+use tag_repro::tag_core::methods::{HandWrittenTag, Rag, RetrievalLmRank, Text2Sql, Text2SqlLm};
+use tag_repro::tag_core::model::TagMethod;
+use tag_repro::tag_datagen::{formula1, movies, schools};
+use tag_repro::tag_lm::model::LanguageModel;
+use tag_repro::tag_lm::sim::{SimConfig, SimLm};
+
+fn env_over(db: tag_repro::tag_sql::Database) -> TagEnv {
+    TagEnv::new(db, Arc::new(SimLm::new(SimConfig::default())))
+}
+
+#[test]
+fn figure1_pipeline_answers_titanic() {
+    // The running example: highest grossing romance classic = Titanic.
+    let domain = movies::generate(42);
+    let mut env = env_over(domain.db);
+    let ans = HandWrittenTag.answer(
+        "What is the movie_title of the movies with the highest revenue \
+         among those with genre equal to 'Romance' and considered a classic?",
+        &mut env,
+    );
+    assert_eq!(ans, Answer::List(vec!["Titanic".into()]));
+}
+
+#[test]
+fn sepang_coverage_ordering_across_methods() {
+    // Figure 2's qualitative ordering, asserted quantitatively: TAG's
+    // answer covers every year, RAG a strict subset, Text2SQL + LM
+    // usually none (parametric fallback).
+    let request = "Provide information about the races held on Sepang International Circuit.";
+    let years = |text: &str| {
+        (1999..=2017)
+            .filter(|y| text.contains(&y.to_string()))
+            .count()
+    };
+
+    let domain = formula1::generate(42, 18);
+    let mut env = env_over(domain.db);
+
+    let tag = HandWrittenTag.answer(request, &mut env);
+    let tag_years = years(tag.as_text().expect("free text"));
+    assert_eq!(tag_years, 19, "TAG must cover all years: {tag}");
+
+    let rag = Rag::aggregation().answer(request, &mut env);
+    let rag_years = years(rag.as_text().expect("free text"));
+    assert!(rag_years < 19, "RAG is capped by its retrieval: {rag}");
+    assert!(rag_years > 0, "RAG retrieves something: {rag}");
+
+    let t2l = Text2SqlLm::aggregation().answer(request, &mut env);
+    let t2l_years = years(t2l.as_text().expect("free text"));
+    assert!(
+        t2l_years <= rag_years || t2l_years == 19,
+        "Text2SQL+LM either fails retrieval or trivially succeeds: {t2l}"
+    );
+}
+
+#[test]
+fn every_method_answers_without_panicking() {
+    let domain = schools::generate(7, 150);
+    let mut env = env_over(domain.db);
+    let request = "How many schools located in the Bay Area region are there?";
+    for answer in [
+        Text2Sql.answer(request, &mut env),
+        Rag::default().answer(request, &mut env),
+        RetrievalLmRank::default().answer(request, &mut env),
+        Text2SqlLm::default().answer(request, &mut env),
+        HandWrittenTag.answer(request, &mut env),
+    ] {
+        // Any Answer variant is acceptable; the pipeline must complete.
+        let _ = answer.to_string();
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let domain = schools::generate(11, 120);
+        let mut env = env_over(domain.db);
+        let request = "What is the School of the schools with the lowest Longitude \
+                       among those located in the Bay Area region?";
+        let a = HandWrittenTag.answer(request, &mut env);
+        let b = Text2Sql.answer(request, &mut env);
+        let secs = env.elapsed_seconds();
+        (a, b, secs)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.0, second.0);
+    assert_eq!(first.1, second.1);
+    assert!((first.2 - second.2).abs() < 1e-12);
+}
+
+#[test]
+fn virtual_clock_tracks_method_costs() {
+    let domain = schools::generate(3, 100);
+    let lm = Arc::new(SimLm::new(SimConfig::default()));
+    let mut env = TagEnv::new(domain.db, lm.clone() as Arc<dyn LanguageModel>);
+    let request = "How many schools located in the Silicon Valley region are there?";
+
+    env.reset_metrics();
+    Text2Sql.answer(request, &mut env);
+    let t2s = env.elapsed_seconds();
+    assert!(t2s > 0.0);
+    // Exactly one LM call for vanilla Text2SQL.
+    assert_eq!(lm.calls(), 1);
+
+    env.reset_metrics();
+    HandWrittenTag.answer(request, &mut env);
+    assert!(env.elapsed_seconds() > 0.0);
+    // One prompt per distinct city, but a single batch round.
+    assert_eq!(lm.batches(), 1);
+    assert!(lm.calls() > 1);
+}
