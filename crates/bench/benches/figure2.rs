@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use tag_bench::{Harness, MethodId, QueryType};
 
 fn bench_sepang(c: &mut Criterion) {
-    let mut harness = Harness::small();
+    let harness = Harness::small();
     let id = harness
         .queries()
         .iter()

@@ -29,7 +29,7 @@ fn representative_ids(harness: &Harness) -> Vec<(QueryType, usize)> {
 }
 
 fn bench_methods(c: &mut Criterion) {
-    let mut harness = Harness::small();
+    let harness = Harness::small();
     let ids = representative_ids(&harness);
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tag_bench::{Harness, MethodId, QueryKind};
 
 fn bench_kinds(c: &mut Criterion) {
-    let mut harness = Harness::small();
+    let harness = Harness::small();
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
     for kind in [QueryKind::Knowledge, QueryKind::Reasoning] {

@@ -205,7 +205,7 @@ fn coverage_ablation() {
             },
             ..SimConfig::default()
         };
-        let mut harness = Harness::new(42, Scale::default(), lm_config);
+        let harness = Harness::new(42, Scale::default(), lm_config);
         let ids: Vec<usize> = harness
             .queries()
             .iter()
@@ -215,15 +215,15 @@ fn coverage_ablation() {
             })
             .map(|q| q.id)
             .collect();
-        let acc = |h: &mut Harness, m: MethodId| -> f64 {
+        let acc = |h: &Harness, m: MethodId| -> f64 {
             let correct = ids
                 .iter()
                 .filter(|&&id| h.run_one(m, id).correct == Some(true))
                 .count();
             correct as f64 / ids.len() as f64
         };
-        let t2s = acc(&mut harness, MethodId::Text2Sql);
-        let tag = acc(&mut harness, MethodId::HandWritten);
+        let t2s = acc(&harness, MethodId::Text2Sql);
+        let tag = acc(&harness, MethodId::HandWritten);
         println!("{coverage:>10.2} {t2s:>12.2} {tag:>12.2}");
     }
     println!(
@@ -267,7 +267,7 @@ fn multihop_ablation() {
         })
         .count();
 
-    let mut env = TagEnv::new(community.db.clone(), lm);
+    let env = TagEnv::new(community.db.clone(), lm);
 
     let hop1 = NlQuery::List {
         entity: "posts".into(),
@@ -289,7 +289,7 @@ fn multihop_ablation() {
     // Single-hop attempt: the composition cannot be expressed over one
     // table, so the pipeline runs hop 2's filter alone.
     env.reset_metrics();
-    let single = HandWrittenTag.answer_structured(&hop2, &mut env);
+    let single = HandWrittenTag.answer_structured(&hop2, &env);
     let single_secs = env.elapsed_seconds();
 
     // Two-hop TAG.
@@ -300,7 +300,7 @@ fn multihop_ablation() {
             join_attr: "PostId".into(),
             hop2,
         },
-        &mut env,
+        &env,
     );
     let two_secs = env.elapsed_seconds();
 

@@ -3,7 +3,7 @@
 use tag_bench::{Harness, MethodId};
 
 fn main() {
-    let mut h = Harness::standard();
+    let h = Harness::standard();
     let queries = h.queries().to_vec();
     println!("{:>3} {:<12} {:<10} {:<9} t2s rag rrk t2l tag  question", "id", "type", "kind", "domain");
     for q in &queries {

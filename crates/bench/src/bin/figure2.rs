@@ -5,6 +5,6 @@
 use tag_bench::{report, Harness};
 
 fn main() {
-    let mut harness = Harness::standard();
-    println!("{}", report::figure2(&mut harness));
+    let harness = Harness::standard();
+    println!("{}", report::figure2(&harness));
 }

@@ -4,7 +4,7 @@
 use tag_bench::{report, Harness, MethodId};
 
 fn main() {
-    let mut harness = Harness::standard();
+    let harness = Harness::standard();
     eprintln!("Running 5 methods x 80 queries...");
     let outcomes = harness.run_all(&MethodId::all());
     let queries = harness.queries().to_vec();

@@ -140,15 +140,26 @@ impl Harness {
         self.envs.get_mut(domain).expect("domain env")
     }
 
+    /// Shared access to a domain environment.
+    pub fn env(&self, domain: &str) -> &TagEnv {
+        self.envs.get(domain).expect("domain env")
+    }
+
+    /// Move the per-domain environments out of the harness (the serving
+    /// runtime wraps each in an `Arc` and shares it across workers).
+    pub fn into_envs(self) -> HashMap<&'static str, TagEnv> {
+        self.envs
+    }
+
     /// Run one method on one query, with metrics isolated to this run.
-    pub fn run_one(&mut self, method: MethodId, query_id: usize) -> Outcome {
+    pub fn run_one(&self, method: MethodId, query_id: usize) -> Outcome {
         let query = self
             .queries
             .iter()
             .find(|q| q.id == query_id)
             .expect("query id")
             .clone();
-        let env = self.envs.get_mut(query.domain).expect("domain env");
+        let env = self.envs.get(query.domain).expect("domain env");
         // Warm the retrieval index outside the measured window (the
         // paper's FAISS index is likewise built offline).
         if matches!(method, MethodId::Rag | MethodId::Rerank) {
@@ -201,7 +212,7 @@ impl Harness {
     }
 
     /// Run a set of methods over the full benchmark.
-    pub fn run_all(&mut self, methods: &[MethodId]) -> Vec<Outcome> {
+    pub fn run_all(&self, methods: &[MethodId]) -> Vec<Outcome> {
         let ids: Vec<usize> = self.queries.iter().map(|q| q.id).collect();
         let mut out = Vec::with_capacity(methods.len() * ids.len());
         for &m in methods {
@@ -219,7 +230,7 @@ mod tests {
 
     #[test]
     fn harness_runs_each_method_once() {
-        let mut h = Harness::small();
+        let h = Harness::small();
         // One query per type, every method: must not panic and must
         // produce sensible records.
         let sample: Vec<usize> = [
@@ -248,7 +259,7 @@ mod tests {
 
     #[test]
     fn handwritten_beats_rag_on_a_knowledge_count() {
-        let mut h = Harness::small();
+        let h = Harness::small();
         let id = h
             .queries()
             .iter()

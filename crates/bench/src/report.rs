@@ -147,7 +147,7 @@ pub fn table2(outcomes: &[Outcome], queries: &[BenchQuery]) -> String {
 
 /// Reproduce Figure 2: qualitative aggregation answers for the Sepang
 /// query across RAG, Text2SQL + LM, and hand-written TAG.
-pub fn figure2(harness: &mut Harness) -> String {
+pub fn figure2(harness: &Harness) -> String {
     let sepang_id = harness
         .queries()
         .iter()

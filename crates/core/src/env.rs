@@ -1,6 +1,6 @@
 //! The shared execution environment for all TAG methods.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use tag_embed::{Embedder, RowStore};
 use tag_lm::model::LanguageModel;
 use tag_semops::SemEngine;
@@ -9,6 +9,11 @@ use tag_sql::Database;
 /// Everything a method needs to answer a question over one domain
 /// database: the SQL engine, the language model (behind the batched
 /// semantic engine), and a lazily built row-level vector store.
+///
+/// `TagEnv` is `Send + Sync`: every method runs under `&TagEnv`, so one
+/// environment per domain can be shared across serving threads behind an
+/// `Arc`. Lazily built state (the row store, the rendered schema prompt)
+/// lives behind [`OnceLock`]s.
 pub struct TagEnv {
     /// The domain database (the paper's SQLite instance).
     pub db: Database,
@@ -17,7 +22,8 @@ pub struct TagEnv {
     /// Batched + cached LM executor.
     pub engine: SemEngine,
     embedder: Embedder,
-    store: Option<RowStore>,
+    store: OnceLock<RowStore>,
+    schema: OnceLock<String>,
 }
 
 impl TagEnv {
@@ -29,7 +35,8 @@ impl TagEnv {
             lm,
             engine,
             embedder: Embedder::default(),
-            store: None,
+            store: OnceLock::new(),
+            schema: OnceLock::new(),
         }
     }
 
@@ -44,7 +51,14 @@ impl TagEnv {
     /// augmentation of the BIRD prompt format — it is where most of the
     /// prompt's tokens go, exactly as with the real benchmark's wide
     /// schemas).
-    pub fn schema_prompt(&self) -> String {
+    ///
+    /// The rendering is memoized: the catalog is immutable once a domain
+    /// is loaded, and re-rendering it dominated Text2SQL request setup.
+    pub fn schema_prompt(&self) -> &str {
+        self.schema.get_or_init(|| self.render_schema_prompt())
+    }
+
+    fn render_schema_prompt(&self) -> String {
         let mut out = String::new();
         for name in self.db.catalog().table_names() {
             let table = self.db.catalog().table(&name).expect("listed table");
@@ -89,9 +103,10 @@ impl TagEnv {
     }
 
     /// The row-level vector store over every table's rows, built on first
-    /// use (the RAG baseline's FAISS index).
-    pub fn row_store(&mut self) -> &RowStore {
-        if self.store.is_none() {
+    /// use (the RAG baseline's FAISS index). Safe under concurrent first
+    /// use: `OnceLock` guarantees a single build wins.
+    pub fn row_store(&self) -> &RowStore {
+        self.store.get_or_init(|| {
             let mut store = RowStore::new(self.embedder.clone());
             for name in self.db.catalog().table_names() {
                 let table = self.db.catalog().table(&name).expect("listed table");
@@ -105,9 +120,8 @@ impl TagEnv {
                     store.add_row(stored);
                 }
             }
-            self.store = Some(store);
-        }
-        self.store.as_ref().expect("just built")
+            store
+        })
     }
 
     /// Reset all metrics (LM clock, engine cache/stats) between queries.
@@ -147,8 +161,14 @@ mod tests {
     }
 
     #[test]
+    fn env_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TagEnv>();
+    }
+
+    #[test]
     fn row_store_covers_all_rows() {
-        let mut e = env();
+        let e = env();
         assert_eq!(e.row_store().len(), 2);
         let hits = e.row_store().retrieve("Gunn High school", 1);
         assert_eq!(hits.len(), 1);

@@ -25,18 +25,18 @@ pub struct HandWrittenTag;
 
 impl HandWrittenTag {
     /// Run the expert pipeline for a structured query.
-    pub fn answer_structured(&self, query: &NlQuery, env: &mut TagEnv) -> Answer {
+    pub fn answer_structured(&self, query: &NlQuery, env: &TagEnv) -> Answer {
         match self.run(query, env) {
             Ok(a) => a,
             Err(e) => Answer::Error(e),
         }
     }
 
-    fn run(&self, query: &NlQuery, env: &mut TagEnv) -> Result<Answer, String> {
+    fn run(&self, query: &NlQuery, env: &TagEnv) -> Result<Answer, String> {
         // exec starts from the entity's base table.
         let base = env
             .db
-            .execute(&format!("SELECT * FROM {}", query.entity()))
+            .query(&format!("SELECT * FROM {}", query.entity()))
             .map_err(|e| format!("base scan failed: {e}"))?;
         let mut df = DataFrame::from_result(base);
 
@@ -252,7 +252,7 @@ impl TagMethod for HandWrittenTag {
         "Hand-written TAG"
     }
 
-    fn answer(&self, request: &str, env: &mut TagEnv) -> Answer {
+    fn answer(&self, request: &str, env: &TagEnv) -> Answer {
         match NlQuery::parse(request) {
             Some(q) => self.answer_structured(&q, env),
             None => Answer::Error(format!("no hand-written pipeline for: {request}")),
@@ -307,22 +307,22 @@ mod tests {
 
     #[test]
     fn knowledge_superlative_pipeline() {
-        let mut env = env();
+        let env = env();
         let ans = HandWrittenTag.answer(
             "What is the GSoffered of the schools with the highest Longitude \
              among those located in the Silicon Valley region?",
-            &mut env,
+            &env,
         );
         assert_eq!(ans, Answer::List(vec!["9-12".into()])); // San Jose
     }
 
     #[test]
     fn semantic_rank_pipeline() {
-        let mut env = env();
+        let env = env();
         let ans = HandWrittenTag.answer(
             "Of the 5 posts with the highest ViewCount, list their Title in order \
              of most technical Title to least technical Title.",
-            &mut env,
+            &env,
         );
         let list = ans.as_list().expect("list answer").to_vec();
         assert_eq!(list.len(), 5);
@@ -335,11 +335,11 @@ mod tests {
 
     #[test]
     fn unique_value_membership_batches_distinct_only() {
-        let mut env = env();
+        let env = env();
         env.reset_metrics();
         HandWrittenTag.answer(
             "How many schools located in the Silicon Valley region are there?",
-            &mut env,
+            &env,
         );
         // 3 distinct cities -> 3 filter prompts, one batch.
         let stats = env.engine.stats();
@@ -349,25 +349,25 @@ mod tests {
 
     #[test]
     fn count_pipeline() {
-        let mut env = env();
+        let env = env();
         let ans = HandWrittenTag.answer(
             "How many schools with Longitude under -120 and located in the \
              Silicon Valley region are there?",
-            &mut env,
+            &env,
         );
         assert_eq!(ans, Answer::List(vec!["2".into()]));
     }
 
     #[test]
     fn unknown_question_is_an_error() {
-        let mut env = env();
-        assert!(HandWrittenTag.answer("What's up?", &mut env).is_error());
+        let env = env();
+        assert!(HandWrittenTag.answer("What's up?", &env).is_error());
     }
 
     #[test]
     fn missing_table_is_an_error() {
-        let mut env = env();
-        let ans = HandWrittenTag.answer("How many dragons are there?", &mut env);
+        let env = env();
+        let ans = HandWrittenTag.answer("How many dragons are there?", &env);
         assert!(ans.is_error());
     }
 }

@@ -42,7 +42,7 @@ impl TagMethod for Rag {
         "RAG"
     }
 
-    fn answer(&self, request: &str, env: &mut TagEnv) -> Answer {
+    fn answer(&self, request: &str, env: &TagEnv) -> Answer {
         let points: Vec<Vec<(String, String)>> = env
             .row_store()
             .retrieve(request, self.k)
@@ -91,11 +91,11 @@ mod tests {
 
     #[test]
     fn rag_count_is_capped_by_k() {
-        let mut env = env();
+        let env = env();
         // Ground truth is 19, but only 10 rows fit in the retrieval.
         let ans = Rag::default().answer(
             "How many races held on Sepang International Circuit are there?",
-            &mut env,
+            &env,
         );
         match ans {
             Answer::List(v) => {
@@ -108,10 +108,10 @@ mod tests {
 
     #[test]
     fn rag_aggregation_is_incomplete() {
-        let mut env = env();
+        let env = env();
         let ans = Rag::aggregation().answer(
             "Provide information about the races held on Sepang International Circuit.",
-            &mut env,
+            &env,
         );
         let text = ans.as_text().expect("free-form answer");
         // Figure 2: the RAG answer misses most years.

@@ -44,7 +44,7 @@ impl TagMethod for RetrievalLmRank {
         "Retrieval + LM Rank"
     }
 
-    fn answer(&self, request: &str, env: &mut TagEnv) -> Answer {
+    fn answer(&self, request: &str, env: &TagEnv) -> Answer {
         let candidates: Vec<Vec<(String, String)>> = env
             .row_store()
             .retrieve(request, self.pool)
@@ -111,10 +111,10 @@ mod tests {
             ))
             .unwrap();
         }
-        let mut env = TagEnv::new(db, Arc::new(SimLm::new(SimConfig::default())));
+        let env = TagEnv::new(db, Arc::new(SimLm::new(SimConfig::default())));
         let ans = RetrievalLmRank::default().answer(
             "How many posts with ViewCount over 990 are there?",
-            &mut env,
+            &env,
         );
         // The reranker feeds only 10 rows; the true count is 10 (views
         // 991..1000). Whether it matches depends on retrieval quality —

@@ -16,8 +16,8 @@ use tag_lm::prompts::text2sql_prompt;
 pub struct Text2Sql;
 
 impl QuerySynthesis for Text2Sql {
-    fn synthesize(&self, request: &str, env: &mut TagEnv) -> Result<String, String> {
-        let prompt = text2sql_prompt(&env.schema_prompt(), request, false);
+    fn synthesize(&self, request: &str, env: &TagEnv) -> Result<String, String> {
+        let prompt = text2sql_prompt(env.schema_prompt(), request, false);
         let completion = env
             .engine
             .complete(&prompt)
@@ -31,12 +31,12 @@ impl TagMethod for Text2Sql {
         "Text2SQL"
     }
 
-    fn answer(&self, request: &str, env: &mut TagEnv) -> Answer {
+    fn answer(&self, request: &str, env: &TagEnv) -> Answer {
         let sql = match self.synthesize(request, env) {
             Ok(s) => s,
             Err(e) => return Answer::Error(e),
         };
-        match env.db.execute(&sql) {
+        match env.db.query(&sql) {
             Ok(rs) => result_to_answer(&rs),
             Err(e) => Answer::Error(format!("generated SQL failed: {e}")),
         }
@@ -78,18 +78,18 @@ mod tests {
 
     #[test]
     fn relational_question_answers_correctly() {
-        let mut env = env();
-        let ans = Text2Sql.answer("How many schools with Longitude under -120 are there?", &mut env);
+        let env = env();
+        let ans = Text2Sql.answer("How many schools with Longitude under -120 are there?", &env);
         assert_eq!(ans, Answer::List(vec!["2".into()]));
     }
 
     #[test]
     fn knowledge_question_uses_inlined_memory() {
-        let mut env = env();
+        let env = env();
         let ans = Text2Sql.answer(
             "What is the GSoffered of the schools with the highest Longitude \
              among those located in the Silicon Valley region?",
-            &mut env,
+            &env,
         );
         // With full knowledge coverage this succeeds: Gunn High (Palo
         // Alto) has the highest longitude magnitude... highest value is
@@ -99,12 +99,12 @@ mod tests {
 
     #[test]
     fn reasoning_question_fails() {
-        let mut env = env();
+        let env = env();
         // A semantic filter that either gets dropped (wrong count) or
         // produces invalid SQL (error) — never a correct pipeline.
         let ans = Text2Sql.answer(
             "How many schools whose School is positive are there?",
-            &mut env,
+            &env,
         );
         match ans {
             Answer::List(v) => assert_eq!(v, vec!["3".to_string()], "clause dropped"),

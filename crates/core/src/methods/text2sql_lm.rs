@@ -36,16 +36,16 @@ impl TagMethod for Text2SqlLm {
         "Text2SQL + LM"
     }
 
-    fn answer(&self, request: &str, env: &mut TagEnv) -> Answer {
+    fn answer(&self, request: &str, env: &TagEnv) -> Answer {
         // Step 1: LM writes retrieval SQL (relational clauses only; the
         // knowledge/reasoning clauses are deferred to generation).
-        let prompt = text2sql_prompt(&env.schema_prompt(), request, true);
+        let prompt = text2sql_prompt(env.schema_prompt(), request, true);
         let completion = match env.engine.complete(&prompt) {
             Ok(c) => c,
             Err(e) => return Answer::Error(e.to_string()),
         };
         let sql = format!("SELECT {completion}");
-        let rows = match env.db.execute(&sql) {
+        let rows = match env.db.query(&sql) {
             Ok(rs) => rs,
             Err(e) => {
                 // Retrieval failed: generation proceeds with no data and
@@ -111,11 +111,11 @@ mod tests {
                (3, 'Lincoln High', 'San Jose', -121.9, '9-12')",
         )
         .unwrap();
-        let mut env = TagEnv::new(db, lm());
+        let env = TagEnv::new(db, lm());
         let ans = Text2SqlLm::default().answer(
             "What is the GSoffered of the schools with the highest Longitude \
              among those located in the Silicon Valley region?",
-            &mut env,
+            &env,
         );
         // 3 rows fit comfortably; generation applies the region knowledge.
         assert_eq!(ans, Answer::List(vec!["9-12".into()]));
@@ -139,9 +139,9 @@ mod tests {
             context_window: 2048,
             ..SimConfig::default()
         }));
-        let mut env = TagEnv::new(db, lm);
+        let env = TagEnv::new(db, lm);
         let ans = Text2SqlLm::default()
-            .answer("How many posts with Id over 50 are there?", &mut env);
+            .answer("How many posts with Id over 50 are there?", &env);
         match ans {
             Answer::Error(e) => assert!(e.contains("context"), "{e}"),
             other => panic!("expected context error, got {other:?}"),

@@ -20,13 +20,13 @@ use tag_sql::ResultSet;
 /// The query-synthesis stage: natural language request → database query.
 pub trait QuerySynthesis {
     /// Produce an executable SQL query for the request.
-    fn synthesize(&self, request: &str, env: &mut TagEnv) -> Result<String, String>;
+    fn synthesize(&self, request: &str, env: &TagEnv) -> Result<String, String>;
 }
 
 /// The answer-generation stage: request + computed table → answer.
 pub trait AnswerGeneration {
     /// Produce the final answer from the request and the computed table.
-    fn generate(&self, request: &str, table: &ResultSet, env: &mut TagEnv) -> Answer;
+    fn generate(&self, request: &str, table: &ResultSet, env: &TagEnv) -> Answer;
 }
 
 /// A composable single-iteration TAG pipeline over the SQL engine.
@@ -42,12 +42,12 @@ impl<S: QuerySynthesis, G: AnswerGeneration> TagPipeline<S, G> {
     }
 
     /// Run `gen(R, exec(syn(R)))`.
-    pub fn answer(&self, request: &str, env: &mut TagEnv) -> Answer {
+    pub fn answer(&self, request: &str, env: &TagEnv) -> Answer {
         let query = match self.syn.synthesize(request, env) {
             Ok(q) => q,
             Err(e) => return Answer::Error(format!("query synthesis failed: {e}")),
         };
-        let table = match env.db.execute(&query) {
+        let table = match env.db.query(&query) {
             Ok(t) => t,
             Err(e) => return Answer::Error(format!("query execution failed: {e}")),
         };
@@ -60,7 +60,7 @@ pub trait TagMethod {
     /// Display name, matching the paper's method names.
     fn name(&self) -> &'static str;
     /// Answer a natural-language request over the environment.
-    fn answer(&self, request: &str, env: &mut TagEnv) -> Answer;
+    fn answer(&self, request: &str, env: &TagEnv) -> Answer;
 }
 
 #[cfg(test)]
@@ -72,14 +72,14 @@ mod tests {
 
     struct FixedSyn(&'static str);
     impl QuerySynthesis for FixedSyn {
-        fn synthesize(&self, _r: &str, _e: &mut TagEnv) -> Result<String, String> {
+        fn synthesize(&self, _r: &str, _e: &TagEnv) -> Result<String, String> {
             Ok(self.0.to_owned())
         }
     }
 
     struct CountGen;
     impl AnswerGeneration for CountGen {
-        fn generate(&self, _r: &str, t: &ResultSet, _e: &mut TagEnv) -> Answer {
+        fn generate(&self, _r: &str, t: &ResultSet, _e: &TagEnv) -> Answer {
             Answer::List(vec![t.len().to_string()])
         }
     }
@@ -96,14 +96,14 @@ mod tests {
     #[test]
     fn pipeline_composes_stages() {
         let p = TagPipeline::new(FixedSyn("SELECT * FROM t WHERE x > 1"), CountGen);
-        let mut env = env();
-        assert_eq!(p.answer("how many?", &mut env), Answer::List(vec!["2".into()]));
+        let env = env();
+        assert_eq!(p.answer("how many?", &env), Answer::List(vec!["2".into()]));
     }
 
     #[test]
     fn execution_failure_surfaces_as_error() {
         let p = TagPipeline::new(FixedSyn("SELECT * FROM missing"), CountGen);
-        let mut env = env();
-        assert!(p.answer("?", &mut env).is_error());
+        let env = env();
+        assert!(p.answer("?", &env).is_error());
     }
 }

@@ -29,7 +29,7 @@ pub struct TwoHopQuery {
 }
 
 /// Run a two-hop query with hand-written TAG pipelines per hop.
-pub fn run_two_hop(query: &TwoHopQuery, env: &mut TagEnv) -> Answer {
+pub fn run_two_hop(query: &TwoHopQuery, env: &TagEnv) -> Answer {
     let first = HandWrittenTag.answer_structured(&query.hop1, env);
     let values = match first {
         Answer::List(v) => v,
@@ -137,8 +137,8 @@ mod tests {
                 }],
             },
         };
-        let mut env = env();
-        let ans = run_two_hop(&q, &mut env);
+        let env = env();
+        let ans = run_two_hop(&q, &env);
         // Posts 1 and 3 are technical; each has one sarcastic comment.
         assert_eq!(ans, Answer::List(vec!["2".into()]));
     }
@@ -161,7 +161,7 @@ mod tests {
                 filters: vec![],
             },
         };
-        let mut env = env();
-        assert_eq!(run_two_hop(&q, &mut env), Answer::List(vec![]));
+        let env = env();
+        assert_eq!(run_two_hop(&q, &env), Answer::List(vec![]));
     }
 }

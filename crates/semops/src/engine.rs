@@ -5,10 +5,15 @@
 //! engine is where that happens: semantic operators submit whole prompt
 //! batches; identical prompts are answered from a cache.
 
+use crate::lru::LruCache;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tag_lm::model::{LanguageModel, LmRequest, LmResult};
+
+/// Default bound on the prompt cache. Long-running serving processes
+/// replay many distinct prompts; an unbounded map grows without limit.
+pub const DEFAULT_PROMPT_CACHE_CAPACITY: usize = 4096;
 
 /// Execution statistics for one engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -19,6 +24,8 @@ pub struct EngineStats {
     pub lm_prompts: u64,
     /// Batches sent to the model.
     pub lm_batches: u64,
+    /// Prompt-cache entries evicted by the LRU bound.
+    pub evictions: u64,
 }
 
 /// Batched + cached LM executor shared by all semantic operators.
@@ -27,7 +34,7 @@ pub struct SemEngine {
     /// Maximum prompts per LM round (further split by the model's own
     /// batching limits).
     batch_size: usize,
-    cache: Mutex<HashMap<String, String>>,
+    cache: Mutex<LruCache<String, String>>,
     stats: Mutex<EngineStats>,
 }
 
@@ -39,10 +46,19 @@ impl SemEngine {
 
     /// Wrap a model with an explicit batch size (ablation hook).
     pub fn with_batch_size(lm: Arc<dyn LanguageModel>, batch_size: usize) -> Self {
+        Self::with_batch_size_and_cache(lm, batch_size, DEFAULT_PROMPT_CACHE_CAPACITY)
+    }
+
+    /// Wrap a model with explicit batch size and prompt-cache bound.
+    pub fn with_batch_size_and_cache(
+        lm: Arc<dyn LanguageModel>,
+        batch_size: usize,
+        cache_capacity: usize,
+    ) -> Self {
         SemEngine {
             lm,
             batch_size: batch_size.max(1),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
             stats: Mutex::new(EngineStats::default()),
         }
     }
@@ -57,9 +73,11 @@ impl SemEngine {
         self.batch_size
     }
 
-    /// Current statistics.
+    /// Current statistics (evictions read live from the cache).
     pub fn stats(&self) -> EngineStats {
-        *self.stats.lock()
+        let mut s = *self.stats.lock();
+        s.evictions = self.cache.lock().evictions();
+        s
     }
 
     /// Clear cache and statistics.
@@ -74,7 +92,7 @@ impl SemEngine {
         let mut results: Vec<Option<String>> = vec![None; prompts.len()];
         let mut misses: Vec<usize> = Vec::new();
         {
-            let cache = self.cache.lock();
+            let mut cache = self.cache.lock();
             for (i, p) in prompts.iter().enumerate() {
                 if let Some(hit) = cache.get(p) {
                     results[i] = Some(hit.clone());
@@ -107,15 +125,19 @@ impl SemEngine {
             stats.lm_prompts += requests.len() as u64;
             stats.lm_batches += 1;
             drop(stats);
+            // Fill results directly from the responses — the bounded
+            // cache may evict an entry before any readback could see it.
             let mut cache = self.cache.lock();
             for (&i, r) in chunk.iter().zip(responses) {
+                results[i] = Some(r.text.clone());
                 cache.insert(prompts[i].clone(), r.text);
             }
         }
-        let cache = self.cache.lock();
-        for (i, p) in prompts.iter().enumerate() {
+        // Duplicate misses copy their representative's response.
+        for &i in &misses {
             if results[i].is_none() {
-                results[i] = cache.get(p).cloned();
+                let rep = unique[assign[prompts[i].as_str()]];
+                results[i] = results[rep].clone();
             }
         }
         Ok(results
@@ -215,6 +237,36 @@ mod tests {
         engine.reset();
         engine.complete("x").unwrap();
         assert_eq!(lm.calls(), 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_stays_correct() {
+        let lm = Arc::new(EchoLm::new());
+        // Capacity 2 is smaller than the 5-prompt batch: the first
+        // responses are evicted before the batch finishes.
+        let engine = SemEngine::with_batch_size_and_cache(lm.clone(), 64, 2);
+        let prompts: Vec<String> = (0..5).map(|i| format!("p{i}")).collect();
+        let out = engine.complete_batch(&prompts).unwrap();
+        let expect: Vec<String> = (0..5).map(|i| format!("echo:p{i}")).collect();
+        assert_eq!(out, expect, "results survive mid-batch eviction");
+        assert!(engine.stats().evictions >= 3);
+        // An evicted prompt goes back to the model; a cached one does not.
+        let before = lm.calls();
+        engine.complete("p0").unwrap(); // evicted long ago
+        assert_eq!(lm.calls(), before + 1);
+        engine.complete("p4").unwrap(); // most recent, still cached
+        assert_eq!(lm.calls(), before + 1);
+    }
+
+    #[test]
+    fn duplicate_misses_resolve_without_cache() {
+        let lm = Arc::new(EchoLm::new());
+        let engine = SemEngine::with_batch_size_and_cache(lm.clone(), 64, 1);
+        let prompts: Vec<String> =
+            vec!["x".into(), "y".into(), "x".into(), "y".into(), "x".into()];
+        let out = engine.complete_batch(&prompts).unwrap();
+        assert_eq!(out, vec!["echo:x", "echo:y", "echo:x", "echo:y", "echo:x"]);
+        assert_eq!(lm.calls(), 2, "duplicates never hit the model");
     }
 
     #[test]

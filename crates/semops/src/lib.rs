@@ -12,9 +12,11 @@
 
 pub mod engine;
 pub mod frame;
+pub mod lru;
 pub mod ops;
 
 pub use engine::{EngineStats, SemEngine};
+pub use lru::LruCache;
 pub use frame::DataFrame;
 pub use ops::{
     sem_agg, sem_agg_refine, sem_filter, sem_join, sem_map, sem_score, sem_topk, SemError,

@@ -1,0 +1,175 @@
+//! A small dependency-free LRU cache.
+//!
+//! Shared by the [`crate::SemEngine`] prompt cache and the serving
+//! runtime's answer cache. Recency is tracked with a monotonic tick and
+//! a `BTreeMap<tick, key>` index, so `get`/`insert` are `O(log n)` and
+//! eviction pops the smallest tick — no unsafe, no external crates.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A bounded map evicting the least-recently-used entry on overflow.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+    order: BTreeMap<u64, K>,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            cap: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries evicted (not replaced or cleared) since construction or
+    /// the last [`clear`](Self::clear).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look up a key, marking it most-recently-used on hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((_, t)) => {
+                self.order.remove(t);
+                *t = tick;
+                self.order.insert(tick, key.clone());
+                self.map.get(key).map(|(v, _)| v)
+            }
+            None => None,
+        }
+    }
+
+    /// Look up a key without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(v, _)| v)
+    }
+
+    /// Whether a key is present (does not touch recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Insert a key, evicting the least-recently-used entry if full.
+    /// Returns the previous value for the key, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((old, t)) = self.map.remove(&key) {
+            self.order.remove(&t);
+            self.map.insert(key.clone(), (value, tick));
+            self.order.insert(tick, key);
+            return Some(old);
+        }
+        if self.map.len() >= self.cap {
+            if let Some((&oldest, _)) = self.order.iter().next() {
+                if let Some(victim) = self.order.remove(&oldest) {
+                    self.map.remove(&victim);
+                    self.evictions += 1;
+                }
+            }
+        }
+        self.map.insert(key.clone(), (value, tick));
+        self.order.insert(tick, key);
+        None
+    }
+
+    /// Drop all entries and reset the eviction counter.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // a is now MRU
+        c.insert("c", 3); // evicts b
+        assert!(c.contains(&"a"));
+        assert!(!c.contains(&"b"));
+        assert!(c.contains(&"c"));
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replace_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.insert("a", 10), Some(1));
+        assert_eq!(c.peek(&"a"), Some(&10));
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.peek(&"a"), Some(&1)); // a stays LRU
+        c.insert("c", 3); // evicts a
+        assert!(!c.contains(&"a"));
+        assert!(c.contains(&"b"));
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut c = LruCache::new(1);
+        c.insert("a", 1);
+        c.insert("b", 2); // evicts a
+        assert_eq!(c.evictions(), 1);
+        c.clear();
+        assert_eq!(c.evictions(), 0);
+        assert!(c.is_empty());
+        c.insert("c", 3);
+        assert_eq!(c.peek(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn stress_capacity_invariant() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000u32 {
+            c.insert(i % 37, i);
+            assert!(c.len() <= 8);
+            // A key inserted this round is always retrievable.
+            assert!(c.contains(&(i % 37)));
+        }
+        assert!(c.evictions() > 0);
+    }
+}

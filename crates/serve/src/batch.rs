@@ -1,0 +1,388 @@
+//! Cross-request LM batching.
+//!
+//! Concurrent requests each issue small LM batches through their
+//! domain's `SemEngine`. [`BatchLm`] sits between those engines and the
+//! real model, coalescing submissions that arrive within a short window
+//! into one shared inference round — the serving-time analogue of the
+//! paper's batched-inference advantage (§4.3), applied *across*
+//! requests instead of within one.
+//!
+//! Correctness: the simulated LM's response is a pure function of
+//! (config, prompt), so batch composition never changes any answer —
+//! only the shared virtual clock. Error isolation: the inner model
+//! fails a whole round if any prompt oversteps the context window, so a
+//! failed merged round is retried per-submission, reproducing exactly
+//! the errors each request would have seen serially.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tag_lm::model::{LanguageModel, LmRequest, LmResponse, LmResult};
+
+/// One waiting submission: its requests and a slot for the result.
+struct Submission {
+    requests: Vec<LmRequest>,
+    slot: Arc<ReplySlot>,
+}
+
+/// Where a submission's result is delivered.
+struct ReplySlot {
+    result: Mutex<Option<LmResult<Vec<LmResponse>>>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ReplySlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn deliver(&self, r: LmResult<Vec<LmResponse>>) {
+        *self.result.lock() = Some(r);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> LmResult<Vec<LmResponse>> {
+        let mut guard = self.result.lock();
+        while guard.is_none() {
+            self.ready.wait(&mut guard);
+        }
+        guard.take().expect("checked above")
+    }
+}
+
+/// Shared batching state.
+struct State {
+    pending: Vec<Submission>,
+    pending_prompts: usize,
+    leader_active: bool,
+}
+
+/// Counters describing batching effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Submissions received (one per `generate_batch` call).
+    pub submissions: u64,
+    /// Inference rounds sent to the inner model.
+    pub rounds: u64,
+    /// Rounds that merged ≥ 2 submissions (cross-request batching).
+    pub cross_request_rounds: u64,
+    /// Total prompts across all rounds.
+    pub prompts: u64,
+    /// Largest number of submissions merged into one round.
+    pub max_merged_submissions: u64,
+    /// Rounds that failed merged and were retried per-submission.
+    pub fallback_rounds: u64,
+}
+
+/// A [`LanguageModel`] adapter that coalesces concurrent submissions.
+pub struct BatchLm {
+    inner: Arc<dyn LanguageModel>,
+    window: Duration,
+    max_batch: usize,
+    state: Mutex<State>,
+    arrived: Condvar,
+    submissions: AtomicU64,
+    rounds: AtomicU64,
+    cross_request_rounds: AtomicU64,
+    prompts: AtomicU64,
+    max_merged: AtomicU64,
+    fallback_rounds: AtomicU64,
+}
+
+impl BatchLm {
+    /// Wrap `inner`, merging submissions that arrive within `window` up
+    /// to `max_batch` prompts per round.
+    pub fn new(inner: Arc<dyn LanguageModel>, window: Duration, max_batch: usize) -> Arc<Self> {
+        Arc::new(BatchLm {
+            inner,
+            window,
+            max_batch: max_batch.max(1),
+            state: Mutex::new(State {
+                pending: Vec::new(),
+                pending_prompts: 0,
+                leader_active: false,
+            }),
+            arrived: Condvar::new(),
+            submissions: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            cross_request_rounds: AtomicU64::new(0),
+            prompts: AtomicU64::new(0),
+            max_merged: AtomicU64::new(0),
+            fallback_rounds: AtomicU64::new(0),
+        })
+    }
+
+    /// Wrap with defaults suited to the simulated model: a 1ms window
+    /// and the cost model's 64-prompt round cap.
+    pub fn with_defaults(inner: Arc<dyn LanguageModel>) -> Arc<Self> {
+        Self::new(inner, Duration::from_millis(1), 64)
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &Arc<dyn LanguageModel> {
+        &self.inner
+    }
+
+    /// Current batching counters.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            submissions: self.submissions.load(Ordering::Relaxed),
+            rounds: self.rounds.load(Ordering::Relaxed),
+            cross_request_rounds: self.cross_request_rounds.load(Ordering::Relaxed),
+            prompts: self.prompts.load(Ordering::Relaxed),
+            max_merged_submissions: self.max_merged.load(Ordering::Relaxed),
+            fallback_rounds: self.fallback_rounds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run one merged round for `batch`, delivering every result.
+    fn run_round(&self, batch: Vec<Submission>) {
+        let merged: Vec<LmRequest> = batch
+            .iter()
+            .flat_map(|s| s.requests.iter().cloned())
+            .collect();
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.prompts.fetch_add(merged.len() as u64, Ordering::Relaxed);
+        self.max_merged
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        if batch.len() >= 2 {
+            self.cross_request_rounds.fetch_add(1, Ordering::Relaxed);
+        }
+        match self.inner.generate_batch(&merged) {
+            Ok(responses) => {
+                let mut offset = 0;
+                for sub in &batch {
+                    let n = sub.requests.len();
+                    sub.slot
+                        .deliver(Ok(responses[offset..offset + n].to_vec()));
+                    offset += n;
+                }
+            }
+            Err(_) if batch.len() >= 2 => {
+                // A merged round fails as a unit (e.g. one oversized
+                // prompt): retry each submission alone so every request
+                // sees exactly the result it would have seen serially.
+                self.fallback_rounds.fetch_add(1, Ordering::Relaxed);
+                for sub in &batch {
+                    self.rounds.fetch_add(1, Ordering::Relaxed);
+                    sub.slot.deliver(self.inner.generate_batch(&sub.requests));
+                }
+            }
+            Err(e) => {
+                // Single submission: the error is its own.
+                batch[0].slot.deliver(Err(e));
+            }
+        }
+    }
+}
+
+impl LanguageModel for BatchLm {
+    fn generate_batch(&self, requests: &[LmRequest]) -> LmResult<Vec<LmResponse>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.submissions.fetch_add(1, Ordering::Relaxed);
+        let slot = ReplySlot::new();
+        let is_leader = {
+            let mut state = self.state.lock();
+            state.pending.push(Submission {
+                requests: requests.to_vec(),
+                slot: Arc::clone(&slot),
+            });
+            state.pending_prompts += requests.len();
+            self.arrived.notify_all();
+            if state.leader_active {
+                false
+            } else {
+                state.leader_active = true;
+                true
+            }
+        };
+        if !is_leader {
+            return slot.wait();
+        }
+        // Leader: hold the window open, then drain and run the round.
+        let deadline = Instant::now() + self.window;
+        let batch = {
+            let mut state = self.state.lock();
+            while state.pending_prompts < self.max_batch {
+                let timed_out = self
+                    .arrived
+                    .wait_until(&mut state, deadline)
+                    .timed_out();
+                if timed_out {
+                    break;
+                }
+            }
+            state.pending_prompts = 0;
+            // Leadership is released before inference so new arrivals
+            // during the round can start the next window immediately.
+            state.leader_active = false;
+            std::mem::take(&mut state.pending)
+        };
+        self.run_round(batch);
+        slot.wait()
+    }
+
+    fn elapsed_seconds(&self) -> f64 {
+        self.inner.elapsed_seconds()
+    }
+
+    fn reset_metrics(&self) {
+        self.inner.reset_metrics();
+    }
+
+    fn batches(&self) -> u64 {
+        self.inner.batches()
+    }
+
+    fn calls(&self) -> u64 {
+        self.inner.calls()
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use tag_lm::model::LmError;
+
+    /// Deterministic echo model that counts rounds.
+    struct EchoLm {
+        rounds: AtomicU64,
+        fail_prompt: Option<String>,
+    }
+
+    impl EchoLm {
+        fn new() -> Self {
+            EchoLm {
+                rounds: AtomicU64::new(0),
+                fail_prompt: None,
+            }
+        }
+
+        fn failing_on(p: &str) -> Self {
+            EchoLm {
+                rounds: AtomicU64::new(0),
+                fail_prompt: Some(p.to_owned()),
+            }
+        }
+    }
+
+    impl LanguageModel for EchoLm {
+        fn generate_batch(&self, requests: &[LmRequest]) -> LmResult<Vec<LmResponse>> {
+            self.rounds.fetch_add(1, Ordering::Relaxed);
+            if let Some(bad) = &self.fail_prompt {
+                if requests.iter().any(|r| &r.prompt == bad) {
+                    return Err(LmError::ContextLength {
+                        prompt_tokens: 99_999,
+                        max_context: 8192,
+                    });
+                }
+            }
+            Ok(requests
+                .iter()
+                .map(|r| LmResponse {
+                    text: format!("echo:{}", r.prompt),
+                    prompt_tokens: 1,
+                    completion_tokens: 1,
+                })
+                .collect())
+        }
+        fn elapsed_seconds(&self) -> f64 {
+            0.0
+        }
+        fn reset_metrics(&self) {}
+        fn batches(&self) -> u64 {
+            self.rounds.load(Ordering::Relaxed)
+        }
+        fn calls(&self) -> u64 {
+            0
+        }
+        fn context_window(&self) -> usize {
+            8192
+        }
+    }
+
+    #[test]
+    fn single_submission_passes_through() {
+        let batch = BatchLm::new(Arc::new(EchoLm::new()), Duration::from_millis(1), 64);
+        let out = batch
+            .generate_batch(&[LmRequest::new("a"), LmRequest::new("b")])
+            .unwrap();
+        assert_eq!(out[0].text, "echo:a");
+        assert_eq!(out[1].text, "echo:b");
+        let s = batch.stats();
+        assert_eq!(s.submissions, 1);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.cross_request_rounds, 0);
+    }
+
+    #[test]
+    fn concurrent_submissions_merge_and_stay_ordered() {
+        let batch = BatchLm::new(Arc::new(EchoLm::new()), Duration::from_millis(25), 1024);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let b = Arc::clone(&batch);
+                thread::spawn(move || {
+                    let reqs: Vec<LmRequest> =
+                        (0..3).map(|i| LmRequest::new(format!("t{t}-{i}"))).collect();
+                    let out = b.generate_batch(&reqs).unwrap();
+                    for (i, r) in out.iter().enumerate() {
+                        assert_eq!(r.text, format!("echo:t{t}-{i}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = batch.stats();
+        assert_eq!(s.submissions, 8);
+        assert_eq!(s.prompts, 24);
+        assert!(
+            s.cross_request_rounds >= 1,
+            "expected at least one merged round: {s:?}"
+        );
+        assert!(s.rounds < 8, "merging must reduce rounds: {s:?}");
+    }
+
+    #[test]
+    fn merged_failure_falls_back_to_per_submission_results() {
+        let batch = Arc::new(BatchLm::new(
+            Arc::new(EchoLm::failing_on("poison")),
+            Duration::from_millis(25),
+            1024,
+        ));
+        let good = {
+            let b = Arc::clone(&batch);
+            thread::spawn(move || b.generate_batch(&[LmRequest::new("fine")]))
+        };
+        let bad = {
+            let b = Arc::clone(&batch);
+            thread::spawn(move || b.generate_batch(&[LmRequest::new("poison")]))
+        };
+        let good = good.join().unwrap();
+        let bad = bad.join().unwrap();
+        // The healthy submission succeeds even when merged with poison.
+        assert_eq!(good.unwrap()[0].text, "echo:fine");
+        assert!(matches!(bad, Err(LmError::ContextLength { .. })));
+    }
+
+    #[test]
+    fn max_batch_closes_the_window_early() {
+        // Window far longer than the test budget: only the prompt cap
+        // can close it.
+        let batch = BatchLm::new(Arc::new(EchoLm::new()), Duration::from_secs(600), 1);
+        let out = batch.generate_batch(&[LmRequest::new("x")]).unwrap();
+        assert_eq!(out[0].text, "echo:x");
+    }
+}

@@ -1,0 +1,248 @@
+//! `serve-bench` — a load generator for the serving runtime.
+//!
+//! Replays the 80 TAG-Bench questions against a fresh [`Server`] at each
+//! requested concurrency level, printing throughput, client-side latency
+//! percentiles, and batching/cache effectiveness. Every run is checked
+//! byte-for-byte against a serial baseline computed with a plain
+//! (unbatched, uncached) environment set — concurrency must never change
+//! an answer.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tag_bench::build_benchmark;
+use tag_core::answer::Answer;
+use tag_core::env::TagEnv;
+use tag_datagen::{generate_all, Scale};
+use tag_lm::sim::{SimConfig, SimLm};
+use tag_serve::{run_method, MethodName, Request, ServeError, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve-bench [--seed N] [--scale tiny|small|standard] \
+         [--method text2sql|rag|rerank|text2sql_lm|handwritten|all] \
+         [--concurrency 1,8] [--workers N] [--queue N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_scale(name: &str) -> Scale {
+    match name {
+        "standard" => Scale::default(),
+        "small" => Scale {
+            schools: 120,
+            players: 150,
+            posts: 60,
+            customers: 120,
+            drivers: 10,
+        },
+        "tiny" => Scale {
+            schools: 40,
+            players: 40,
+            posts: 20,
+            customers: 40,
+            drivers: 6,
+        },
+        _ => usage(),
+    }
+}
+
+/// One request of the replayed workload.
+#[derive(Clone)]
+struct WorkItem {
+    domain: &'static str,
+    method: MethodName,
+    question: String,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut scale = parse_scale("small");
+    let mut methods = vec![MethodName::HandWritten];
+    let mut levels = vec![1usize, 8];
+    let mut workers = 8usize;
+    let mut queue = 256usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--scale" => scale = parse_scale(&val()),
+            "--method" => {
+                let v = val();
+                methods = if v == "all" {
+                    MethodName::all().to_vec()
+                } else {
+                    vec![MethodName::parse(&v).unwrap_or_else(|| usage())]
+                };
+            }
+            "--concurrency" => {
+                levels = val()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if levels.is_empty() {
+                    usage();
+                }
+            }
+            "--workers" => workers = val().parse().unwrap_or_else(|_| usage()),
+            "--queue" => queue = val().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+
+    eprintln!("serve-bench: generating domains (seed {seed})...");
+    let domains = generate_all(seed, scale);
+    let queries = build_benchmark(&domains);
+    let workload: Vec<WorkItem> = methods
+        .iter()
+        .flat_map(|&method| {
+            queries.iter().map(move |q| WorkItem {
+                domain: q.domain,
+                method,
+                question: q.question(),
+            })
+        })
+        .collect();
+    eprintln!(
+        "serve-bench: {} requests ({} queries x {} methods)",
+        workload.len(),
+        queries.len(),
+        methods.len(),
+    );
+
+    // Serial baseline: plain environments, no batching, no answer cache.
+    let baseline_lm: Arc<dyn tag_lm::model::LanguageModel> =
+        Arc::new(SimLm::new(SimConfig::default()));
+    let baseline_envs: Vec<(&'static str, TagEnv)> = generate_all(seed, scale)
+        .into_iter()
+        .map(|d| (d.name, TagEnv::new(d.db, Arc::clone(&baseline_lm))))
+        .collect();
+    let env_for = |domain: &str| -> &TagEnv {
+        &baseline_envs
+            .iter()
+            .find(|(n, _)| *n == domain)
+            .expect("workload domain generated")
+            .1
+    };
+    for (_, env) in &baseline_envs {
+        let _ = env.row_store();
+    }
+    let serial_started = Instant::now();
+    let expected: Vec<Answer> = workload
+        .iter()
+        .map(|w| run_method(w.method, &w.question, env_for(w.domain)))
+        .collect();
+    let serial_wall = serial_started.elapsed().as_secs_f64();
+    println!(
+        "serial baseline: {} requests in {serial_wall:.2}s ({:.1} req/s)",
+        workload.len(),
+        workload.len() as f64 / serial_wall,
+    );
+
+    let mut mismatches = 0usize;
+    let mut throughputs: Vec<(usize, f64)> = Vec::new();
+    for &level in &levels {
+        let server = Arc::new(Server::start(
+            generate_all(seed, scale),
+            SimConfig::default(),
+            ServerConfig {
+                workers,
+                queue_capacity: queue,
+                ..ServerConfig::default()
+            },
+        ));
+        let next = Arc::new(AtomicUsize::new(0));
+        let answers: Arc<Vec<Mutex<Option<Answer>>>> =
+            Arc::new(workload.iter().map(|_| Mutex::new(None)).collect());
+        let latencies: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let workload = Arc::new(workload.clone());
+        let started = Instant::now();
+        let clients: Vec<_> = (0..level.max(1))
+            .map(|_| {
+                let server = Arc::clone(&server);
+                let next = Arc::clone(&next);
+                let answers = Arc::clone(&answers);
+                let latencies = Arc::clone(&latencies);
+                let workload = Arc::clone(&workload);
+                std::thread::spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(w) = workload.get(i) else { return };
+                    let sent = Instant::now();
+                    let resp = loop {
+                        let req = Request::new(w.domain, w.method, w.question.clone());
+                        match server.ask(req) {
+                            Ok(resp) => break resp,
+                            Err(ServeError::QueueFull) => {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("serve-bench request failed: {e}"),
+                        }
+                    };
+                    latencies.lock().unwrap().push(sent.elapsed());
+                    *answers[i].lock().unwrap() = Some(resp.answer);
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("client thread");
+        }
+        let wall = started.elapsed().as_secs_f64();
+        let mut lats = std::mem::take(&mut *latencies.lock().unwrap());
+        lats.sort();
+        let level_mismatches = workload
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| answers[*i].lock().unwrap().as_ref() != Some(&expected[*i]))
+            .count();
+        mismatches += level_mismatches;
+        let b = server.batch_stats();
+        let c = server.cache().stats();
+        println!(
+            "concurrency {level:>3}: {:.2}s wall, {:.1} req/s, latency ms p50={:.2} p95={:.2} \
+             p99={:.2} | lm rounds={} cross_request={} max_merged={} | cache hits={} \
+             evictions={} | answers {}",
+            wall,
+            workload.len() as f64 / wall,
+            percentile(&lats, 0.50),
+            percentile(&lats, 0.95),
+            percentile(&lats, 0.99),
+            b.rounds,
+            b.cross_request_rounds,
+            b.max_merged_submissions,
+            c.hits,
+            c.evictions,
+            if level_mismatches == 0 {
+                "identical to serial".to_owned()
+            } else {
+                format!("{level_mismatches} MISMATCHES")
+            },
+        );
+        print!("{}", server.report());
+        throughputs.push((level, workload.len() as f64 / wall));
+        server.shutdown();
+    }
+
+    if let (Some(lo), Some(hi)) = (throughputs.first(), throughputs.last()) {
+        if throughputs.len() >= 2 {
+            println!(
+                "speedup {}->{} clients: {:.2}x",
+                lo.0,
+                hi.0,
+                hi.1 / lo.1.max(f64::MIN_POSITIVE),
+            );
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("serve-bench: FAILED — {mismatches} answers differ from the serial baseline");
+        std::process::exit(1);
+    }
+}

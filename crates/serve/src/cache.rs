@@ -1,0 +1,181 @@
+//! The sharded LRU answer cache.
+//!
+//! Keyed on `(domain, method, normalized question)`. Normalization is
+//! deliberately conservative — whitespace collapsing and trailing
+//! punctuation only — because benchmark questions are case- and
+//! value-sensitive ("over 700" vs "over 705" must never collide, and
+//! entity names keep their case).
+
+use crate::protocol::MethodName;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use tag_core::answer::Answer;
+use tag_semops::LruCache;
+
+/// Cumulative cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted by the per-shard LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: u64,
+}
+
+/// A sharded, bounded answer cache safe for concurrent workers.
+pub struct AnswerCache {
+    shards: Vec<Mutex<LruCache<String, Answer>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+/// Normalize a question for cache keying: collapse interior whitespace,
+/// trim, and drop one trailing `.`/`?`/`!`. Case is preserved.
+pub fn normalize_question(q: &str) -> String {
+    let collapsed: String = q.split_whitespace().collect::<Vec<_>>().join(" ");
+    let trimmed = collapsed
+        .strip_suffix(['.', '?', '!'])
+        .unwrap_or(&collapsed);
+    trimmed.trim_end().to_owned()
+}
+
+impl AnswerCache {
+    /// A cache with `shards` shards sharing `capacity` total entries.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (capacity / shards).max(1);
+        AnswerCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn key(domain: &str, method: MethodName, question: &str) -> String {
+        // \x1f (unit separator) cannot appear in domain or method names,
+        // so the composite key is unambiguous.
+        format!(
+            "{domain}\x1f{}\x1f{}",
+            method.as_str(),
+            normalize_question(question)
+        )
+    }
+
+    fn shard_for(&self, key: &str) -> &Mutex<LruCache<String, Answer>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up a cached answer, updating hit/miss counters and recency.
+    pub fn get(&self, domain: &str, method: MethodName, question: &str) -> Option<Answer> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let key = Self::key(domain, method, question);
+        let found = self.shard_for(&key).lock().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Relaxed),
+            None => self.misses.fetch_add(1, Relaxed),
+        };
+        found
+    }
+
+    /// Insert an answer (errors are the caller's choice to cache or not).
+    pub fn insert(&self, domain: &str, method: MethodName, question: &str, answer: Answer) {
+        let key = Self::key(domain, method, question);
+        self.shard_for(&key).lock().insert(key, answer);
+    }
+
+    /// Aggregate counters over all shards.
+    pub fn stats(&self) -> CacheStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut evictions = 0;
+        let mut len = 0;
+        for s in &self.shards {
+            let s = s.lock();
+            evictions += s.evictions();
+            len += s.len() as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            evictions,
+            len,
+        }
+    }
+
+    /// Drop every entry and reset counters.
+    pub fn clear(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        for s in &self.shards {
+            s.lock().clear();
+        }
+        self.hits.store(0, Relaxed);
+        self.misses.store(0, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_is_conservative() {
+        assert_eq!(
+            normalize_question("  How   many\tschools? "),
+            "How many schools"
+        );
+        // Case and values are preserved: these must stay distinct.
+        assert_ne!(
+            normalize_question("schools with AvgScrMath over 700"),
+            normalize_question("schools with AvgScrMath over 705")
+        );
+        assert_ne!(normalize_question("Bay Area"), normalize_question("bay area"));
+        // Only ONE trailing punctuation mark is stripped.
+        assert_eq!(normalize_question("why?!"), "why?");
+    }
+
+    #[test]
+    fn hit_miss_and_domain_isolation() {
+        let c = AnswerCache::new(64, 4);
+        let a = Answer::List(vec!["x".into()]);
+        assert!(c.get("d1", MethodName::Rag, "q").is_none());
+        c.insert("d1", MethodName::Rag, "q", a.clone());
+        assert_eq!(c.get("d1", MethodName::Rag, "q"), Some(a.clone()));
+        // Same question, different domain or method: miss.
+        assert!(c.get("d2", MethodName::Rag, "q").is_none());
+        assert!(c.get("d1", MethodName::Text2Sql, "q").is_none());
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.len, 1);
+    }
+
+    #[test]
+    fn whitespace_variants_share_an_entry() {
+        let c = AnswerCache::new(64, 4);
+        c.insert("d", MethodName::HandWritten, "How many  schools?", Answer::Text("5".into()));
+        assert!(c
+            .get("d", MethodName::HandWritten, "  How many schools?  ")
+            .is_some());
+    }
+
+    #[test]
+    fn eviction_counts_aggregate_across_shards() {
+        let c = AnswerCache::new(4, 4); // 1 entry per shard
+        for i in 0..64 {
+            c.insert("d", MethodName::Rag, &format!("q{i}"), Answer::Text(String::new()));
+        }
+        let s = c.stats();
+        assert!(s.evictions > 0);
+        assert!(s.len <= 4);
+        c.clear();
+        assert_eq!(c.stats().len, 0);
+        assert_eq!(c.stats().evictions, 0);
+    }
+}

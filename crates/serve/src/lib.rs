@@ -1,0 +1,37 @@
+//! `tag-serve`: a concurrent multi-domain query-serving runtime for the
+//! TAG pipelines.
+//!
+//! The benchmark crates answer one question at a time; this crate turns
+//! the same environments into a server:
+//!
+//! - [`Server`] owns one shared [`TagEnv`](tag_core::env::TagEnv) per
+//!   BIRD domain and runs a fixed worker pool over a bounded admission
+//!   queue, with per-request deadlines and typed load-shedding
+//!   ([`ServeError::QueueFull`], [`ServeError::DeadlineExceeded`]).
+//! - [`BatchLm`] coalesces semantic-operator LM calls from *different*
+//!   concurrent requests into shared inference rounds — the paper's
+//!   batched-inference advantage applied across requests.
+//! - [`AnswerCache`] is a sharded LRU keyed on
+//!   `(domain, method, normalized question)`.
+//! - [`MetricsRegistry`] counts admissions, sheds, cache traffic, and
+//!   latency histograms (queue wait / exec / end-to-end) with a text
+//!   report.
+//!
+//! Two binaries ship with the crate: `tag-serve`, a stdin/stdout line
+//! server speaking `ASK <domain> <method> <question>`, and
+//! `serve-bench`, a load generator replaying the 80 TAG-Bench queries
+//! at configurable concurrency.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use batch::{BatchLm, BatchStats};
+pub use cache::{normalize_question, AnswerCache, CacheStats};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use protocol::{format_answer, parse_line, run_method, Command, MethodName};
+pub use server::{ReplyHandle, Request, Response, ServeError, Server, ServerConfig};

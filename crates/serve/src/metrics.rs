@@ -1,0 +1,230 @@
+//! Lock-free serving metrics: atomic counters and fixed-bucket latency
+//! histograms with a text report.
+//!
+//! Every hot-path touch is a handful of relaxed atomic operations; the
+//! report renders percentiles by linear interpolation inside the bucket
+//! that crosses the target rank (the usual fixed-bucket estimate).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, in seconds. Spans 100µs to 10s, log-ish
+/// spacing; the final implicit bucket is +inf.
+const BOUNDS: [f64; 16] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0,
+];
+
+/// A fixed-bucket latency histogram (thread-safe, relaxed atomics).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BOUNDS.len() + 1],
+    count: AtomicU64,
+    /// Total observed time in nanoseconds.
+    sum_nanos: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, d: Duration) {
+        let secs = d.as_secs_f64();
+        let idx = BOUNDS.partition_point(|&b| b < secs);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(d.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation in seconds (0 when empty).
+    pub fn mean_seconds(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9 / n as f64
+    }
+
+    /// Estimated quantile in seconds (`q` in 0..=1; 0 when empty).
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let in_bucket = b.load(Ordering::Relaxed);
+            if seen + in_bucket >= target {
+                let lo = if i == 0 { 0.0 } else { BOUNDS[i - 1] };
+                let hi = if i < BOUNDS.len() { BOUNDS[i] } else { BOUNDS[BOUNDS.len() - 1] };
+                if in_bucket == 0 {
+                    return hi;
+                }
+                let frac = (target - seen) as f64 / in_bucket as f64;
+                return lo + frac * (hi - lo);
+            }
+            seen += in_bucket;
+        }
+        BOUNDS[BOUNDS.len() - 1]
+    }
+
+    /// `p50/p95/p99` in milliseconds, for reports.
+    pub fn percentiles_ms(&self) -> (f64, f64, f64) {
+        (
+            self.quantile_seconds(0.50) * 1e3,
+            self.quantile_seconds(0.95) * 1e3,
+            self.quantile_seconds(0.99) * 1e3,
+        )
+    }
+}
+
+/// All counters the serving runtime exposes.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Requests accepted into the queue.
+    pub requests_admitted: AtomicU64,
+    /// Requests answered successfully.
+    pub requests_ok: AtomicU64,
+    /// Requests shed at admission because the queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Requests dropped at dequeue because their deadline had passed.
+    pub rejected_deadline: AtomicU64,
+    /// Answer-cache hits.
+    pub answer_cache_hits: AtomicU64,
+    /// Answer-cache misses (request executed).
+    pub answer_cache_misses: AtomicU64,
+    /// Answer-cache evictions.
+    pub answer_cache_evictions: AtomicU64,
+    /// Time from admission to dequeue.
+    pub queue_wait: Histogram,
+    /// Time executing the method (cache misses only).
+    pub exec_time: Histogram,
+    /// End-to-end time from admission to reply.
+    pub total_time: Histogram,
+}
+
+impl MetricsRegistry {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Answer-cache hit rate in 0..=1 (0 when no lookups).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let h = self.answer_cache_hits.load(Ordering::Relaxed);
+        let m = self.answer_cache_misses.load(Ordering::Relaxed);
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Render the standard text report.
+    pub fn report(&self) -> String {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let (qw50, qw95, qw99) = self.queue_wait.percentiles_ms();
+        let (ex50, ex95, ex99) = self.exec_time.percentiles_ms();
+        let (to50, to95, to99) = self.total_time.percentiles_ms();
+        let mut out = String::new();
+        out.push_str("== serving metrics ==\n");
+        out.push_str(&format!(
+            "requests: admitted={} ok={} shed_queue_full={} shed_deadline={}\n",
+            load(&self.requests_admitted),
+            load(&self.requests_ok),
+            load(&self.rejected_queue_full),
+            load(&self.rejected_deadline),
+        ));
+        out.push_str(&format!(
+            "answer cache: hits={} misses={} evictions={} hit_rate={:.1}%\n",
+            load(&self.answer_cache_hits),
+            load(&self.answer_cache_misses),
+            load(&self.answer_cache_evictions),
+            self.cache_hit_rate() * 100.0,
+        ));
+        out.push_str(&format!(
+            "queue wait ms: mean={:.3} p50={:.3} p95={:.3} p99={:.3}\n",
+            self.queue_wait.mean_seconds() * 1e3,
+            qw50,
+            qw95,
+            qw99,
+        ));
+        out.push_str(&format!(
+            "exec time ms: mean={:.3} p50={:.3} p95={:.3} p99={:.3}\n",
+            self.exec_time.mean_seconds() * 1e3,
+            ex50,
+            ex95,
+            ex99,
+        ));
+        out.push_str(&format!(
+            "total time ms: mean={:.3} p50={:.3} p95={:.3} p99={:.3}\n",
+            self.total_time.mean_seconds() * 1e3,
+            to50,
+            to95,
+            to99,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_monotone() {
+        let h = Histogram::new();
+        for ms in [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89] {
+            h.observe(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_seconds(0.5);
+        let p95 = h.quantile_seconds(0.95);
+        let p99 = h.quantile_seconds(0.99);
+        assert!(p50 > 0.0);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(h.mean_seconds() > 0.0);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_outliers() {
+        let h = Histogram::new();
+        h.observe(Duration::from_secs(30));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_seconds(0.5) >= 9.99);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_seconds(0.99), 0.0);
+        assert_eq!(h.mean_seconds(), 0.0);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let m = MetricsRegistry::new();
+        m.requests_admitted.fetch_add(3, Ordering::Relaxed);
+        m.requests_ok.fetch_add(2, Ordering::Relaxed);
+        m.answer_cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.answer_cache_misses.fetch_add(1, Ordering::Relaxed);
+        m.queue_wait.observe(Duration::from_micros(120));
+        m.exec_time.observe(Duration::from_millis(4));
+        m.total_time.observe(Duration::from_millis(5));
+        let r = m.report();
+        assert!(r.contains("admitted=3"));
+        assert!(r.contains("hit_rate=50.0%"));
+        assert!(r.contains("queue wait ms"));
+        assert!(r.contains("p99"));
+    }
+}

@@ -1,0 +1,485 @@
+//! The serving runtime: a fixed worker pool over a bounded admission
+//! queue, answering TAG questions against shared per-domain
+//! environments.
+//!
+//! Admission control is explicit: a full queue sheds the request with
+//! [`ServeError::QueueFull`] instead of queueing unboundedly, and a
+//! request whose deadline passes while queued is dropped at dequeue
+//! with [`ServeError::DeadlineExceeded`] rather than wasting a worker
+//! on an answer nobody is waiting for.
+
+use crate::batch::{BatchLm, BatchStats};
+use crate::cache::AnswerCache;
+use crate::metrics::MetricsRegistry;
+use crate::protocol::{run_method, MethodName};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tag_core::answer::Answer;
+use tag_core::env::TagEnv;
+use tag_datagen::DomainData;
+use tag_lm::sim::{SimConfig, SimLm};
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded admission-queue depth; beyond it requests are shed.
+    pub queue_capacity: usize,
+    /// Deadline applied when a request does not carry its own.
+    pub default_deadline: Duration,
+    /// Total answer-cache entries (split across shards).
+    pub cache_capacity: usize,
+    /// Answer-cache shard count.
+    pub cache_shards: usize,
+    /// Cross-request batching window.
+    pub batch_window: Duration,
+    /// Prompt cap per merged inference round.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(10),
+            cache_capacity: 1024,
+            cache_shards: 8,
+            batch_window: Duration::from_millis(1),
+            max_batch: 64,
+        }
+    }
+}
+
+/// Why a request was not answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Shed at admission: the bounded queue was full.
+    QueueFull,
+    /// Dropped at dequeue: the deadline passed while queued.
+    DeadlineExceeded,
+    /// The domain is not served.
+    UnknownDomain(String),
+    /// The server is shutting down.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "queue full (request shed)"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded while queued"),
+            ServeError::UnknownDomain(d) => write!(f, "unknown domain {d:?}"),
+            ServeError::Shutdown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One question for the server.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Target domain.
+    pub domain: String,
+    /// Method to run.
+    pub method: MethodName,
+    /// The natural-language question.
+    pub question: String,
+    /// Per-request deadline; `None` uses the server default.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request with the default deadline.
+    pub fn new(domain: impl Into<String>, method: MethodName, question: impl Into<String>) -> Self {
+        Request {
+            domain: domain.into(),
+            method,
+            question: question.into(),
+            deadline: None,
+        }
+    }
+}
+
+/// A served answer with its timing breakdown.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The answer.
+    pub answer: Answer,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Method execution time (zero on a cache hit).
+    pub exec: Duration,
+    /// End-to-end time from admission to reply.
+    pub total: Duration,
+    /// Whether the answer came from the answer cache.
+    pub cache_hit: bool,
+}
+
+/// Where a request's outcome is delivered.
+struct ReplyCell {
+    result: Mutex<Option<Result<Response, ServeError>>>,
+    ready: Condvar,
+}
+
+impl ReplyCell {
+    fn new() -> Arc<Self> {
+        Arc::new(ReplyCell {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn deliver(&self, r: Result<Response, ServeError>) {
+        *self.result.lock() = Some(r);
+        self.ready.notify_all();
+    }
+}
+
+/// A ticket for an admitted request; [`wait`](ReplyHandle::wait) blocks
+/// until a worker replies.
+pub struct ReplyHandle {
+    cell: Arc<ReplyCell>,
+}
+
+impl ReplyHandle {
+    /// Block until the request completes (or is dropped at dequeue).
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut guard = self.cell.result.lock();
+        while guard.is_none() {
+            self.cell.ready.wait(&mut guard);
+        }
+        guard.take().expect("checked above")
+    }
+}
+
+struct Job {
+    req: Request,
+    enqueued: Instant,
+    reply: Arc<ReplyCell>,
+}
+
+/// State shared by the admission path and every worker.
+struct Shared {
+    envs: HashMap<String, Arc<TagEnv>>,
+    cache: AnswerCache,
+    metrics: MetricsRegistry,
+    batch: Arc<BatchLm>,
+    default_deadline: Duration,
+}
+
+/// The concurrent multi-domain serving runtime.
+pub struct Server {
+    shared: Arc<Shared>,
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Start a server over `domains`, sharing one simulated LM (behind
+    /// the cross-request [`BatchLm`]) across every domain environment.
+    ///
+    /// Retrieval indexes are built eagerly so the first request pays no
+    /// warm-up cost (the paper builds its FAISS indexes offline too).
+    pub fn start(domains: Vec<DomainData>, lm_config: SimConfig, config: ServerConfig) -> Self {
+        let sim: Arc<dyn tag_lm::model::LanguageModel> = Arc::new(SimLm::new(lm_config));
+        let batch = BatchLm::new(sim, config.batch_window, config.max_batch);
+        let mut envs = HashMap::new();
+        for d in domains {
+            let env = TagEnv::new(
+                d.db,
+                Arc::clone(&batch) as Arc<dyn tag_lm::model::LanguageModel>,
+            );
+            let _ = env.row_store();
+            envs.insert(d.name.to_owned(), Arc::new(env));
+        }
+        let shared = Arc::new(Shared {
+            envs,
+            cache: AnswerCache::new(config.cache_capacity, config.cache_shards),
+            metrics: MetricsRegistry::new(),
+            batch,
+            default_deadline: config.default_deadline,
+        });
+        let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tag-serve-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server {
+            shared,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Served domain names (sorted).
+    pub fn domains(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.shared.envs.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The shared environment for `domain`, if served.
+    pub fn env(&self, domain: &str) -> Option<&Arc<TagEnv>> {
+        self.shared.envs.get(domain)
+    }
+
+    /// Serving counters and histograms.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+
+    /// Cross-request batching counters.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.shared.batch.stats()
+    }
+
+    /// The answer cache (for stats or explicit invalidation).
+    pub fn cache(&self) -> &AnswerCache {
+        &self.shared.cache
+    }
+
+    /// Admit a request without blocking on its execution.
+    ///
+    /// Fails fast with [`ServeError::QueueFull`] when the bounded queue
+    /// is at capacity — callers are expected to back off and retry.
+    pub fn submit(&self, req: Request) -> Result<ReplyHandle, ServeError> {
+        if !self.shared.envs.contains_key(&req.domain) {
+            return Err(ServeError::UnknownDomain(req.domain));
+        }
+        let reply = ReplyCell::new();
+        let job = Job {
+            req,
+            enqueued: Instant::now(),
+            reply: Arc::clone(&reply),
+        };
+        let tx = self.tx.lock();
+        let Some(tx) = tx.as_ref() else {
+            return Err(ServeError::Shutdown);
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.shared.metrics.requests_admitted.fetch_add(1, Relaxed);
+                Ok(ReplyHandle { cell: reply })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.metrics.rejected_queue_full.fetch_add(1, Relaxed);
+                Err(ServeError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Admit a request and block for its answer.
+    pub fn ask(&self, req: Request) -> Result<Response, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// The full metrics report: serving counters, cache, latency
+    /// histograms, and cross-request batching effectiveness.
+    pub fn report(&self) -> String {
+        let cache = self.shared.cache.stats();
+        self.shared
+            .metrics
+            .answer_cache_evictions
+            .store(cache.evictions, Relaxed);
+        let b = self.batch_stats();
+        let mut out = self.shared.metrics.report();
+        out.push_str(&format!(
+            "lm batching: submissions={} rounds={} cross_request_rounds={} prompts={} \
+             max_merged={} fallbacks={}\n",
+            b.submissions, b.rounds, b.cross_request_rounds, b.prompts,
+            b.max_merged_submissions, b.fallback_rounds,
+        ));
+        out.push_str(&format!("answer cache resident entries: {}\n", cache.len));
+        out
+    }
+
+    /// Stop admitting work, drain the queue, and join every worker.
+    pub fn shutdown(&self) {
+        *self.tx.lock() = None;
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+    loop {
+        // The receiver guard is dropped at the end of this statement,
+        // so the lock is held only for the dequeue itself.
+        let received = rx.lock().recv();
+        match received {
+            Ok(job) => handle(shared, job),
+            Err(_) => return, // sender dropped: shutdown
+        }
+    }
+}
+
+fn handle(shared: &Shared, job: Job) {
+    let m = &shared.metrics;
+    let queue_wait = job.enqueued.elapsed();
+    m.queue_wait.observe(queue_wait);
+    let deadline = job.req.deadline.unwrap_or(shared.default_deadline);
+    if queue_wait > deadline {
+        m.rejected_deadline.fetch_add(1, Relaxed);
+        job.reply.deliver(Err(ServeError::DeadlineExceeded));
+        return;
+    }
+    let Request {
+        domain,
+        method,
+        question,
+        ..
+    } = &job.req;
+    if let Some(answer) = shared.cache.get(domain, *method, question) {
+        m.answer_cache_hits.fetch_add(1, Relaxed);
+        m.requests_ok.fetch_add(1, Relaxed);
+        let total = job.enqueued.elapsed();
+        m.total_time.observe(total);
+        job.reply.deliver(Ok(Response {
+            answer,
+            queue_wait,
+            exec: Duration::ZERO,
+            total,
+            cache_hit: true,
+        }));
+        return;
+    }
+    m.answer_cache_misses.fetch_add(1, Relaxed);
+    let env = shared.envs.get(domain).expect("validated at submit");
+    let started = Instant::now();
+    let answer = run_method(*method, question, env);
+    let exec = started.elapsed();
+    m.exec_time.observe(exec);
+    // Errors are not cached: they may be transient (e.g. load-dependent)
+    // and re-asking should re-execute.
+    if !matches!(answer, Answer::Error(_)) {
+        shared
+            .cache
+            .insert(domain, *method, question, answer.clone());
+    }
+    m.requests_ok.fetch_add(1, Relaxed);
+    let total = job.enqueued.elapsed();
+    m.total_time.observe(total);
+    job.reply.deliver(Ok(Response {
+        answer,
+        queue_wait,
+        exec,
+        total,
+        cache_hit: false,
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tag_bench::build_benchmark;
+    use tag_datagen::{generate_all, Scale};
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            schools: 40,
+            players: 40,
+            posts: 20,
+            customers: 40,
+            drivers: 6,
+        }
+    }
+
+    /// A tiny server plus one real benchmark (domain, question) pair.
+    fn tiny_server(config: ServerConfig) -> (Server, Request) {
+        let domains = generate_all(42, tiny_scale());
+        let q = build_benchmark(&domains)
+            .into_iter()
+            .next()
+            .expect("benchmark non-empty");
+        let req = Request::new(q.domain, MethodName::HandWritten, q.question());
+        (
+            Server::start(domains, SimConfig::default(), config),
+            req,
+        )
+    }
+
+    #[test]
+    fn ask_answers_and_caches() {
+        let (server, req) = tiny_server(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        let first = server.ask(req.clone()).unwrap();
+        assert!(!first.cache_hit);
+        assert!(!matches!(first.answer, Answer::Error(_)), "{:?}", first.answer);
+        let second = server.ask(req).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(first.answer, second.answer);
+        assert_eq!(second.exec, Duration::ZERO);
+        let m = server.metrics();
+        assert_eq!(m.answer_cache_hits.load(Relaxed), 1);
+        assert_eq!(m.answer_cache_misses.load(Relaxed), 1);
+        assert_eq!(m.requests_ok.load(Relaxed), 2);
+    }
+
+    #[test]
+    fn unknown_domain_is_rejected_at_submit() {
+        let (server, _) = tiny_server(ServerConfig::default());
+        let err = server
+            .ask(Request::new("nope", MethodName::Rag, "Anything?"))
+            .unwrap_err();
+        assert_eq!(err, ServeError::UnknownDomain("nope".into()));
+    }
+
+    #[test]
+    fn expired_deadline_is_dropped_at_dequeue() {
+        let (server, req) = tiny_server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        // Occupy the lone worker so a zero-deadline request must queue.
+        let slow = server.submit(req.clone()).unwrap();
+        let mut doomed = req;
+        doomed.deadline = Some(Duration::ZERO);
+        let doomed = server.submit(doomed).unwrap();
+        assert!(slow.wait().is_ok());
+        assert_eq!(doomed.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        assert_eq!(server.metrics().rejected_deadline.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let (server, req) = tiny_server(ServerConfig::default());
+        server.shutdown();
+        assert_eq!(server.ask(req).unwrap_err(), ServeError::Shutdown);
+    }
+
+    #[test]
+    fn report_mentions_every_section() {
+        let (server, req) = tiny_server(ServerConfig::default());
+        let _ = server.ask(req);
+        let r = server.report();
+        assert!(r.contains("serving metrics"));
+        assert!(r.contains("lm batching"));
+        assert!(r.contains("answer cache"));
+    }
+}

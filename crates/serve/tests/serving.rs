@@ -1,0 +1,258 @@
+//! End-to-end concurrency tests: the serving runtime must produce
+//! byte-identical answers (and therefore an identical exact-match
+//! score) to a serial baseline, and must shed load instead of queueing
+//! unboundedly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tag_bench::Harness;
+use tag_core::answer::{exact_match, Answer};
+use tag_datagen::{generate_all, Scale};
+use tag_lm::sim::SimConfig;
+use tag_serve::{run_method, MethodName, Request, ServeError, Server, ServerConfig};
+
+fn test_scale() -> Scale {
+    Scale {
+        schools: 120,
+        players: 150,
+        posts: 60,
+        customers: 120,
+        drivers: 10,
+    }
+}
+
+/// N workers × the 80 TAG-Bench questions must reproduce the serial
+/// baseline exactly: same answer bytes, same exact-match score — while
+/// actually exercising cross-request batching.
+#[test]
+fn concurrent_replay_matches_serial_baseline() {
+    let harness = Harness::new(42, test_scale(), SimConfig::default());
+    let items: Vec<(usize, &'static str, String, bool)> = harness
+        .queries()
+        .iter()
+        .map(|q| (q.id, q.domain, q.question(), q.ordered()))
+        .collect();
+
+    // Serial baseline over the harness's own (unbatched, uncached) envs.
+    let expected: Vec<Answer> = items
+        .iter()
+        .map(|(_, domain, question, _)| {
+            run_method(MethodName::HandWritten, question, harness.env(domain))
+        })
+        .collect();
+    let serial_score: usize = items
+        .iter()
+        .zip(&expected)
+        .filter(|((id, _, _, ordered), ans)| {
+            harness
+                .truth(*id)
+                .is_some_and(|t| exact_match(ans, t, *ordered))
+        })
+        .count();
+    // Sanity: the baseline must actually answer a good share of the
+    // labelled queries, or the identity check below proves nothing.
+    let labelled = items.iter().filter(|(id, ..)| harness.truth(*id).is_some()).count();
+    assert!(
+        serial_score * 2 > labelled,
+        "serial hand-written baseline too weak: {serial_score}/{labelled}"
+    );
+
+    let server = Arc::new(Server::start(
+        generate_all(42, test_scale()),
+        SimConfig::default(),
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    ));
+    let got: Arc<Vec<Mutex<Option<Answer>>>> =
+        Arc::new(items.iter().map(|_| Mutex::new(None)).collect());
+    let next = Arc::new(AtomicUsize::new(0));
+    let items = Arc::new(items);
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let got = Arc::clone(&got);
+            let next = Arc::clone(&next);
+            let items = Arc::clone(&items);
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((_, domain, question, _)) = items.get(i) else {
+                    return;
+                };
+                let resp = server
+                    .ask(Request::new(*domain, MethodName::HandWritten, question.clone()))
+                    .expect("queue is deep enough to never shed");
+                *got[i].lock().unwrap() = Some(resp.answer);
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    for (i, (id, ..)) in items.iter().enumerate() {
+        let got = got[i].lock().unwrap();
+        assert_eq!(
+            got.as_ref(),
+            Some(&expected[i]),
+            "query {id} diverged from the serial baseline"
+        );
+    }
+    let concurrent_score: usize = items
+        .iter()
+        .enumerate()
+        .filter(|(i, (id, _, _, ordered))| {
+            let got = got[*i].lock().unwrap();
+            harness
+                .truth(*id)
+                .is_some_and(|t| exact_match(got.as_ref().unwrap(), t, *ordered))
+        })
+        .count();
+    assert_eq!(concurrent_score, serial_score);
+
+    let b = server.batch_stats();
+    assert_eq!(b.fallback_rounds, 0);
+    assert!(
+        b.cross_request_rounds >= 1,
+        "8 concurrent clients should merge at least one LM round: {b:?}"
+    );
+    assert!(
+        b.rounds < b.submissions,
+        "merging should reduce inference rounds: {b:?}"
+    );
+    assert_eq!(
+        server
+            .metrics()
+            .requests_ok
+            .load(std::sync::atomic::Ordering::Relaxed),
+        items.len() as u64
+    );
+}
+
+/// Asking the same questions twice must be answered from the cache the
+/// second time, without changing any answer.
+#[test]
+fn replay_hits_answer_cache_with_identical_answers() {
+    let server = Server::start(
+        generate_all(
+            42,
+            Scale {
+                schools: 40,
+                players: 40,
+                posts: 20,
+                customers: 40,
+                drivers: 6,
+            },
+        ),
+        SimConfig::default(),
+        ServerConfig::default(),
+    );
+    let domains = server.domains();
+    let questions: Vec<(String, String)> = {
+        let generated = generate_all(
+            42,
+            Scale {
+                schools: 40,
+                players: 40,
+                posts: 20,
+                customers: 40,
+                drivers: 6,
+            },
+        );
+        tag_bench::build_benchmark(&generated)
+            .iter()
+            .take(10)
+            .map(|q| (q.domain.to_owned(), q.question()))
+            .collect()
+    };
+    assert!(questions.iter().all(|(d, _)| domains.contains(d)));
+    let first: Vec<Answer> = questions
+        .iter()
+        .map(|(d, q)| {
+            let r = server
+                .ask(Request::new(d.clone(), MethodName::Rag, q.clone()))
+                .unwrap();
+            assert!(!r.cache_hit);
+            r.answer
+        })
+        .collect();
+    for ((d, q), expected) in questions.iter().zip(&first) {
+        let r = server
+            .ask(Request::new(d.clone(), MethodName::Rag, q.clone()))
+            .unwrap();
+        assert!(r.cache_hit, "second ask of {q:?} must hit the cache");
+        assert_eq!(&r.answer, expected);
+    }
+    let stats = server.cache().stats();
+    assert_eq!(stats.hits, questions.len() as u64);
+}
+
+/// A saturated bounded queue sheds with `QueueFull` instead of queueing
+/// unboundedly, and the shed count is visible in the metrics.
+#[test]
+fn saturated_queue_sheds_with_queue_full() {
+    let domains = generate_all(
+        42,
+        Scale {
+            schools: 40,
+            players: 40,
+            posts: 20,
+            customers: 40,
+            drivers: 6,
+        },
+    );
+    let question = tag_bench::build_benchmark(&domains)
+        .iter()
+        .find(|q| q.domain == "california_schools")
+        .expect("schools query exists")
+        .question();
+    let server = Server::start(
+        domains,
+        SimConfig::default(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            // A long batching window pins the worker inside its first LM
+            // round, so later submissions deterministically find the
+            // queue full.
+            batch_window: Duration::from_millis(100),
+            max_batch: 1024,
+            ..ServerConfig::default()
+        },
+    );
+    // Rag always performs LM work, so this request holds the worker for
+    // at least one batching window.
+    let busy = server
+        .submit(Request::new(
+            "california_schools",
+            MethodName::Rag,
+            question.clone(),
+        ))
+        .unwrap();
+    let mut accepted = vec![busy];
+    let mut shed = 0usize;
+    for _ in 0..16 {
+        match server.submit(Request::new(
+            "california_schools",
+            MethodName::Rag,
+            question.clone(),
+        )) {
+            Ok(h) => accepted.push(h),
+            Err(ServeError::QueueFull) => shed += 1,
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+    }
+    assert!(shed > 0, "17 instant submissions into a 1-deep queue with 1 busy worker must shed");
+    for h in accepted {
+        assert!(h.wait().is_ok());
+    }
+    let m = server.metrics();
+    assert_eq!(
+        m.rejected_queue_full.load(std::sync::atomic::Ordering::Relaxed),
+        shed as u64
+    );
+    assert!(server.report().contains(&format!("shed_queue_full={shed}")));
+}

@@ -12,6 +12,7 @@ use crate::schema::{Column, Schema};
 use crate::table::{IndexKind, Table};
 use crate::udf::{ScalarUdf, UdfRegistry};
 use crate::value::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// An in-memory SQL database: catalog + UDF registry + query pipeline.
@@ -25,12 +26,23 @@ use std::sync::Arc;
 /// let result = db.execute("SELECT title FROM movies ORDER BY revenue DESC LIMIT 1").unwrap();
 /// assert_eq!(result.rows[0][0].to_string(), "Titanic");
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Database {
     catalog: Catalog,
     udfs: UdfRegistry,
-    /// Rows scanned / produced counters could live here later.
-    statements_run: u64,
+    /// Atomic so read-only `query()` can count under a shared borrow
+    /// (the serving runtime runs SELECTs from many threads at once).
+    statements_run: AtomicU64,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            catalog: self.catalog.clone(),
+            udfs: self.udfs.clone(),
+            statements_run: AtomicU64::new(self.statements_run.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Database {
@@ -61,7 +73,7 @@ impl Database {
 
     /// Number of statements executed so far.
     pub fn statements_run(&self) -> u64 {
-        self.statements_run
+        self.statements_run.load(Ordering::Relaxed)
     }
 
     /// Parse, plan, optimize, and run one SQL statement.
@@ -70,35 +82,25 @@ impl Database {
         self.execute_statement(stmt)
     }
 
-    /// Run several semicolon-separated statements; returns the last result.
-    pub fn execute_script(&mut self, sql: &str) -> SqlResult<ResultSet> {
-        let stmts = parse_statements(sql)?;
-        let mut last = ResultSet::empty();
-        for stmt in stmts {
-            last = self.execute_statement(stmt)?;
-        }
-        Ok(last)
-    }
-
-    /// Plan a SELECT and return its optimized plan (EXPLAIN support).
-    pub fn explain(&self, sql: &str) -> SqlResult<String> {
+    /// Run a read-only statement (`SELECT` / compound `SELECT`) under a
+    /// shared borrow — the concurrent-serving entry point. DDL and DML
+    /// are rejected with [`SqlError::Unsupported`].
+    pub fn query(&self, sql: &str) -> SqlResult<ResultSet> {
         let stmt = parse_statement(sql)?;
-        match stmt {
-            Statement::Select(sel) => {
-                let planner = Planner::new(&self.catalog, &self.udfs);
-                let plan = planner.plan_select(&sel)?;
-                let plan = optimize(plan, &self.catalog);
-                Ok(plan.explain())
-            }
-            _ => Err(SqlError::Unsupported(
-                "EXPLAIN is only available for SELECT".into(),
-            )),
-        }
+        self.query_statement(stmt)
     }
 
-    /// Execute an already-parsed statement.
-    pub fn execute_statement(&mut self, stmt: Statement) -> SqlResult<ResultSet> {
-        self.statements_run += 1;
+    /// Execute an already-parsed read-only statement under `&self`.
+    pub fn query_statement(&self, stmt: Statement) -> SqlResult<ResultSet> {
+        match stmt {
+            Statement::Select(_) | Statement::CompoundSelect { .. } => {}
+            _ => {
+                return Err(SqlError::Unsupported(
+                    "query() is read-only; use execute() for DDL/DML".into(),
+                ))
+            }
+        }
+        self.statements_run.fetch_add(1, Ordering::Relaxed);
         match stmt {
             Statement::Select(sel) => {
                 let planner = Planner::new(&self.catalog, &self.udfs);
@@ -136,6 +138,49 @@ impl Database {
                     }
                 }
                 Ok(acc)
+            }
+            _ => unreachable!("non-SELECT rejected above"),
+        }
+    }
+
+    /// Run several semicolon-separated statements; returns the last result.
+    pub fn execute_script(&mut self, sql: &str) -> SqlResult<ResultSet> {
+        let stmts = parse_statements(sql)?;
+        let mut last = ResultSet::empty();
+        for stmt in stmts {
+            last = self.execute_statement(stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Plan a SELECT and return its optimized plan (EXPLAIN support).
+    pub fn explain(&self, sql: &str) -> SqlResult<String> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(sel) => {
+                let planner = Planner::new(&self.catalog, &self.udfs);
+                let plan = planner.plan_select(&sel)?;
+                let plan = optimize(plan, &self.catalog);
+                Ok(plan.explain())
+            }
+            _ => Err(SqlError::Unsupported(
+                "EXPLAIN is only available for SELECT".into(),
+            )),
+        }
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_statement(&mut self, stmt: Statement) -> SqlResult<ResultSet> {
+        if matches!(
+            stmt,
+            Statement::Select(_) | Statement::CompoundSelect { .. }
+        ) {
+            return self.query_statement(stmt);
+        }
+        self.statements_run.fetch_add(1, Ordering::Relaxed);
+        match stmt {
+            Statement::Select(_) | Statement::CompoundSelect { .. } => {
+                unreachable!("SELECT handled by query_statement above")
             }
             Statement::CreateTable(c) => {
                 if self.catalog.contains(&c.name) {

@@ -6,7 +6,7 @@
 use tag_repro::tag_bench::{Harness, MethodId, QueryType};
 
 fn main() {
-    let mut harness = Harness::standard();
+    let harness = Harness::standard();
 
     // One query of each graded type.
     let picks: Vec<usize> = [

@@ -22,21 +22,21 @@ fn main() {
 
     let domain = schools::generate(42, 600);
     let lm = Arc::new(SimLm::new(SimConfig::default()));
-    let mut env = TagEnv::new(domain.db, lm);
+    let env = TagEnv::new(domain.db, lm);
 
     // What SQL does the LM synthesize? Note the IN-list: the model's
     // *enumerated* (free-recall) subset of Silicon Valley cities.
     let sql = Text2Sql
-        .synthesize(request, &mut env)
+        .synthesize(request, &env)
         .expect("synthesis succeeds");
     println!("Text2SQL synthesized:\n  {sql}\n");
 
     env.reset_metrics();
-    let t2s = Text2Sql.answer(request, &mut env);
+    let t2s = Text2Sql.answer(request, &env);
     let t2s_secs = env.elapsed_seconds();
 
     env.reset_metrics();
-    let tag = HandWrittenTag.answer(request, &mut env);
+    let tag = HandWrittenTag.answer(request, &env);
     let tag_secs = env.elapsed_seconds();
     let stats = env.engine.stats();
 

@@ -24,20 +24,20 @@ fn main() {
 
     let domain = formula1::generate(42, 18);
     let lm = Arc::new(SimLm::new(SimConfig::default()));
-    let mut env = TagEnv::new(domain.db, lm);
+    let env = TagEnv::new(domain.db, lm);
 
     for (name, answer) in [
         ("RAG", {
             env.reset_metrics();
-            Rag::aggregation().answer(request, &mut env)
+            Rag::aggregation().answer(request, &env)
         }),
         ("Text2SQL + LM", {
             env.reset_metrics();
-            Text2SqlLm::aggregation().answer(request, &mut env)
+            Text2SqlLm::aggregation().answer(request, &env)
         }),
         ("Hand-written TAG", {
             env.reset_metrics();
-            HandWrittenTag.answer(request, &mut env)
+            HandWrittenTag.answer(request, &env)
         }),
     ] {
         println!("== {name} ==");

@@ -10,8 +10,11 @@
 //! - [`tag_core`] — the TAG model and all five evaluated methods
 //! - [`tag_datagen`] — synthetic BIRD-style domain databases
 //! - [`tag_bench`] — TAG-Bench: 80 queries, oracle ground truth, harness
+//! - [`tag_serve`] — concurrent query-serving runtime (worker pool,
+//!   cross-request LM batching, sharded answer cache, metrics)
 
 pub use tag_bench;
+pub use tag_serve;
 pub use tag_core;
 pub use tag_datagen;
 pub use tag_embed;

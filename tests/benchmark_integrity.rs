@@ -49,7 +49,7 @@ fn composition_is_20_per_type_and_40_40_kinds() {
 #[test]
 fn harness_outcomes_are_deterministic() {
     let run = |method, id| {
-        let mut h = Harness::small();
+        let h = Harness::small();
         let o = h.run_one(method, id);
         (o.correct, o.seconds, o.answer)
     };
@@ -137,7 +137,7 @@ fn headline_shape_is_seed_robust() {
 
 #[test]
 fn aggregation_queries_report_time_but_not_accuracy() {
-    let mut h = Harness::small();
+    let h = Harness::small();
     let id = h
         .queries()
         .iter()

@@ -19,11 +19,11 @@ fn env_over(db: tag_repro::tag_sql::Database) -> TagEnv {
 fn figure1_pipeline_answers_titanic() {
     // The running example: highest grossing romance classic = Titanic.
     let domain = movies::generate(42);
-    let mut env = env_over(domain.db);
+    let env = env_over(domain.db);
     let ans = HandWrittenTag.answer(
         "What is the movie_title of the movies with the highest revenue \
          among those with genre equal to 'Romance' and considered a classic?",
-        &mut env,
+        &env,
     );
     assert_eq!(ans, Answer::List(vec!["Titanic".into()]));
 }
@@ -41,18 +41,18 @@ fn sepang_coverage_ordering_across_methods() {
     };
 
     let domain = formula1::generate(42, 18);
-    let mut env = env_over(domain.db);
+    let env = env_over(domain.db);
 
-    let tag = HandWrittenTag.answer(request, &mut env);
+    let tag = HandWrittenTag.answer(request, &env);
     let tag_years = years(tag.as_text().expect("free text"));
     assert_eq!(tag_years, 19, "TAG must cover all years: {tag}");
 
-    let rag = Rag::aggregation().answer(request, &mut env);
+    let rag = Rag::aggregation().answer(request, &env);
     let rag_years = years(rag.as_text().expect("free text"));
     assert!(rag_years < 19, "RAG is capped by its retrieval: {rag}");
     assert!(rag_years > 0, "RAG retrieves something: {rag}");
 
-    let t2l = Text2SqlLm::aggregation().answer(request, &mut env);
+    let t2l = Text2SqlLm::aggregation().answer(request, &env);
     let t2l_years = years(t2l.as_text().expect("free text"));
     assert!(
         t2l_years <= rag_years || t2l_years == 19,
@@ -63,14 +63,14 @@ fn sepang_coverage_ordering_across_methods() {
 #[test]
 fn every_method_answers_without_panicking() {
     let domain = schools::generate(7, 150);
-    let mut env = env_over(domain.db);
+    let env = env_over(domain.db);
     let request = "How many schools located in the Bay Area region are there?";
     for answer in [
-        Text2Sql.answer(request, &mut env),
-        Rag::default().answer(request, &mut env),
-        RetrievalLmRank::default().answer(request, &mut env),
-        Text2SqlLm::default().answer(request, &mut env),
-        HandWrittenTag.answer(request, &mut env),
+        Text2Sql.answer(request, &env),
+        Rag::default().answer(request, &env),
+        RetrievalLmRank::default().answer(request, &env),
+        Text2SqlLm::default().answer(request, &env),
+        HandWrittenTag.answer(request, &env),
     ] {
         // Any Answer variant is acceptable; the pipeline must complete.
         let _ = answer.to_string();
@@ -81,11 +81,11 @@ fn every_method_answers_without_panicking() {
 fn whole_stack_is_deterministic() {
     let run = || {
         let domain = schools::generate(11, 120);
-        let mut env = env_over(domain.db);
+        let env = env_over(domain.db);
         let request = "What is the School of the schools with the lowest Longitude \
                        among those located in the Bay Area region?";
-        let a = HandWrittenTag.answer(request, &mut env);
-        let b = Text2Sql.answer(request, &mut env);
+        let a = HandWrittenTag.answer(request, &env);
+        let b = Text2Sql.answer(request, &env);
         let secs = env.elapsed_seconds();
         (a, b, secs)
     };
@@ -100,18 +100,18 @@ fn whole_stack_is_deterministic() {
 fn virtual_clock_tracks_method_costs() {
     let domain = schools::generate(3, 100);
     let lm = Arc::new(SimLm::new(SimConfig::default()));
-    let mut env = TagEnv::new(domain.db, lm.clone() as Arc<dyn LanguageModel>);
+    let env = TagEnv::new(domain.db, lm.clone() as Arc<dyn LanguageModel>);
     let request = "How many schools located in the Silicon Valley region are there?";
 
     env.reset_metrics();
-    Text2Sql.answer(request, &mut env);
+    Text2Sql.answer(request, &env);
     let t2s = env.elapsed_seconds();
     assert!(t2s > 0.0);
     // Exactly one LM call for vanilla Text2SQL.
     assert_eq!(lm.calls(), 1);
 
     env.reset_metrics();
-    HandWrittenTag.answer(request, &mut env);
+    HandWrittenTag.answer(request, &env);
     assert!(env.elapsed_seconds() > 0.0);
     // One prompt per distinct city, but a single batch round.
     assert_eq!(lm.batches(), 1);

@@ -66,14 +66,14 @@ fn questions() -> Vec<&'static str> {
 #[test]
 fn every_method_survives_an_lm_that_always_fails() {
     let domain = schools::generate(3, 80);
-    let mut env = TagEnv::new(domain.db, Arc::new(FlakyLm::new(1)));
+    let env = TagEnv::new(domain.db, Arc::new(FlakyLm::new(1)));
     for q in questions() {
         for answer in [
-            Text2Sql.answer(q, &mut env),
-            Rag::default().answer(q, &mut env),
-            RetrievalLmRank::default().answer(q, &mut env),
-            Text2SqlLm::default().answer(q, &mut env),
-            HandWrittenTag.answer(q, &mut env),
+            Text2Sql.answer(q, &env),
+            Rag::default().answer(q, &env),
+            RetrievalLmRank::default().answer(q, &env),
+            Text2SqlLm::default().answer(q, &env),
+            HandWrittenTag.answer(q, &env),
         ] {
             assert!(
                 answer.is_error(),
@@ -89,12 +89,12 @@ fn intermittent_failures_never_panic() {
     // multi-round pipelines die midway. All must return cleanly.
     for fail_every in [2u64, 3, 5] {
         let domain = schools::generate(3, 80);
-        let mut env = TagEnv::new(domain.db, Arc::new(FlakyLm::new(fail_every)));
+        let env = TagEnv::new(domain.db, Arc::new(FlakyLm::new(fail_every)));
         for q in questions() {
             for answer in [
-                Text2Sql.answer(q, &mut env),
-                HandWrittenTag.answer(q, &mut env),
-                Text2SqlLm::default().answer(q, &mut env),
+                Text2Sql.answer(q, &env),
+                HandWrittenTag.answer(q, &env),
+                Text2SqlLm::default().answer(q, &env),
             ] {
                 let _ = answer.to_string(); // Error or a (possibly wrong) answer
             }
@@ -107,7 +107,7 @@ fn engine_cache_state_stays_usable_after_a_failure() {
     let domain = schools::generate(3, 60);
     // Fails exactly the second batch.
     struct FailSecond(FlakyLm);
-    let mut env = TagEnv::new(domain.db, {
+    let env = TagEnv::new(domain.db, {
         let mut f = FlakyLm::new(2);
         f.fail_every = 2;
         Arc::new(FailSecond(f)) as Arc<dyn LanguageModel>
@@ -133,14 +133,14 @@ fn engine_cache_state_stays_usable_after_a_failure() {
         }
     }
     let q = "How many schools located in the Bay Area region are there?";
-    let first = HandWrittenTag.answer(q, &mut env); // batch 1 ok (single round)
-    let second = HandWrittenTag.answer(q, &mut env); // cache hit or batch 2 (fails)
-    let third = HandWrittenTag.answer(q, &mut env);
+    let first = HandWrittenTag.answer(q, &env); // batch 1 ok (single round)
+    let second = HandWrittenTag.answer(q, &env); // cache hit or batch 2 (fails)
+    let third = HandWrittenTag.answer(q, &env);
     // Whatever mixture of cache hits and failures occurred, the engine
     // must keep producing well-formed answers afterwards.
     for a in [first, second, third] {
         let _ = a.to_string();
     }
-    let fourth = HandWrittenTag.answer(q, &mut env);
+    let fourth = HandWrittenTag.answer(q, &env);
     let _ = fourth.to_string();
 }

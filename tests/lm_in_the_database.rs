@@ -111,7 +111,7 @@ fn two_hop_beats_single_hop_on_composition() {
         })
         .count() as f64;
 
-    let mut env = TagEnv::new(domain.db, exact_lm() as Arc<dyn LanguageModel>);
+    let env = TagEnv::new(domain.db, exact_lm() as Arc<dyn LanguageModel>);
     let q = TwoHopQuery {
         hop1: NlQuery::List {
             entity: "posts".into(),
@@ -130,7 +130,7 @@ fn two_hop_beats_single_hop_on_composition() {
             }],
         },
     };
-    let two = run_two_hop(&q, &mut env);
+    let two = run_two_hop(&q, &env);
     let two_n: f64 = match &two {
         Answer::List(v) => v[0].parse().unwrap(),
         other => panic!("{other:?}"),

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot fetch crates.io, so this vendored crate
+//! implements a miniature property-testing engine with the API surface
+//! the workspace's test suites use:
+//!
+//! - [`Strategy`] with `prop_map` / `prop_filter`, tuple strategies,
+//!   numeric-range strategies, and a regex-subset string strategy
+//!   (char classes, `{m,n}` repetition, `\PC` for printable chars);
+//! - [`prelude`] with `any::<T>()`, `Just`, `prop_oneof!`,
+//!   `prop::collection::vec`, and the `proptest!` /
+//!   `prop_assert*!` macros;
+//! - deterministic case generation seeded per test function.
+//!
+//! Failing cases are reported with their case number and generated
+//! inputs via `Debug`; there is **no shrinking** — rerunning a failed
+//! seed reproduces the case exactly, which is enough for a fully
+//! deterministic workspace.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of values from `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1);
+            let n = self.len.start + (rng.next_u64() as usize) % span;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Define property tests. Each `fn` inside runs `config.cases` times
+/// with inputs sampled from the `arg in strategy` bindings; failures
+/// panic with the case number and the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            // Bind strategies once, by arg name; each case shadows the
+            // binding with a sampled value.
+            $( let $arg = $strat; )+
+            for __case in 0..__config.cases {
+                $( let $arg = $crate::strategy::Strategy::sample(&$arg, &mut __rng); )+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __result: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__msg) = __result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}\n    inputs: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __msg,
+                        __inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+}
+
+/// Assert a condition inside `proptest!`, failing the case (not the
+/// whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__lhs, __rhs) => {
+                if !(*__lhs == *__rhs) {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($a), stringify!($b), __lhs, __rhs
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__lhs, __rhs) => {
+                if !(*__lhs == *__rhs) {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                        stringify!($a), stringify!($b), format!($($fmt)+), __lhs, __rhs
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Assert inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__lhs, __rhs) => {
+                if *__lhs == *__rhs {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($a), stringify!($b), __lhs
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__lhs, __rhs) => {
+                if *__lhs == *__rhs {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{} != {}` ({})\n  both: {:?}",
+                        stringify!($a), stringify!($b), format!($($fmt)+), __lhs
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `use proptest::prelude::*;` support.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop` namespace (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}

@@ -1,0 +1,415 @@
+//! Strategies: deterministic samplers for test inputs.
+
+use crate::test_runner::TestRng;
+
+/// A generator of test values. Unlike upstream proptest there are no
+/// value trees or shrinking: a strategy is just a deterministic sampler.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `keep`; panics if the predicate
+    /// rejects too many consecutive samples (mirroring proptest's
+    /// too-many-local-rejects error).
+    fn prop_filter<F>(self, reason: impl Into<String>, keep: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            keep,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    keep: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.keep)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples: {}", self.reason);
+    }
+}
+
+/// A constant strategy: every sample is a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build from boxed arms (used by `prop_oneof!`).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Box one arm (used by `prop_oneof!`).
+    pub fn arm<S>(s: S) -> Box<dyn Strategy<Value = V>>
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = (rng.next_u64() as usize) % self.arms.len();
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Uniform choice between strategies with identical value types.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Union::arm($arm)),+])
+    };
+}
+
+// ---- numeric ranges as strategies -----------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let u = (rng.next_u64() >> 11) as f32 * (1.0 / (1u64 << 53) as f32);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+// ---- any::<T>() -----------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait ArbitraryValue: Sized {
+    /// Build a value from 64 random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl ArbitraryValue for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// See [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::from_bits(rng.next_u64())
+    }
+}
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---- regex-subset string strategies ---------------------------------------
+
+/// One parsed pattern atom: a set of candidate chars plus a repetition.
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// The printable-character pool backing `\PC` (upstream: "any char that
+/// is not a control character"). ASCII-heavy with a few multibyte
+/// characters so UTF-8 handling is exercised.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..=0x7E).map(|b| b as char).collect();
+    pool.extend(['é', 'ß', 'λ', 'Ω', '→', '中', '…', '¿']);
+    pool
+}
+
+/// Parse the regex subset: sequences of `[class]`, `\PC`, or literal
+/// chars, each optionally followed by `{m,n}` / `{m}`.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let body = &chars[i + 1..close];
+                i = close + 1;
+                let mut set = Vec::new();
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (lo, hi) = (body[j], body[j + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        set.push(body[j]);
+                        j += 1;
+                    }
+                }
+                set
+            }
+            '\\' => {
+                // Only `\PC` (printable char) is supported.
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pattern:?}"
+                );
+                i += 3;
+                printable_pool()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("rep min"),
+                    n.trim().parse().expect("rep max"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("rep count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!set.is_empty(), "empty char class in {pattern:?}");
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = atom.max - atom.min + 1;
+            let n = atom.min + (rng.next_u64() as usize) % span;
+            for _ in 0..n {
+                let c = atom.chars[(rng.next_u64() as usize) % atom.chars.len()];
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::deterministic("regex_subset_shapes");
+        for _ in 0..200 {
+            let s = "[A-Za-z][A-Za-z0-9]{0,10}".sample(&mut rng);
+            assert!(s.len() <= 11 && !s.is_empty(), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            let t = "[ab%_]{0,8}".sample(&mut rng);
+            assert!(t.chars().all(|c| "ab%_".contains(c)), "{t:?}");
+            let p = "\\PC{1,60}".sample(&mut rng);
+            assert!(!p.is_empty() && p.chars().count() <= 60);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::deterministic("combinators_compose");
+        let s = (0i64..10)
+            .prop_map(|x| x * 2)
+            .prop_filter("even only", |x| x % 2 == 0);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+        let u = prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|x| x)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(u.sample(&mut rng));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2));
+    }
+
+    #[test]
+    fn collection_vec_respects_len() {
+        let mut rng = TestRng::deterministic("collection_vec_respects_len");
+        let s = crate::collection::vec((0u8..5, "[a-z]{1,3}"), 1..4);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            for (n, t) in &v {
+                assert!(*n < 5);
+                assert!((1..=3).contains(&t.len()));
+            }
+        }
+    }
+}
