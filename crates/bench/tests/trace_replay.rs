@@ -1,0 +1,80 @@
+//! Tracing is observation only: replaying the whole benchmark with a
+//! trace active must produce byte-identical answers to the untraced
+//! serial baseline, and every captured span tree must be well-formed.
+
+use std::collections::HashSet;
+use tag_bench::{Harness, MethodId};
+use tag_trace::{SpanRecord, Stage, Trace};
+
+/// Direct children must fit inside their parent: each child's wall time
+/// is bounded by the parent's, and sequential siblings sum to at most
+/// the parent's duration (plus a little slack for timer granularity).
+fn assert_durations_nest(spans: &[SpanRecord]) {
+    let slack = std::time::Duration::from_micros(50);
+    for parent in spans {
+        let children: Vec<&SpanRecord> = spans
+            .iter()
+            .filter(|s| s.parent == Some(parent.id))
+            .collect();
+        let sum: std::time::Duration = children.iter().map(|c| c.wall).sum();
+        assert!(
+            sum <= parent.wall + slack,
+            "children of span {} ({}) sum to {:?} > parent {:?}",
+            parent.id,
+            parent.label,
+            sum,
+            parent.wall
+        );
+    }
+}
+
+fn assert_well_formed(spans: &[SpanRecord]) {
+    assert!(!spans.is_empty());
+    let trace_id = spans[0].trace_id;
+    let ids: HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    assert_eq!(ids.len(), spans.len(), "span ids are unique");
+    let mut roots = 0usize;
+    for s in spans {
+        assert_eq!(s.trace_id, trace_id, "one trace per request");
+        match s.parent {
+            None => roots += 1,
+            Some(p) => {
+                assert!(ids.contains(&p), "parent {p} of span {} exists", s.id);
+                assert_ne!(p, s.id, "no self-parenting");
+            }
+        }
+    }
+    assert_eq!(roots, 1, "exactly one root (the request span)");
+    let root = spans.iter().find(|s| s.parent.is_none()).unwrap();
+    assert_eq!(root.stage, Stage::Request);
+    assert_durations_nest(spans);
+}
+
+#[test]
+fn traced_benchmark_replay_is_byte_identical_and_well_formed() {
+    let harness = Harness::small();
+    let ids: Vec<usize> = harness.queries().iter().map(|q| q.id).collect();
+    assert_eq!(ids.len(), 80, "TAG-Bench is 80 queries");
+    let mut total_spans = 0usize;
+    for method in MethodId::all() {
+        for &id in &ids {
+            let baseline = harness.run_one(method, id);
+            let (trace, sink) = Trace::memory();
+            let traced = tag_trace::with_trace(&trace, || {
+                let _root = tag_trace::span(Stage::Request, method.label());
+                harness.run_one(method, id)
+            });
+            // Byte identity, not just semantic equality.
+            assert_eq!(
+                format!("{:?}", traced.answer),
+                format!("{:?}", baseline.answer),
+                "{} query {id}: tracing changed the answer",
+                method.label()
+            );
+            let spans = sink.take();
+            assert_well_formed(&spans);
+            total_spans += spans.len();
+        }
+    }
+    assert!(total_spans > 400, "spans were actually captured: {total_spans}");
+}

@@ -124,6 +124,62 @@ impl TagEnv {
         })
     }
 
+    /// Run a read-only SQL statement through the domain database.
+    ///
+    /// When a [`tag_trace::Trace`] is active on this thread, the statement
+    /// runs inside an `exec`-stage span annotated with the SQL text and an
+    /// `EXPLAIN ANALYZE`-style per-operator breakdown (rows in/out +
+    /// elapsed per plan node). When tracing is off this is exactly
+    /// [`Database::query`] — both paths execute the same operator code,
+    /// so results are byte-identical either way.
+    pub fn run_sql(&self, sql: &str) -> tag_sql::SqlResult<tag_sql::ResultSet> {
+        if !tag_trace::is_active() {
+            return self.db.query(sql);
+        }
+        let _span = tag_trace::span(tag_trace::Stage::Exec, "sql");
+        tag_trace::annotate(format!("sql: {}", sql.split_whitespace().collect::<Vec<_>>().join(" ")));
+        match self.db.query_profiled(sql) {
+            Ok((rs, plan_text)) => {
+                for line in plan_text.lines() {
+                    tag_trace::annotate(line);
+                }
+                Ok(rs)
+            }
+            Err(e) => {
+                tag_trace::annotate(format!("error: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Call the language model directly (the `gen` step), attributing the
+    /// call's cost — virtual seconds, batch rounds, and token counts — to
+    /// the innermost active trace span. A no-op wrapper around
+    /// [`LanguageModel::generate`] when tracing is off.
+    pub fn generate(
+        &self,
+        request: &tag_lm::model::LmRequest,
+    ) -> tag_lm::model::LmResult<tag_lm::model::LmResponse> {
+        if !tag_trace::is_active() {
+            return self.lm.generate(request);
+        }
+        let (sec0, rounds0, calls0) = self.lm.usage();
+        let result = self.lm.generate(request);
+        let (sec1, rounds1, calls1) = self.lm.usage();
+        let mut usage = tag_trace::LmUsage {
+            calls: calls1.saturating_sub(calls0),
+            rounds: rounds1.saturating_sub(rounds0),
+            virtual_seconds: (sec1 - sec0).max(0.0),
+            ..Default::default()
+        };
+        if let Ok(resp) = &result {
+            usage.prompt_tokens = resp.prompt_tokens as u64;
+            usage.completion_tokens = resp.completion_tokens as u64;
+        }
+        tag_trace::record_lm(usage);
+        result
+    }
+
     /// Reset all metrics (LM clock, engine cache/stats) between queries.
     pub fn reset_metrics(&self) {
         self.lm.reset_metrics();
@@ -173,6 +229,45 @@ mod tests {
         let hits = e.row_store().retrieve("Gunn High school", 1);
         assert_eq!(hits.len(), 1);
         assert!(hits[0].0.iter().any(|(_, v)| v == "Gunn High"));
+    }
+
+    #[test]
+    fn run_sql_traced_matches_untraced_and_annotates_plan() {
+        let e = env();
+        let sql = "SELECT School FROM schools WHERE City = 'Fresno'";
+        let plain = e.run_sql(sql).unwrap();
+
+        let (trace, sink) = tag_trace::Trace::memory();
+        let traced = tag_trace::with_trace(&trace, || e.run_sql(sql).unwrap());
+        assert_eq!(plain.rows, traced.rows);
+        assert_eq!(plain.columns, traced.columns);
+
+        let spans = sink.take();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, tag_trace::Stage::Exec);
+        assert!(spans[0].annotations.iter().any(|a| a.starts_with("sql: ")));
+        assert!(
+            spans[0].annotations.iter().any(|a| a.contains("out=")),
+            "{:?}",
+            spans[0].annotations
+        );
+    }
+
+    #[test]
+    fn generate_attributes_usage_to_span() {
+        let e = env();
+        let (trace, sink) = tag_trace::Trace::memory();
+        tag_trace::with_trace(&trace, || {
+            let _span = tag_trace::span(tag_trace::Stage::Gen, "answer");
+            e.generate(&tag_lm::model::LmRequest::new("say hello to the world"))
+                .unwrap();
+        });
+        let spans = sink.take();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].lm.calls, 1);
+        assert_eq!(spans[0].lm.rounds, 1);
+        assert!(spans[0].lm.virtual_seconds > 0.0);
+        assert!(spans[0].lm.prompt_tokens > 0);
     }
 
     #[test]

@@ -35,8 +35,7 @@ impl HandWrittenTag {
     fn run(&self, query: &NlQuery, env: &TagEnv) -> Result<Answer, String> {
         // exec starts from the entity's base table.
         let base = env
-            .db
-            .query(&format!("SELECT * FROM {}", query.entity()))
+            .run_sql(&format!("SELECT * FROM {}", query.entity()))
             .map_err(|e| format!("base scan failed: {e}"))?;
         let mut df = DataFrame::from_result(base);
 
@@ -106,8 +105,8 @@ impl HandWrittenTag {
                 let prompt = answer_free_prompt(&request, &points);
                 let budget = env.lm.context_window().saturating_sub(512);
                 if tag_lm::tokenizer::count_tokens(&prompt) <= budget {
+                    let _span = tag_trace::span(tag_trace::Stage::Gen, "answer");
                     let resp = env
-                        .lm
                         .generate(&LmRequest::new(prompt))
                         .map_err(|e| e.to_string())?;
                     Ok(Answer::Text(resp.text))

@@ -43,18 +43,24 @@ impl TagMethod for Rag {
     }
 
     fn answer(&self, request: &str, env: &TagEnv) -> Answer {
-        let points: Vec<Vec<(String, String)>> = env
-            .row_store()
-            .retrieve(request, self.k)
-            .into_iter()
-            .map(|(row, _)| row.clone())
-            .collect();
+        let points: Vec<Vec<(String, String)>> = {
+            let _span = tag_trace::span(tag_trace::Stage::Retrieve, "row embeddings");
+            let points: Vec<Vec<(String, String)>> = env
+                .row_store()
+                .retrieve(request, self.k)
+                .into_iter()
+                .map(|(row, _)| row.clone())
+                .collect();
+            tag_trace::annotate(format!("retrieved {} rows (k={})", points.len(), self.k));
+            points
+        };
+        let _span = tag_trace::span(tag_trace::Stage::Gen, "answer");
         let prompt = if self.list_format {
             answer_list_prompt(request, &points)
         } else {
             answer_free_prompt(request, &points)
         };
-        match env.lm.generate(&LmRequest::new(prompt)) {
+        match env.generate(&LmRequest::new(prompt)) {
             Ok(r) => response_to_answer(&r.text, self.list_format),
             Err(e) => Answer::Error(e.to_string()),
         }

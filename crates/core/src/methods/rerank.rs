@@ -45,47 +45,60 @@ impl TagMethod for RetrievalLmRank {
     }
 
     fn answer(&self, request: &str, env: &TagEnv) -> Answer {
-        let candidates: Vec<Vec<(String, String)>> = env
-            .row_store()
-            .retrieve(request, self.pool)
-            .into_iter()
-            .map(|(row, _)| row.clone())
-            .collect();
+        let candidates: Vec<Vec<(String, String)>> = {
+            let _span = tag_trace::span(tag_trace::Stage::Retrieve, "candidate pool");
+            let candidates: Vec<Vec<(String, String)>> = env
+                .row_store()
+                .retrieve(request, self.pool)
+                .into_iter()
+                .map(|(row, _)| row.clone())
+                .collect();
+            tag_trace::annotate(format!(
+                "retrieved {} candidates (pool={})",
+                candidates.len(),
+                self.pool
+            ));
+            candidates
+        };
 
         // Score every candidate 0–1 with the LM, in one batch.
-        let prompts: Vec<String> = candidates
-            .iter()
-            .map(|row| {
-                let text = row
-                    .iter()
-                    .map(|(c, v)| format!("- {c}: {v}"))
-                    .collect::<Vec<_>>()
-                    .join("\n");
-                relevance_prompt(request, &text)
-            })
-            .collect();
-        let scores = match env.engine.complete_batch(&prompts) {
-            Ok(s) => s,
-            Err(e) => return Answer::Error(e.to_string()),
+        let points: Vec<Vec<(String, String)>> = {
+            let _span = tag_trace::span(tag_trace::Stage::Rerank, "relevance scores");
+            let prompts: Vec<String> = candidates
+                .iter()
+                .map(|row| {
+                    let text = row
+                        .iter()
+                        .map(|(c, v)| format!("- {c}: {v}"))
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    relevance_prompt(request, &text)
+                })
+                .collect();
+            let scores = match env.engine.complete_batch_op("rerank", &prompts) {
+                Ok(s) => s,
+                Err(e) => return Answer::Error(e.to_string()),
+            };
+            let mut scored: Vec<(f64, usize)> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.trim().parse::<f64>().unwrap_or(0.0), i))
+                .collect();
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            scored
+                .iter()
+                .take(self.k)
+                .map(|(_, i)| candidates[*i].clone())
+                .collect()
         };
-        let mut scored: Vec<(f64, usize)> = scores
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.trim().parse::<f64>().unwrap_or(0.0), i))
-            .collect();
-        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        let points: Vec<Vec<(String, String)>> = scored
-            .iter()
-            .take(self.k)
-            .map(|(_, i)| candidates[*i].clone())
-            .collect();
 
+        let _span = tag_trace::span(tag_trace::Stage::Gen, "answer");
         let prompt = if self.list_format {
             answer_list_prompt(request, &points)
         } else {
             answer_free_prompt(request, &points)
         };
-        match env.lm.generate(&LmRequest::new(prompt)) {
+        match env.generate(&LmRequest::new(prompt)) {
             Ok(r) => response_to_answer(&r.text, self.list_format),
             Err(e) => Answer::Error(e.to_string()),
         }

@@ -17,10 +17,11 @@ pub struct Text2Sql;
 
 impl QuerySynthesis for Text2Sql {
     fn synthesize(&self, request: &str, env: &TagEnv) -> Result<String, String> {
+        let _span = tag_trace::span(tag_trace::Stage::Syn, "text2sql");
         let prompt = text2sql_prompt(env.schema_prompt(), request, false);
         let completion = env
             .engine
-            .complete(&prompt)
+            .complete_op("text2sql", &prompt)
             .map_err(|e| e.to_string())?;
         Ok(format!("SELECT {completion}"))
     }
@@ -36,7 +37,7 @@ impl TagMethod for Text2Sql {
             Ok(s) => s,
             Err(e) => return Answer::Error(e),
         };
-        match env.db.query(&sql) {
+        match env.run_sql(&sql) {
             Ok(rs) => result_to_answer(&rs),
             Err(e) => Answer::Error(format!("generated SQL failed: {e}")),
         }

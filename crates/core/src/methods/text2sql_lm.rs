@@ -39,23 +39,27 @@ impl TagMethod for Text2SqlLm {
     fn answer(&self, request: &str, env: &TagEnv) -> Answer {
         // Step 1: LM writes retrieval SQL (relational clauses only; the
         // knowledge/reasoning clauses are deferred to generation).
-        let prompt = text2sql_prompt(env.schema_prompt(), request, true);
-        let completion = match env.engine.complete(&prompt) {
-            Ok(c) => c,
-            Err(e) => return Answer::Error(e.to_string()),
+        let completion = {
+            let _span = tag_trace::span(tag_trace::Stage::Syn, "text2sql");
+            let prompt = text2sql_prompt(env.schema_prompt(), request, true);
+            match env.engine.complete_op("text2sql", &prompt) {
+                Ok(c) => c,
+                Err(e) => return Answer::Error(e.to_string()),
+            }
         };
         let sql = format!("SELECT {completion}");
-        let rows = match env.db.query(&sql) {
+        let rows = match env.run_sql(&sql) {
             Ok(rs) => rs,
             Err(e) => {
                 // Retrieval failed: generation proceeds with no data and
                 // must rely on parametric knowledge (Figure 2, middle).
+                let _span = tag_trace::span(tag_trace::Stage::Gen, "answer (no data)");
                 let prompt = if self.list_format {
                     answer_list_prompt(request, &[])
                 } else {
                     answer_free_prompt(request, &[])
                 };
-                return match env.lm.generate(&LmRequest::new(prompt)) {
+                return match env.generate(&LmRequest::new(prompt)) {
                     Ok(r) => response_to_answer(&r.text, self.list_format),
                     Err(lm_e) => Answer::Error(format!("{e}; then LM: {lm_e}")),
                 };
@@ -63,13 +67,14 @@ impl TagMethod for Text2SqlLm {
         };
 
         // Step 2: feed every retrieved row in context.
+        let _span = tag_trace::span(tag_trace::Stage::Gen, "answer");
         let points = result_to_points(&rows);
         let prompt = if self.list_format {
             answer_list_prompt(request, &points)
         } else {
             answer_free_prompt(request, &points)
         };
-        match env.lm.generate(&LmRequest::new(prompt)) {
+        match env.generate(&LmRequest::new(prompt)) {
             Ok(r) => response_to_answer(&r.text, self.list_format),
             Err(e) => Answer::Error(e.to_string()), // context overflow lands here
         }

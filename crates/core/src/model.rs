@@ -43,14 +43,18 @@ impl<S: QuerySynthesis, G: AnswerGeneration> TagPipeline<S, G> {
 
     /// Run `gen(R, exec(syn(R)))`.
     pub fn answer(&self, request: &str, env: &TagEnv) -> Answer {
-        let query = match self.syn.synthesize(request, env) {
-            Ok(q) => q,
-            Err(e) => return Answer::Error(format!("query synthesis failed: {e}")),
+        let query = {
+            let _span = tag_trace::span(tag_trace::Stage::Syn, "synthesize");
+            match self.syn.synthesize(request, env) {
+                Ok(q) => q,
+                Err(e) => return Answer::Error(format!("query synthesis failed: {e}")),
+            }
         };
-        let table = match env.db.query(&query) {
+        let table = match env.run_sql(&query) {
             Ok(t) => t,
             Err(e) => return Answer::Error(format!("query execution failed: {e}")),
         };
+        let _span = tag_trace::span(tag_trace::Stage::Gen, "generate");
         self.gen.generate(request, &table, env)
     }
 }

@@ -111,6 +111,15 @@ impl VirtualClock {
         self.inner.lock().calls
     }
 
+    /// Atomic `(seconds, batches, calls)` snapshot under one lock.
+    /// Tracing deltas two snapshots around an operation; separate
+    /// `seconds()`/`batches()`/`calls()` reads could tear between a
+    /// concurrent `record_round`.
+    pub fn snapshot(&self) -> (f64, u64, u64) {
+        let s = self.inner.lock();
+        (s.seconds, s.batches, s.calls)
+    }
+
     /// Zero everything.
     pub fn reset(&self) {
         *self.inner.lock() = ClockState::default();

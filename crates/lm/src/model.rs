@@ -108,6 +108,15 @@ pub trait LanguageModel: Send + Sync {
 
     /// The model's context window in tokens.
     fn context_window(&self) -> usize;
+
+    /// `(elapsed_seconds, batches, calls)` in one read. Used by tracing
+    /// to delta virtual-clock time and round counts around an operation;
+    /// implementations backed by a [`crate::cost::VirtualClock`] should
+    /// override this with `clock.snapshot()` so the triple is consistent
+    /// under concurrency.
+    fn usage(&self) -> (f64, u64, u64) {
+        (self.elapsed_seconds(), self.batches(), self.calls())
+    }
 }
 
 #[cfg(test)]

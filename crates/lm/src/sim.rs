@@ -750,6 +750,10 @@ impl LanguageModel for SimLm {
     fn context_window(&self) -> usize {
         self.config.context_window
     }
+
+    fn usage(&self) -> (f64, u64, u64) {
+        self.clock.snapshot()
+    }
 }
 
 #[cfg(test)]

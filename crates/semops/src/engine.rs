@@ -7,9 +7,10 @@
 
 use crate::lru::LruCache;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use tag_lm::model::{LanguageModel, LmRequest, LmResult};
+use tag_trace::LmUsage;
 
 /// Default bound on the prompt cache. Long-running serving processes
 /// replay many distinct prompts; an unbounded map grows without limit.
@@ -28,6 +29,38 @@ pub struct EngineStats {
     pub evictions: u64,
 }
 
+/// Counters for one named semantic operator (`sem_filter`, `sem_topk`,
+/// ...). The aggregate [`EngineStats`] answers "how much LM work"; these
+/// answer "which operator caused it".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Operator invocations routed through the engine.
+    pub invocations: u64,
+    /// Prompts the operator submitted (before cache dedup).
+    pub prompts: u64,
+    /// Prompts answered from the cache.
+    pub cache_hits: u64,
+    /// Prompts that reached the model.
+    pub lm_prompts: u64,
+    /// Batches sent to the model.
+    pub lm_batches: u64,
+    /// Cache evictions triggered while the operator ran.
+    pub evictions: u64,
+}
+
+/// What one `complete_batch` call did, counted locally so attribution is
+/// race-free under concurrent engine use (unlike deltas of the shared
+/// aggregate counters).
+#[derive(Debug, Default, Clone, Copy)]
+struct BatchOutcome {
+    cache_hits: u64,
+    lm_prompts: u64,
+    lm_batches: u64,
+    prompt_tokens: u64,
+    completion_tokens: u64,
+    evictions: u64,
+}
+
 /// Batched + cached LM executor shared by all semantic operators.
 pub struct SemEngine {
     lm: Arc<dyn LanguageModel>,
@@ -36,6 +69,7 @@ pub struct SemEngine {
     batch_size: usize,
     cache: Mutex<LruCache<String, String>>,
     stats: Mutex<EngineStats>,
+    ops: Mutex<BTreeMap<&'static str, OpStats>>,
 }
 
 impl SemEngine {
@@ -60,6 +94,7 @@ impl SemEngine {
             batch_size: batch_size.max(1),
             cache: Mutex::new(LruCache::new(cache_capacity)),
             stats: Mutex::new(EngineStats::default()),
+            ops: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -80,15 +115,67 @@ impl SemEngine {
         s
     }
 
-    /// Clear cache and statistics.
+    /// Clear cache and statistics (aggregate and per-operator).
     pub fn reset(&self) {
         self.cache.lock().clear();
         *self.stats.lock() = EngineStats::default();
+        self.ops.lock().clear();
+    }
+
+    /// Per-operator counters, in operator-name order.
+    pub fn op_stats(&self) -> Vec<(&'static str, OpStats)> {
+        self.ops.lock().iter().map(|(k, v)| (*k, *v)).collect()
     }
 
     /// Complete a batch of prompts, deduplicating against the cache and
-    /// batching the misses.
+    /// batching the misses. Attributed to the `"adhoc"` operator; named
+    /// operators use [`SemEngine::complete_batch_op`].
     pub fn complete_batch(&self, prompts: &[String]) -> LmResult<Vec<String>> {
+        self.complete_batch_op("adhoc", prompts)
+    }
+
+    /// [`SemEngine::complete_batch`] with the work attributed to a named
+    /// operator (per-op counters) and, when a trace is installed, to the
+    /// innermost open span (LM usage).
+    pub fn complete_batch_op(
+        &self,
+        op: &'static str,
+        prompts: &[String],
+    ) -> LmResult<Vec<String>> {
+        let trace_active = tag_trace::is_active();
+        let clock_before = if trace_active { self.lm.usage().0 } else { 0.0 };
+        let mut outcome = BatchOutcome::default();
+        // The outcome accumulates across chunks even when a later chunk
+        // errors, so partial work is still attributed.
+        let result = self.complete_batch_inner(prompts, &mut outcome);
+        {
+            let mut ops = self.ops.lock();
+            let entry = ops.entry(op).or_default();
+            entry.invocations += 1;
+            entry.prompts += prompts.len() as u64;
+            entry.cache_hits += outcome.cache_hits;
+            entry.lm_prompts += outcome.lm_prompts;
+            entry.lm_batches += outcome.lm_batches;
+            entry.evictions += outcome.evictions;
+        }
+        if trace_active {
+            tag_trace::record_lm(LmUsage {
+                calls: outcome.lm_prompts,
+                rounds: outcome.lm_batches,
+                cache_hits: outcome.cache_hits,
+                prompt_tokens: outcome.prompt_tokens,
+                completion_tokens: outcome.completion_tokens,
+                virtual_seconds: (self.lm.usage().0 - clock_before).max(0.0),
+            });
+        }
+        result
+    }
+
+    fn complete_batch_inner(
+        &self,
+        prompts: &[String],
+        outcome: &mut BatchOutcome,
+    ) -> LmResult<Vec<String>> {
         let mut results: Vec<Option<String>> = vec![None; prompts.len()];
         let mut misses: Vec<usize> = Vec::new();
         {
@@ -101,9 +188,10 @@ impl SemEngine {
                 }
             }
         }
+        outcome.cache_hits = (prompts.len() - misses.len()) as u64;
         {
             let mut stats = self.stats.lock();
-            stats.cache_hits += (prompts.len() - misses.len()) as u64;
+            stats.cache_hits += outcome.cache_hits;
         }
         // Dedup identical prompts within the miss set too.
         let mut unique: Vec<usize> = Vec::new();
@@ -121,6 +209,12 @@ impl SemEngine {
                 .map(|&i| LmRequest::new(prompts[i].clone()))
                 .collect();
             let responses = self.lm.generate_batch(&requests)?;
+            outcome.lm_prompts += requests.len() as u64;
+            outcome.lm_batches += 1;
+            for r in &responses {
+                outcome.prompt_tokens += r.prompt_tokens as u64;
+                outcome.completion_tokens += r.completion_tokens as u64;
+            }
             let mut stats = self.stats.lock();
             stats.lm_prompts += requests.len() as u64;
             stats.lm_batches += 1;
@@ -128,10 +222,12 @@ impl SemEngine {
             // Fill results directly from the responses — the bounded
             // cache may evict an entry before any readback could see it.
             let mut cache = self.cache.lock();
+            let evictions_before = cache.evictions();
             for (&i, r) in chunk.iter().zip(responses) {
                 results[i] = Some(r.text.clone());
                 cache.insert(prompts[i].clone(), r.text);
             }
+            outcome.evictions += cache.evictions() - evictions_before;
         }
         // Duplicate misses copy their representative's response.
         for &i in &misses {
@@ -146,10 +242,15 @@ impl SemEngine {
             .collect())
     }
 
-    /// Complete one prompt (cached).
+    /// Complete one prompt (cached), attributed to `"adhoc"`.
     pub fn complete(&self, prompt: &str) -> LmResult<String> {
+        self.complete_op("adhoc", prompt)
+    }
+
+    /// Complete one prompt (cached), attributed to a named operator.
+    pub fn complete_op(&self, op: &'static str, prompt: &str) -> LmResult<String> {
         Ok(self
-            .complete_batch(std::slice::from_ref(&prompt.to_owned()))?
+            .complete_batch_op(op, std::slice::from_ref(&prompt.to_owned()))?
             .pop()
             .expect("one prompt yields one result"))
     }
@@ -267,6 +368,86 @@ mod tests {
         let out = engine.complete_batch(&prompts).unwrap();
         assert_eq!(out, vec!["echo:x", "echo:y", "echo:x", "echo:y", "echo:x"]);
         assert_eq!(lm.calls(), 2, "duplicates never hit the model");
+    }
+
+    #[test]
+    fn per_op_counters_attribute_work() {
+        let lm = Arc::new(EchoLm::new());
+        let engine = SemEngine::new(lm);
+        engine
+            .complete_batch_op("sem_filter", &["a".into(), "b".into(), "a".into()])
+            .unwrap();
+        engine.complete_batch_op("sem_filter", &["a".into()]).unwrap();
+        engine.complete_op("sem_topk", "rank it").unwrap();
+        engine.complete("plain").unwrap();
+
+        let ops: std::collections::BTreeMap<_, _> =
+            engine.op_stats().into_iter().collect();
+        let filter = ops["sem_filter"];
+        assert_eq!(filter.invocations, 2);
+        assert_eq!(filter.prompts, 4);
+        assert_eq!(filter.lm_prompts, 2, "a deduped, b fresh");
+        // In-batch duplicates are deduped without touching the cache
+        // counter; only the second call's "a" is a cache hit.
+        assert_eq!(filter.cache_hits, 1);
+        let topk = ops["sem_topk"];
+        assert_eq!(topk.invocations, 1);
+        assert_eq!(topk.lm_prompts, 1);
+        assert_eq!(ops["adhoc"].invocations, 1);
+        // Aggregate stats are the sum over operators.
+        let agg = engine.stats();
+        let (p, h): (u64, u64) = ops
+            .values()
+            .fold((0, 0), |(p, h), s| (p + s.lm_prompts, h + s.cache_hits));
+        assert_eq!(agg.lm_prompts, p);
+        assert_eq!(agg.cache_hits, h);
+
+        engine.reset();
+        assert!(engine.op_stats().is_empty());
+    }
+
+    #[test]
+    fn per_op_evictions_are_counted() {
+        let lm = Arc::new(EchoLm::new());
+        let engine = SemEngine::with_batch_size_and_cache(lm, 64, 2);
+        let prompts: Vec<String> = (0..5).map(|i| format!("p{i}")).collect();
+        engine.complete_batch_op("sem_map", &prompts).unwrap();
+        let ops: std::collections::BTreeMap<_, _> =
+            engine.op_stats().into_iter().collect();
+        assert!(ops["sem_map"].evictions >= 3, "{:?}", ops["sem_map"]);
+    }
+
+    #[test]
+    fn traced_batch_records_usage_on_current_span() {
+        let lm = Arc::new(EchoLm::new());
+        let engine = SemEngine::new(lm);
+        let (trace, sink) = tag_trace::Trace::memory();
+        tag_trace::with_trace(&trace, || {
+            let _span = tag_trace::span(tag_trace::Stage::Exec, "filter");
+            engine
+                .complete_batch_op("sem_filter", &["a".into(), "b".into(), "a".into()])
+                .unwrap();
+        });
+        let spans = sink.take();
+        assert_eq!(spans.len(), 1);
+        let lm_usage = spans[0].lm;
+        assert_eq!(lm_usage.calls, 2);
+        assert_eq!(lm_usage.rounds, 1);
+        assert_eq!(lm_usage.cache_hits, 0, "in-batch dup is not a cache hit");
+        assert_eq!(lm_usage.prompt_tokens, 2, "EchoLm meters 1 token/prompt");
+        assert_eq!(lm_usage.completion_tokens, 2);
+    }
+
+    #[test]
+    fn untraced_batch_records_nothing() {
+        // Identical call with no trace installed: only counters move.
+        let lm = Arc::new(EchoLm::new());
+        let engine = SemEngine::new(lm);
+        let out = engine
+            .complete_batch_op("sem_filter", &["a".into(), "b".into()])
+            .unwrap();
+        assert_eq!(out, vec!["echo:a", "echo:b"]);
+        assert!(!tag_trace::is_active());
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub mod frame;
 pub mod lru;
 pub mod ops;
 
-pub use engine::{EngineStats, SemEngine};
+pub use engine::{EngineStats, OpStats, SemEngine};
 pub use lru::LruCache;
 pub use frame::DataFrame;
 pub use ops::{

@@ -60,13 +60,14 @@ pub fn sem_filter(
     column: &str,
     claim: &SemClaim,
 ) -> SemResult<DataFrame> {
+    let _span = tag_trace::span(tag_trace::Stage::Exec, "sem_filter");
     let idx = df.column_index(column)?;
     let prompts: Vec<String> = df
         .rows()
         .iter()
         .map(|r| sem_filter_prompt(claim, &r[idx].to_string()))
         .collect();
-    let verdicts = engine.complete_batch(&prompts)?;
+    let verdicts = engine.complete_batch_op("sem_filter", &prompts)?;
     let keep: Vec<bool> = verdicts
         .iter()
         .map(|v| v.trim().eq_ignore_ascii_case("true"))
@@ -99,6 +100,7 @@ pub fn sem_topk(
     /// Above this row count, narrow with quickselect before ranking.
     const BORDA_LIMIT: usize = 40;
 
+    let _span = tag_trace::span(tag_trace::Stage::Exec, "sem_topk");
     let idx = df.column_index(column)?;
     let n = df.len();
     if n <= 1 || k == 0 {
@@ -142,7 +144,7 @@ fn quickselect_top(
             .iter()
             .map(|&i| sem_compare_prompt(property, &texts[i], &texts[pivot]))
             .collect();
-        let answers = engine.complete_batch(&prompts)?;
+        let answers = engine.complete_batch_op("sem_topk", &prompts)?;
         let mut above = Vec::new();
         let mut below = Vec::new();
         for (&i, a) in others.iter().zip(&answers) {
@@ -198,7 +200,7 @@ fn borda_rank(
             pairs.push((a, b));
         }
     }
-    let answers = engine.complete_batch(&prompts)?;
+    let answers = engine.complete_batch_op("sem_topk", &prompts)?;
     let mut wins = vec![0usize; m];
     for ((a, b), ans) in pairs.into_iter().zip(answers) {
         if ans.trim().eq_ignore_ascii_case("a") {
@@ -224,6 +226,7 @@ pub fn sem_agg(
     instruction: &str,
     columns: Option<&[&str]>,
 ) -> SemResult<String> {
+    let _span = tag_trace::span(tag_trace::Stage::Gen, "sem_agg");
     let projected = match columns {
         Some(cols) => df.select(cols)?,
         None => df.clone(),
@@ -246,7 +249,7 @@ fn agg_fold(engine: &SemEngine, instruction: &str, items: Vec<String>) -> SemRes
     let budget = engine.lm().context_window().saturating_sub(1024).max(256);
     let total: usize = items.iter().map(|i| count_tokens(i)).sum();
     if total <= budget || items.len() <= 1 {
-        return Ok(engine.complete(&sem_agg_prompt(instruction, &items))?);
+        return Ok(engine.complete_op("sem_agg", &sem_agg_prompt(instruction, &items))?);
     }
     // Chunk so each chunk fits, summarize every chunk in one batch, then
     // recurse over the partial summaries.
@@ -269,13 +272,13 @@ fn agg_fold(engine: &SemEngine, instruction: &str, items: Vec<String>) -> SemRes
         // Cannot shrink further by chunking (individual items exceed the
         // budget); fall back to a single call and let the model truncate.
         let items = chunks.pop().unwrap_or_default();
-        return Ok(engine.complete(&sem_agg_prompt(instruction, &items))?);
+        return Ok(engine.complete_op("sem_agg", &sem_agg_prompt(instruction, &items))?);
     }
     let prompts: Vec<String> = chunks
         .iter()
         .map(|c| sem_agg_prompt(instruction, c))
         .collect();
-    let partials = engine.complete_batch(&prompts)?;
+    let partials = engine.complete_batch_op("sem_agg", &prompts)?;
     agg_fold(engine, instruction, partials)
 }
 
@@ -289,13 +292,14 @@ pub fn sem_map(
     instruction: &str,
     out_column: &str,
 ) -> SemResult<DataFrame> {
+    let _span = tag_trace::span(tag_trace::Stage::Exec, "sem_map");
     let idx = df.column_index(column)?;
     let prompts: Vec<String> = df
         .rows()
         .iter()
         .map(|r| sem_map_prompt(instruction, &r[idx].to_string()))
         .collect();
-    let outputs = engine.complete_batch(&prompts)?;
+    let outputs = engine.complete_batch_op("sem_map", &prompts)?;
     let mut it = outputs.into_iter();
     Ok(df.with_column(out_column, |_| {
         Value::Text(it.next().expect("one output per row"))
@@ -314,6 +318,7 @@ pub fn sem_agg_refine(
     instruction: &str,
     columns: Option<&[&str]>,
 ) -> SemResult<String> {
+    let _span = tag_trace::span(tag_trace::Stage::Gen, "sem_agg_refine");
     let projected = match columns {
         Some(cols) => df.select(cols)?,
         None => df.clone(),
@@ -341,7 +346,8 @@ pub fn sem_agg_refine(
             round.push(format!("Summary so far: {s}"));
         }
         round.append(chunk);
-        *summary = Some(engine.complete(&sem_agg_prompt(instruction, &round))?);
+        *summary =
+            Some(engine.complete_op("sem_agg_refine", &sem_agg_prompt(instruction, &round))?);
         Ok(())
     };
     for item in items {
@@ -366,6 +372,7 @@ pub fn sem_score(
     question: &str,
     score_column: &str,
 ) -> SemResult<DataFrame> {
+    let _span = tag_trace::span(tag_trace::Stage::Exec, "sem_score");
     let points = df.to_data_points();
     let prompts: Vec<String> = points
         .iter()
@@ -378,7 +385,7 @@ pub fn sem_score(
             relevance_prompt(question, &text)
         })
         .collect();
-    let answers = engine.complete_batch(&prompts)?;
+    let answers = engine.complete_batch_op("sem_score", &prompts)?;
     let scores: Vec<f64> = answers
         .iter()
         .map(|a| a.trim().parse::<f64>().unwrap_or(0.0).clamp(0.0, 1.0))
@@ -400,6 +407,7 @@ pub fn sem_join(
     right_col: &str,
     claim: &SemClaim,
 ) -> SemResult<DataFrame> {
+    let _span = tag_trace::span(tag_trace::Stage::Exec, "sem_join");
     let li = left.column_index(left_col)?;
     let ri = right.column_index(right_col)?;
     let mut prompts = Vec::with_capacity(left.len() * right.len());
@@ -409,7 +417,7 @@ pub fn sem_join(
             prompts.push(sem_filter_prompt(claim, &value));
         }
     }
-    let verdicts = engine.complete_batch(&prompts)?;
+    let verdicts = engine.complete_batch_op("sem_join", &prompts)?;
     let mut columns = left.columns().to_vec();
     for c in right.columns() {
         if left.columns().iter().any(|l| l.eq_ignore_ascii_case(c)) {

@@ -78,6 +78,22 @@ pub struct BatchStats {
     pub fallback_rounds: u64,
 }
 
+impl BatchStats {
+    /// One-line text rendering, used by the STATS report.
+    pub fn report_line(&self) -> String {
+        format!(
+            "lm batching: submissions={} rounds={} cross_request_rounds={} prompts={} \
+             max_merged={} fallbacks={}",
+            self.submissions,
+            self.rounds,
+            self.cross_request_rounds,
+            self.prompts,
+            self.max_merged_submissions,
+            self.fallback_rounds
+        )
+    }
+}
+
 /// A [`LanguageModel`] adapter that coalesces concurrent submissions.
 pub struct BatchLm {
     inner: Arc<dyn LanguageModel>,
@@ -246,6 +262,10 @@ impl LanguageModel for BatchLm {
 
     fn context_window(&self) -> usize {
         self.inner.context_window()
+    }
+
+    fn usage(&self) -> (f64, u64, u64) {
+        self.inner.usage()
     }
 }
 

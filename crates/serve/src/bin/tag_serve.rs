@@ -5,11 +5,14 @@
 //! ```text
 //! ASK <domain> <method> <question…>   answer one question
 //! STATS                               print the metrics report
+//! TRACE <id> [JSONL]                  print a captured request trace
 //! QUIT                                shut down
 //! ```
 //!
-//! Replies are single lines: `OK <total> <queue> <cache> <answer>` or
-//! `ERR <reason>`.
+//! Replies to `ASK` are single lines:
+//! `OK total=… queue=… cache=… trace=<id> <answer>` or `ERR <reason>`;
+//! the trace id can be fed back to `TRACE` for the span tree (or JSONL
+//! export) of that request.
 
 use std::io::BufRead;
 use std::time::Duration;
@@ -86,15 +89,29 @@ fn main() {
                 question,
             }) => match server.ask(Request::new(domain, method, question)) {
                 Ok(resp) => println!(
-                    "OK total={:.3}ms queue={:.3}ms cache={} {}",
+                    "OK total={:.3}ms queue={:.3}ms cache={} trace={} {}",
                     resp.total.as_secs_f64() * 1e3,
                     resp.queue_wait.as_secs_f64() * 1e3,
                     if resp.cache_hit { "hit" } else { "miss" },
+                    resp.trace_id
+                        .map(|id| id.to_string())
+                        .unwrap_or_else(|| "-".to_owned()),
                     format_answer(&resp.answer),
                 ),
                 Err(e) => println!("ERR {e}"),
             },
             Ok(Command::Stats) => print!("{}", server.report()),
+            Ok(Command::Trace { id, jsonl }) => {
+                let rendered = if jsonl {
+                    server.trace_jsonl(id)
+                } else {
+                    server.trace_report(id)
+                };
+                match rendered {
+                    Some(text) => print!("{text}"),
+                    None => println!("ERR no resident trace {id}"),
+                }
+            }
             Ok(Command::Quit) => break,
             Err(e) => println!("ERR {e}"),
         }

@@ -16,6 +16,10 @@
 //! - [`MetricsRegistry`] counts admissions, sheds, cache traffic, and
 //!   latency histograms (queue wait / exec / end-to-end) with a text
 //!   report.
+//! - Every executed request is traced through `tag-trace`: the captured
+//!   span tree is kept in a bounded [`TraceStore`] ring (`TRACE <id>`
+//!   retrieves it, as a tree or JSONL), and per-stage aggregates
+//!   accumulate in [`StageMetrics`] for the `STATS` report.
 //!
 //! Two binaries ship with the crate: `tag-serve`, a stdin/stdout line
 //! server speaking `ASK <domain> <method> <question>`, and
@@ -29,9 +33,11 @@ pub mod cache;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod trace;
 
 pub use batch::{BatchLm, BatchStats};
 pub use cache::{normalize_question, AnswerCache, CacheStats};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{Histogram, MetricsRegistry, StageMetrics};
 pub use protocol::{format_answer, parse_line, run_method, Command, MethodName};
 pub use server::{ReplyHandle, Request, Response, ServeError, Server, ServerConfig};
+pub use trace::TraceStore;

@@ -55,12 +55,18 @@ impl Histogram {
     }
 
     /// Estimated quantile in seconds (`q` in 0..=1; 0 when empty).
+    ///
+    /// Degenerate inputs are defanged rather than surfaced: an empty
+    /// histogram and a NaN `q` both return 0, out-of-range `q` is
+    /// clamped, and the computed rank is clamped to `1..=count` so
+    /// `q = 1.0` lands exactly on the last observation instead of
+    /// walking past it into the overflow bound.
     pub fn quantile_seconds(&self, q: f64) -> f64 {
         let total = self.count();
-        if total == 0 {
+        if total == 0 || q.is_nan() {
             return 0.0;
         }
-        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             let in_bucket = b.load(Ordering::Relaxed);
@@ -85,6 +91,68 @@ impl Histogram {
             self.quantile_seconds(0.95) * 1e3,
             self.quantile_seconds(0.99) * 1e3,
         )
+    }
+}
+
+/// Per-stage aggregates derived from request traces: wall-clock and
+/// virtual LM time, call and token counts, bucketed by
+/// [`tag_trace::Stage`]. Fed by the server after each traced request;
+/// all relaxed atomics, so recording never contends with serving.
+#[derive(Debug, Default)]
+pub struct StageMetrics {
+    spans: [AtomicU64; 6],
+    wall_us: [AtomicU64; 6],
+    virtual_us: [AtomicU64; 6],
+    lm_calls: [AtomicU64; 6],
+    prompt_tokens: [AtomicU64; 6],
+    completion_tokens: [AtomicU64; 6],
+}
+
+impl StageMetrics {
+    /// A zeroed table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one span into the per-stage totals.
+    pub fn record(&self, span: &tag_trace::SpanRecord) {
+        let i = span.stage.index();
+        let r = Ordering::Relaxed;
+        self.spans[i].fetch_add(1, r);
+        self.wall_us[i].fetch_add(span.wall.as_micros().min(u128::from(u64::MAX)) as u64, r);
+        self.virtual_us[i].fetch_add((span.lm.virtual_seconds * 1e6) as u64, r);
+        self.lm_calls[i].fetch_add(span.lm.calls, r);
+        self.prompt_tokens[i].fetch_add(span.lm.prompt_tokens, r);
+        self.completion_tokens[i].fetch_add(span.lm.completion_tokens, r);
+    }
+
+    /// True when no span has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.iter().all(|c| c.load(Ordering::Relaxed) == 0)
+    }
+
+    /// One line per seen stage:
+    /// `stage: spans=.. wall=..ms virtual=..s lm_calls=.. tok=../..`.
+    pub fn report(&self) -> String {
+        let mut out = String::from("== stage breakdown (traced requests) ==\n");
+        for stage in tag_trace::Stage::ALL {
+            let i = stage.index();
+            let spans = self.spans[i].load(Ordering::Relaxed);
+            if spans == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<8} spans={} wall={:.3}ms virtual={:.3}s lm_calls={} tok={}/{}\n",
+                stage.as_str(),
+                spans,
+                self.wall_us[i].load(Ordering::Relaxed) as f64 / 1e3,
+                self.virtual_us[i].load(Ordering::Relaxed) as f64 / 1e6,
+                self.lm_calls[i].load(Ordering::Relaxed),
+                self.prompt_tokens[i].load(Ordering::Relaxed),
+                self.completion_tokens[i].load(Ordering::Relaxed),
+            ));
+        }
+        out
     }
 }
 
@@ -209,6 +277,61 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.quantile_seconds(0.99), 0.0);
         assert_eq!(h.mean_seconds(), 0.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases_never_panic_or_nan() {
+        let h = Histogram::new();
+        // Empty histogram: every q, including pathological ones, is 0.
+        for q in [0.0, 0.5, 1.0, 2.0, -1.0, f64::NAN] {
+            let v = h.quantile_seconds(q);
+            assert_eq!(v, 0.0, "empty histogram q={q}");
+        }
+        for ms in [1u64, 2, 3] {
+            h.observe(Duration::from_millis(ms));
+        }
+        // q = 1.0 must land on the last observation's bucket, not the
+        // +inf overflow bound.
+        let p100 = h.quantile_seconds(1.0);
+        assert!(p100 > 0.0 && p100 <= 0.005, "{p100}");
+        // NaN q is defanged to 0; out-of-range q is clamped and finite.
+        assert_eq!(h.quantile_seconds(f64::NAN), 0.0);
+        for q in [-0.5, 0.0, 1.5, 100.0] {
+            let v = h.quantile_seconds(q);
+            assert!(v.is_finite() && v >= 0.0, "q={q} -> {v}");
+        }
+        assert!(h.quantile_seconds(0.0) <= h.quantile_seconds(1.0));
+    }
+
+    #[test]
+    fn stage_metrics_bucket_by_stage() {
+        use tag_trace::{LmUsage, SpanRecord, Stage};
+        let s = StageMetrics::new();
+        assert!(s.is_empty());
+        s.record(&SpanRecord {
+            trace_id: 1,
+            id: 1,
+            parent: None,
+            stage: Stage::Syn,
+            label: "text2sql".into(),
+            start_us: 0,
+            wall: Duration::from_millis(2),
+            lm: LmUsage {
+                calls: 1,
+                rounds: 1,
+                prompt_tokens: 100,
+                completion_tokens: 10,
+                virtual_seconds: 0.5,
+                ..LmUsage::default()
+            },
+            annotations: vec![],
+        });
+        assert!(!s.is_empty());
+        let r = s.report();
+        assert!(r.contains("syn"), "{r}");
+        assert!(r.contains("lm_calls=1"), "{r}");
+        assert!(r.contains("tok=100/10"), "{r}");
+        assert!(!r.contains("gen "), "unseen stages are omitted: {r}");
     }
 
     #[test]

@@ -127,6 +127,14 @@ pub enum Command {
     },
     /// `STATS` — print the metrics report.
     Stats,
+    /// `TRACE <id> [JSONL]` — print a captured request trace as a span
+    /// tree, or as JSONL when the `JSONL` token is present.
+    Trace {
+        /// The trace id from the `ASK` reply.
+        id: u64,
+        /// Emit one JSON object per span instead of the rendered tree.
+        jsonl: bool,
+    },
     /// `QUIT` — shut down.
     Quit,
 }
@@ -162,6 +170,20 @@ pub fn parse_line(line: &str) -> Result<Command, String> {
             })
         }
         "STATS" => Ok(Command::Stats),
+        "TRACE" => {
+            let id_tok = parts
+                .next()
+                .ok_or_else(|| "TRACE needs: TRACE <id> [JSONL]".to_owned())?;
+            let id: u64 = id_tok
+                .parse()
+                .map_err(|_| format!("bad trace id {id_tok:?}"))?;
+            let jsonl = match parts.next().map(str::trim) {
+                None | Some("") => false,
+                Some(tok) if tok.eq_ignore_ascii_case("jsonl") => true,
+                Some(tok) => return Err(format!("unknown TRACE option {tok:?}")),
+            };
+            Ok(Command::Trace { id, jsonl })
+        }
         "QUIT" | "EXIT" => Ok(Command::Quit),
         "" => Err("empty line".to_owned()),
         other => Err(format!("unknown command {other:?} (ASK/STATS/QUIT)")),
@@ -207,6 +229,21 @@ mod tests {
         assert_eq!(parse_line("stats").unwrap(), Command::Stats);
         assert_eq!(parse_line("QUIT").unwrap(), Command::Quit);
         assert!(parse_line("").is_err());
+    }
+
+    #[test]
+    fn trace_line_parses_id_and_format() {
+        assert_eq!(
+            parse_line("TRACE 17").unwrap(),
+            Command::Trace { id: 17, jsonl: false }
+        );
+        assert_eq!(
+            parse_line("trace 3 jsonl").unwrap(),
+            Command::Trace { id: 3, jsonl: true }
+        );
+        assert!(parse_line("TRACE").is_err());
+        assert!(parse_line("TRACE notanumber").is_err());
+        assert!(parse_line("TRACE 3 csv").is_err());
     }
 
     #[test]

@@ -10,8 +10,9 @@
 
 use crate::batch::{BatchLm, BatchStats};
 use crate::cache::AnswerCache;
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{MetricsRegistry, StageMetrics};
 use crate::protocol::{run_method, MethodName};
+use crate::trace::TraceStore;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering::Relaxed;
@@ -41,6 +42,9 @@ pub struct ServerConfig {
     pub batch_window: Duration,
     /// Prompt cap per merged inference round.
     pub max_batch: usize,
+    /// Most recent request traces kept for `TRACE <id>` (0 disables
+    /// per-request tracing entirely).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +57,7 @@ impl Default for ServerConfig {
             cache_shards: 8,
             batch_window: Duration::from_millis(1),
             max_batch: 64,
+            trace_capacity: 256,
         }
     }
 }
@@ -121,6 +126,9 @@ pub struct Response {
     pub total: Duration,
     /// Whether the answer came from the answer cache.
     pub cache_hit: bool,
+    /// Id of the captured trace (`TRACE <id>` retrieves it); `None` on
+    /// cache hits and when tracing is disabled.
+    pub trace_id: Option<u64>,
 }
 
 /// Where a request's outcome is delivered.
@@ -171,7 +179,9 @@ struct Shared {
     envs: HashMap<String, Arc<TagEnv>>,
     cache: AnswerCache,
     metrics: MetricsRegistry,
+    stages: StageMetrics,
     batch: Arc<BatchLm>,
+    traces: TraceStore,
     default_deadline: Duration,
 }
 
@@ -204,7 +214,9 @@ impl Server {
             envs,
             cache: AnswerCache::new(config.cache_capacity, config.cache_shards),
             metrics: MetricsRegistry::new(),
+            stages: StageMetrics::new(),
             batch,
+            traces: TraceStore::new(config.trace_capacity),
             default_deadline: config.default_deadline,
         });
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
@@ -253,6 +265,34 @@ impl Server {
         &self.shared.cache
     }
 
+    /// Per-stage aggregates over all traced requests.
+    pub fn stage_metrics(&self) -> &StageMetrics {
+        &self.shared.stages
+    }
+
+    /// The raw spans of a captured trace, if still resident in the ring.
+    pub fn trace(&self, trace_id: u64) -> Option<Vec<tag_trace::SpanRecord>> {
+        self.shared.traces.get(trace_id)
+    }
+
+    /// A captured trace rendered as an indented span tree.
+    pub fn trace_report(&self, trace_id: u64) -> Option<String> {
+        self.trace(trace_id)
+            .map(|spans| tag_trace::render_tree(&spans))
+    }
+
+    /// A captured trace as JSONL: one span object per line.
+    pub fn trace_jsonl(&self, trace_id: u64) -> Option<String> {
+        self.trace(trace_id).map(|spans| {
+            let mut out = String::new();
+            for s in &spans {
+                out.push_str(&s.to_json());
+                out.push('\n');
+            }
+            out
+        })
+    }
+
     /// Admit a request without blocking on its execution.
     ///
     /// Fails fast with [`ServeError::QueueFull`] when the bounded queue
@@ -299,13 +339,42 @@ impl Server {
             .store(cache.evictions, Relaxed);
         let b = self.batch_stats();
         let mut out = self.shared.metrics.report();
-        out.push_str(&format!(
-            "lm batching: submissions={} rounds={} cross_request_rounds={} prompts={} \
-             max_merged={} fallbacks={}\n",
-            b.submissions, b.rounds, b.cross_request_rounds, b.prompts,
-            b.max_merged_submissions, b.fallback_rounds,
-        ));
+        out.push_str(&b.report_line());
+        out.push('\n');
         out.push_str(&format!("answer cache resident entries: {}\n", cache.len));
+        // Per-operator semantic-engine counters, merged across domains.
+        let mut ops: std::collections::BTreeMap<&'static str, tag_semops::OpStats> =
+            std::collections::BTreeMap::new();
+        for env in self.shared.envs.values() {
+            for (name, stat) in env.engine.op_stats() {
+                let e = ops.entry(name).or_default();
+                e.invocations += stat.invocations;
+                e.prompts += stat.prompts;
+                e.cache_hits += stat.cache_hits;
+                e.lm_prompts += stat.lm_prompts;
+                e.lm_batches += stat.lm_batches;
+                e.evictions += stat.evictions;
+            }
+        }
+        if !ops.is_empty() {
+            out.push_str("== semantic operators ==\n");
+            for (name, s) in &ops {
+                out.push_str(&format!(
+                    "{name}: invocations={} prompts={} cache_hits={} lm_prompts={} \
+                     lm_batches={} evictions={}\n",
+                    s.invocations, s.prompts, s.cache_hits, s.lm_prompts, s.lm_batches,
+                    s.evictions,
+                ));
+            }
+        }
+        if !self.shared.stages.is_empty() {
+            out.push_str(&self.shared.stages.report());
+        }
+        out.push_str(&format!(
+            "traces resident: {} (capacity {})\n",
+            self.shared.traces.len(),
+            self.shared.traces.capacity(),
+        ));
         out
     }
 
@@ -364,13 +433,30 @@ fn handle(shared: &Shared, job: Job) {
             exec: Duration::ZERO,
             total,
             cache_hit: true,
+            trace_id: None,
         }));
         return;
     }
     m.answer_cache_misses.fetch_add(1, Relaxed);
     let env = shared.envs.get(domain).expect("validated at submit");
     let started = Instant::now();
-    let answer = run_method(*method, question, env);
+    let (answer, trace_id) = if shared.traces.capacity() > 0 {
+        let (trace, sink) = tag_trace::Trace::memory();
+        let trace_id = trace.id();
+        let answer = tag_trace::with_trace(&trace, || {
+            let _root =
+                tag_trace::span(tag_trace::Stage::Request, &format!("{method} {domain}"));
+            run_method(*method, question, env)
+        });
+        let spans = sink.take();
+        for span in &spans {
+            shared.stages.record(span);
+        }
+        shared.traces.insert(trace_id, spans);
+        (answer, Some(trace_id))
+    } else {
+        (run_method(*method, question, env), None)
+    };
     let exec = started.elapsed();
     m.exec_time.observe(exec);
     // Errors are not cached: they may be transient (e.g. load-dependent)
@@ -389,6 +475,7 @@ fn handle(shared: &Shared, job: Job) {
         exec,
         total,
         cache_hit: false,
+        trace_id,
     }));
 }
 
@@ -481,5 +568,49 @@ mod tests {
         assert!(r.contains("serving metrics"));
         assert!(r.contains("lm batching"));
         assert!(r.contains("answer cache"));
+        assert!(r.contains("semantic operators"), "{r}");
+        assert!(r.contains("stage breakdown"), "{r}");
+        assert!(r.contains("traces resident"), "{r}");
+    }
+
+    #[test]
+    fn executed_requests_capture_a_trace() {
+        let (server, req) = tiny_server(ServerConfig::default());
+        let first = server.ask(req.clone()).unwrap();
+        let id = first.trace_id.expect("executed request is traced");
+        let spans = server.trace(id).expect("trace resident");
+        // Exactly one root: the request span, labeled method + domain.
+        let roots: Vec<_> = spans.iter().filter(|s| s.parent.is_none()).collect();
+        assert_eq!(roots.len(), 1, "{spans:#?}");
+        assert_eq!(roots[0].stage, tag_trace::Stage::Request);
+        assert!(roots[0].label.contains("handwritten"), "{}", roots[0].label);
+        // Every parent link points at a span in the same trace.
+        for s in &spans {
+            if let Some(p) = s.parent {
+                assert!(spans.iter().any(|t| t.id == p), "dangling parent {p}");
+            }
+            assert_eq!(s.trace_id, id);
+        }
+        let tree = server.trace_report(id).expect("render");
+        assert!(tree.contains("[request]"), "{tree}");
+        let jsonl = server.trace_jsonl(id).expect("jsonl");
+        assert!(jsonl.lines().count() >= spans.len());
+        assert!(jsonl.lines().all(|l| l.starts_with('{')), "{jsonl}");
+
+        // Cache hits execute nothing, so they carry no trace.
+        let second = server.ask(req).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.trace_id, None);
+    }
+
+    #[test]
+    fn zero_trace_capacity_disables_tracing() {
+        let (server, req) = tiny_server(ServerConfig {
+            trace_capacity: 0,
+            ..ServerConfig::default()
+        });
+        let resp = server.ask(req).unwrap();
+        assert_eq!(resp.trace_id, None);
+        assert!(server.stage_metrics().is_empty());
     }
 }

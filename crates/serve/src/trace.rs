@@ -1,0 +1,105 @@
+//! Per-request trace capture: a bounded ring buffer of completed
+//! request traces, addressable by trace id for the `TRACE <id>` protocol
+//! command.
+//!
+//! The store keeps the most recent `capacity` traces; older ones are
+//! evicted FIFO. Span vectors are stored as delivered by the request's
+//! [`tag_trace::MemSink`], i.e. children before parents in completion
+//! order.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use tag_trace::SpanRecord;
+
+/// A bounded FIFO of completed request traces keyed by trace id.
+#[derive(Debug)]
+pub struct TraceStore {
+    capacity: usize,
+    inner: Mutex<VecDeque<(u64, Vec<SpanRecord>)>>,
+}
+
+impl TraceStore {
+    /// A store holding at most `capacity` traces (0 disables storage).
+    pub fn new(capacity: usize) -> Self {
+        TraceStore {
+            capacity,
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Insert a completed trace, evicting the oldest when full.
+    pub fn insert(&self, trace_id: u64, spans: Vec<SpanRecord>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut g = self.inner.lock();
+        if g.len() == self.capacity {
+            g.pop_front();
+        }
+        g.push_back((trace_id, spans));
+    }
+
+    /// The spans of trace `trace_id`, if still resident.
+    pub fn get(&self, trace_id: u64) -> Option<Vec<SpanRecord>> {
+        self.inner
+            .lock()
+            .iter()
+            .find(|(id, _)| *id == trace_id)
+            .map(|(_, spans)| spans.clone())
+    }
+
+    /// Number of resident traces.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no trace is resident.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Maximum number of resident traces.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(trace_id: u64) -> Vec<SpanRecord> {
+        vec![SpanRecord {
+            trace_id,
+            id: 1,
+            parent: None,
+            stage: tag_trace::Stage::Request,
+            label: "req".into(),
+            start_us: 0,
+            wall: std::time::Duration::from_millis(1),
+            lm: tag_trace::LmUsage::default(),
+            annotations: vec![],
+        }]
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let store = TraceStore::new(2);
+        store.insert(1, dummy(1));
+        store.insert(2, dummy(2));
+        store.insert(3, dummy(3));
+        assert_eq!(store.len(), 2);
+        assert!(store.get(1).is_none(), "oldest evicted");
+        assert!(store.get(2).is_some());
+        assert!(store.get(3).is_some());
+        assert_eq!(store.get(3).unwrap()[0].trace_id, 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let store = TraceStore::new(0);
+        store.insert(1, dummy(1));
+        assert!(store.is_empty());
+        assert!(store.get(1).is_none());
+    }
+}

@@ -3,8 +3,9 @@
 use crate::ast::{ColumnDef, InsertStmt, Statement};
 use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
-use crate::exec::execute;
+use crate::exec::{execute, execute_profiled};
 use crate::optimizer::optimize;
+use crate::profile::PlanProfiler;
 use crate::parser::{parse_statement, parse_statements};
 use crate::planner::{Planner, Scope};
 use crate::result::ResultSet;
@@ -138,6 +139,58 @@ impl Database {
                     }
                 }
                 Ok(acc)
+            }
+            _ => unreachable!("non-SELECT rejected above"),
+        }
+    }
+
+    /// Like [`Database::query`], but also returns an `EXPLAIN ANALYZE`-
+    /// style annotated plan: one line per operator with input/output
+    /// cardinality and elapsed wall-clock time. The rows are produced by
+    /// the same executor code path as `query`, so the [`ResultSet`] is
+    /// always identical to an unprofiled run.
+    pub fn query_profiled(&self, sql: &str) -> SqlResult<(ResultSet, String)> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(_) | Statement::CompoundSelect { .. } => {}
+            _ => {
+                return Err(SqlError::Unsupported(
+                    "query_profiled() is read-only; use execute() for DDL/DML".into(),
+                ))
+            }
+        }
+        self.statements_run.fetch_add(1, Ordering::Relaxed);
+        let run_arm = |sel: &crate::ast::SelectStmt| -> SqlResult<(ResultSet, String)> {
+            let planner = Planner::new(&self.catalog, &self.udfs);
+            let plan = planner.plan_select(sel)?;
+            let plan = optimize(plan, &self.catalog);
+            let columns = plan.columns();
+            let profiler = PlanProfiler::new();
+            let rows = execute_profiled(&plan, &self.catalog, &profiler)?;
+            Ok((ResultSet::new(columns, rows), profiler.render()))
+        };
+        match stmt {
+            Statement::Select(sel) => run_arm(&sel),
+            Statement::CompoundSelect { first, rest } => {
+                let (mut acc, mut text) = run_arm(&first)?;
+                for (all, arm) in &rest {
+                    let (next, arm_text) = run_arm(arm)?;
+                    if next.columns.len() != acc.columns.len() {
+                        return Err(SqlError::Binding(format!(
+                            "UNION arms have different widths ({} vs {})",
+                            acc.columns.len(),
+                            next.columns.len()
+                        )));
+                    }
+                    text.push_str(if *all { "UNION ALL\n" } else { "UNION\n" });
+                    text.push_str(&arm_text);
+                    acc.rows.extend(next.rows);
+                    if !all {
+                        let mut seen = std::collections::HashSet::new();
+                        acc.rows.retain(|r| seen.insert(r.clone()));
+                    }
+                }
+                Ok((acc, text))
             }
             _ => unreachable!("non-SELECT rejected above"),
         }
@@ -644,6 +697,47 @@ mod tests {
             .execute("SELECT x FROM t WHERE EXISTS (SELECT nope FROM t)")
             .unwrap_err();
         assert!(err.message().contains("no such column"), "{err}");
+    }
+
+    #[test]
+    fn query_profiled_matches_query_and_annotates_plan() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (a INTEGER, b TEXT);
+             INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x');",
+        )
+        .unwrap();
+        let sql = "SELECT b, COUNT(*) FROM t WHERE a > 1 GROUP BY b ORDER BY b";
+        let plain = db.query(sql).unwrap();
+        let (profiled, plan_text) = db.query_profiled(sql).unwrap();
+        assert_eq!(plain.rows, profiled.rows);
+        assert_eq!(plain.columns, profiled.columns);
+        assert!(plan_text.contains("in="), "{plan_text}");
+        assert!(plan_text.contains("out="), "{plan_text}");
+        assert!(plan_text.contains("time="), "{plan_text}");
+        assert!(plan_text.contains("TableScan t"), "{plan_text}");
+    }
+
+    #[test]
+    fn query_profiled_handles_compound_select() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (a INTEGER);
+             INSERT INTO t VALUES (1), (2);",
+        )
+        .unwrap();
+        let sql = "SELECT a FROM t UNION SELECT a FROM t";
+        let plain = db.query(sql).unwrap();
+        let (profiled, plan_text) = db.query_profiled(sql).unwrap();
+        assert_eq!(plain.rows, profiled.rows);
+        assert!(plan_text.contains("UNION\n"), "{plan_text}");
+    }
+
+    #[test]
+    fn query_profiled_rejects_dml() {
+        let db = Database::new();
+        let err = db.query_profiled("CREATE TABLE t (a INTEGER)").unwrap_err();
+        assert!(err.message().contains("read-only"), "{err}");
     }
 
     #[test]

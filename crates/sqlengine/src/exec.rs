@@ -10,6 +10,7 @@ use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
 use crate::expr::{BoundExpr, EvalCtx};
 use crate::plan::{AggCall, AggFunc, Plan, SortKey};
+use crate::profile::{node_label, PlanProfiler};
 use crate::schema::Row;
 use crate::value::Value;
 use std::cmp::Ordering;
@@ -17,6 +18,33 @@ use std::collections::HashMap;
 
 /// Execute a plan against a catalog, producing materialized rows.
 pub fn execute(plan: &Plan, catalog: &Catalog) -> SqlResult<Vec<Row>> {
+    exec_node(plan, catalog, None)
+}
+
+/// Execute a plan with per-node profiling. Runs exactly the same code
+/// path as [`execute`] — the profiler only observes rows and time — so
+/// profiled and unprofiled results are always identical.
+pub fn execute_profiled(
+    plan: &Plan,
+    catalog: &Catalog,
+    profiler: &PlanProfiler,
+) -> SqlResult<Vec<Row>> {
+    exec_node(plan, catalog, Some(profiler))
+}
+
+/// Recursion point: every operator's children come back through here so
+/// each node is individually timed when a profiler is attached.
+fn exec_node(plan: &Plan, catalog: &Catalog, prof: Option<&PlanProfiler>) -> SqlResult<Vec<Row>> {
+    let Some(p) = prof else {
+        return exec_impl(plan, catalog, None);
+    };
+    let token = p.enter(node_label(plan));
+    let result = exec_impl(plan, catalog, prof);
+    p.exit(token, result.as_ref().map(Vec::len).unwrap_or(0));
+    result
+}
+
+fn exec_impl(plan: &Plan, catalog: &Catalog, prof: Option<&PlanProfiler>) -> SqlResult<Vec<Row>> {
     match plan {
         Plan::TableScan { table, .. } => Ok(catalog.table(table)?.rows().to_vec()),
         Plan::IndexProbe {
@@ -61,7 +89,7 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> SqlResult<Vec<Row>> {
                 .collect()
         }
         Plan::Filter { input, predicate } => {
-            let rows = execute(input, catalog)?;
+            let rows = exec_node(input, catalog, prof)?;
             let ctx = EvalCtx {
                 catalog: Some(catalog),
             };
@@ -74,7 +102,7 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> SqlResult<Vec<Row>> {
             Ok(out)
         }
         Plan::Project { input, exprs, .. } => {
-            let rows = execute(input, catalog)?;
+            let rows = exec_node(input, catalog, prof)?;
             let ctx = EvalCtx {
                 catalog: Some(catalog),
             };
@@ -93,7 +121,7 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> SqlResult<Vec<Row>> {
             right,
             kind,
             on,
-        } => nested_loop_join(left, right, *kind, on.as_ref(), catalog),
+        } => nested_loop_join(left, right, *kind, on.as_ref(), catalog, prof),
         Plan::HashJoin {
             left,
             right,
@@ -109,12 +137,13 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> SqlResult<Vec<Row>> {
             right_key,
             residual.as_ref(),
             catalog,
+            prof,
         ),
         Plan::Aggregate {
             input, group, aggs, ..
-        } => aggregate(input, group, aggs, catalog),
+        } => aggregate(input, group, aggs, catalog, prof),
         Plan::Sort { input, keys } => {
-            let mut rows = execute(input, catalog)?;
+            let mut rows = exec_node(input, catalog, prof)?;
             let ctx = EvalCtx {
                 catalog: Some(catalog),
             };
@@ -126,13 +155,13 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> SqlResult<Vec<Row>> {
             keys,
             k,
             offset,
-        } => top_k(input, keys, *k, *offset, catalog),
+        } => top_k(input, keys, *k, *offset, catalog, prof),
         Plan::Limit {
             input,
             limit,
             offset,
         } => {
-            let rows = execute(input, catalog)?;
+            let rows = exec_node(input, catalog, prof)?;
             let start = (*offset as usize).min(rows.len());
             let end = match limit {
                 Some(l) => (start + *l as usize).min(rows.len()),
@@ -141,7 +170,7 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> SqlResult<Vec<Row>> {
             Ok(rows[start..end].to_vec())
         }
         Plan::Distinct { input } => {
-            let rows = execute(input, catalog)?;
+            let rows = exec_node(input, catalog, prof)?;
             let mut seen = std::collections::HashSet::with_capacity(rows.len());
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
@@ -168,9 +197,10 @@ fn nested_loop_join(
     kind: JoinKind,
     on: Option<&BoundExpr>,
     catalog: &Catalog,
+    prof: Option<&PlanProfiler>,
 ) -> SqlResult<Vec<Row>> {
-    let left_rows = execute(left, catalog)?;
-    let right_rows = execute(right, catalog)?;
+    let left_rows = exec_node(left, catalog, prof)?;
+    let right_rows = exec_node(right, catalog, prof)?;
     let right_width = right.width();
     let ctx = EvalCtx {
         catalog: Some(catalog),
@@ -201,6 +231,7 @@ fn nested_loop_join(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn hash_join(
     left: &Plan,
     right: &Plan,
@@ -209,9 +240,10 @@ fn hash_join(
     right_key: &BoundExpr,
     residual: Option<&BoundExpr>,
     catalog: &Catalog,
+    prof: Option<&PlanProfiler>,
 ) -> SqlResult<Vec<Row>> {
-    let left_rows = execute(left, catalog)?;
-    let right_rows = execute(right, catalog)?;
+    let left_rows = exec_node(left, catalog, prof)?;
+    let right_rows = exec_node(right, catalog, prof)?;
     let right_width = right.width();
     let ctx = EvalCtx {
         catalog: Some(catalog),
@@ -370,8 +402,9 @@ fn aggregate(
     group: &[BoundExpr],
     aggs: &[AggCall],
     catalog: &Catalog,
+    prof: Option<&PlanProfiler>,
 ) -> SqlResult<Vec<Row>> {
-    let rows = execute(input, catalog)?;
+    let rows = exec_node(input, catalog, prof)?;
     let ctx = EvalCtx {
         catalog: Some(catalog),
     };
@@ -477,8 +510,9 @@ fn top_k(
     k: usize,
     offset: usize,
     catalog: &Catalog,
+    prof: Option<&PlanProfiler>,
 ) -> SqlResult<Vec<Row>> {
-    let rows = execute(input, catalog)?;
+    let rows = exec_node(input, catalog, prof)?;
     let eval_ctx = EvalCtx {
         catalog: Some(catalog),
     };

@@ -51,6 +51,7 @@ pub mod optimizer;
 pub mod parser;
 pub mod plan;
 pub mod planner;
+pub mod profile;
 pub mod result;
 pub mod schema;
 pub mod table;
@@ -60,6 +61,7 @@ pub mod value;
 pub use catalog::Catalog;
 pub use engine::Database;
 pub use error::{SqlError, SqlResult};
+pub use profile::{NodeProfile, PlanProfiler};
 pub use result::ResultSet;
 pub use schema::{Column, DataType, Row, Schema};
 pub use table::{IndexKind, Table};

@@ -1,0 +1,60 @@
+//! Trace sinks: where completed spans go.
+
+use crate::span::SpanRecord;
+use parking_lot::Mutex;
+
+/// Destination for completed spans. Implementations must be cheap —
+/// `record` is called once per span, on the traced thread.
+pub trait TraceSink: Send + Sync {
+    /// Deliver one completed span.
+    fn record(&self, span: SpanRecord);
+}
+
+/// Discards every span. The default sink: with it installed, tracing
+/// costs one thread-local check per instrumented site.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _span: SpanRecord) {}
+}
+
+/// Collects spans in memory, in completion order (children before
+/// parents, since a span is recorded when its guard drops).
+#[derive(Debug, Default)]
+pub struct MemSink {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl MemSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move the collected spans out, leaving the sink empty.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.spans.lock())
+    }
+
+    /// Copy of the collected spans.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.spans.lock().clone()
+    }
+
+    /// Number of spans collected so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// True when no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.lock().is_empty()
+    }
+}
+
+impl TraceSink for MemSink {
+    fn record(&self, span: SpanRecord) {
+        self.spans.lock().push(span);
+    }
+}
