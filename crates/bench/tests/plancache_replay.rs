@@ -1,0 +1,55 @@
+//! The plan cache is an optimization only: replaying the whole
+//! benchmark with caching enabled must produce byte-identical answers
+//! to a cache-disabled replay, while actually getting hits.
+
+use tag_bench::{Harness, MethodId};
+use tag_sql::PlanCacheStats;
+
+fn domains(harness: &Harness) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = harness.queries().iter().map(|q| q.domain).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn aggregate_stats(harness: &Harness) -> PlanCacheStats {
+    let mut total = PlanCacheStats::default();
+    for d in domains(harness) {
+        total.add(&harness.env(d).db.plan_cache_stats());
+    }
+    total
+}
+
+#[test]
+fn cached_benchmark_replay_is_byte_identical_to_uncached() {
+    let cached = Harness::small();
+    let uncached = Harness::small();
+    for d in domains(&uncached) {
+        uncached.env(d).db.set_plan_cache_capacity(0);
+    }
+
+    let ids: Vec<usize> = cached.queries().iter().map(|q| q.id).collect();
+    assert_eq!(ids.len(), 80, "TAG-Bench is 80 queries");
+    for method in MethodId::all() {
+        for &id in &ids {
+            let with_cache = cached.run_one(method, id);
+            let without = uncached.run_one(method, id);
+            // Byte identity, not just semantic equality.
+            assert_eq!(
+                format!("{:?}", with_cache.answer),
+                format!("{:?}", without.answer),
+                "{} query {id}: plan caching changed the answer",
+                method.label()
+            );
+        }
+    }
+
+    let on = aggregate_stats(&cached);
+    assert!(
+        on.hits > 0,
+        "the cached replay must actually hit the plan cache: {on:?}"
+    );
+    let off = aggregate_stats(&uncached);
+    assert_eq!(off.hits, 0, "a zero-capacity cache never hits: {off:?}");
+    assert_eq!(off.entries, 0, "a zero-capacity cache stays empty: {off:?}");
+}

@@ -127,10 +127,11 @@ impl TagEnv {
     /// Run a read-only SQL statement through the domain database.
     ///
     /// When a [`tag_trace::Trace`] is active on this thread, the statement
-    /// runs inside an `exec`-stage span annotated with the SQL text and an
+    /// runs inside an `exec`-stage span annotated with the SQL text, an
     /// `EXPLAIN ANALYZE`-style per-operator breakdown (rows in/out +
-    /// elapsed per plan node). When tracing is off this is exactly
-    /// [`Database::query`] — both paths execute the same operator code,
+    /// elapsed per plan node), and a `plan_cache: hit|miss` line. When
+    /// tracing is off this is exactly [`Database::query`] — both paths
+    /// execute the same operator code and share the engine's plan cache,
     /// so results are byte-identical either way.
     pub fn run_sql(&self, sql: &str) -> tag_sql::SqlResult<tag_sql::ResultSet> {
         if !tag_trace::is_active() {
@@ -248,6 +249,34 @@ mod tests {
         assert!(spans[0].annotations.iter().any(|a| a.starts_with("sql: ")));
         assert!(
             spans[0].annotations.iter().any(|a| a.contains("out=")),
+            "{:?}",
+            spans[0].annotations
+        );
+        // The untraced run above planned this statement already, so the
+        // traced run reports a plan-cache hit.
+        assert!(
+            spans[0]
+                .annotations
+                .iter()
+                .any(|a| a == "plan_cache: hit"),
+            "{:?}",
+            spans[0].annotations
+        );
+    }
+
+    #[test]
+    fn run_sql_annotates_plan_cache_miss_on_first_plan() {
+        let e = env();
+        let (trace, sink) = tag_trace::Trace::memory();
+        tag_trace::with_trace(&trace, || {
+            e.run_sql("SELECT City FROM schools ORDER BY City").unwrap()
+        });
+        let spans = sink.take();
+        assert!(
+            spans[0]
+                .annotations
+                .iter()
+                .any(|a| a == "plan_cache: miss"),
             "{:?}",
             spans[0].annotations
         );

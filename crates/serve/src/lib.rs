@@ -5,9 +5,13 @@
 //! the same environments into a server:
 //!
 //! - [`Server`] owns one shared [`TagEnv`](tag_core::env::TagEnv) per
-//!   BIRD domain and runs a fixed worker pool over a bounded admission
-//!   queue, with per-request deadlines and typed load-shedding
+//!   BIRD domain and runs a three-stage pipeline (`syn` → `exec` →
+//!   `gen`) of worker pools connected by bounded channels over a bounded
+//!   admission queue, with per-request deadlines and typed load-shedding
 //!   ([`ServeError::QueueFull`], [`ServeError::DeadlineExceeded`]).
+//!   Stage occupancy accumulates in [`PipelineMetrics`]; the engine-level
+//!   plan cache (see `tag_sql::PlanCache`) is surfaced per server via
+//!   [`Server::plan_cache_stats`].
 //! - [`BatchLm`] coalesces semantic-operator LM calls from *different*
 //!   concurrent requests into shared inference rounds — the paper's
 //!   batched-inference advantage applied across requests.
@@ -37,7 +41,10 @@ pub mod trace;
 
 pub use batch::{BatchLm, BatchStats};
 pub use cache::{normalize_question, AnswerCache, CacheStats};
-pub use metrics::{Histogram, MetricsRegistry, StageMetrics};
+pub use metrics::{
+    Histogram, MetricsRegistry, PipelineMetrics, PipelineStageSnapshot, StageMetrics,
+    PIPELINE_STAGE_NAMES, STAGE_EXEC, STAGE_GEN, STAGE_SYN,
+};
 pub use protocol::{format_answer, parse_line, run_method, Command, MethodName};
 pub use server::{ReplyHandle, Request, Response, ServeError, Server, ServerConfig};
 pub use trace::TraceStore;

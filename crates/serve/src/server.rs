@@ -1,16 +1,30 @@
-//! The serving runtime: a fixed worker pool over a bounded admission
-//! queue, answering TAG questions against shared per-domain
-//! environments.
+//! The serving runtime: a three-stage pipeline (`syn` → `exec` → `gen`)
+//! over a bounded admission queue, answering TAG questions against
+//! shared per-domain environments.
+//!
+//! Each stage runs on its own worker pool connected by bounded
+//! channels: `syn` workers handle admission bookkeeping, deadlines, and
+//! the answer-cache fast path; `exec` workers run the method (the
+//! expensive part, dominated by LM batching rounds); `gen` workers do
+//! post-processing — trace capture, answer-cache fill, metrics, and the
+//! reply. Splitting the stages lets request N+1's admission and cache
+//! lookup (and its SQL, once an `exec` worker frees up) overlap request
+//! N's in-flight LM rounds instead of serializing behind them, so
+//! wall-clock tracks the LM, not the sum of stages.
 //!
 //! Admission control is explicit: a full queue sheds the request with
 //! [`ServeError::QueueFull`] instead of queueing unboundedly, and a
 //! request whose deadline passes while queued is dropped at dequeue
-//! with [`ServeError::DeadlineExceeded`] rather than wasting a worker
-//! on an answer nobody is waiting for.
+//! (checked again at the `exec` hand-off) with
+//! [`ServeError::DeadlineExceeded`] rather than wasting a worker on an
+//! answer nobody is waiting for.
 
 use crate::batch::{BatchLm, BatchStats};
 use crate::cache::AnswerCache;
-use crate::metrics::{MetricsRegistry, StageMetrics};
+use crate::metrics::{
+    MetricsRegistry, PipelineMetrics, PipelineStageSnapshot, StageMetrics, STAGE_EXEC, STAGE_GEN,
+    STAGE_SYN,
+};
 use crate::protocol::{run_method, MethodName};
 use crate::trace::TraceStore;
 use parking_lot::{Condvar, Mutex};
@@ -28,8 +42,16 @@ use tag_lm::sim::{SimConfig, SimLm};
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads executing requests.
+    /// `exec`-stage worker threads (run the methods — the expensive pool).
     pub workers: usize,
+    /// `syn`-stage worker threads (admission, deadline, cache fast path).
+    pub syn_workers: usize,
+    /// `gen`-stage worker threads (traces, cache fill, reply).
+    pub gen_workers: usize,
+    /// Bounded depth of the channels between pipeline stages. Kept small
+    /// so admission-queue shedding still engages under saturation instead
+    /// of requests hiding in inter-stage buffers.
+    pub stage_capacity: usize,
     /// Bounded admission-queue depth; beyond it requests are shed.
     pub queue_capacity: usize,
     /// Deadline applied when a request does not carry its own.
@@ -51,6 +73,9 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             workers: 4,
+            syn_workers: 2,
+            gen_workers: 2,
+            stage_capacity: 4,
             queue_capacity: 64,
             default_deadline: Duration::from_secs(10),
             cache_capacity: 1024,
@@ -168,10 +193,31 @@ impl ReplyHandle {
     }
 }
 
+/// An admitted request, headed for a `syn` worker.
 struct Job {
     req: Request,
     enqueued: Instant,
     reply: Arc<ReplyCell>,
+}
+
+/// A request past admission + cache lookup, headed for an `exec` worker.
+struct ExecJob {
+    req: Request,
+    enqueued: Instant,
+    queue_wait: Duration,
+    reply: Arc<ReplyCell>,
+}
+
+/// An executed request, headed for a `gen` worker to finish and reply.
+struct GenJob {
+    req: Request,
+    enqueued: Instant,
+    queue_wait: Duration,
+    reply: Arc<ReplyCell>,
+    answer: Answer,
+    exec: Duration,
+    spans: Vec<tag_trace::SpanRecord>,
+    trace_id: Option<u64>,
 }
 
 /// State shared by the admission path and every worker.
@@ -180,16 +226,25 @@ struct Shared {
     cache: AnswerCache,
     metrics: MetricsRegistry,
     stages: StageMetrics,
+    pipeline: PipelineMetrics,
     batch: Arc<BatchLm>,
     traces: TraceStore,
     default_deadline: Duration,
+    /// Pool sizes indexed by `STAGE_SYN`/`STAGE_EXEC`/`STAGE_GEN`.
+    stage_workers: [usize; 3],
+    started: Instant,
 }
 
 /// The concurrent multi-domain serving runtime.
 pub struct Server {
     shared: Arc<Shared>,
     tx: Mutex<Option<SyncSender<Job>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Pipeline pools, joined in stage order on shutdown (dropping the
+    /// admission sender cascades: `syn` exits drop the `exec` senders,
+    /// `exec` exits drop the `gen` senders).
+    syn_pool: Mutex<Vec<JoinHandle<()>>>,
+    exec_pool: Mutex<Vec<JoinHandle<()>>>,
+    gen_pool: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Server {
@@ -210,31 +265,77 @@ impl Server {
             let _ = env.row_store();
             envs.insert(d.name.to_owned(), Arc::new(env));
         }
+        let stage_workers = [
+            config.syn_workers.max(1),
+            config.workers.max(1),
+            config.gen_workers.max(1),
+        ];
         let shared = Arc::new(Shared {
             envs,
             cache: AnswerCache::new(config.cache_capacity, config.cache_shards),
             metrics: MetricsRegistry::new(),
             stages: StageMetrics::new(),
+            pipeline: PipelineMetrics::new(),
             batch,
             traces: TraceStore::new(config.trace_capacity),
             default_deadline: config.default_deadline,
+            stage_workers,
+            started: Instant::now(),
         });
-        let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..config.workers.max(1))
+        let (tx, syn_rx) = sync_channel::<Job>(config.queue_capacity.max(1));
+        let (exec_tx, exec_rx) = sync_channel::<ExecJob>(config.stage_capacity.max(1));
+        let (gen_tx, gen_rx) = sync_channel::<GenJob>(config.stage_capacity.max(1));
+        let syn_rx = Arc::new(Mutex::new(syn_rx));
+        let exec_rx = Arc::new(Mutex::new(exec_rx));
+        let gen_rx = Arc::new(Mutex::new(gen_rx));
+        let spawn = |name: String, f: Box<dyn FnOnce() + Send>| {
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(f)
+                .expect("spawn worker")
+        };
+        let syn_pool = (0..stage_workers[STAGE_SYN])
             .map(|i| {
-                let rx = Arc::clone(&rx);
+                let rx = Arc::clone(&syn_rx);
+                let next = exec_tx.clone();
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("tag-serve-{i}"))
-                    .spawn(move || worker_loop(&rx, &shared))
-                    .expect("spawn worker")
+                spawn(
+                    format!("tag-serve-syn-{i}"),
+                    Box::new(move || syn_loop(&rx, &next, &shared)),
+                )
             })
             .collect();
+        let exec_pool = (0..stage_workers[STAGE_EXEC])
+            .map(|i| {
+                let rx = Arc::clone(&exec_rx);
+                let next = gen_tx.clone();
+                let shared = Arc::clone(&shared);
+                spawn(
+                    format!("tag-serve-exec-{i}"),
+                    Box::new(move || exec_loop(&rx, &next, &shared)),
+                )
+            })
+            .collect();
+        let gen_pool = (0..stage_workers[STAGE_GEN])
+            .map(|i| {
+                let rx = Arc::clone(&gen_rx);
+                let shared = Arc::clone(&shared);
+                spawn(
+                    format!("tag-serve-gen-{i}"),
+                    Box::new(move || gen_loop(&rx, &shared)),
+                )
+            })
+            .collect();
+        // The master stage senders die here: each stage's channel stays
+        // open exactly as long as the upstream pool does.
+        drop(exec_tx);
+        drop(gen_tx);
         Server {
             shared,
             tx: Mutex::new(Some(tx)),
-            workers: Mutex::new(workers),
+            syn_pool: Mutex::new(syn_pool),
+            exec_pool: Mutex::new(exec_pool),
+            gen_pool: Mutex::new(gen_pool),
         }
     }
 
@@ -268,6 +369,30 @@ impl Server {
     /// Per-stage aggregates over all traced requests.
     pub fn stage_metrics(&self) -> &StageMetrics {
         &self.shared.stages
+    }
+
+    /// Pipeline occupancy and throughput per stage pool.
+    pub fn pipeline_snapshot(&self) -> [PipelineStageSnapshot; 3] {
+        self.shared
+            .pipeline
+            .snapshot(self.shared.stage_workers, self.shared.started.elapsed())
+    }
+
+    /// Plan-cache counters aggregated across every served domain.
+    pub fn plan_cache_stats(&self) -> tag_sql::PlanCacheStats {
+        let mut total = tag_sql::PlanCacheStats::default();
+        for env in self.shared.envs.values() {
+            total.add(&env.db.plan_cache_stats());
+        }
+        total
+    }
+
+    /// Resize every domain's plan cache (0 disables them) — the A/B
+    /// switch serve-bench uses to measure the cache's contribution.
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        for env in self.shared.envs.values() {
+            env.db.set_plan_cache_capacity(capacity);
+        }
     }
 
     /// The raw spans of a captured trace, if still resident in the ring.
@@ -370,6 +495,23 @@ impl Server {
         if !self.shared.stages.is_empty() {
             out.push_str(&self.shared.stages.report());
         }
+        out.push_str(
+            &self
+                .shared
+                .pipeline
+                .report(self.shared.stage_workers, self.shared.started.elapsed()),
+        );
+        let pc = self.plan_cache_stats();
+        out.push_str(&format!(
+            "== plan cache ==\nplan cache: hits={} misses={} evictions={} invalidations={} \
+             entries={} hit_rate={:.1}%\n",
+            pc.hits,
+            pc.misses,
+            pc.evictions,
+            pc.invalidations,
+            pc.entries,
+            pc.hit_rate() * 100.0,
+        ));
         out.push_str(&format!(
             "traces resident: {} (capacity {})\n",
             self.shared.traces.len(),
@@ -378,12 +520,17 @@ impl Server {
         out
     }
 
-    /// Stop admitting work, drain the queue, and join every worker.
+    /// Stop admitting work, drain the pipeline, and join every worker.
+    /// Joining stage by stage is safe because closing the admission
+    /// channel cascades: `syn` exits close the `exec` channel, `exec`
+    /// exits close the `gen` channel.
     pub fn shutdown(&self) {
         *self.tx.lock() = None;
-        let workers = std::mem::take(&mut *self.workers.lock());
-        for w in workers {
-            let _ = w.join();
+        for pool in [&self.syn_pool, &self.exec_pool, &self.gen_pool] {
+            let workers = std::mem::take(&mut *pool.lock());
+            for w in workers {
+                let _ = w.join();
+            }
         }
     }
 }
@@ -394,89 +541,182 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+/// `syn` stage: admission bookkeeping, deadline check, answer-cache
+/// fast path. Misses are forwarded to the `exec` pool; the bounded send
+/// blocks when `exec` is saturated, which is exactly the backpressure
+/// that makes the admission queue fill and shed.
+fn syn_loop(rx: &Mutex<Receiver<Job>>, exec_tx: &SyncSender<ExecJob>, shared: &Shared) {
     loop {
         // The receiver guard is dropped at the end of this statement,
         // so the lock is held only for the dequeue itself.
         let received = rx.lock().recv();
-        match received {
-            Ok(job) => handle(shared, job),
-            Err(_) => return, // sender dropped: shutdown
+        let Ok(job) = received else {
+            return; // admission sender dropped: shutdown
+        };
+        let busy = Instant::now();
+        match syn_stage(shared, job) {
+            SynOutcome::Forward(fwd) => {
+                shared.pipeline.record(STAGE_SYN, busy.elapsed());
+                // Infallible while this worker lives: the `exec` pool
+                // only exits once every `syn` worker has dropped its
+                // sender.
+                let handoff = Instant::now();
+                let _ = exec_tx.send(fwd);
+                shared.pipeline.add_busy(STAGE_SYN, handoff.elapsed());
+            }
+            SynOutcome::Reply(reply, result) => {
+                // Count the item before replying so a client that just
+                // woke up always sees its own request in the snapshot.
+                shared.pipeline.record(STAGE_SYN, busy.elapsed());
+                reply.deliver(result);
+            }
         }
     }
 }
 
-fn handle(shared: &Shared, job: Job) {
+enum SynOutcome {
+    Forward(ExecJob),
+    Reply(Arc<ReplyCell>, Result<Response, ServeError>),
+}
+
+fn syn_stage(shared: &Shared, job: Job) -> SynOutcome {
     let m = &shared.metrics;
     let queue_wait = job.enqueued.elapsed();
     m.queue_wait.observe(queue_wait);
     let deadline = job.req.deadline.unwrap_or(shared.default_deadline);
     if queue_wait > deadline {
         m.rejected_deadline.fetch_add(1, Relaxed);
-        job.reply.deliver(Err(ServeError::DeadlineExceeded));
-        return;
+        return SynOutcome::Reply(job.reply, Err(ServeError::DeadlineExceeded));
     }
-    let Request {
-        domain,
-        method,
-        question,
-        ..
-    } = &job.req;
-    if let Some(answer) = shared.cache.get(domain, *method, question) {
+    if let Some(answer) = shared
+        .cache
+        .get(&job.req.domain, job.req.method, &job.req.question)
+    {
         m.answer_cache_hits.fetch_add(1, Relaxed);
         m.requests_ok.fetch_add(1, Relaxed);
         let total = job.enqueued.elapsed();
         m.total_time.observe(total);
-        job.reply.deliver(Ok(Response {
-            answer,
-            queue_wait,
-            exec: Duration::ZERO,
-            total,
-            cache_hit: true,
-            trace_id: None,
-        }));
-        return;
+        return SynOutcome::Reply(
+            job.reply,
+            Ok(Response {
+                answer,
+                queue_wait,
+                exec: Duration::ZERO,
+                total,
+                cache_hit: true,
+                trace_id: None,
+            }),
+        );
     }
     m.answer_cache_misses.fetch_add(1, Relaxed);
-    let env = shared.envs.get(domain).expect("validated at submit");
-    let started = Instant::now();
-    let (answer, trace_id) = if shared.traces.capacity() > 0 {
-        let (trace, sink) = tag_trace::Trace::memory();
-        let trace_id = trace.id();
-        let answer = tag_trace::with_trace(&trace, || {
-            let _root =
-                tag_trace::span(tag_trace::Stage::Request, &format!("{method} {domain}"));
-            run_method(*method, question, env)
+    SynOutcome::Forward(ExecJob {
+        req: job.req,
+        enqueued: job.enqueued,
+        queue_wait,
+        reply: job.reply,
+    })
+}
+
+/// `exec` stage: run the method (traced when tracing is on). Everything
+/// after the answer exists — trace capture, cache fill, reply — is
+/// handed to the `gen` pool so this pool's workers go straight back to
+/// the next request's SQL/retrieval while the LM rounds drain.
+fn exec_loop(rx: &Mutex<Receiver<ExecJob>>, gen_tx: &SyncSender<GenJob>, shared: &Shared) {
+    loop {
+        let received = rx.lock().recv();
+        let Ok(job) = received else {
+            return; // syn pool exited: shutdown
+        };
+        let busy = Instant::now();
+        // Re-check the deadline: time spent queued between stages counts
+        // against the request too.
+        let deadline = job.req.deadline.unwrap_or(shared.default_deadline);
+        if job.enqueued.elapsed() > deadline {
+            shared.metrics.rejected_deadline.fetch_add(1, Relaxed);
+            shared.pipeline.record(STAGE_EXEC, busy.elapsed());
+            job.reply.deliver(Err(ServeError::DeadlineExceeded));
+            continue;
+        }
+        let env = shared.envs.get(&job.req.domain).expect("validated at submit");
+        let started = Instant::now();
+        let (answer, spans, trace_id) = if shared.traces.capacity() > 0 {
+            let (trace, sink) = tag_trace::Trace::memory();
+            let trace_id = trace.id();
+            let answer = tag_trace::with_trace(&trace, || {
+                let _root = tag_trace::span(
+                    tag_trace::Stage::Request,
+                    &format!("{} {}", job.req.method, job.req.domain),
+                );
+                run_method(job.req.method, &job.req.question, env)
+            });
+            (answer, sink.take(), Some(trace_id))
+        } else {
+            (
+                run_method(job.req.method, &job.req.question, env),
+                Vec::new(),
+                None,
+            )
+        };
+        let exec = started.elapsed();
+        shared.metrics.exec_time.observe(exec);
+        shared.pipeline.record(STAGE_EXEC, busy.elapsed());
+        let handoff = Instant::now();
+        let _ = gen_tx.send(GenJob {
+            req: job.req,
+            enqueued: job.enqueued,
+            queue_wait: job.queue_wait,
+            reply: job.reply,
+            answer,
+            exec,
+            spans,
+            trace_id,
         });
-        let spans = sink.take();
-        for span in &spans {
+        shared.pipeline.add_busy(STAGE_EXEC, handoff.elapsed());
+    }
+}
+
+/// `gen` stage: fold spans into stage metrics, park the trace in the
+/// ring, fill the answer cache, and reply. The trace is inserted
+/// *before* the reply is delivered so `TRACE <id>` always finds a trace
+/// whose id a client has just received.
+fn gen_loop(rx: &Mutex<Receiver<GenJob>>, shared: &Shared) {
+    loop {
+        let received = rx.lock().recv();
+        let Ok(job) = received else {
+            return; // exec pool exited: shutdown
+        };
+        let busy = Instant::now();
+        let m = &shared.metrics;
+        for span in &job.spans {
             shared.stages.record(span);
         }
-        shared.traces.insert(trace_id, spans);
-        (answer, Some(trace_id))
-    } else {
-        (run_method(*method, question, env), None)
-    };
-    let exec = started.elapsed();
-    m.exec_time.observe(exec);
-    // Errors are not cached: they may be transient (e.g. load-dependent)
-    // and re-asking should re-execute.
-    if !matches!(answer, Answer::Error(_)) {
-        shared
-            .cache
-            .insert(domain, *method, question, answer.clone());
+        if let Some(trace_id) = job.trace_id {
+            shared.traces.insert(trace_id, job.spans);
+        }
+        // Errors are not cached: they may be transient (e.g.
+        // load-dependent) and re-asking should re-execute.
+        if !matches!(job.answer, Answer::Error(_)) {
+            shared.cache.insert(
+                &job.req.domain,
+                job.req.method,
+                &job.req.question,
+                job.answer.clone(),
+            );
+        }
+        m.requests_ok.fetch_add(1, Relaxed);
+        let total = job.enqueued.elapsed();
+        m.total_time.observe(total);
+        // Count before replying (same reasoning as in `syn_loop`).
+        shared.pipeline.record(STAGE_GEN, busy.elapsed());
+        job.reply.deliver(Ok(Response {
+            answer: job.answer,
+            queue_wait: job.queue_wait,
+            exec: job.exec,
+            total,
+            cache_hit: false,
+            trace_id: job.trace_id,
+        }));
     }
-    m.requests_ok.fetch_add(1, Relaxed);
-    let total = job.enqueued.elapsed();
-    m.total_time.observe(total);
-    job.reply.deliver(Ok(Response {
-        answer,
-        queue_wait,
-        exec,
-        total,
-        cache_hit: false,
-        trace_id,
-    }));
 }
 
 #[cfg(test)]
@@ -570,7 +810,38 @@ mod tests {
         assert!(r.contains("answer cache"));
         assert!(r.contains("semantic operators"), "{r}");
         assert!(r.contains("stage breakdown"), "{r}");
+        assert!(r.contains("== pipeline =="), "{r}");
+        assert!(r.contains("== plan cache =="), "{r}");
         assert!(r.contains("traces resident"), "{r}");
+    }
+
+    #[test]
+    fn pipeline_counts_every_stage_and_plans_are_cached() {
+        let (server, req) = tiny_server(ServerConfig::default());
+        let first = server.ask(req.clone()).unwrap();
+        assert!(!first.cache_hit);
+        let second = server.ask(req).unwrap();
+        assert!(second.cache_hit);
+        let snap = server.pipeline_snapshot();
+        // Both requests crossed syn; only the miss reached exec and gen.
+        assert_eq!(snap[crate::metrics::STAGE_SYN].processed, 2, "{snap:?}");
+        assert_eq!(snap[crate::metrics::STAGE_EXEC].processed, 1, "{snap:?}");
+        assert_eq!(snap[crate::metrics::STAGE_GEN].processed, 1, "{snap:?}");
+        // The handwritten method ran SQL, so plans were looked up.
+        let pc = server.plan_cache_stats();
+        assert!(pc.hits + pc.misses > 0, "{pc:?}");
+    }
+
+    #[test]
+    fn disabling_plan_cache_keeps_answers_identical() {
+        let (server, req) = tiny_server(ServerConfig::default());
+        let baseline = server.ask(req.clone()).unwrap();
+        server.set_plan_cache_capacity(0);
+        server.cache().clear();
+        let uncached = server.ask(req).unwrap();
+        assert!(!uncached.cache_hit);
+        assert_eq!(baseline.answer, uncached.answer);
+        assert_eq!(server.plan_cache_stats().capacity, 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
 use crate::exec::{execute, execute_profiled};
 use crate::optimizer::optimize;
+use crate::plancache::{normalize_sql, CachedArm, CachedPlan, PlanCache, PlanCacheStats};
 use crate::profile::PlanProfiler;
 use crate::parser::{parse_statement, parse_statements};
 use crate::planner::{Planner, Scope};
@@ -34,6 +35,13 @@ pub struct Database {
     /// Atomic so read-only `query()` can count under a shared borrow
     /// (the serving runtime runs SELECTs from many threads at once).
     statements_run: AtomicU64,
+    /// Bumped on every statement that can change what a plan would
+    /// produce: DDL, DML (the planner eagerly executes uncorrelated
+    /// subqueries, so plans embed data-dependent literals), and direct
+    /// catalog/UDF mutation. Part of the plan-cache key.
+    schema_epoch: AtomicU64,
+    /// Bound + optimized plans keyed on `(schema_epoch, normalized SQL)`.
+    plan_cache: PlanCache,
 }
 
 impl Clone for Database {
@@ -42,6 +50,10 @@ impl Clone for Database {
             catalog: self.catalog.clone(),
             udfs: self.udfs.clone(),
             statements_run: AtomicU64::new(self.statements_run.load(Ordering::Relaxed)),
+            schema_epoch: AtomicU64::new(self.schema_epoch.load(Ordering::Acquire)),
+            // Plans are cheap to rebuild; a clone starts with an empty
+            // cache rather than sharing or copying entries.
+            plan_cache: PlanCache::new(self.plan_cache.capacity()),
         }
     }
 }
@@ -59,11 +71,13 @@ impl Database {
 
     /// Mutable catalog access for programmatic table construction.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
+        self.invalidate_plans();
         &mut self.catalog
     }
 
     /// Register a scalar UDF (e.g. an LM-backed function).
     pub fn register_udf(&mut self, udf: Arc<dyn ScalarUdf>) {
+        self.invalidate_plans();
         self.udfs.register(udf);
     }
 
@@ -77,6 +91,32 @@ impl Database {
         self.statements_run.load(Ordering::Relaxed)
     }
 
+    /// Current schema epoch. Two loads returning the same value bracket
+    /// a window with no DDL/DML/catalog mutation.
+    pub fn schema_epoch(&self) -> u64 {
+        self.schema_epoch.load(Ordering::Acquire)
+    }
+
+    /// Plan-cache counter snapshot.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Resize the plan cache (0 disables it). Takes `&self` so a shared
+    /// handle (e.g. the serving runtime's `Arc<TagEnv>`) can switch
+    /// caching off for A/B benchmarking.
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        self.plan_cache.set_capacity(capacity);
+    }
+
+    /// Bump the schema epoch and drop every cached plan. Called before
+    /// any mutation; also callable directly by embedders that reach
+    /// around the SQL surface.
+    pub fn invalidate_plans(&mut self) {
+        self.schema_epoch.fetch_add(1, Ordering::Release);
+        self.plan_cache.invalidate();
+    }
+
     /// Parse, plan, optimize, and run one SQL statement.
     pub fn execute(&mut self, sql: &str) -> SqlResult<ResultSet> {
         let stmt = parse_statement(sql)?;
@@ -86,12 +126,19 @@ impl Database {
     /// Run a read-only statement (`SELECT` / compound `SELECT`) under a
     /// shared borrow — the concurrent-serving entry point. DDL and DML
     /// are rejected with [`SqlError::Unsupported`].
+    ///
+    /// Repeated statements hit the plan cache (keyed on schema epoch +
+    /// [`normalize_sql`]) and skip parse/bind/optimize entirely; the
+    /// cached [`Plan`](crate::Plan) runs through the same executor, so
+    /// results are byte-identical to an uncached run.
     pub fn query(&self, sql: &str) -> SqlResult<ResultSet> {
-        let stmt = parse_statement(sql)?;
-        self.query_statement(stmt)
+        let (cached, _hit) = self.plan_for(sql)?;
+        self.statements_run.fetch_add(1, Ordering::Relaxed);
+        self.execute_cached(&cached)
     }
 
     /// Execute an already-parsed read-only statement under `&self`.
+    /// Bypasses the plan cache (there is no SQL text to key on).
     pub fn query_statement(&self, stmt: Statement) -> SqlResult<ResultSet> {
         match stmt {
             Statement::Select(_) | Statement::CompoundSelect { .. } => {}
@@ -102,98 +149,122 @@ impl Database {
             }
         }
         self.statements_run.fetch_add(1, Ordering::Relaxed);
-        match stmt {
-            Statement::Select(sel) => {
-                let planner = Planner::new(&self.catalog, &self.udfs);
-                let plan = planner.plan_select(&sel)?;
-                let plan = optimize(plan, &self.catalog);
-                let columns = plan.columns();
-                let rows = execute(&plan, &self.catalog)?;
-                Ok(ResultSet::new(columns, rows))
-            }
-            Statement::CompoundSelect { first, rest } => {
-                let run_arm = |sel: &crate::ast::SelectStmt| -> SqlResult<ResultSet> {
-                    let planner = Planner::new(&self.catalog, &self.udfs);
-                    let plan = planner.plan_select(sel)?;
-                    let plan = optimize(plan, &self.catalog);
-                    let columns = plan.columns();
-                    let rows = execute(&plan, &self.catalog)?;
-                    Ok(ResultSet::new(columns, rows))
-                };
-                let mut acc = run_arm(&first)?;
-                for (all, arm) in &rest {
-                    let next = run_arm(arm)?;
-                    if next.columns.len() != acc.columns.len() {
-                        return Err(SqlError::Binding(format!(
-                            "UNION arms have different widths ({} vs {})",
-                            acc.columns.len(),
-                            next.columns.len()
-                        )));
-                    }
-                    acc.rows.extend(next.rows);
-                    if !all {
-                        // Plain UNION dedups the accumulated result
-                        // (SQLite semantics).
-                        let mut seen = std::collections::HashSet::new();
-                        acc.rows.retain(|r| seen.insert(r.clone()));
-                    }
-                }
-                Ok(acc)
-            }
-            _ => unreachable!("non-SELECT rejected above"),
-        }
+        let cached = self.plan_statement(&stmt)?;
+        self.execute_cached(&cached)
     }
 
     /// Like [`Database::query`], but also returns an `EXPLAIN ANALYZE`-
     /// style annotated plan: one line per operator with input/output
-    /// cardinality and elapsed wall-clock time. The rows are produced by
-    /// the same executor code path as `query`, so the [`ResultSet`] is
-    /// always identical to an unprofiled run.
+    /// cardinality and elapsed wall-clock time, plus a trailing
+    /// `plan_cache: hit|miss` line. The rows are produced by the same
+    /// executor code path as `query`, so the [`ResultSet`] is always
+    /// identical to an unprofiled run.
     pub fn query_profiled(&self, sql: &str) -> SqlResult<(ResultSet, String)> {
+        let (cached, hit) = self.plan_for(sql)?;
+        self.statements_run.fetch_add(1, Ordering::Relaxed);
+        let mut acc: Option<ResultSet> = None;
+        let mut text = String::new();
+        for arm in &cached.arms {
+            let profiler = PlanProfiler::new();
+            let rows = execute_profiled(&arm.plan, &self.catalog, &profiler)?;
+            match &mut acc {
+                None => acc = Some(ResultSet::new(arm.columns.clone(), rows)),
+                Some(acc) => {
+                    text.push_str(if arm.union_all { "UNION ALL\n" } else { "UNION\n" });
+                    acc.rows.extend(rows);
+                    if !arm.union_all {
+                        let mut seen = std::collections::HashSet::new();
+                        acc.rows.retain(|r| seen.insert(r.clone()));
+                    }
+                }
+            }
+            text.push_str(&profiler.render());
+        }
+        text.push_str(if hit { "plan_cache: hit" } else { "plan_cache: miss" });
+        Ok((acc.expect("cached plan has at least one arm"), text))
+    }
+
+    /// Fetch the cached plan for `sql`, or parse + bind + optimize and
+    /// cache it. The bool is true on a cache hit.
+    fn plan_for(&self, sql: &str) -> SqlResult<(Arc<CachedPlan>, bool)> {
+        let epoch = self.schema_epoch.load(Ordering::Acquire);
+        let key = normalize_sql(sql);
+        if let Some(cached) = self.plan_cache.get(epoch, &key) {
+            return Ok((cached, true));
+        }
         let stmt = parse_statement(sql)?;
         match stmt {
             Statement::Select(_) | Statement::CompoundSelect { .. } => {}
             _ => {
                 return Err(SqlError::Unsupported(
-                    "query_profiled() is read-only; use execute() for DDL/DML".into(),
+                    "query() is read-only; use execute() for DDL/DML".into(),
                 ))
             }
         }
-        self.statements_run.fetch_add(1, Ordering::Relaxed);
-        let run_arm = |sel: &crate::ast::SelectStmt| -> SqlResult<(ResultSet, String)> {
+        let cached = Arc::new(self.plan_statement(&stmt)?);
+        self.plan_cache.insert(epoch, key, Arc::clone(&cached));
+        Ok((cached, false))
+    }
+
+    /// Bind + optimize every arm of a SELECT / compound SELECT. Arm
+    /// widths are validated here so a cached compound plan can never
+    /// reach execution with mismatched arms.
+    fn plan_statement(&self, stmt: &Statement) -> SqlResult<CachedPlan> {
+        let plan_arm = |sel: &crate::ast::SelectStmt| -> SqlResult<CachedArm> {
             let planner = Planner::new(&self.catalog, &self.udfs);
             let plan = planner.plan_select(sel)?;
             let plan = optimize(plan, &self.catalog);
             let columns = plan.columns();
-            let profiler = PlanProfiler::new();
-            let rows = execute_profiled(&plan, &self.catalog, &profiler)?;
-            Ok((ResultSet::new(columns, rows), profiler.render()))
+            Ok(CachedArm {
+                union_all: false,
+                plan,
+                columns,
+            })
         };
         match stmt {
-            Statement::Select(sel) => run_arm(&sel),
+            Statement::Select(sel) => Ok(CachedPlan {
+                arms: vec![plan_arm(sel)?],
+            }),
             Statement::CompoundSelect { first, rest } => {
-                let (mut acc, mut text) = run_arm(&first)?;
-                for (all, arm) in &rest {
-                    let (next, arm_text) = run_arm(arm)?;
-                    if next.columns.len() != acc.columns.len() {
+                let mut arms = vec![plan_arm(first)?];
+                for (all, sel) in rest {
+                    let mut arm = plan_arm(sel)?;
+                    if arm.columns.len() != arms[0].columns.len() {
                         return Err(SqlError::Binding(format!(
                             "UNION arms have different widths ({} vs {})",
-                            acc.columns.len(),
-                            next.columns.len()
+                            arms[0].columns.len(),
+                            arm.columns.len()
                         )));
                     }
-                    text.push_str(if *all { "UNION ALL\n" } else { "UNION\n" });
-                    text.push_str(&arm_text);
-                    acc.rows.extend(next.rows);
-                    if !all {
+                    arm.union_all = *all;
+                    arms.push(arm);
+                }
+                Ok(CachedPlan { arms })
+            }
+            _ => Err(SqlError::Unsupported(
+                "query() is read-only; use execute() for DDL/DML".into(),
+            )),
+        }
+    }
+
+    /// Run every arm of a cached plan and combine with UNION semantics
+    /// (plain UNION dedups the accumulated result, SQLite-style).
+    fn execute_cached(&self, cached: &CachedPlan) -> SqlResult<ResultSet> {
+        let mut acc: Option<ResultSet> = None;
+        for arm in &cached.arms {
+            let rows = execute(&arm.plan, &self.catalog)?;
+            match &mut acc {
+                None => acc = Some(ResultSet::new(arm.columns.clone(), rows)),
+                Some(acc) => {
+                    acc.rows.extend(rows);
+                    if !arm.union_all {
                         let mut seen = std::collections::HashSet::new();
                         acc.rows.retain(|r| seen.insert(r.clone()));
                     }
                 }
-                Ok((acc, text))
             }
-            _ => unreachable!("non-SELECT rejected above"),
         }
+        Ok(acc.expect("cached plan has at least one arm"))
     }
 
     /// Run several semicolon-separated statements; returns the last result.
@@ -230,6 +301,11 @@ impl Database {
         ) {
             return self.query_statement(stmt);
         }
+        // Every non-SELECT can change what a plan would produce (DML
+        // included: the planner inlines uncorrelated subquery results),
+        // and a failed statement may still have partial effects — so
+        // invalidate before executing.
+        self.invalidate_plans();
         self.statements_run.fetch_add(1, Ordering::Relaxed);
         match stmt {
             Statement::Select(_) | Statement::CompoundSelect { .. } => {
@@ -738,6 +814,86 @@ mod tests {
         let db = Database::new();
         let err = db.query_profiled("CREATE TABLE t (a INTEGER)").unwrap_err();
         assert!(err.message().contains("read-only"), "{err}");
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_plan_cache() {
+        let db = db();
+        let a = db.query("SELECT City FROM schools ORDER BY City").unwrap();
+        // Re-formatted (whitespace + keyword case) variants share the entry.
+        let b = db.query("select  City\nfrom schools  order by City").unwrap();
+        let c = db.query("SELECT City FROM schools ORDER BY City").unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.columns, b.columns);
+        assert_eq!(a.rows, c.rows);
+        let s = db.plan_cache_stats();
+        assert_eq!(s.hits, 2, "{s:?}");
+        assert_eq!(s.misses, 1, "{s:?}");
+        assert_eq!(s.entries, 1, "{s:?}");
+    }
+
+    #[test]
+    fn dml_invalidates_cached_plans() {
+        let mut db = db();
+        let e0 = db.schema_epoch();
+        // The planner executes this uncorrelated subquery eagerly, so the
+        // count is baked into the plan — the classic staleness trap.
+        let sql = "SELECT (SELECT COUNT(*) FROM schools) AS n FROM schools LIMIT 1";
+        assert_eq!(db.query(sql).unwrap().rows[0][0], Value::Int(4));
+        assert_eq!(db.query(sql).unwrap().rows[0][0], Value::Int(4));
+        db.execute("INSERT INTO schools VALUES (9, 'Gilroy', -121.5)")
+            .unwrap();
+        assert!(db.schema_epoch() > e0);
+        assert_eq!(db.query(sql).unwrap().rows[0][0], Value::Int(5));
+        let s = db.plan_cache_stats();
+        assert_eq!(s.hits, 1, "{s:?}");
+        assert!(s.invalidations >= 1, "{s:?}");
+    }
+
+    #[test]
+    fn select_does_not_bump_epoch() {
+        let db = db();
+        let e0 = db.schema_epoch();
+        db.query("SELECT * FROM schools").unwrap();
+        assert_eq!(db.schema_epoch(), e0);
+    }
+
+    #[test]
+    fn catalog_mut_and_udfs_invalidate_plans() {
+        let mut db = db();
+        db.query("SELECT * FROM schools").unwrap();
+        assert_eq!(db.plan_cache_stats().entries, 1);
+        let e0 = db.schema_epoch();
+        let _ = db.catalog_mut();
+        assert!(db.schema_epoch() > e0);
+        assert_eq!(db.plan_cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn disabled_plan_cache_still_answers_identically() {
+        let db_on = db();
+        let db_off = db();
+        db_off.set_plan_cache_capacity(0);
+        let sql = "SELECT City, COUNT(*) AS n FROM schools GROUP BY City ORDER BY n DESC, City";
+        for _ in 0..3 {
+            let on = db_on.query(sql).unwrap();
+            let off = db_off.query(sql).unwrap();
+            assert_eq!(on.rows, off.rows);
+            assert_eq!(on.columns, off.columns);
+        }
+        assert!(db_on.plan_cache_stats().hits > 0);
+        let s = db_off.plan_cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0), "{s:?}");
+    }
+
+    #[test]
+    fn query_profiled_reports_cache_outcome() {
+        let db = db();
+        let sql = "SELECT City FROM schools";
+        let (_, text) = db.query_profiled(sql).unwrap();
+        assert!(text.ends_with("plan_cache: miss"), "{text}");
+        let (_, text) = db.query_profiled(sql).unwrap();
+        assert!(text.ends_with("plan_cache: hit"), "{text}");
     }
 
     #[test]

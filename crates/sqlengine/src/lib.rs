@@ -50,6 +50,7 @@ pub mod lexer;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
+pub mod plancache;
 pub mod planner;
 pub mod profile;
 pub mod result;
@@ -61,6 +62,7 @@ pub mod value;
 pub use catalog::Catalog;
 pub use engine::Database;
 pub use error::{SqlError, SqlResult};
+pub use plancache::{normalize_sql, PlanCache, PlanCacheStats};
 pub use profile::{NodeProfile, PlanProfiler};
 pub use result::ResultSet;
 pub use schema::{Column, DataType, Row, Schema};

@@ -1,0 +1,469 @@
+//! The plan cache: bound + optimized plans for repeated statements.
+//!
+//! Parsing, binding, and optimizing a statement is pure CPU spent before
+//! a single row moves; the TAG workloads re-run the same statements
+//! constantly (the hand-written pipelines' base scans, cache-missed
+//! re-asks of the same question). The cache maps
+//! `(schema epoch, normalized SQL)` to the finished [`Plan`] so repeated
+//! statements skip straight to execution.
+//!
+//! Two properties keep it correct:
+//!
+//! - **Epoch keying.** [`crate::Database`] bumps its schema epoch on
+//!   every DDL *and* DML statement (the planner eagerly executes
+//!   uncorrelated subqueries, so even an INSERT can invalidate a plan's
+//!   embedded literals) and on any direct catalog/UDF mutation. The
+//!   epoch is part of the key and a bump also drops every entry, so a
+//!   stale plan can never be served.
+//! - **Collision-safe normalization.** [`normalize_sql`] folds token
+//!   whitespace and structural-keyword case, but *preserves* the
+//!   as-written case of every token that can reach a result's column
+//!   names (select-list heads, qualified references, aliases). Name
+//!   binding in the engine is case-insensitive everywhere, so two
+//!   statements that normalize identically produce byte-identical
+//!   results.
+
+use crate::lexer::{tokenize, Sym, Token};
+use crate::plan::Plan;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Clause-structural keywords safe to case-fold. Deliberately excludes
+/// anything that can occur inside a select-item expression whose text
+/// feeds an output column name (functions, CASE/WHEN, NULL, ...).
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "JOIN",
+    "INNER", "LEFT", "RIGHT", "OUTER", "FULL", "CROSS", "ON", "AS", "UNION", "ALL", "DISTINCT",
+    "ASC", "DESC", "VALUES",
+];
+
+/// Is `tok` an unquoted identifier equal (case-insensitively) to `kw`?
+fn is_kw(tok: &Token, kw: &str) -> bool {
+    matches!(tok, Token::Ident(s, false) if s.eq_ignore_ascii_case(kw))
+}
+
+/// A previous token after which an identifier may be a select-list head,
+/// a qualified column reference, or an alias — positions whose as-written
+/// case becomes a result column name and must therefore not be folded.
+fn prev_guards_name(prev: Option<&Token>) -> bool {
+    match prev {
+        None => false,
+        Some(Token::Sym(Sym::Comma)) | Some(Token::Sym(Sym::Dot)) | Some(Token::Sym(Sym::LParen)) => {
+            true
+        }
+        Some(t) => is_kw(t, "SELECT") || is_kw(t, "DISTINCT") || is_kw(t, "AS"),
+    }
+}
+
+/// Normalize a SQL statement for plan-cache keying.
+///
+/// The statement is tokenized and re-rendered with one space between
+/// tokens, so any whitespace/comment variation maps to the same key.
+/// Structural keywords (`select`, `FROM`, ...) are upper-cased and
+/// callable names (an identifier directly before `(`) are lower-cased —
+/// both folds are safe because name binding is case-insensitive and
+/// neither position's spelling reaches a result column name. Identifier
+/// case is preserved everywhere it could (select-list heads, aliases,
+/// qualified references), so statements with different output column
+/// names never share a key. Statements that fail to tokenize fall back
+/// to a whitespace-collapsed copy of the raw text.
+pub fn normalize_sql(sql: &str) -> String {
+    let Ok(tokens) = tokenize(sql) else {
+        return sql.split_whitespace().collect::<Vec<_>>().join(" ");
+    };
+    let mut out = String::with_capacity(sql.len());
+    for (i, tok) in tokens.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match tok {
+            Token::Ident(s, false) => {
+                let followed_by_paren =
+                    matches!(tokens.get(i + 1), Some(Token::Sym(Sym::LParen)));
+                if followed_by_paren {
+                    // Callable position: binding and display both
+                    // lowercase the name, so folding is lossless.
+                    out.push_str(&s.to_ascii_lowercase());
+                } else if KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
+                    && !prev_guards_name(i.checked_sub(1).and_then(|p| tokens.get(p)))
+                {
+                    out.push_str(&s.to_ascii_uppercase());
+                } else {
+                    out.push_str(s);
+                }
+            }
+            Token::Ident(s, true) => {
+                out.push('"');
+                out.push_str(&s.replace('"', "\"\""));
+                out.push('"');
+            }
+            Token::Str(s) => {
+                out.push('\'');
+                out.push_str(&s.replace('\'', "''"));
+                out.push('\'');
+            }
+            Token::Int(v) => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{v}"));
+            }
+            Token::Float(v) => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{v}"));
+            }
+            Token::Sym(s) => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{s}"));
+            }
+        }
+    }
+    out
+}
+
+/// One arm of a cached statement: a bound + optimized plan plus its
+/// output column names. A plain SELECT is a single arm; a compound
+/// SELECT stores one arm per UNION branch.
+#[derive(Debug)]
+pub struct CachedArm {
+    /// `UNION ALL` (true) vs deduplicating `UNION` (false) with respect
+    /// to the preceding arms; unused on the first arm.
+    pub union_all: bool,
+    /// The optimized physical plan.
+    pub plan: Plan,
+    /// The plan's output column names, precomputed.
+    pub columns: Vec<String>,
+}
+
+/// A fully planned statement, ready to execute against the catalog it
+/// was planned over (enforced by epoch keying).
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The statement's arms, in source order (≥ 1).
+    pub arms: Vec<CachedArm>,
+}
+
+/// Cumulative plan-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that found a plan for the current epoch.
+    pub hits: u64,
+    /// Lookups that found nothing (statement was re-planned).
+    pub misses: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Whole-cache invalidations (schema-epoch bumps).
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Configured capacity (0 = disabled).
+    pub capacity: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit rate in `0..=1` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+
+    /// Fold another stats snapshot into this one (capacities add).
+    pub fn add(&mut self, other: &PlanCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+        self.entries += other.entries;
+        self.capacity += other.capacity;
+    }
+}
+
+type Key = (u64, String);
+
+#[derive(Debug, Default)]
+struct Inner {
+    cap: usize,
+    tick: u64,
+    map: HashMap<Key, (Arc<CachedPlan>, u64)>,
+    order: BTreeMap<u64, Key>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// Default capacity of a [`Database`](crate::Database)'s plan cache.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+/// A bounded LRU of planned statements, shared-borrow friendly (all
+/// methods take `&self`) so the read-only query path can use it.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans; 0 disables caching.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                cap: capacity,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.lock().cap
+    }
+
+    /// Change the capacity; shrinking (or disabling with 0) drops every
+    /// resident entry.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut g = self.lock();
+        g.cap = capacity;
+        if g.map.len() > capacity {
+            g.map.clear();
+            g.order.clear();
+        }
+    }
+
+    /// Look up a plan for `(epoch, key)`, updating recency and counters.
+    pub fn get(&self, epoch: u64, key: &str) -> Option<Arc<CachedPlan>> {
+        let mut g = self.lock();
+        if g.cap == 0 {
+            return None;
+        }
+        g.tick += 1;
+        let tick = g.tick;
+        let k: Key = (epoch, key.to_owned());
+        match g.map.get_mut(&k) {
+            Some((plan, t)) => {
+                let plan = Arc::clone(plan);
+                let old = *t;
+                *t = tick;
+                g.order.remove(&old);
+                g.order.insert(tick, k);
+                g.hits += 1;
+                Some(plan)
+            }
+            None => {
+                g.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a plan, evicting the least-recently-used entry when full.
+    pub fn insert(&self, epoch: u64, key: String, plan: Arc<CachedPlan>) {
+        let mut g = self.lock();
+        if g.cap == 0 {
+            return;
+        }
+        g.tick += 1;
+        let tick = g.tick;
+        let k: Key = (epoch, key);
+        if let Some((_, old)) = g.map.remove(&k) {
+            g.order.remove(&old);
+        } else if g.map.len() >= g.cap {
+            if let Some((&oldest, _)) = g.order.iter().next() {
+                if let Some(victim) = g.order.remove(&oldest) {
+                    g.map.remove(&victim);
+                    g.evictions += 1;
+                }
+            }
+        }
+        g.map.insert(k.clone(), (plan, tick));
+        g.order.insert(tick, k);
+    }
+
+    /// Drop every resident entry (schema-epoch bump). Cumulative
+    /// hit/miss/eviction counters survive; `invalidations` increments.
+    pub fn invalidate(&self) {
+        let mut g = self.lock();
+        g.map.clear();
+        g.order.clear();
+        g.invalidations += 1;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        let g = self.lock();
+        PlanCacheStats {
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            invalidations: g.invalidations,
+            entries: g.map.len() as u64,
+            capacity: g.cap as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arm() -> Arc<CachedPlan> {
+        Arc::new(CachedPlan {
+            arms: vec![CachedArm {
+                union_all: false,
+                plan: Plan::TableScan {
+                    table: "t".into(),
+                    columns: vec!["x".into()],
+                },
+                columns: vec!["x".into()],
+            }],
+        })
+    }
+
+    #[test]
+    fn normalization_folds_whitespace_and_keyword_case() {
+        let a = normalize_sql("select  x\n from\t t  where x > 1");
+        let b = normalize_sql("SELECT x FROM t WHERE x > 1");
+        assert_eq!(a, b);
+        assert_eq!(a, "SELECT x FROM t WHERE x > 1");
+        // Comments vanish with the whitespace.
+        assert_eq!(normalize_sql("SELECT x -- hi\nFROM t"), "SELECT x FROM t");
+    }
+
+    #[test]
+    fn normalization_folds_callable_names() {
+        assert_eq!(
+            normalize_sql("SELECT COUNT ( * ) FROM t"),
+            normalize_sql("select count(*) from t"),
+        );
+    }
+
+    #[test]
+    fn normalization_preserves_name_affecting_case() {
+        // Select-list heads, qualified refs, and aliases keep their
+        // as-written case: these pairs must NOT collide (their output
+        // column names differ).
+        for (a, b) in [
+            ("SELECT City FROM t", "SELECT CITY FROM t"),
+            ("SELECT t.City FROM t", "SELECT t.CITY FROM t"),
+            ("SELECT x AS Name FROM t", "SELECT x AS name FROM t"),
+            ("SELECT DISTINCT City FROM t", "SELECT DISTINCT CITY FROM t"),
+            ("SELECT a, City FROM t", "SELECT a, CITY FROM t"),
+        ] {
+            assert_ne!(normalize_sql(a), normalize_sql(b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_values_and_strings() {
+        // Literal values must never collide.
+        assert_ne!(
+            normalize_sql("SELECT * FROM t WHERE x > 700"),
+            normalize_sql("SELECT * FROM t WHERE x > 705"),
+        );
+        assert_ne!(
+            normalize_sql("SELECT * FROM t WHERE c = 'Bay Area'"),
+            normalize_sql("SELECT * FROM t WHERE c = 'bay area'"),
+        );
+        // Interior whitespace of string literals is data, not formatting.
+        assert_ne!(
+            normalize_sql("SELECT * FROM t WHERE c = 'a  b'"),
+            normalize_sql("SELECT * FROM t WHERE c = 'a b'"),
+        );
+        // Escaped quotes round-trip.
+        assert_eq!(
+            normalize_sql("SELECT 'it''s'"),
+            normalize_sql("SELECT   'it''s'"),
+        );
+    }
+
+    #[test]
+    fn normalization_quoted_identifiers_stay_quoted() {
+        assert_ne!(
+            normalize_sql("SELECT \"from\" FROM t"),
+            normalize_sql("SELECT \"FROM\" FROM t"),
+        );
+        assert_eq!(
+            normalize_sql("SELECT  \"a b\"  FROM t"),
+            normalize_sql("SELECT \"a b\" FROM t"),
+        );
+    }
+
+    #[test]
+    fn unlexable_input_falls_back_to_whitespace_collapse() {
+        // An unterminated string cannot tokenize.
+        let n = normalize_sql("SELECT  'oops");
+        assert_eq!(n, "SELECT 'oops");
+    }
+
+    #[test]
+    fn cache_hits_and_misses_by_epoch_and_key() {
+        let c = PlanCache::new(4);
+        assert!(c.get(0, "SELECT x FROM t").is_none());
+        c.insert(0, "SELECT x FROM t".into(), arm());
+        assert!(c.get(0, "SELECT x FROM t").is_some());
+        // Different epoch: the same text misses.
+        assert!(c.get(1, "SELECT x FROM t").is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_and_invalidations() {
+        let c = PlanCache::new(2);
+        c.insert(0, "a".into(), arm());
+        c.insert(0, "b".into(), arm());
+        assert!(c.get(0, "a").is_some()); // a is MRU
+        c.insert(0, "c".into(), arm()); // evicts b
+        assert!(c.get(0, "b").is_none());
+        assert!(c.get(0, "a").is_some());
+        assert_eq!(c.stats().evictions, 1);
+        c.invalidate();
+        assert!(c.get(0, "a").is_none());
+        let s = c.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.evictions, 1, "invalidation is not an eviction");
+    }
+
+    #[test]
+    fn zero_capacity_disables_everything() {
+        let c = PlanCache::new(0);
+        c.insert(0, "a".into(), arm());
+        assert!(c.get(0, "a").is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.capacity), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn set_capacity_shrink_clears() {
+        let c = PlanCache::new(8);
+        c.insert(0, "a".into(), arm());
+        c.set_capacity(0);
+        assert!(c.get(0, "a").is_none());
+        c.set_capacity(8);
+        c.insert(0, "a".into(), arm());
+        assert!(c.get(0, "a").is_some());
+    }
+
+    #[test]
+    fn stats_aggregate_with_add() {
+        let mut total = PlanCacheStats::default();
+        let c = PlanCache::new(2);
+        c.insert(0, "a".into(), arm());
+        let _ = c.get(0, "a");
+        let _ = c.get(0, "b");
+        total.add(&c.stats());
+        total.add(&c.stats());
+        assert_eq!(total.hits, 2);
+        assert_eq!(total.misses, 2);
+        assert_eq!(total.capacity, 4);
+    }
+}

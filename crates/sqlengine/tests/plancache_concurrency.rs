@@ -1,0 +1,120 @@
+//! Plan-cache concurrency: 8 reader threads hammer the cache while a
+//! writer mutates the schema and data mid-run. A stale plan would be
+//! visible as a count that goes backwards (the planner executes the
+//! uncorrelated `(SELECT COUNT(*) ...)` subquery at plan time, so a
+//! plan cached before an INSERT embeds the old count).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread;
+use tag_sql::Database;
+
+fn seed_db() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE events (id INTEGER PRIMARY KEY, kind TEXT, weight REAL);
+         INSERT INTO events VALUES (1, 'click', 0.5), (2, 'view', 1.0),
+                                   (3, 'click', 2.0), (4, 'buy', 9.0);",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn eight_threads_never_observe_a_stale_plan() {
+    let db = Arc::new(RwLock::new(seed_db()));
+    let stop = Arc::new(AtomicBool::new(false));
+    const READERS: usize = 8;
+    const INSERTS: i64 = 40;
+
+    let mut handles = Vec::new();
+    for t in 0..READERS {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        handles.push(thread::spawn(move || {
+            // Each thread mixes a shared statement (contended cache entry)
+            // with a per-thread variant (fills/evicts distinct entries).
+            let shared = "SELECT (SELECT COUNT(*) FROM events) AS n FROM events LIMIT 1";
+            let private = format!(
+                "SELECT COUNT(*) AS n FROM events WHERE id > {t} AND weight >= 0"
+            );
+            let mut last_count = 0i64;
+            let mut reads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let g = db.read().unwrap();
+                let n = g.query(shared).unwrap().rows[0][0].as_i64().unwrap();
+                // The table only ever grows: a smaller count than any
+                // previously observed one means a stale cached plan.
+                assert!(
+                    n >= last_count,
+                    "stale plan served: count went {last_count} -> {n}"
+                );
+                last_count = n;
+                let m = g.query(&private).unwrap().rows[0][0].as_i64().unwrap();
+                // Seed rows have ids 1..=4, inserted rows 100+: the
+                // private count starts at max(0, 4 - t) and only grows.
+                let base = (4 - t as i64).max(0);
+                assert!(m >= base && m <= base + INSERTS, "m={m} t={t}");
+                drop(g);
+                reads += 1;
+            }
+            reads
+        }));
+    }
+
+    // Writer: interleave INSERTs (epoch bump via DML) with a mid-run DDL
+    // (CREATE INDEX changes plan shape: later plans may switch to an
+    // index probe — results must stay correct either way).
+    for i in 0..INSERTS {
+        {
+            let mut g = db.write().unwrap();
+            g.execute(&format!(
+                "INSERT INTO events VALUES ({}, 'gen', {}.5)",
+                100 + i,
+                i
+            ))
+            .unwrap();
+            if i == INSERTS / 2 {
+                g.execute("CREATE INDEX idx_kind ON events (kind)").unwrap();
+            }
+        }
+        thread::yield_now();
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let total_reads: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total_reads > 0);
+
+    let g = db.read().unwrap();
+    // Final state is fully fresh.
+    let n = g
+        .query("SELECT (SELECT COUNT(*) FROM events) AS n FROM events LIMIT 1")
+        .unwrap()
+        .rows[0][0]
+        .as_i64()
+        .unwrap();
+    assert_eq!(n, 4 + INSERTS);
+    let stats = g.plan_cache_stats();
+    // Every INSERT (and the CREATE INDEX) invalidated; readers still got
+    // hits inside quiescent windows whenever they re-ran a statement.
+    assert!(stats.invalidations >= INSERTS as u64, "{stats:?}");
+    assert!(stats.hits + stats.misses > 0, "{stats:?}");
+}
+
+#[test]
+fn epoch_bump_mid_run_is_always_fresh_single_threaded() {
+    let mut db = seed_db();
+    let sql = "SELECT (SELECT COUNT(*) FROM events) AS n FROM events LIMIT 1";
+    for i in 0..10 {
+        let n = db.query(sql).unwrap().rows[0][0].as_i64().unwrap();
+        assert_eq!(n, 4 + i);
+        // Warm hit within the same epoch.
+        let again = db.query(sql).unwrap().rows[0][0].as_i64().unwrap();
+        assert_eq!(again, n);
+        db.execute(&format!("INSERT INTO events VALUES ({}, 'x', 0.0)", 50 + i))
+            .unwrap();
+    }
+    let stats = db.plan_cache_stats();
+    assert_eq!(stats.hits, 10, "{stats:?}");
+    assert_eq!(stats.misses, 10, "{stats:?}");
+}
