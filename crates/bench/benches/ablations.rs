@@ -38,7 +38,10 @@ fn bench_retrieval_k(c: &mut Criterion) {
     for i in 0..2000 {
         store.add_row(vec![
             ("id".to_owned(), i.to_string()),
-            ("text".to_owned(), format!("record number {i} about topic {}", i % 37)),
+            (
+                "text".to_owned(),
+                format!("record number {i} about topic {}", i % 37),
+            ),
         ]);
     }
     let mut group = c.benchmark_group("ablation_retrieval_k");

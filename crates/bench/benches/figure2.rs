@@ -15,9 +15,7 @@ fn bench_sepang(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure2_sepang");
     group.sample_size(10);
     for method in [MethodId::Rag, MethodId::Text2SqlLm, MethodId::HandWritten] {
-        group.bench_function(method.label(), |b| {
-            b.iter(|| harness.run_one(method, id))
-        });
+        group.bench_function(method.label(), |b| b.iter(|| harness.run_one(method, id)));
     }
     group.finish();
 }

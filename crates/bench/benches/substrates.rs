@@ -8,10 +8,8 @@ use tag_sql::{Database, Value};
 
 fn populated_db(rows: usize) -> Database {
     let mut db = Database::new();
-    db.execute(
-        "CREATE TABLE t (id INTEGER PRIMARY KEY, grp TEXT, x REAL, name TEXT)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, grp TEXT, x REAL, name TEXT)")
+        .unwrap();
     for i in 0..rows {
         db.execute(&format!(
             "INSERT INTO t VALUES ({i}, 'g{}', {}.5, 'name {i}')",
@@ -28,7 +26,10 @@ fn bench_sql(c: &mut Criterion) {
     let mut db = populated_db(10_000);
     let mut group = c.benchmark_group("sql_engine");
     group.bench_function("filter_scan_10k", |b| {
-        b.iter(|| db.execute("SELECT name FROM t WHERE grp = 'g3' AND x > 100").unwrap())
+        b.iter(|| {
+            db.execute("SELECT name FROM t WHERE grp = 'g3' AND x > 100")
+                .unwrap()
+        })
     });
     group.bench_function("index_probe_10k", |b| {
         b.iter(|| db.execute("SELECT name FROM t WHERE id = 7777").unwrap())
@@ -40,7 +41,10 @@ fn bench_sql(c: &mut Criterion) {
         })
     });
     group.bench_function("topk_10k", |b| {
-        b.iter(|| db.execute("SELECT name FROM t ORDER BY x DESC LIMIT 10").unwrap())
+        b.iter(|| {
+            db.execute("SELECT name FROM t ORDER BY x DESC LIMIT 10")
+                .unwrap()
+        })
     });
     group.bench_function("self_join_1k", |b| {
         let mut small = populated_db(1_000);
@@ -70,13 +74,16 @@ fn bench_btree(c: &mut Criterion) {
     for i in 0..100_000usize {
         idx.insert(Value::Int((i * 37 % 100_000) as i64), i);
     }
-    group.bench_function("probe_100k", |b| {
-        b.iter(|| idx.get(&Value::Int(31415)))
-    });
+    group.bench_function("probe_100k", |b| b.iter(|| idx.get(&Value::Int(31415))));
     group.bench_function("range_100k", |b| {
         let lo = Value::Int(5_000);
         let hi = Value::Int(5_500);
-        b.iter(|| idx.range(std::ops::Bound::Included(&lo), std::ops::Bound::Excluded(&hi)))
+        b.iter(|| {
+            idx.range(
+                std::ops::Bound::Included(&lo),
+                std::ops::Bound::Excluded(&hi),
+            )
+        })
     });
     group.finish();
 }

@@ -59,7 +59,9 @@ fn main() {
 /// Ablation A: TAG execution time vs LM batch size.
 fn batch_ablation() {
     println!("Ablation A: hand-written TAG execution time vs LM batch size");
-    println!("(mean simulated seconds over the 20 knowledge + reasoning match/comparison queries)\n");
+    println!(
+        "(mean simulated seconds over the 20 knowledge + reasoning match/comparison queries)\n"
+    );
     println!("{:>10} {:>12} {:>12}", "batch", "mean ET(s)", "accuracy");
     for batch in [1usize, 4, 16, 64] {
         let mut harness = Harness::standard();
@@ -79,9 +81,7 @@ fn batch_ablation() {
         let ids: Vec<usize> = harness
             .queries()
             .iter()
-            .filter(|q| {
-                matches!(q.qtype, QueryType::MatchBased | QueryType::Comparison)
-            })
+            .filter(|q| matches!(q.qtype, QueryType::MatchBased | QueryType::Comparison))
             .map(|q| q.id)
             .collect();
         let mut secs = 0.0;
@@ -158,11 +158,21 @@ fn gen_pattern_ablation() {
         .expect("community domain");
     let mut db = community.db;
     let df = DataFrame::from_result(
-        db.execute("SELECT Text FROM comments").expect("comments scan"),
+        db.execute("SELECT Text FROM comments")
+            .expect("comments scan"),
     );
-    println!("Input: {} comment texts (forced multi-round via a small window)\n", df.len());
-    println!("{:<24} {:>10} {:>9} {:>9}", "pattern", "ET(s)", "calls", "batches");
-    for (name, refine) in [("hierarchical fold", false), ("sequential refinement", true)] {
+    println!(
+        "Input: {} comment texts (forced multi-round via a small window)\n",
+        df.len()
+    );
+    println!(
+        "{:<24} {:>10} {:>9} {:>9}",
+        "pattern", "ET(s)", "calls", "batches"
+    );
+    for (name, refine) in [
+        ("hierarchical fold", false),
+        ("sequential refinement", true),
+    ] {
         let lm = Arc::new(SimLm::new(SimConfig {
             context_window: 2048,
             ..SimConfig::default()
@@ -191,10 +201,7 @@ fn gen_pattern_ablation() {
 fn coverage_ablation() {
     use tag_lm::KnowledgeConfig;
     println!("Ablation E: accuracy on knowledge queries vs parametric coverage\n");
-    println!(
-        "{:>10} {:>12} {:>12}",
-        "coverage", "Text2SQL", "TAG"
-    );
+    println!("{:>10} {:>12} {:>12}", "coverage", "Text2SQL", "TAG");
     for coverage in [0.5f64, 0.7, 0.9, 1.0] {
         let lm_config = SimConfig {
             knowledge: KnowledgeConfig {
@@ -210,8 +217,7 @@ fn coverage_ablation() {
             .queries()
             .iter()
             .filter(|q| {
-                q.kind == tag_bench::QueryKind::Knowledge
-                    && q.qtype != QueryType::Aggregation
+                q.kind == tag_bench::QueryKind::Knowledge && q.qtype != QueryType::Aggregation
             })
             .map(|q| q.id)
             .collect();

@@ -5,7 +5,10 @@ use tag_bench::{Harness, MethodId};
 fn main() {
     let h = Harness::standard();
     let queries = h.queries().to_vec();
-    println!("{:>3} {:<12} {:<10} {:<9} t2s rag rrk t2l tag  question", "id", "type", "kind", "domain");
+    println!(
+        "{:>3} {:<12} {:<10} {:<9} t2s rag rrk t2l tag  question",
+        "id", "type", "kind", "domain"
+    );
     for q in &queries {
         let mut marks = Vec::new();
         for m in MethodId::all() {
@@ -22,7 +25,11 @@ fn main() {
             q.qtype.label(),
             q.kind.label(),
             &q.domain[..q.domain.len().min(9)],
-            marks[0], marks[1], marks[2], marks[3], marks[4],
+            marks[0],
+            marks[1],
+            marks[2],
+            marks[3],
+            marks[4],
             &q.question()[..q.question().len().min(80)]
         );
     }

@@ -1,0 +1,156 @@
+//! `semplan-report`: LM-call and virtual-time accounting for the SemPlan
+//! optimizer, per method, with the rewrite rules off vs on.
+//!
+//! Emits `BENCH_semplan.json` and fails (exit 1) if any answer diverges
+//! between the optimizer-off and optimizer-on replays — the CI
+//! `semplan-smoke` gate.
+
+use std::collections::BTreeMap;
+use tag_bench::{Harness, MethodId};
+use tag_core::answer::Answer;
+
+fn render_answer(a: &Answer) -> String {
+    format!("{a:?}")
+}
+
+struct MethodRow {
+    lm_calls_off: u64,
+    lm_calls_on: u64,
+    seconds_off: f64,
+    seconds_on: f64,
+    queries: usize,
+}
+
+fn run_side(harness: &Harness, optimize: bool) -> BTreeMap<&'static str, (Vec<String>, u64, f64)> {
+    for q in harness.queries() {
+        harness.env(q.domain).set_sem_opt(if optimize {
+            tag_sql::SemOptOptions::all()
+        } else {
+            tag_sql::SemOptOptions::none()
+        });
+    }
+    let mut out: BTreeMap<&'static str, (Vec<String>, u64, f64)> = BTreeMap::new();
+    for method in MethodId::all() {
+        let mut answers = Vec::new();
+        let mut lm_calls = 0u64;
+        let mut seconds = 0f64;
+        for q in harness.queries() {
+            let o = harness.run_one(method, q.id);
+            // `run_one` resets metrics first, so the cumulative counters
+            // now cover exactly this query.
+            lm_calls += harness.env(q.domain).lm.calls();
+            seconds += o.seconds;
+            answers.push(render_answer(&o.answer));
+        }
+        out.insert(method.label(), (answers, lm_calls, seconds));
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_semplan.json".to_owned();
+    let mut smoke = false;
+    let mut dump: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--smoke" => smoke = true,
+            "--dump-answers" => {
+                i += 1;
+                dump = Some(args.get(i).expect("--dump-answers needs a path").clone());
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other:?} (flags: --out <path>, --smoke, --dump-answers <path>)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let build = || {
+        if smoke {
+            Harness::small()
+        } else {
+            Harness::standard()
+        }
+    };
+
+    eprintln!("semplan-report: running optimizer-off replay ...");
+    let off = run_side(&build(), false);
+    eprintln!("semplan-report: running optimizer-on replay ...");
+    let on = run_side(&build(), true);
+
+    if let Some(path) = &dump {
+        // One line per (method, query): the optimizer-on answers, for
+        // offline byte-identity comparison against another build.
+        let mut text = String::new();
+        for (method, (answers, _, _)) in &on {
+            for (i, a) in answers.iter().enumerate() {
+                text.push_str(&format!("{method}\t{i}\t{a}\n"));
+            }
+        }
+        std::fs::write(path, text).expect("write answer dump");
+        eprintln!("semplan-report: wrote answer dump to {path}");
+    }
+
+    let mut divergent = 0usize;
+    let mut rows: BTreeMap<&'static str, MethodRow> = BTreeMap::new();
+    for (method, (answers_off, calls_off, secs_off)) in &off {
+        let (answers_on, calls_on, secs_on) = &on[method];
+        for (i, (a, b)) in answers_off.iter().zip(answers_on).enumerate() {
+            if a != b {
+                divergent += 1;
+                eprintln!("DIVERGENCE {method} query #{i}:\n  off: {a}\n  on:  {b}");
+            }
+        }
+        rows.insert(
+            method,
+            MethodRow {
+                lm_calls_off: *calls_off,
+                lm_calls_on: *calls_on,
+                seconds_off: *secs_off,
+                seconds_on: *secs_on,
+                queries: answers_off.len(),
+            },
+        );
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"TAG-Bench 80x5\",\n  \"methods\": {\n");
+    let n = rows.len();
+    for (i, (method, r)) in rows.iter().enumerate() {
+        let reduction = if r.lm_calls_off > 0 {
+            100.0 * (r.lm_calls_off.saturating_sub(r.lm_calls_on)) as f64 / r.lm_calls_off as f64
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "    \"{method}\": {{\n      \"queries\": {},\n      \"lm_calls_off\": {},\n      \"lm_calls_on\": {},\n      \"lm_calls_per_query_off\": {:.3},\n      \"lm_calls_per_query_on\": {:.3},\n      \"lm_call_reduction_pct\": {:.1},\n      \"virtual_seconds_off\": {:.3},\n      \"virtual_seconds_on\": {:.3}\n    }}{}\n",
+            r.queries,
+            r.lm_calls_off,
+            r.lm_calls_on,
+            r.lm_calls_off as f64 / r.queries.max(1) as f64,
+            r.lm_calls_on as f64 / r.queries.max(1) as f64,
+            reduction,
+            r.seconds_off,
+            r.seconds_on,
+            if i + 1 == n { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  }},\n  \"divergent_answers\": {divergent}\n}}\n"
+    ));
+    std::fs::write(&out_path, &json).expect("write BENCH_semplan.json");
+    print!("{json}");
+
+    if divergent > 0 {
+        eprintln!("semplan-report: {divergent} answers diverged between optimizer off/on");
+        std::process::exit(1);
+    }
+}

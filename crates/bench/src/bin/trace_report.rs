@@ -84,7 +84,10 @@ impl Agg {
         if self.pc_lookups == 0 {
             "-".to_owned()
         } else {
-            format!("{:.0}%", self.pc_hits as f64 / self.pc_lookups as f64 * 100.0)
+            format!(
+                "{:.0}%",
+                self.pc_hits as f64 / self.pc_lookups as f64 * 100.0
+            )
         }
     }
 }
@@ -213,10 +216,16 @@ fn main() {
     }
 
     let method_names: Vec<&str> = methods.iter().map(|m| m.label()).collect();
-    print!("{}", render_table("per-method stage breakdown", &method_names, &by_method));
+    print!(
+        "{}",
+        render_table("per-method stage breakdown", &method_names, &by_method)
+    );
     println!();
     let qtype_names = ["MatchBased", "Comparison", "Ranking", "Aggregation"];
-    print!("{}", render_table("per-query-type stage breakdown", &qtype_names, &by_qtype));
+    print!(
+        "{}",
+        render_table("per-query-type stage breakdown", &qtype_names, &by_qtype)
+    );
     if jsonl {
         println!();
         for s in &all_spans {

@@ -263,8 +263,11 @@ mod tests {
         let id = h
             .queries()
             .iter()
-            .find(|q| q.question().contains("located in the Silicon Valley region")
-                && matches!(q.query, tag_lm::nlq::NlQuery::Count { .. }))
+            .find(|q| {
+                q.question()
+                    .contains("located in the Silicon Valley region")
+                    && matches!(q.query, tag_lm::nlq::NlQuery::Count { .. })
+            })
             .unwrap()
             .id;
         let tag = h.run_one(MethodId::HandWritten, id);

@@ -63,8 +63,7 @@ impl Oracle {
             })
             .collect();
 
-        let col =
-            |name: &str| -> usize { schema.index_of(name).expect("benchmark column exists") };
+        let col = |name: &str| -> usize { schema.index_of(name).expect("benchmark column exists") };
 
         Some(match &query.query {
             NlQuery::Count { .. } => vec![rows.len().to_string()],
@@ -88,10 +87,7 @@ impl Oracle {
                     return Some(Vec::new());
                 };
                 // Well-posedness: the extreme rank value must be unique.
-                let ties = rows
-                    .iter()
-                    .filter(|r| r[ri] == best[ri])
-                    .count();
+                let ties = rows.iter().filter(|r| r[ri] == best[ri]).count();
                 assert_eq!(
                     ties, 1,
                     "query {} has an ambiguous superlative ({} ties)",
@@ -239,12 +235,8 @@ impl Oracle {
         labels: &Labels,
     ) -> bool {
         // Resolve the row's identity for label lookup.
-        let id = schema
-            .index_of("Id")
-            .and_then(|i| row[i].as_i64());
-        let title = schema
-            .index_of("movie_title")
-            .map(|i| row[i].to_string());
+        let id = schema.index_of("Id").and_then(|i| row[i].as_i64());
+        let title = schema.index_of("movie_title").map(|i| row[i].to_string());
         match (attr, property) {
             ("Text", SemProperty::Sarcastic) => id
                 .and_then(|i| labels.comment_sarcastic.get(&i).copied())

@@ -114,11 +114,7 @@ fn title_eq(title: &str) -> NlFilter {
 /// Pick `n` post titles (by ascending post id, starting at `from`) whose
 /// posts exist in the generated community domain.
 fn post_titles(community: &DomainData, from: i64, n: usize) -> Vec<String> {
-    let posts = community
-        .db
-        .catalog()
-        .table("posts")
-        .expect("posts table");
+    let posts = community.db.catalog().table("posts").expect("posts table");
     let title_idx = posts.schema().index_of("Title").expect("Title column");
     let id_idx = posts.schema().index_of("Id").expect("Id column");
     let mut rows: Vec<(i64, String)> = posts
@@ -398,7 +394,10 @@ pub fn build_benchmark(domains: &[DomainData]) -> Vec<BenchQuery> {
         Knowledge,
         NlQuery::Count {
             entity: "players".into(),
-            filters: vec![num("height", CmpOp::Over, 175.0), taller("Cristiano Ronaldo")],
+            filters: vec![
+                num("height", CmpOp::Over, 175.0),
+                taller("Cristiano Ronaldo"),
+            ],
         },
     );
     push(
@@ -455,7 +454,10 @@ pub fn build_benchmark(domains: &[DomainData]) -> Vec<BenchQuery> {
         Knowledge,
         NlQuery::Count {
             entity: "customers".into(),
-            filters: vec![NlFilter::EuCountry, num("Consumption", CmpOp::Under, 1000.0)],
+            filters: vec![
+                NlFilter::EuCountry,
+                num("Consumption", CmpOp::Under, 1000.0),
+            ],
         },
     );
     push(
@@ -696,8 +698,13 @@ pub fn build_benchmark(domains: &[DomainData]) -> Vec<BenchQuery> {
     );
 
     // ---- Ranking: 10 reasoning ----------------------------------------
-    for (k, select) in [(5usize, "Title"), (4, "Title"), (3, "Title"), (5, "Id"), (4, "Id")]
-    {
+    for (k, select) in [
+        (5usize, "Title"),
+        (4, "Title"),
+        (3, "Title"),
+        (5, "Id"),
+        (4, "Id"),
+    ] {
         push(
             "codebase_community",
             Ranking,
@@ -833,8 +840,7 @@ mod tests {
             match q.kind {
                 QueryKind::Knowledge => {
                     assert!(
-                        q.query.needs_knowledge()
-                            || matches!(q.query, NlQuery::ProvideInfo { .. }),
+                        q.query.needs_knowledge() || matches!(q.query, NlQuery::ProvideInfo { .. }),
                         "query {} marked knowledge but has no knowledge clause",
                         q.id
                     );

@@ -120,9 +120,7 @@ pub fn table1(outcomes: &[Outcome], queries: &[BenchQuery]) -> String {
 pub fn table2(outcomes: &[Outcome], queries: &[BenchQuery]) -> String {
     let kinds = [QueryKind::Knowledge, QueryKind::Reasoning];
     let mut out = String::new();
-    out.push_str(
-        "Table 2: results averaged over queries requiring Knowledge or Reasoning\n\n",
-    );
+    out.push_str("Table 2: results averaged over queries requiring Knowledge or Reasoning\n\n");
     out.push_str(&format!("{:<21} ", "Method"));
     for k in kinds {
         out.push_str(&format!("| {:>10} {:>7} ", k.label(), "ET(s)"));

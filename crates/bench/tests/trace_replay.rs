@@ -76,5 +76,8 @@ fn traced_benchmark_replay_is_byte_identical_and_well_formed() {
             total_spans += spans.len();
         }
     }
-    assert!(total_spans > 400, "spans were actually captured: {total_spans}");
+    assert!(
+        total_spans > 400,
+        "spans were actually captured: {total_spans}"
+    );
 }

@@ -116,8 +116,16 @@ mod tests {
 
     #[test]
     fn errors_and_text_never_match() {
-        assert!(!exact_match(&Answer::Error("x".into()), &["8".into()], false));
-        assert!(!exact_match(&Answer::Text("8".into()), &["8".into()], false));
+        assert!(!exact_match(
+            &Answer::Error("x".into()),
+            &["8".into()],
+            false
+        ));
+        assert!(!exact_match(
+            &Answer::Text("8".into()),
+            &["8".into()],
+            false
+        ));
     }
 
     #[test]

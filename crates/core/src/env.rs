@@ -1,10 +1,11 @@
 //! The shared execution environment for all TAG methods.
 
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use tag_embed::{Embedder, RowStore};
 use tag_lm::model::LanguageModel;
+use tag_lm::nlq::NlQuery;
 use tag_semops::SemEngine;
-use tag_sql::Database;
+use tag_sql::{Database, SemOptOptions};
 
 /// Everything a method needs to answer a question over one domain
 /// database: the SQL engine, the language model (behind the batched
@@ -24,12 +25,25 @@ pub struct TagEnv {
     embedder: Embedder,
     store: OnceLock<RowStore>,
     schema: OnceLock<String>,
+    sem_opt: Arc<RwLock<SemOptOptions>>,
 }
 
 impl TagEnv {
     /// Build an environment over a loaded database.
     pub fn new(db: Database, lm: Arc<dyn LanguageModel>) -> Self {
         let engine = SemEngine::new(Arc::clone(&lm));
+        let sem_opt = Arc::new(RwLock::new(SemOptOptions::default()));
+        // `EXPLAIN SEMPLAN <question>` renders the plan a canonical
+        // question would execute, under the rules active right now.
+        let explainer_opts = Arc::clone(&sem_opt);
+        db.set_semplan_explainer(Arc::new(move |question: &str| {
+            let q = NlQuery::parse(question).ok_or_else(|| {
+                format!("no semantic plan for: {question} (not a canonical TAG-Bench question)")
+            })?;
+            let opts = *explainer_opts.read().expect("sem_opt lock");
+            let plan = tag_sql::optimize_sem(crate::semplan::compile_nlq(&q), &opts);
+            Ok(plan.explain())
+        }));
         TagEnv {
             db,
             lm,
@@ -37,7 +51,20 @@ impl TagEnv {
             embedder: Embedder::default(),
             store: OnceLock::new(),
             schema: OnceLock::new(),
+            sem_opt,
         }
+    }
+
+    /// The SemPlan rewrite rules currently applied before execution.
+    pub fn sem_opt(&self) -> SemOptOptions {
+        *self.sem_opt.read().expect("sem_opt lock")
+    }
+
+    /// Switch the SemPlan rewrite rules (ablations, the semplan-smoke
+    /// replay). Takes effect for subsequent plans; cached plans keyed
+    /// under other rule sets are not reused.
+    pub fn set_sem_opt(&self, opts: SemOptOptions) {
+        *self.sem_opt.write().expect("sem_opt lock") = opts;
     }
 
     /// Override the semantic engine (e.g. for batch-size ablations).
@@ -138,7 +165,10 @@ impl TagEnv {
             return self.db.query(sql);
         }
         let _span = tag_trace::span(tag_trace::Stage::Exec, "sql");
-        tag_trace::annotate(format!("sql: {}", sql.split_whitespace().collect::<Vec<_>>().join(" ")));
+        tag_trace::annotate(format!(
+            "sql: {}",
+            sql.split_whitespace().collect::<Vec<_>>().join(" ")
+        ));
         match self.db.query_profiled(sql) {
             Ok((rs, plan_text)) => {
                 for line in plan_text.lines() {
@@ -255,10 +285,7 @@ mod tests {
         // The untraced run above planned this statement already, so the
         // traced run reports a plan-cache hit.
         assert!(
-            spans[0]
-                .annotations
-                .iter()
-                .any(|a| a == "plan_cache: hit"),
+            spans[0].annotations.iter().any(|a| a == "plan_cache: hit"),
             "{:?}",
             spans[0].annotations
         );
@@ -273,10 +300,7 @@ mod tests {
         });
         let spans = sink.take();
         assert!(
-            spans[0]
-                .annotations
-                .iter()
-                .any(|a| a == "plan_cache: miss"),
+            spans[0].annotations.iter().any(|a| a == "plan_cache: miss"),
             "{:?}",
             spans[0].annotations
         );

@@ -28,9 +28,11 @@ pub mod env;
 pub mod methods;
 pub mod model;
 pub mod multihop;
+pub mod semplan;
 
 pub use answer::{exact_match, normalize_value, Answer};
 pub use env::TagEnv;
 pub use methods::{HandWrittenTag, Rag, RetrievalLmRank, Text2Sql, Text2SqlLm};
 pub use model::{AnswerGeneration, QuerySynthesis, TagMethod, TagPipeline};
 pub use multihop::{run_two_hop, TwoHopQuery};
+pub use semplan::{compile_nlq, compile_rag, compile_rerank, run_semplan, SemRuntime};

@@ -4,17 +4,21 @@
 //! These pipelines "leverage expert knowledge of the table schema rather
 //! than automatic query synthesis": exact computation (filters, sorts,
 //! cuts) runs on the data system, semantic steps run as batched LM
-//! operators (`sem_filter` over *unique* values, `sem_topk`, generation
-//! over the computed table). The division of labour is the TAG thesis.
+//! operators. The method is now a *compiler*: the structured question
+//! lowers to a [`SemNode`](tag_sql::SemNode) plan
+//! ([`compile_nlq`](crate::semplan::compile_nlq)), the shared planner
+//! applies the LM-call-minimizing rewrite rules (predicate pushdown, the
+//! Appendix C distinct-value rewrite, early-stop pre-cut fusion), and the
+//! plan executes through the common [`SemRuntime`](crate::semplan::SemRuntime).
+//! The division of labour is the TAG thesis; the plan IR makes it
+//! inspectable (`EXPLAIN SEMPLAN`) and optimizable.
 
 use crate::answer::Answer;
 use crate::env::TagEnv;
 use crate::model::TagMethod;
-use tag_lm::model::LmRequest;
-use tag_lm::nlq::{CmpOp, NlFilter, NlQuery};
-use tag_lm::prompts::{answer_free_prompt, SemClaim};
-use tag_semops::{sem_filter, sem_topk, DataFrame, SemResult};
-use tag_sql::Value;
+use crate::semplan::{compile_nlq, run_semplan};
+use tag_lm::nlq::NlQuery;
+use tag_semops::DataFrame;
 
 /// The hand-written TAG method. `answer` parses the canonical question;
 /// [`HandWrittenTag::answer_structured`] takes the structured form
@@ -33,89 +37,26 @@ impl HandWrittenTag {
     }
 
     fn run(&self, query: &NlQuery, env: &TagEnv) -> Result<Answer, String> {
-        // exec starts from the entity's base table.
-        let base = env
-            .run_sql(&format!("SELECT * FROM {}", query.entity()))
-            .map_err(|e| format!("base scan failed: {e}"))?;
-        let mut df = DataFrame::from_result(base);
-
-        // Apply every filter: relational ones on the data system,
-        // knowledge/reasoning ones as semantic operators over the
-        // *unique* values of the relevant column (Appendix C pattern).
-        for f in query.filters() {
-            df = apply_filter(env, &df, f).map_err(|e| e.to_string())?;
-        }
-
+        let key = format!("nlq:{}", query.render());
+        let frame = run_semplan(env, Some(&key), || compile_nlq(query))?;
+        let df = DataFrame::new(frame.columns, frame.rows).map_err(|e| e.to_string())?;
         match query {
-            NlQuery::Superlative {
-                select_attr,
-                rank_attr,
-                highest,
-                ..
-            } => {
-                let sorted = df
-                    .sort_by(rank_attr, *highest)
-                    .map_err(|e| e.to_string())?
-                    .head(1);
-                let values = column_strings(&sorted, select_attr)?;
-                Ok(Answer::List(values))
-            }
-            NlQuery::Count { .. } => Ok(Answer::List(vec![df.len().to_string()])),
-            NlQuery::List { select_attr, .. } => {
+            NlQuery::Superlative { select_attr, .. }
+            | NlQuery::List { select_attr, .. }
+            | NlQuery::TopK { select_attr, .. }
+            | NlQuery::SemanticRank { select_attr, .. } => {
                 Ok(Answer::List(column_strings(&df, select_attr)?))
             }
-            NlQuery::TopK {
-                select_attr,
-                rank_attr,
-                k,
-                highest,
-                ..
-            } => {
-                let cut = df
-                    .sort_by(rank_attr, *highest)
-                    .map_err(|e| e.to_string())?
-                    .head(*k);
-                Ok(Answer::List(column_strings(&cut, select_attr)?))
-            }
-            NlQuery::SemanticRank {
-                select_attr,
-                rank_attr,
-                k,
-                property,
-                on_attr,
-                ..
-            } => {
-                // Exact pre-cut on the data system, semantic ordering by
-                // the LM (sem_topk in Appendix C).
-                let cut = df
-                    .sort_by(rank_attr, true)
-                    .map_err(|e| e.to_string())?
-                    .head(*k);
-                let ranked = sem_topk(&env.engine, &cut, on_attr, *property, *k)
-                    .map_err(|e| e.to_string())?;
-                Ok(Answer::List(column_strings(&ranked, select_attr)?))
-            }
+            NlQuery::Count { .. } => Ok(Answer::List(vec![df.len().to_string()])),
             NlQuery::Summarize { .. } | NlQuery::ProvideInfo { .. } => {
-                // gen(R, T): the computed table goes to the LM in one call
-                // when it fits the context; otherwise it folds
-                // hierarchically through sem_agg. The threshold is in
-                // tokens, not rows — wide rows fill a window quickly.
-                let request = query.render();
-                let points = df.to_data_points();
-                let prompt = answer_free_prompt(&request, &points);
-                let budget = env.lm.context_window().saturating_sub(512);
-                if tag_lm::tokenizer::count_tokens(&prompt) <= budget {
-                    let _span = tag_trace::span(tag_trace::Stage::Gen, "answer");
-                    let resp = env
-                        .generate(&LmRequest::new(prompt))
-                        .map_err(|e| e.to_string())?;
-                    Ok(Answer::Text(resp.text))
-                } else {
-                    let summary =
-                        tag_semops::sem_agg(&env.engine, &df, &request, None)
-                            .map_err(|e| e.to_string())?;
-                    Ok(Answer::Text(summary))
-                }
+                // The plan's Generate node produced a one-cell frame.
+                let text = df
+                    .rows()
+                    .first()
+                    .and_then(|r| r.first())
+                    .map(|v| v.to_string())
+                    .unwrap_or_default();
+                Ok(Answer::Text(text))
             }
         }
     }
@@ -128,122 +69,6 @@ fn column_strings(df: &DataFrame, column: &str) -> Result<Vec<String>, String> {
         .iter()
         .map(|v| v.to_string())
         .collect())
-}
-
-/// Find the first existing column among candidates.
-fn existing_column(df: &DataFrame, candidates: &[&str]) -> Result<String, String> {
-    for c in candidates {
-        if df.column_index(c).is_ok() {
-            return Ok((*c).to_owned());
-        }
-    }
-    Err(format!(
-        "pipeline expects one of the columns {candidates:?}, frame has {:?}",
-        df.columns()
-    ))
-}
-
-/// Apply one question filter to the frame, choosing exact computation or
-/// a semantic operator as appropriate.
-fn apply_filter(env: &TagEnv, df: &DataFrame, f: &NlFilter) -> SemResult<DataFrame> {
-    match f {
-        NlFilter::NumCmp { attr, op, value } => {
-            let res = df.filter_col(attr, |v| match v.as_f64() {
-                Some(x) => match op {
-                    CmpOp::Over => x > *value,
-                    CmpOp::Under => x < *value,
-                },
-                None => false,
-            })?;
-            Ok(res)
-        }
-        NlFilter::TextEq { attr, value } => {
-            let as_num: Option<f64> = value.trim().parse().ok();
-            Ok(df.filter_col(attr, |v| match (v.as_str(), v.as_f64(), as_num) {
-                (Some(s), _, _) => s.eq_ignore_ascii_case(value),
-                (None, Some(x), Some(y)) => x == y,
-                _ => false,
-            })?)
-        }
-        NlFilter::AtCircuit { circuit } => {
-            let col = existing_column(df, &["Circuit", "circuit", "CircuitName"])
-                .map_err(frame_err)?;
-            Ok(df.filter_col(&col, |v| {
-                v.as_str()
-                    .map(|s| s.eq_ignore_ascii_case(circuit))
-                    .unwrap_or(false)
-            })?)
-        }
-        NlFilter::InRegion { region } => semantic_membership(
-            env,
-            df,
-            &["City", "city"],
-            &SemClaim::CityInRegion {
-                region: region.clone(),
-            },
-        ),
-        NlFilter::TallerThan { person } => semantic_membership(
-            env,
-            df,
-            &["height", "Height"],
-            &SemClaim::HeightTallerThan {
-                person: person.clone(),
-            },
-        ),
-        NlFilter::EuCountry => {
-            semantic_membership(env, df, &["Country", "country"], &SemClaim::EuCountry)
-        }
-        NlFilter::CircuitContinent { continent } => semantic_membership(
-            env,
-            df,
-            &["Circuit", "circuit"],
-            &SemClaim::CircuitInContinent {
-                continent: continent.clone(),
-            },
-        ),
-        NlFilter::ClassicMovie => semantic_membership(
-            env,
-            df,
-            &["movie_title", "title", "Title"],
-            &SemClaim::ClassicMovie,
-        ),
-        NlFilter::VerticalIs { vertical } => semantic_membership(
-            env,
-            df,
-            &["account_name", "Company", "company"],
-            &SemClaim::CompanyInVertical {
-                vertical: vertical.clone(),
-            },
-        ),
-        NlFilter::Semantic { attr, property } => {
-            // Direct row-wise semantic filter (reviews, comments, ...).
-            sem_filter(&env.engine, df, attr, &SemClaim::Property(*property))
-        }
-    }
-}
-
-fn frame_err(msg: String) -> tag_semops::SemError {
-    tag_semops::SemError::Frame(tag_sql::SqlError::Binding(msg))
-}
-
-/// The Appendix C pattern: sem_filter over the *unique* values of a
-/// column, then an exact `isin` back on the full frame. This keeps the
-/// LM batch small (distinct values, not rows).
-fn semantic_membership(
-    env: &TagEnv,
-    df: &DataFrame,
-    column_candidates: &[&str],
-    claim: &SemClaim,
-) -> SemResult<DataFrame> {
-    let col = existing_column(df, column_candidates).map_err(frame_err)?;
-    let unique_values = df.unique(&col)?;
-    let unique_df = DataFrame::new(
-        vec![col.clone()],
-        unique_values.iter().map(|v| vec![v.clone()]).collect(),
-    )?;
-    let kept = sem_filter(&env.engine, &unique_df, &col, claim)?;
-    let kept_values: Vec<Value> = kept.column(&col)?;
-    Ok(df.is_in(&col, &kept_values)?)
 }
 
 impl TagMethod for HandWrittenTag {
@@ -368,5 +193,28 @@ mod tests {
         let env = env();
         let ans = HandWrittenTag.answer("How many dragons are there?", &env);
         assert!(ans.is_error());
+    }
+
+    #[test]
+    fn optimizer_off_matches_optimizer_on() {
+        let questions = [
+            "What is the GSoffered of the schools with the highest Longitude \
+             among those located in the Silicon Valley region?",
+            "How many schools with Longitude under -120 and located in the \
+             Silicon Valley region are there?",
+            "Of the 5 posts with the highest ViewCount, list their Title in order \
+             of most technical Title to least technical Title.",
+        ];
+        for q in questions {
+            let on = env();
+            on.set_sem_opt(tag_sql::SemOptOptions::all());
+            let off = env();
+            off.set_sem_opt(tag_sql::SemOptOptions::none());
+            assert_eq!(
+                HandWrittenTag.answer(q, &on),
+                HandWrittenTag.answer(q, &off),
+                "{q}"
+            );
+        }
     }
 }

@@ -27,18 +27,15 @@ pub(crate) fn result_to_answer(rs: &ResultSet) -> Answer {
     Answer::List(values)
 }
 
-/// Render result rows as LM data points.
-pub(crate) fn result_to_points(rs: &ResultSet) -> Vec<Vec<(String, String)>> {
-    rs.rows
-        .iter()
-        .map(|r| {
-            rs.columns
-                .iter()
-                .cloned()
-                .zip(r.iter().map(|v| v.to_string()))
-                .collect()
-        })
-        .collect()
+/// Interpret the one-cell frame a SemPlan `Generate` node produces.
+pub(crate) fn gen_frame_to_answer(frame: &tag_sql::SemFrame, list_format: bool) -> Answer {
+    let text = frame
+        .rows
+        .first()
+        .and_then(|r| r.first())
+        .map(|v| v.to_string())
+        .unwrap_or_default();
+    response_to_answer(&text, list_format)
 }
 
 /// Interpret an LM answer-generation response: list answers parse into

@@ -2,10 +2,9 @@
 
 use crate::answer::Answer;
 use crate::env::TagEnv;
-use crate::methods::response_to_answer;
+use crate::methods::gen_frame_to_answer;
 use crate::model::TagMethod;
-use tag_lm::model::LmRequest;
-use tag_lm::prompts::{answer_free_prompt, answer_list_prompt};
+use crate::semplan::{compile_rag, run_semplan};
 
 /// Row-level RAG: embed the question, retrieve `k` rows from the FAISS
 /// stand-in, feed them in context to a single LM generation.
@@ -43,26 +42,14 @@ impl TagMethod for Rag {
     }
 
     fn answer(&self, request: &str, env: &TagEnv) -> Answer {
-        let points: Vec<Vec<(String, String)>> = {
-            let _span = tag_trace::span(tag_trace::Stage::Retrieve, "row embeddings");
-            let points: Vec<Vec<(String, String)>> = env
-                .row_store()
-                .retrieve(request, self.k)
-                .into_iter()
-                .map(|(row, _)| row.clone())
-                .collect();
-            tag_trace::annotate(format!("retrieved {} rows (k={})", points.len(), self.k));
-            points
-        };
-        let _span = tag_trace::span(tag_trace::Stage::Gen, "answer");
-        let prompt = if self.list_format {
-            answer_list_prompt(request, &points)
-        } else {
-            answer_free_prompt(request, &points)
-        };
-        match env.generate(&LmRequest::new(prompt)) {
-            Ok(r) => response_to_answer(&r.text, self.list_format),
-            Err(e) => Answer::Error(e.to_string()),
+        // retrieve -> generate as a semantic plan through the shared
+        // planner (cacheable, explainable, profiled under tracing).
+        let key = format!("rag:k={}:list={}:{request}", self.k, self.list_format);
+        match run_semplan(env, Some(&key), || {
+            compile_rag(request, self.k, self.list_format)
+        }) {
+            Ok(frame) => gen_frame_to_answer(&frame, self.list_format),
+            Err(e) => Answer::Error(e),
         }
     }
 }

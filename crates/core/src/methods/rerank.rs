@@ -3,10 +3,9 @@
 
 use crate::answer::Answer;
 use crate::env::TagEnv;
-use crate::methods::response_to_answer;
+use crate::methods::gen_frame_to_answer;
 use crate::model::TagMethod;
-use tag_lm::model::LmRequest;
-use tag_lm::prompts::{answer_free_prompt, answer_list_prompt, relevance_prompt};
+use crate::semplan::{compile_rerank, run_semplan};
 
 /// Retrieval with LM reranking.
 #[derive(Debug, Clone, Copy)]
@@ -45,62 +44,18 @@ impl TagMethod for RetrievalLmRank {
     }
 
     fn answer(&self, request: &str, env: &TagEnv) -> Answer {
-        let candidates: Vec<Vec<(String, String)>> = {
-            let _span = tag_trace::span(tag_trace::Stage::Retrieve, "candidate pool");
-            let candidates: Vec<Vec<(String, String)>> = env
-                .row_store()
-                .retrieve(request, self.pool)
-                .into_iter()
-                .map(|(row, _)| row.clone())
-                .collect();
-            tag_trace::annotate(format!(
-                "retrieved {} candidates (pool={})",
-                candidates.len(),
-                self.pool
-            ));
-            candidates
-        };
-
-        // Score every candidate 0–1 with the LM, in one batch.
-        let points: Vec<Vec<(String, String)>> = {
-            let _span = tag_trace::span(tag_trace::Stage::Rerank, "relevance scores");
-            let prompts: Vec<String> = candidates
-                .iter()
-                .map(|row| {
-                    let text = row
-                        .iter()
-                        .map(|(c, v)| format!("- {c}: {v}"))
-                        .collect::<Vec<_>>()
-                        .join("\n");
-                    relevance_prompt(request, &text)
-                })
-                .collect();
-            let scores = match env.engine.complete_batch_op("rerank", &prompts) {
-                Ok(s) => s,
-                Err(e) => return Answer::Error(e.to_string()),
-            };
-            let mut scored: Vec<(f64, usize)> = scores
-                .iter()
-                .enumerate()
-                .map(|(i, s)| (s.trim().parse::<f64>().unwrap_or(0.0), i))
-                .collect();
-            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-            scored
-                .iter()
-                .take(self.k)
-                .map(|(_, i)| candidates[*i].clone())
-                .collect()
-        };
-
-        let _span = tag_trace::span(tag_trace::Stage::Gen, "answer");
-        let prompt = if self.list_format {
-            answer_list_prompt(request, &points)
-        } else {
-            answer_free_prompt(request, &points)
-        };
-        match env.generate(&LmRequest::new(prompt)) {
-            Ok(r) => response_to_answer(&r.text, self.list_format),
-            Err(e) => Answer::Error(e.to_string()),
+        // retrieve -> rerank -> generate as a semantic plan through the
+        // shared planner. The rerank stage scores every candidate 0–1
+        // with the LM in one batch, exactly as before.
+        let key = format!(
+            "rerank:pool={}:k={}:list={}:{request}",
+            self.pool, self.k, self.list_format
+        );
+        match run_semplan(env, Some(&key), || {
+            compile_rerank(request, self.pool, self.k, self.list_format)
+        }) {
+            Ok(frame) => gen_frame_to_answer(&frame, self.list_format),
+            Err(e) => Answer::Error(e),
         }
     }
 }
@@ -125,10 +80,8 @@ mod tests {
             .unwrap();
         }
         let env = TagEnv::new(db, Arc::new(SimLm::new(SimConfig::default())));
-        let ans = RetrievalLmRank::default().answer(
-            "How many posts with ViewCount over 990 are there?",
-            &env,
-        );
+        let ans = RetrievalLmRank::default()
+            .answer("How many posts with ViewCount over 990 are there?", &env);
         // The reranker feeds only 10 rows; the true count is 10 (views
         // 991..1000). Whether it matches depends on retrieval quality —
         // the method must at least produce a list.

@@ -80,7 +80,10 @@ mod tests {
     #[test]
     fn relational_question_answers_correctly() {
         let env = env();
-        let ans = Text2Sql.answer("How many schools with Longitude under -120 are there?", &env);
+        let ans = Text2Sql.answer(
+            "How many schools with Longitude under -120 are there?",
+            &env,
+        );
         assert_eq!(ans, Answer::List(vec!["2".into()]));
     }
 
@@ -103,10 +106,7 @@ mod tests {
         let env = env();
         // A semantic filter that either gets dropped (wrong count) or
         // produces invalid SQL (error) — never a correct pipeline.
-        let ans = Text2Sql.answer(
-            "How many schools whose School is positive are there?",
-            &env,
-        );
+        let ans = Text2Sql.answer("How many schools whose School is positive are there?", &env);
         match ans {
             Answer::List(v) => assert_eq!(v, vec!["3".to_string()], "clause dropped"),
             Answer::Error(e) => assert!(e.contains("failed"), "{e}"),

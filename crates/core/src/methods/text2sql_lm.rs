@@ -6,10 +6,10 @@
 
 use crate::answer::Answer;
 use crate::env::TagEnv;
-use crate::methods::{response_to_answer, result_to_points};
+use crate::methods::gen_frame_to_answer;
 use crate::model::TagMethod;
-use tag_lm::model::LmRequest;
-use tag_lm::prompts::{answer_free_prompt, answer_list_prompt, text2sql_prompt};
+use crate::semplan::{compile_generate_over, run_semplan};
+use tag_lm::prompts::text2sql_prompt;
 
 /// Text2SQL for retrieval, LM for generation.
 #[derive(Debug, Clone, Copy)]
@@ -53,30 +53,29 @@ impl TagMethod for Text2SqlLm {
             Err(e) => {
                 // Retrieval failed: generation proceeds with no data and
                 // must rely on parametric knowledge (Figure 2, middle).
-                let _span = tag_trace::span(tag_trace::Stage::Gen, "answer (no data)");
-                let prompt = if self.list_format {
-                    answer_list_prompt(request, &[])
-                } else {
-                    answer_free_prompt(request, &[])
-                };
-                return match env.generate(&LmRequest::new(prompt)) {
-                    Ok(r) => response_to_answer(&r.text, self.list_format),
+                // Plans embedding materialized rows skip the plan cache.
+                return match run_semplan(env, None, || {
+                    compile_generate_over(
+                        Vec::new(),
+                        Vec::new(),
+                        request,
+                        self.list_format,
+                        "answer (no data)",
+                    )
+                }) {
+                    Ok(frame) => gen_frame_to_answer(&frame, self.list_format),
                     Err(lm_e) => Answer::Error(format!("{e}; then LM: {lm_e}")),
                 };
             }
         };
 
-        // Step 2: feed every retrieved row in context.
-        let _span = tag_trace::span(tag_trace::Stage::Gen, "answer");
-        let points = result_to_points(&rows);
-        let prompt = if self.list_format {
-            answer_list_prompt(request, &points)
-        } else {
-            answer_free_prompt(request, &points)
-        };
-        match env.generate(&LmRequest::new(prompt)) {
-            Ok(r) => response_to_answer(&r.text, self.list_format),
-            Err(e) => Answer::Error(e.to_string()), // context overflow lands here
+        // Step 2: feed every retrieved row in context, through a
+        // generation plan over the materialized result.
+        match run_semplan(env, None, || {
+            compile_generate_over(rows.columns, rows.rows, request, self.list_format, "answer")
+        }) {
+            Ok(frame) => gen_frame_to_answer(&frame, self.list_format),
+            Err(e) => Answer::Error(e), // context overflow lands here
         }
     }
 }
@@ -145,8 +144,7 @@ mod tests {
             ..SimConfig::default()
         }));
         let env = TagEnv::new(db, lm);
-        let ans = Text2SqlLm::default()
-            .answer("How many posts with Id over 50 are there?", &env);
+        let ans = Text2SqlLm::default().answer("How many posts with Id over 50 are there?", &env);
         match ans {
             Answer::Error(e) => assert!(e.contains("context"), "{e}"),
             other => panic!("expected context error, got {other:?}"),

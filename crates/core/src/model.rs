@@ -90,10 +90,8 @@ mod tests {
 
     fn env() -> TagEnv {
         let mut db = Database::new();
-        db.execute_script(
-            "CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1), (2), (3);",
-        )
-        .unwrap();
+        db.execute_script("CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1), (2), (3);")
+            .unwrap();
         TagEnv::new(db, Arc::new(SimLm::new(SimConfig::default())))
     }
 

@@ -2,8 +2,8 @@
 //! `comments` (denormalized with `PostTitle`, as BIRD tables are wide),
 //! and `users` — with *planted* technicality / sentiment / sarcasm labels.
 
-use crate::{DomainData, Labels};
 use crate::corpus;
+use crate::{DomainData, Labels};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tag_sql::Database;

@@ -15,8 +15,18 @@ use tag_lm::lexicon::{NEGATIVE_WORDS, POSITIVE_WORDS, SARCASM_MARKERS, TECHNICAL
 
 /// Neutral topic nouns for filler text.
 pub const TOPICS: &[&str] = &[
-    "dataset", "notebook", "survey", "figure", "appendix", "chapter", "course",
-    "lecture", "homework", "project", "experiment", "report",
+    "dataset",
+    "notebook",
+    "survey",
+    "figure",
+    "appendix",
+    "chapter",
+    "course",
+    "lecture",
+    "homework",
+    "project",
+    "experiment",
+    "report",
 ];
 
 /// Casual, jargon-free title fragments.
@@ -243,9 +253,6 @@ mod tests {
     fn deterministic_given_seed() {
         let mut a = rng();
         let mut b = rng();
-        assert_eq!(
-            positive_comment(&mut a, "x"),
-            positive_comment(&mut b, "x")
-        );
+        assert_eq!(positive_comment(&mut a, "x"), positive_comment(&mut b, "x"));
     }
 }

@@ -7,8 +7,20 @@ use rand::{Rng, SeedableRng};
 use tag_sql::Database;
 
 const COUNTRIES: &[&str] = &[
-    "Italy", "Belgium", "Germany", "France", "Spain", "Netherlands", "Poland",
-    "Austria", "Czech Republic", "Slovakia", "UK", "Switzerland", "Norway", "USA",
+    "Italy",
+    "Belgium",
+    "Germany",
+    "France",
+    "Spain",
+    "Netherlands",
+    "Poland",
+    "Austria",
+    "Czech Republic",
+    "Slovakia",
+    "UK",
+    "Switzerland",
+    "Norway",
+    "USA",
 ];
 const SEGMENTS: &[&str] = &["SME", "LAM", "KAM"];
 const CURRENCIES: &[&str] = &["EUR", "CZK", "GBP", "CHF", "NOK", "USD"];
@@ -89,16 +101,23 @@ pub fn generate(seed: u64, n: usize) -> DomainData {
         )",
     )
     .expect("create products");
-    for (i, p) in ["Diesel", "Petrol 95", "Petrol 98", "LPG", "AdBlue", "Car wash",
-                   "Motor oil", "Snacks", "Coffee", "Windshield fluid"]
-        .iter()
-        .enumerate()
+    for (i, p) in [
+        "Diesel",
+        "Petrol 95",
+        "Petrol 98",
+        "LPG",
+        "AdBlue",
+        "Car wash",
+        "Motor oil",
+        "Snacks",
+        "Coffee",
+        "Windshield fluid",
+    ]
+    .iter()
+    .enumerate()
     {
-        db.execute(&format!(
-            "INSERT INTO products VALUES ({}, '{p}')",
-            i + 1
-        ))
-        .expect("insert product");
+        db.execute(&format!("INSERT INTO products VALUES ({}, '{p}')", i + 1))
+            .expect("insert product");
     }
     DomainData::new("debit_card_specializing", db)
 }
@@ -118,9 +137,7 @@ mod tests {
             .as_i64()
             .unwrap();
         let non = db
-            .query_scalar(
-                "SELECT COUNT(*) FROM customers WHERE Country IN ('UK','USA','Norway')",
-            )
+            .query_scalar("SELECT COUNT(*) FROM customers WHERE Country IN ('UK','USA','Norway')")
             .unwrap()
             .as_i64()
             .unwrap();
@@ -145,8 +162,18 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(
-            generate(5, 50).db.catalog().table("customers").unwrap().rows(),
-            generate(5, 50).db.catalog().table("customers").unwrap().rows()
+            generate(5, 50)
+                .db
+                .catalog()
+                .table("customers")
+                .unwrap()
+                .rows(),
+            generate(5, 50)
+                .db
+                .catalog()
+                .table("customers")
+                .unwrap()
+                .rows()
         );
     }
 }

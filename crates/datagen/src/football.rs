@@ -8,16 +8,28 @@ use rand::{Rng, SeedableRng};
 use tag_sql::Database;
 
 const FIRST: &[&str] = &[
-    "Luka", "Marco", "Jan", "Pavel", "Sergio", "Thomas", "Niklas", "Andrei", "Milan",
-    "Victor", "Jonas", "Emil", "Mateo", "Ivan", "Felix", "Oscar", "Hugo", "Dario",
+    "Luka", "Marco", "Jan", "Pavel", "Sergio", "Thomas", "Niklas", "Andrei", "Milan", "Victor",
+    "Jonas", "Emil", "Mateo", "Ivan", "Felix", "Oscar", "Hugo", "Dario",
 ];
 const LAST: &[&str] = &[
-    "Novak", "Rossi", "Keller", "Svoboda", "Garcia", "Meyer", "Larsen", "Petrov",
-    "Horvat", "Lindgren", "Bakker", "Weber", "Moretti", "Kovac", "Jansen", "Berg",
+    "Novak", "Rossi", "Keller", "Svoboda", "Garcia", "Meyer", "Larsen", "Petrov", "Horvat",
+    "Lindgren", "Bakker", "Weber", "Moretti", "Kovac", "Jansen", "Berg",
 ];
 const COUNTRIES: &[&str] = &[
-    "Italy", "Belgium", "Germany", "France", "Spain", "Netherlands", "Poland",
-    "Austria", "Czech Republic", "Slovakia", "UK", "Switzerland", "Norway", "Brazil",
+    "Italy",
+    "Belgium",
+    "Germany",
+    "France",
+    "Spain",
+    "Netherlands",
+    "Poland",
+    "Austria",
+    "Czech Republic",
+    "Slovakia",
+    "UK",
+    "Switzerland",
+    "Norway",
+    "Brazil",
 ];
 
 /// Generate the domain with `n` players.
@@ -167,8 +179,18 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(
-            generate(9, 40).db.catalog().table("players").unwrap().rows(),
-            generate(9, 40).db.catalog().table("players").unwrap().rows()
+            generate(9, 40)
+                .db
+                .catalog()
+                .table("players")
+                .unwrap()
+                .rows(),
+            generate(9, 40)
+                .db
+                .catalog()
+                .table("players")
+                .unwrap()
+                .rows()
         );
     }
 }

@@ -10,12 +10,12 @@ use tag_lm::knowledge::{KnowledgeBase, KnowledgeConfig};
 use tag_sql::Database;
 
 const DRIVER_FIRST: &[&str] = &[
-    "Ayao", "Nico", "Miguel", "Jenson", "Rubens", "Felipe", "Kimi", "Fernando",
-    "Mark", "Romain", "Sergio", "Valtteri",
+    "Ayao", "Nico", "Miguel", "Jenson", "Rubens", "Felipe", "Kimi", "Fernando", "Mark", "Romain",
+    "Sergio", "Valtteri",
 ];
 const DRIVER_LAST: &[&str] = &[
-    "Komatsu", "Keller", "Santos", "Field", "Moreira", "Costa", "Virtanen", "Alvarez",
-    "Bennett", "Durand", "Reyes", "Niemi",
+    "Komatsu", "Keller", "Santos", "Field", "Moreira", "Costa", "Virtanen", "Alvarez", "Bennett",
+    "Durand", "Reyes", "Niemi",
 ];
 
 /// Hosting year ranges per circuit (inclusive). Sepang's range is the
@@ -84,8 +84,7 @@ pub fn generate(seed: u64, drivers: usize) -> DomainData {
             DRIVER_FIRST[id % DRIVER_FIRST.len()],
             DRIVER_LAST[(id / DRIVER_FIRST.len() + id) % DRIVER_LAST.len()]
         );
-        let nat = ["Italy", "UK", "Brazil", "Germany", "France", "Japan"]
-            [rng.gen_range(0..6)];
+        let nat = ["Italy", "UK", "Brazil", "Germany", "France", "Japan"][rng.gen_range(0..6)];
         db.execute(&format!(
             "INSERT INTO drivers VALUES ({}, '{name}', '{nat}')",
             id + 1

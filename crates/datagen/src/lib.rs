@@ -109,13 +109,16 @@ mod tests {
 
     #[test]
     fn generate_all_covers_the_five_domains_plus_movies() {
-        let domains = generate_all(7, Scale {
-            schools: 50,
-            players: 50,
-            posts: 20,
-            customers: 40,
-            drivers: 8,
-        });
+        let domains = generate_all(
+            7,
+            Scale {
+                schools: 50,
+                players: 50,
+                posts: 20,
+                customers: 40,
+                drivers: 8,
+            },
+        );
         let names: Vec<&str> = domains.iter().map(|d| d.name).collect();
         assert_eq!(
             names,

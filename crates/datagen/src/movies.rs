@@ -16,18 +16,54 @@ use tag_sql::Database;
 const GENRES: &[&str] = &["Romance", "SciFi", "Action", "Drama", "Comedy", "Horror"];
 
 const FILLER_TITLES: &[&str] = &[
-    "Midnight Express Lane", "The Quiet Harbor", "Steel Horizon", "Paper Lanterns",
-    "The Last Orchard", "Crimson Tide Pool", "Echoes of Tomorrow", "The Glass Garden",
-    "Northbound", "Silent Circuit", "The Velvet Hour", "Falling Slowly",
-    "Desert of Mirrors", "The Cartographer", "Blue Evening", "Harvest Moon Waltz",
-    "The Seventh Door", "Gravity's Edge", "A Winter Abroad", "The Lighthouse Keeper",
-    "Salt and Cedar", "The Ninth Meridian", "Afternoon Static", "The Paper Kite",
-    "Ember Season", "Two Rivers Down", "The Long Causeway", "Copper Sky",
-    "A Quiet Arithmetic", "The Night Ferry", "Winterlight", "The Second Garden",
-    "Stonefruit", "The Hollow Crown Road", "Driftwood Letters", "The Far Shore",
-    "Morning Divide", "The Clockmaker's Son", "Amber Crossing", "The Tenth Summer",
-    "Low Tide Hotel", "The Iron Meadow", "Glass Pilgrims", "The Orchard Gate",
-    "Signal Fires", "The Borrowed Coast", "Pale Harbor Lights", "The Atlas Room",
+    "Midnight Express Lane",
+    "The Quiet Harbor",
+    "Steel Horizon",
+    "Paper Lanterns",
+    "The Last Orchard",
+    "Crimson Tide Pool",
+    "Echoes of Tomorrow",
+    "The Glass Garden",
+    "Northbound",
+    "Silent Circuit",
+    "The Velvet Hour",
+    "Falling Slowly",
+    "Desert of Mirrors",
+    "The Cartographer",
+    "Blue Evening",
+    "Harvest Moon Waltz",
+    "The Seventh Door",
+    "Gravity's Edge",
+    "A Winter Abroad",
+    "The Lighthouse Keeper",
+    "Salt and Cedar",
+    "The Ninth Meridian",
+    "Afternoon Static",
+    "The Paper Kite",
+    "Ember Season",
+    "Two Rivers Down",
+    "The Long Causeway",
+    "Copper Sky",
+    "A Quiet Arithmetic",
+    "The Night Ferry",
+    "Winterlight",
+    "The Second Garden",
+    "Stonefruit",
+    "The Hollow Crown Road",
+    "Driftwood Letters",
+    "The Far Shore",
+    "Morning Divide",
+    "The Clockmaker's Son",
+    "Amber Crossing",
+    "The Tenth Summer",
+    "Low Tide Hotel",
+    "The Iron Meadow",
+    "Glass Pilgrims",
+    "The Orchard Gate",
+    "Signal Fires",
+    "The Borrowed Coast",
+    "Pale Harbor Lights",
+    "The Atlas Room",
 ];
 
 // Permuted so sentiment order differs from revenue order on every

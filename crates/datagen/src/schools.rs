@@ -18,8 +18,16 @@ fn city_pool(kb: &KnowledgeBase) -> Vec<(String, f64)> {
         }
     }
     for extra in [
-        "Eureka", "Redding", "Chico", "Truckee", "Barstow", "Needles", "Bishop",
-        "Ukiah", "Susanville", "Alturas",
+        "Eureka",
+        "Redding",
+        "Chico",
+        "Truckee",
+        "Barstow",
+        "Needles",
+        "Bishop",
+        "Ukiah",
+        "Susanville",
+        "Alturas",
     ] {
         cities.push(extra.to_owned());
     }
@@ -74,8 +82,21 @@ pub fn generate(seed: u64, n: usize) -> DomainData {
     .expect("create schools");
 
     const NAME_PARTS: &[&str] = &[
-        "Washington", "Lincoln", "Jefferson", "Mission", "Valley", "Creek", "Summit",
-        "Oak", "Cedar", "Sierra", "Pacific", "Golden", "Bayview", "Hillside", "Meadow",
+        "Washington",
+        "Lincoln",
+        "Jefferson",
+        "Mission",
+        "Valley",
+        "Creek",
+        "Summit",
+        "Oak",
+        "Cedar",
+        "Sierra",
+        "Pacific",
+        "Golden",
+        "Bayview",
+        "Hillside",
+        "Meadow",
     ];
     const KINDS: &[&str] = &["Elementary", "Middle", "High", "Charter Academy"];
     const GRADES: &[&str] = &["K-5", "K-8", "K-12", "6-8", "9-12"];
@@ -118,8 +139,11 @@ pub fn generate(seed: u64, n: usize) -> DomainData {
         let enrollment: i64 = rng.gen_range(120..3200);
         let grades = GRADES[rng.gen_range(0..GRADES.len())];
         let charter = i64::from(rng.gen_bool(0.2));
-        let funding = ["Directly funded", "Locally funded", "Not in CS funding model"]
-            [rng.gen_range(0..3)];
+        let funding = [
+            "Directly funded",
+            "Locally funded",
+            "Not in CS funding model",
+        ][rng.gen_range(0..3)];
         db.execute(&format!(
             "INSERT INTO schools VALUES ({}, '{}', '{}', '{} County', {:.4}, {:.4}, \
              {math}, {read}, {enrollment}, '{grades}', {charter}, '{funding}', \

@@ -67,10 +67,7 @@ impl Embedder {
     }
 
     /// Embed a batch of texts.
-    pub fn embed_batch<'a>(
-        &self,
-        texts: impl IntoIterator<Item = &'a str>,
-    ) -> Vec<Vec<f32>> {
+    pub fn embed_batch<'a>(&self, texts: impl IntoIterator<Item = &'a str>) -> Vec<Vec<f32>> {
         texts.into_iter().map(|t| self.embed(t)).collect()
     }
 

@@ -66,13 +66,10 @@ impl FlatIndex {
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         assert_eq!(query.len(), self.dims, "dimension mismatch");
         top_k_hits(
-            self.vectors
-                .iter()
-                .enumerate()
-                .map(|(id, v)| Hit {
-                    id,
-                    score: dot(query, v),
-                }),
+            self.vectors.iter().enumerate().map(|(id, v)| Hit {
+                id,
+                score: dot(query, v),
+            }),
             k,
         )
     }

@@ -86,10 +86,7 @@ mod tests {
         s.add_rows((1999..=2017).map(|y| {
             vec![
                 ("year".to_owned(), y.to_string()),
-                (
-                    "name".to_owned(),
-                    format!("{y} Malaysian Grand Prix"),
-                ),
+                ("name".to_owned(), format!("{y} Malaysian Grand Prix")),
                 (
                     "Circuit".to_owned(),
                     "Sepang International Circuit".to_owned(),
@@ -136,7 +133,7 @@ mod tests {
     }
 
     #[test]
-    fn retrieval_cannot_cover_all_19_races_with_k_10 () {
+    fn retrieval_cannot_cover_all_19_races_with_k_10() {
         // The structural RAG failure on aggregation queries: 19 relevant
         // rows cannot fit in a top-10 retrieval.
         let s = store();
@@ -144,9 +141,7 @@ mod tests {
         let years: std::collections::HashSet<&str> = hits
             .iter()
             .filter(|(r, _)| r.iter().any(|(_, v)| v.contains("Sepang")))
-            .filter_map(|(r, _)| {
-                r.iter().find(|(c, _)| c == "year").map(|(_, v)| v.as_str())
-            })
+            .filter_map(|(r, _)| r.iter().find(|(c, _)| c == "year").map(|(_, v)| v.as_str()))
             .collect();
         assert!(years.len() < 19);
     }

@@ -144,10 +144,7 @@ mod tests {
         let seqs: Vec<(usize, usize)> = (0..32).map(|_| (120, 8)).collect();
         let batched = m.round_seconds(&seqs);
         let serial: f64 = seqs.iter().map(|s| m.round_seconds(&[*s])).sum();
-        assert!(
-            batched < serial / 3.0,
-            "batched={batched} serial={serial}"
-        );
+        assert!(batched < serial / 3.0, "batched={batched} serial={serial}");
     }
 
     #[test]

@@ -78,10 +78,28 @@ impl KnowledgeBase {
         regions.insert(
             "bay area",
             [
-                "San Francisco", "Oakland", "San Jose", "Berkeley", "Palo Alto", "Fremont",
-                "Hayward", "Sunnyvale", "Santa Clara", "Richmond", "Daly City", "San Mateo",
-                "Redwood City", "Mountain View", "Alameda", "Vallejo", "Concord",
-                "Walnut Creek", "Cupertino", "Milpitas", "Menlo Park", "Los Altos",
+                "San Francisco",
+                "Oakland",
+                "San Jose",
+                "Berkeley",
+                "Palo Alto",
+                "Fremont",
+                "Hayward",
+                "Sunnyvale",
+                "Santa Clara",
+                "Richmond",
+                "Daly City",
+                "San Mateo",
+                "Redwood City",
+                "Mountain View",
+                "Alameda",
+                "Vallejo",
+                "Concord",
+                "Walnut Creek",
+                "Cupertino",
+                "Milpitas",
+                "Menlo Park",
+                "Los Altos",
             ]
             .into_iter()
             .collect(),
@@ -89,9 +107,19 @@ impl KnowledgeBase {
         regions.insert(
             "silicon valley",
             [
-                "San Jose", "Palo Alto", "Mountain View", "Sunnyvale", "Santa Clara",
-                "Cupertino", "Menlo Park", "Redwood City", "Milpitas", "Los Altos",
-                "Campbell", "Saratoga", "Los Gatos",
+                "San Jose",
+                "Palo Alto",
+                "Mountain View",
+                "Sunnyvale",
+                "Santa Clara",
+                "Cupertino",
+                "Menlo Park",
+                "Redwood City",
+                "Milpitas",
+                "Los Altos",
+                "Campbell",
+                "Saratoga",
+                "Los Gatos",
             ]
             .into_iter()
             .collect(),
@@ -99,8 +127,17 @@ impl KnowledgeBase {
         regions.insert(
             "southern california",
             [
-                "Los Angeles", "San Diego", "Long Beach", "Anaheim", "Santa Ana",
-                "Riverside", "Irvine", "Pasadena", "Glendale", "Torrance", "Burbank",
+                "Los Angeles",
+                "San Diego",
+                "Long Beach",
+                "Anaheim",
+                "Santa Ana",
+                "Riverside",
+                "Irvine",
+                "Pasadena",
+                "Glendale",
+                "Torrance",
+                "Burbank",
                 "Santa Monica",
             ]
             .into_iter()
@@ -109,7 +146,12 @@ impl KnowledgeBase {
         regions.insert(
             "central valley",
             [
-                "Fresno", "Sacramento", "Stockton", "Modesto", "Bakersfield", "Visalia",
+                "Fresno",
+                "Sacramento",
+                "Stockton",
+                "Modesto",
+                "Bakersfield",
+                "Visalia",
                 "Merced",
             ]
             .into_iter()
@@ -273,8 +315,16 @@ impl KnowledgeBase {
         .collect();
 
         let eu_members: HashSet<&'static str> = [
-            "Italy", "Belgium", "Germany", "France", "Spain", "Netherlands", "Poland",
-            "Austria", "Czech Republic", "Slovakia",
+            "Italy",
+            "Belgium",
+            "Germany",
+            "France",
+            "Spain",
+            "Netherlands",
+            "Poland",
+            "Austria",
+            "Czech Republic",
+            "Slovakia",
         ]
         .into_iter()
         .collect();
@@ -458,18 +508,28 @@ impl KnowledgeBase {
 
     /// Is the country an EU member? `None` if not recalled.
     pub fn is_eu_member(&self, country: &str) -> Option<bool> {
-        if !self.country_continent.keys().any(|k| k.eq_ignore_ascii_case(country)) {
+        if !self
+            .country_continent
+            .keys()
+            .any(|k| k.eq_ignore_ascii_case(country))
+        {
             return None;
         }
         if !self.recalls(&format!("eu:{}", country.to_ascii_lowercase())) {
             return None;
         }
-        Some(self.eu_members.iter().any(|c| c.eq_ignore_ascii_case(country)))
+        Some(
+            self.eu_members
+                .iter()
+                .any(|c| c.eq_ignore_ascii_case(country)),
+        )
     }
 
     /// Ground-truth EU membership (oracle use only).
     pub fn true_is_eu_member(&self, country: &str) -> bool {
-        self.eu_members.iter().any(|c| c.eq_ignore_ascii_case(country))
+        self.eu_members
+            .iter()
+            .any(|c| c.eq_ignore_ascii_case(country))
     }
 
     /// Is this film considered a classic? `None` if not recalled.
@@ -634,8 +694,14 @@ mod tests {
     #[test]
     fn regions_with_full_coverage() {
         let kb = full();
-        assert_eq!(kb.is_city_in_region("Palo Alto", "Silicon Valley"), Some(true));
-        assert_eq!(kb.is_city_in_region("Fresno", "silicon valley"), Some(false));
+        assert_eq!(
+            kb.is_city_in_region("Palo Alto", "Silicon Valley"),
+            Some(true)
+        );
+        assert_eq!(
+            kb.is_city_in_region("Fresno", "silicon valley"),
+            Some(false)
+        );
         assert_eq!(kb.is_city_in_region("Palo Alto", "Atlantis"), None);
         assert!(kb
             .recalled_cities_in_region("bay area")
@@ -700,8 +766,16 @@ mod tests {
 
     #[test]
     fn recall_is_deterministic_and_seed_sensitive() {
-        let a = KnowledgeBase::new(KnowledgeConfig { coverage: 0.5, enumeration_coverage: 0.5, seed: 1 });
-        let b = KnowledgeBase::new(KnowledgeConfig { coverage: 0.5, enumeration_coverage: 0.5, seed: 2 });
+        let a = KnowledgeBase::new(KnowledgeConfig {
+            coverage: 0.5,
+            enumeration_coverage: 0.5,
+            seed: 1,
+        });
+        let b = KnowledgeBase::new(KnowledgeConfig {
+            coverage: 0.5,
+            enumeration_coverage: 0.5,
+            seed: 2,
+        });
         let keys: Vec<String> = (0..200).map(|i| format!("fact{i}")).collect();
         let ra: Vec<bool> = keys.iter().map(|k| a.recalls(k)).collect();
         let ra2: Vec<bool> = keys.iter().map(|k| a.recalls(k)).collect();

@@ -9,36 +9,114 @@
 
 /// Words contributing positive sentiment.
 pub const POSITIVE_WORDS: &[&str] = &[
-    "great", "excellent", "amazing", "wonderful", "fantastic", "love", "loved", "best",
-    "beautiful", "masterpiece", "brilliant", "superb", "delightful", "stunning",
-    "perfect", "enjoyable", "charming", "captivating", "impressive", "memorable",
-    "helpful", "clear", "insightful", "elegant",
+    "great",
+    "excellent",
+    "amazing",
+    "wonderful",
+    "fantastic",
+    "love",
+    "loved",
+    "best",
+    "beautiful",
+    "masterpiece",
+    "brilliant",
+    "superb",
+    "delightful",
+    "stunning",
+    "perfect",
+    "enjoyable",
+    "charming",
+    "captivating",
+    "impressive",
+    "memorable",
+    "helpful",
+    "clear",
+    "insightful",
+    "elegant",
 ];
 
 /// Words contributing negative sentiment.
 pub const NEGATIVE_WORDS: &[&str] = &[
-    "terrible", "awful", "horrible", "worst", "boring", "hate", "hated", "bad",
-    "disappointing", "dull", "mediocre", "mess", "waste", "weak", "flat", "tedious",
-    "confusing", "wrong", "useless", "poor", "shallow", "predictable", "forgettable",
+    "terrible",
+    "awful",
+    "horrible",
+    "worst",
+    "boring",
+    "hate",
+    "hated",
+    "bad",
+    "disappointing",
+    "dull",
+    "mediocre",
+    "mess",
+    "waste",
+    "weak",
+    "flat",
+    "tedious",
+    "confusing",
+    "wrong",
+    "useless",
+    "poor",
+    "shallow",
+    "predictable",
+    "forgettable",
     "overrated",
 ];
 
 /// Jargon terms contributing technicality.
 pub const TECHNICAL_TERMS: &[&str] = &[
-    "algorithm", "regression", "boosting", "gradient", "variance", "bayesian",
-    "kernel", "matrix", "eigenvalue", "stochastic", "convergence", "entropy",
-    "likelihood", "optimization", "neural", "hyperparameter", "covariance",
-    "heteroscedasticity", "regularization", "cross-validation", "bootstrap",
-    "asymptotic", "multicollinearity", "autocorrelation", "posterior", "prior",
-    "logistic", "quantile", "estimator", "overfitting", "dropout", "softmax",
+    "algorithm",
+    "regression",
+    "boosting",
+    "gradient",
+    "variance",
+    "bayesian",
+    "kernel",
+    "matrix",
+    "eigenvalue",
+    "stochastic",
+    "convergence",
+    "entropy",
+    "likelihood",
+    "optimization",
+    "neural",
+    "hyperparameter",
+    "covariance",
+    "heteroscedasticity",
+    "regularization",
+    "cross-validation",
+    "bootstrap",
+    "asymptotic",
+    "multicollinearity",
+    "autocorrelation",
+    "posterior",
+    "prior",
+    "logistic",
+    "quantile",
+    "estimator",
+    "overfitting",
+    "dropout",
+    "softmax",
 ];
 
 /// Phrases that mark sarcasm.
 pub const SARCASM_MARKERS: &[&str] = &[
-    "oh great", "oh sure", "yeah right", "obviously", "thanks a lot", "well done",
-    "what a surprise", "because that always works", "truly groundbreaking",
-    "pure genius", "how original", "shocking, really", "as if", "good luck with that",
-    "clearly the best idea ever", "i'm sure that will work",
+    "oh great",
+    "oh sure",
+    "yeah right",
+    "obviously",
+    "thanks a lot",
+    "well done",
+    "what a surprise",
+    "because that always works",
+    "truly groundbreaking",
+    "pure genius",
+    "how original",
+    "shocking, really",
+    "as if",
+    "good luck with that",
+    "clearly the best idea ever",
+    "i'm sure that will work",
 ];
 
 fn normalized_words(text: &str) -> Vec<String> {
@@ -125,7 +203,10 @@ mod tests {
     fn sentiment_directions() {
         assert!(sentiment_score("An amazing, beautiful masterpiece. Loved it.") > 0.5);
         assert!(sentiment_score("Terrible, boring waste of time.") < -0.5);
-        assert_eq!(sentiment_score("The movie has a runtime of two hours."), 0.0);
+        assert_eq!(
+            sentiment_score("The movie has a runtime of two hours."),
+            0.0
+        );
     }
 
     #[test]

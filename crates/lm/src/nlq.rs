@@ -345,8 +345,10 @@ impl NlQuery {
 
     /// Does answering require semantic reasoning?
     pub fn needs_reasoning(&self) -> bool {
-        matches!(self, NlQuery::SemanticRank { .. } | NlQuery::Summarize { .. })
-            || self.filters().iter().any(NlFilter::needs_reasoning)
+        matches!(
+            self,
+            NlQuery::SemanticRank { .. } | NlQuery::Summarize { .. }
+        ) || self.filters().iter().any(NlFilter::needs_reasoning)
     }
 
     /// The Summarize topic column, if this is a Summarize query.
@@ -381,9 +383,8 @@ impl NlQuery {
                 filters,
             } => {
                 let dir = if *highest { "highest" } else { "lowest" };
-                let mut s = format!(
-                    "What is the {select_attr} of the {entity} with the {dir} {rank_attr}"
-                );
+                let mut s =
+                    format!("What is the {select_attr} of the {entity} with the {dir} {rank_attr}");
                 if !filters.is_empty() {
                     let _ = write!(s, " among those {}", render_filters(filters));
                 }
@@ -394,10 +395,7 @@ impl NlQuery {
                 if filters.is_empty() {
                     format!("How many {entity} are there?")
                 } else {
-                    format!(
-                        "How many {entity} {} are there?",
-                        render_filters(filters)
-                    )
+                    format!("How many {entity} {} are there?", render_filters(filters))
                 }
             }
             NlQuery::List {
@@ -435,9 +433,8 @@ impl NlQuery {
                 filters,
             } => {
                 let dir = if *highest { "top" } else { "bottom" };
-                let mut s = format!(
-                    "List the {dir} {k} {entity} by {rank_attr}: give their {select_attr}"
-                );
+                let mut s =
+                    format!("List the {dir} {k} {entity} by {rank_attr}: give their {select_attr}");
                 if !filters.is_empty() {
                     let _ = write!(s, " among those {}", render_filters(filters));
                 }
@@ -697,8 +694,7 @@ mod tests {
 
     fn round_trip(q: NlQuery) {
         let text = q.render();
-        let parsed = NlQuery::parse(&text)
-            .unwrap_or_else(|| panic!("failed to parse: {text}"));
+        let parsed = NlQuery::parse(&text).unwrap_or_else(|| panic!("failed to parse: {text}"));
         assert_eq!(parsed, q, "text was: {text}");
     }
 

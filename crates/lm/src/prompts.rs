@@ -240,8 +240,9 @@ pub fn relevance_prompt(question: &str, point_text: &str) -> String {
 
 /// Parse a relevance prompt back into `(question, data point)`.
 pub fn parse_relevance_prompt(prompt: &str) -> Option<(String, String)> {
-    let rest = prompt
-        .strip_prefix("Rate how relevant the data point is to the question on a scale from 0 to 1.\nQuestion: ")?;
+    let rest = prompt.strip_prefix(
+        "Rate how relevant the data point is to the question on a scale from 0 to 1.\nQuestion: ",
+    )?;
     let (q, rest) = rest.split_once("\nData point: ")?;
     let d = rest.strip_suffix("\nAnswer with a single number between 0 and 1 and nothing else.")?;
     Some((q.to_owned(), d.to_owned()))
@@ -430,8 +431,8 @@ mod tests {
             SemClaim::Property(SemProperty::Sarcastic),
         ] {
             let p = sem_filter_prompt(&claim, "Some Value");
-            let (parsed, value) = parse_sem_filter_prompt(&p)
-                .unwrap_or_else(|| panic!("failed on {p}"));
+            let (parsed, value) =
+                parse_sem_filter_prompt(&p).unwrap_or_else(|| panic!("failed on {p}"));
             assert_eq!(parsed, claim);
             assert_eq!(value, "Some Value");
         }

@@ -24,8 +24,7 @@ use crate::model::{LanguageModel, LmError, LmRequest, LmResponse, LmResult};
 use crate::nlq::{CmpOp, NlFilter, NlQuery, SemProperty};
 use crate::prompts::{
     self, parse_answer_prompt, parse_relevance_prompt, parse_sem_agg_prompt,
-    parse_sem_compare_prompt, parse_sem_filter_prompt, parse_sem_map_prompt, DataPoint,
-    SemClaim,
+    parse_sem_compare_prompt, parse_sem_filter_prompt, parse_sem_map_prompt, DataPoint, SemClaim,
 };
 use crate::summarize;
 use crate::text2sql::{parse_schemas, synthesize_sql};
@@ -177,28 +176,22 @@ impl SimLm {
                 .kb
                 .is_eu_member(value)
                 .unwrap_or_else(|| self.coin(&["guess-eu", value]) < 0.3),
-            SemClaim::CountryInContinent { continent } => {
-                match self.kb.country_continent(value) {
-                    Some(c) => c.eq_ignore_ascii_case(continent),
-                    None => self.coin(&["guess-cont", value, continent]) < 0.2,
-                }
-            }
-            SemClaim::CompanyInVertical { vertical } => {
-                match self.kb.company_vertical(value) {
-                    Some(v) => v.eq_ignore_ascii_case(vertical),
-                    None => self.coin(&["guess-vert", value, vertical]) < 0.2,
-                }
-            }
-            SemClaim::CircuitInContinent { continent } => {
-                match self.kb.circuit_fact(value) {
-                    Some(fact) => self
-                        .kb
-                        .country_continent(fact.country)
-                        .map(|c| c.eq_ignore_ascii_case(continent))
-                        .unwrap_or(false),
-                    None => self.coin(&["guess-circ", value, continent]) < 0.2,
-                }
-            }
+            SemClaim::CountryInContinent { continent } => match self.kb.country_continent(value) {
+                Some(c) => c.eq_ignore_ascii_case(continent),
+                None => self.coin(&["guess-cont", value, continent]) < 0.2,
+            },
+            SemClaim::CompanyInVertical { vertical } => match self.kb.company_vertical(value) {
+                Some(v) => v.eq_ignore_ascii_case(vertical),
+                None => self.coin(&["guess-vert", value, vertical]) < 0.2,
+            },
+            SemClaim::CircuitInContinent { continent } => match self.kb.circuit_fact(value) {
+                Some(fact) => self
+                    .kb
+                    .country_continent(fact.country)
+                    .map(|c| c.eq_ignore_ascii_case(continent))
+                    .unwrap_or(false),
+                None => self.coin(&["guess-circ", value, continent]) < 0.2,
+            },
             SemClaim::HeightTallerThan { person } => {
                 let own: Option<f64> = value.trim().parse().ok();
                 match (own, self.kb.person_height_cm(person)) {
@@ -216,7 +209,12 @@ impl SimLm {
         let sb = Self::property_score(property, b);
         // Near-ties are answered inconsistently, like a real judge model.
         if (sa - sb).abs() < 0.28 {
-            return if self.coin(&["cmp", a, b]) < 0.5 { "A" } else { "B" }.to_owned();
+            return if self.coin(&["cmp", a, b]) < 0.5 {
+                "A"
+            } else {
+                "B"
+            }
+            .to_owned();
         }
         if sa > sb { "A" } else { "B" }.to_owned()
     }
@@ -333,11 +331,7 @@ impl SimLm {
 
     /// The long-context attention model: which data points does the model
     /// actually take into account for this question?
-    fn attended<'a>(
-        &self,
-        question: &str,
-        points: &'a [DataPoint],
-    ) -> Vec<(usize, &'a DataPoint)> {
+    fn attended<'a>(&self, question: &str, points: &'a [DataPoint]) -> Vec<(usize, &'a DataPoint)> {
         let n = points.len();
         if n <= self.config.attention_span {
             return points.iter().enumerate().collect();
@@ -354,10 +348,7 @@ impl SimLm {
 
     fn point_field<'a>(point: &'a DataPoint, candidates: &[&str]) -> Option<&'a str> {
         for cand in candidates {
-            if let Some((_, v)) = point
-                .iter()
-                .find(|(k, _)| k.eq_ignore_ascii_case(cand))
-            {
+            if let Some((_, v)) = point.iter().find(|(k, _)| k.eq_ignore_ascii_case(cand)) {
                 return Some(v.as_str());
             }
         }
@@ -371,15 +362,13 @@ impl SimLm {
     /// Evaluate one filter clause against one data point.
     fn filter_matches(&self, f: &NlFilter, point: &DataPoint) -> bool {
         match f {
-            NlFilter::NumCmp { attr, op, value } => {
-                match Self::point_number(point, attr) {
-                    Some(x) => match op {
-                        CmpOp::Over => x > *value,
-                        CmpOp::Under => x < *value,
-                    },
-                    None => false,
-                }
-            }
+            NlFilter::NumCmp { attr, op, value } => match Self::point_number(point, attr) {
+                Some(x) => match op {
+                    CmpOp::Over => x > *value,
+                    CmpOp::Under => x < *value,
+                },
+                None => false,
+            },
             NlFilter::TextEq { attr, value } => Self::point_field(point, &[attr])
                 .map(|v| v.eq_ignore_ascii_case(value))
                 .unwrap_or(false),
@@ -388,15 +377,13 @@ impl SimLm {
                     .map(|v| v.eq_ignore_ascii_case(circuit))
                     .unwrap_or(false)
             }
-            NlFilter::InRegion { region } => {
-                match Self::point_field(point, &["City", "city"]) {
-                    Some(city) => self
-                        .kb
-                        .is_city_in_region(city, region)
-                        .unwrap_or_else(|| self.coin(&["guess", city, region]) < 0.15),
-                    None => false,
-                }
-            }
+            NlFilter::InRegion { region } => match Self::point_field(point, &["City", "city"]) {
+                Some(city) => self
+                    .kb
+                    .is_city_in_region(city, region)
+                    .unwrap_or_else(|| self.coin(&["guess", city, region]) < 0.15),
+                None => false,
+            },
             NlFilter::TallerThan { person } => {
                 let h = Self::point_field(point, &["height", "Height"])
                     .and_then(|v| v.trim().parse::<f64>().ok());
@@ -406,15 +393,13 @@ impl SimLm {
                     _ => false,
                 }
             }
-            NlFilter::EuCountry => {
-                match Self::point_field(point, &["Country", "country"]) {
-                    Some(c) => self
-                        .kb
-                        .is_eu_member(c)
-                        .unwrap_or_else(|| self.coin(&["guess-eu", c]) < 0.3),
-                    None => false,
-                }
-            }
+            NlFilter::EuCountry => match Self::point_field(point, &["Country", "country"]) {
+                Some(c) => self
+                    .kb
+                    .is_eu_member(c)
+                    .unwrap_or_else(|| self.coin(&["guess-eu", c]) < 0.3),
+                None => false,
+            },
             NlFilter::CircuitContinent { continent } => {
                 match Self::point_field(point, &["Circuit", "circuit"]) {
                     Some(c) => match self.kb.circuit_fact(c) {
@@ -447,12 +432,10 @@ impl SimLm {
                     None => false,
                 }
             }
-            NlFilter::Semantic { attr, property } => {
-                match Self::point_field(point, &[attr]) {
-                    Some(text) => self.judge_property_in_context(*property, text),
-                    None => false,
-                }
-            }
+            NlFilter::Semantic { attr, property } => match Self::point_field(point, &[attr]) {
+                Some(text) => self.judge_property_in_context(*property, text),
+                None => false,
+            },
         }
     }
 
@@ -466,7 +449,10 @@ impl SimLm {
         };
 
         // Aggregation shapes produce free text.
-        if matches!(&query, NlQuery::Summarize { .. } | NlQuery::ProvideInfo { .. }) {
+        if matches!(
+            &query,
+            NlQuery::Summarize { .. } | NlQuery::ProvideInfo { .. }
+        ) {
             return self.answer_aggregation(&query, points);
         }
 
@@ -618,8 +604,7 @@ impl SimLm {
                     let matches_topic = |k: &str| {
                         let k = k.to_ascii_lowercase();
                         let t = t.to_ascii_lowercase();
-                        k == t
-                            || k.trim_end_matches('s') == t.trim_end_matches('s')
+                        k == t || k.trim_end_matches('s') == t.trim_end_matches('s')
                     };
                     p.iter()
                         .filter(|(k, _)| matches_topic(k))
@@ -901,7 +886,10 @@ mod tests {
             .map(|y| {
                 vec![
                     ("year".to_owned(), y.to_string()),
-                    ("Circuit".to_owned(), "Sepang International Circuit".to_owned()),
+                    (
+                        "Circuit".to_owned(),
+                        "Sepang International Circuit".to_owned(),
+                    ),
                     ("round".to_owned(), "2".to_owned()),
                 ]
             })
@@ -966,7 +954,10 @@ mod tests {
     #[test]
     fn unrecognized_prompt_gets_generic_answer() {
         let lm = lm();
-        let ans = ask(&lm, "Tell me about databases. They store data. They index it.");
+        let ans = ask(
+            &lm,
+            "Tell me about databases. They store data. They index it.",
+        );
         assert!(!ans.is_empty());
     }
 }

@@ -12,8 +12,8 @@ use std::collections::HashMap;
 
 /// Stop words excluded from term-frequency scoring.
 const STOP_WORDS: &[&str] = &[
-    "the", "a", "an", "and", "or", "of", "to", "in", "on", "is", "are", "was", "were",
-    "it", "this", "that", "for", "with", "as", "at", "by", "be", "from", "has", "have",
+    "the", "a", "an", "and", "or", "of", "to", "in", "on", "is", "are", "was", "were", "it",
+    "this", "that", "for", "with", "as", "at", "by", "be", "from", "has", "have",
 ];
 
 fn words(text: &str) -> Vec<String> {
@@ -81,11 +81,7 @@ pub fn summarize_text(text: &str, max_sentences: usize) -> String {
 /// Summarize structured rows (each row = `(field, value)` pairs) into a
 /// compact report: a count line plus one clause per row built from the
 /// lead fields. Every input row contributes, so coverage is total.
-pub fn summarize_rows(
-    subject: &str,
-    rows: &[Vec<(String, String)>],
-    max_fields: usize,
-) -> String {
+pub fn summarize_rows(subject: &str, rows: &[Vec<(String, String)>], max_fields: usize) -> String {
     if rows.is_empty() {
         return format!("No {subject} were found in the provided data.");
     }

@@ -35,7 +35,11 @@ pub fn parse_schemas(text: &str) -> Vec<PromptTable> {
     while let Some(idx) = find_ci(rest, "CREATE TABLE") {
         rest = &rest[idx + "CREATE TABLE".len()..];
         let Some(open) = rest.find('(') else { break };
-        let name = rest[..open].trim().trim_matches('"').trim_matches('`').to_owned();
+        let name = rest[..open]
+            .trim()
+            .trim_matches('"')
+            .trim_matches('`')
+            .to_owned();
         let Some(close) = matching_paren(rest, open) else {
             break;
         };
@@ -60,7 +64,11 @@ pub fn parse_schemas(text: &str) -> Vec<PromptTable> {
             } else if let Some(q) = piece.strip_prefix('`') {
                 q.split('`').next().unwrap_or_default().to_owned()
             } else {
-                piece.split_whitespace().next().unwrap_or_default().to_owned()
+                piece
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or_default()
+                    .to_owned()
             };
             if !col.is_empty() {
                 columns.push(col);
@@ -178,7 +186,10 @@ pub fn synthesize_sql(
         // practice: the model abbreviates the entity it filters on and
         // retrieves nothing. Which queries trip it is a stable property
         // of (question, seed).
-        if matches!(query, NlQuery::Summarize { .. } | NlQuery::ProvideInfo { .. }) {
+        if matches!(
+            query,
+            NlQuery::Summarize { .. } | NlQuery::ProvideInfo { .. }
+        ) {
             let mut h = DefaultHasher::new();
             seed.hash(&mut h);
             query.render().hash(&mut h);
@@ -192,8 +203,7 @@ pub fn synthesize_sql(
                             circuit.split_whitespace().next().unwrap_or(circuit)
                         )),
                         NlFilter::TextEq { attr, value } => {
-                            let short: Vec<&str> =
-                                value.split_whitespace().take(3).collect();
+                            let short: Vec<&str> = value.split_whitespace().take(3).collect();
                             Some(format!(
                                 "{} = '{}'",
                                 quote_attr(attr, table),
@@ -316,11 +326,7 @@ fn quote_attr(attr: &str, table: &PromptTable) -> String {
 
 fn find_column<'a>(table: &'a PromptTable, candidates: &[&str]) -> Option<&'a str> {
     for cand in candidates {
-        if let Some(c) = table
-            .columns
-            .iter()
-            .find(|c| c.eq_ignore_ascii_case(cand))
-        {
+        if let Some(c) = table.columns.iter().find(|c| c.eq_ignore_ascii_case(cand)) {
             return Some(c);
         }
     }
@@ -335,12 +341,7 @@ fn sql_in_list(column: &str, values: &[&str]) -> String {
     format!("{column} IN ({})", quoted.join(", "))
 }
 
-fn filter_to_sql(
-    f: &NlFilter,
-    table: &PromptTable,
-    kb: &KnowledgeBase,
-    seed: u64,
-) -> ClauseSql {
+fn filter_to_sql(f: &NlFilter, table: &PromptTable, kb: &KnowledgeBase, seed: u64) -> ClauseSql {
     match f {
         NlFilter::NumCmp { attr, op, value } => {
             let dir = match op {
@@ -355,8 +356,8 @@ fn filter_to_sql(
             value.replace('\'', "''")
         )),
         NlFilter::AtCircuit { circuit } => {
-            let col = find_column(table, &["Circuit", "circuit", "CircuitName"])
-                .unwrap_or("Circuit");
+            let col =
+                find_column(table, &["Circuit", "circuit", "CircuitName"]).unwrap_or("Circuit");
             ClauseSql::Where(format!("{col} = '{}'", circuit.replace('\'', "''")))
         }
         NlFilter::InRegion { region } => {
@@ -369,8 +370,7 @@ fn filter_to_sql(
         }
         NlFilter::TallerThan { person } => match kb.person_height_cm(person) {
             Some(h) => {
-                let col =
-                    find_column(table, &["height", "Height"]).unwrap_or("height");
+                let col = find_column(table, &["height", "Height"]).unwrap_or("height");
                 ClauseSql::Where(format!("{col} > {h}"))
             }
             None => ClauseSql::Dropped,
@@ -396,8 +396,7 @@ fn filter_to_sql(
             if classics.is_empty() {
                 return ClauseSql::Dropped;
             }
-            let col = find_column(table, &["movie_title", "title", "Title"])
-                .unwrap_or("title");
+            let col = find_column(table, &["movie_title", "title", "Title"]).unwrap_or("title");
             ClauseSql::Where(sql_in_list(col, &classics))
         }
         NlFilter::VerticalIs { vertical } => {
@@ -481,10 +480,7 @@ mod tests {
             }],
         };
         let sql = synthesize_sql(&q, &schools(), &kb(), false, 1);
-        assert_eq!(
-            sql,
-            "SELECT COUNT(*) FROM schools WHERE Longitude > -120"
-        );
+        assert_eq!(sql, "SELECT COUNT(*) FROM schools WHERE Longitude > -120");
     }
 
     #[test]
@@ -549,7 +545,10 @@ mod tests {
                 dropped += 1;
             }
         }
-        assert!(dropped > 0 && invalid > 0, "dropped={dropped} invalid={invalid}");
+        assert!(
+            dropped > 0 && invalid > 0,
+            "dropped={dropped} invalid={invalid}"
+        );
     }
 
     #[test]

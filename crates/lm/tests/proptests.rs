@@ -22,10 +22,9 @@ fn text_value() -> impl Strategy<Value = String> {
 /// canonical question language joins filters with ", " and " and ", so
 /// names in the benchmark vocabulary never contain those separators.
 fn name_value() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9 -]{0,20}[A-Za-z0-9]"
-        .prop_filter("no join separators in names", |s| {
-            !s.contains(", ") && !s.contains(" and ")
-        })
+    "[A-Za-z][A-Za-z0-9 -]{0,20}[A-Za-z0-9]".prop_filter("no join separators in names", |s| {
+        !s.contains(", ") && !s.contains(" and ")
+    })
 }
 
 fn property() -> impl Strategy<Value = SemProperty> {
@@ -47,8 +46,7 @@ fn filter() -> impl Strategy<Value = NlFilter> {
                 value: (v * 2.0).round() / 2.0,
             }
         }),
-        (attr(), text_value())
-            .prop_map(|(a, v)| NlFilter::TextEq { attr: a, value: v }),
+        (attr(), text_value()).prop_map(|(a, v)| NlFilter::TextEq { attr: a, value: v }),
         name_value().prop_map(|r| NlFilter::InRegion { region: r }),
         name_value().prop_map(|p| NlFilter::TallerThan { person: p }),
         Just(NlFilter::EuCountry),
@@ -73,17 +71,19 @@ fn filters() -> impl Strategy<Value = Vec<NlFilter>> {
 
 fn query() -> impl Strategy<Value = NlQuery> {
     prop_oneof![
-        (entity(), attr(), attr(), any::<bool>(), filters()).prop_map(
-            |(e, s, r, h, f)| NlQuery::Superlative {
+        (entity(), attr(), attr(), any::<bool>(), filters()).prop_map(|(e, s, r, h, f)| {
+            NlQuery::Superlative {
                 entity: e,
                 select_attr: s,
                 rank_attr: r,
                 highest: h,
                 filters: f,
             }
-        ),
-        (entity(), filters())
-            .prop_map(|(e, f)| NlQuery::Count { entity: e, filters: f }),
+        }),
+        (entity(), filters()).prop_map(|(e, f)| NlQuery::Count {
+            entity: e,
+            filters: f
+        }),
         (entity(), attr(), filters()).prop_map(|(e, s, f)| NlQuery::List {
             entity: e,
             select_attr: s,
@@ -99,16 +99,22 @@ fn query() -> impl Strategy<Value = NlQuery> {
                 on_attr: o,
             }
         ),
-        (entity(), attr(), attr(), 1usize..20, any::<bool>(), filters()).prop_map(
-            |(e, s, r, k, h, f)| NlQuery::TopK {
+        (
+            entity(),
+            attr(),
+            attr(),
+            1usize..20,
+            any::<bool>(),
+            filters()
+        )
+            .prop_map(|(e, s, r, k, h, f)| NlQuery::TopK {
                 entity: e,
                 select_attr: s,
                 rank_attr: r,
                 k,
                 highest: h,
                 filters: f,
-            }
-        ),
+            }),
         (entity(), attr(), filters()).prop_map(|(e, t, f)| NlQuery::Summarize {
             entity: e,
             topic: t,

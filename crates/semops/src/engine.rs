@@ -25,6 +25,10 @@ pub struct EngineStats {
     pub lm_prompts: u64,
     /// Batches sent to the model.
     pub lm_batches: u64,
+    /// Prompt tokens consumed by prompts that reached the model.
+    pub prompt_tokens: u64,
+    /// Completion tokens produced by prompts that reached the model.
+    pub completion_tokens: u64,
     /// Prompt-cache entries evicted by the LRU bound.
     pub evictions: u64,
 }
@@ -44,6 +48,10 @@ pub struct OpStats {
     pub lm_prompts: u64,
     /// Batches sent to the model.
     pub lm_batches: u64,
+    /// Prompt tokens consumed by the operator's model calls.
+    pub prompt_tokens: u64,
+    /// Completion tokens produced by the operator's model calls.
+    pub completion_tokens: u64,
     /// Cache evictions triggered while the operator ran.
     pub evictions: u64,
 }
@@ -137,11 +145,7 @@ impl SemEngine {
     /// [`SemEngine::complete_batch`] with the work attributed to a named
     /// operator (per-op counters) and, when a trace is installed, to the
     /// innermost open span (LM usage).
-    pub fn complete_batch_op(
-        &self,
-        op: &'static str,
-        prompts: &[String],
-    ) -> LmResult<Vec<String>> {
+    pub fn complete_batch_op(&self, op: &'static str, prompts: &[String]) -> LmResult<Vec<String>> {
         let trace_active = tag_trace::is_active();
         let clock_before = if trace_active { self.lm.usage().0 } else { 0.0 };
         let mut outcome = BatchOutcome::default();
@@ -156,6 +160,8 @@ impl SemEngine {
             entry.cache_hits += outcome.cache_hits;
             entry.lm_prompts += outcome.lm_prompts;
             entry.lm_batches += outcome.lm_batches;
+            entry.prompt_tokens += outcome.prompt_tokens;
+            entry.completion_tokens += outcome.completion_tokens;
             entry.evictions += outcome.evictions;
         }
         if trace_active {
@@ -211,13 +217,19 @@ impl SemEngine {
             let responses = self.lm.generate_batch(&requests)?;
             outcome.lm_prompts += requests.len() as u64;
             outcome.lm_batches += 1;
+            let mut chunk_prompt_tokens = 0u64;
+            let mut chunk_completion_tokens = 0u64;
             for r in &responses {
-                outcome.prompt_tokens += r.prompt_tokens as u64;
-                outcome.completion_tokens += r.completion_tokens as u64;
+                chunk_prompt_tokens += r.prompt_tokens as u64;
+                chunk_completion_tokens += r.completion_tokens as u64;
             }
+            outcome.prompt_tokens += chunk_prompt_tokens;
+            outcome.completion_tokens += chunk_completion_tokens;
             let mut stats = self.stats.lock();
             stats.lm_prompts += requests.len() as u64;
             stats.lm_batches += 1;
+            stats.prompt_tokens += chunk_prompt_tokens;
+            stats.completion_tokens += chunk_completion_tokens;
             drop(stats);
             // Fill results directly from the responses — the bounded
             // cache may evict an entry before any readback could see it.
@@ -363,8 +375,7 @@ mod tests {
     fn duplicate_misses_resolve_without_cache() {
         let lm = Arc::new(EchoLm::new());
         let engine = SemEngine::with_batch_size_and_cache(lm.clone(), 64, 1);
-        let prompts: Vec<String> =
-            vec!["x".into(), "y".into(), "x".into(), "y".into(), "x".into()];
+        let prompts: Vec<String> = vec!["x".into(), "y".into(), "x".into(), "y".into(), "x".into()];
         let out = engine.complete_batch(&prompts).unwrap();
         assert_eq!(out, vec!["echo:x", "echo:y", "echo:x", "echo:y", "echo:x"]);
         assert_eq!(lm.calls(), 2, "duplicates never hit the model");
@@ -377,12 +388,13 @@ mod tests {
         engine
             .complete_batch_op("sem_filter", &["a".into(), "b".into(), "a".into()])
             .unwrap();
-        engine.complete_batch_op("sem_filter", &["a".into()]).unwrap();
+        engine
+            .complete_batch_op("sem_filter", &["a".into()])
+            .unwrap();
         engine.complete_op("sem_topk", "rank it").unwrap();
         engine.complete("plain").unwrap();
 
-        let ops: std::collections::BTreeMap<_, _> =
-            engine.op_stats().into_iter().collect();
+        let ops: std::collections::BTreeMap<_, _> = engine.op_stats().into_iter().collect();
         let filter = ops["sem_filter"];
         assert_eq!(filter.invocations, 2);
         assert_eq!(filter.prompts, 4);
@@ -407,13 +419,31 @@ mod tests {
     }
 
     #[test]
+    fn token_counters_track_model_work_only() {
+        let lm = Arc::new(EchoLm::new());
+        let engine = SemEngine::new(lm);
+        engine
+            .complete_batch_op("sem_filter", &["a".into(), "b".into(), "a".into()])
+            .unwrap();
+        // Fully cached second round: token counters must not move.
+        engine
+            .complete_batch_op("sem_filter", &["a".into(), "b".into()])
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.prompt_tokens, 2, "EchoLm meters 1 token/prompt");
+        assert_eq!(stats.completion_tokens, 2);
+        let ops: std::collections::BTreeMap<_, _> = engine.op_stats().into_iter().collect();
+        assert_eq!(ops["sem_filter"].prompt_tokens, 2);
+        assert_eq!(ops["sem_filter"].completion_tokens, 2);
+    }
+
+    #[test]
     fn per_op_evictions_are_counted() {
         let lm = Arc::new(EchoLm::new());
         let engine = SemEngine::with_batch_size_and_cache(lm, 64, 2);
         let prompts: Vec<String> = (0..5).map(|i| format!("p{i}")).collect();
         engine.complete_batch_op("sem_map", &prompts).unwrap();
-        let ops: std::collections::BTreeMap<_, _> =
-            engine.op_stats().into_iter().collect();
+        let ops: std::collections::BTreeMap<_, _> = engine.op_stats().into_iter().collect();
         assert!(ops["sem_map"].evictions >= 3, "{:?}", ops["sem_map"]);
     }
 

@@ -88,12 +88,7 @@ impl DataFrame {
     pub fn filter(&self, mut pred: impl FnMut(&[Value]) -> bool) -> DataFrame {
         DataFrame {
             columns: self.columns.clone(),
-            rows: self
-                .rows
-                .iter()
-                .filter(|r| pred(r))
-                .cloned()
-                .collect(),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
         }
     }
 
@@ -191,21 +186,12 @@ impl DataFrame {
 
     /// Inner equi-join (pandas `merge`). Right columns are suffixed with
     /// `_r` when they collide with left columns.
-    pub fn merge(
-        &self,
-        right: &DataFrame,
-        left_on: &str,
-        right_on: &str,
-    ) -> SqlResult<DataFrame> {
+    pub fn merge(&self, right: &DataFrame, left_on: &str, right_on: &str) -> SqlResult<DataFrame> {
         let li = self.column_index(left_on)?;
         let ri = right.column_index(right_on)?;
         let mut columns = self.columns.clone();
         for c in &right.columns {
-            if self
-                .columns
-                .iter()
-                .any(|l| l.eq_ignore_ascii_case(c))
-            {
+            if self.columns.iter().any(|l| l.eq_ignore_ascii_case(c)) {
                 columns.push(format!("{c}_r"));
             } else {
                 columns.push(c.clone());

@@ -16,8 +16,8 @@ pub mod lru;
 pub mod ops;
 
 pub use engine::{EngineStats, OpStats, SemEngine};
-pub use lru::LruCache;
 pub use frame::DataFrame;
+pub use lru::LruCache;
 pub use ops::{
     sem_agg, sem_agg_refine, sem_filter, sem_join, sem_map, sem_score, sem_topk, SemError,
     SemResult,

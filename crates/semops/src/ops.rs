@@ -211,7 +211,11 @@ fn borda_rank(
     }
     let mut order: Vec<usize> = (0..m).collect();
     // Most wins first; ties broken by original position (stable).
-    order.sort_by(|&x, &y| wins[y].cmp(&wins[x]).then(candidates[x].cmp(&candidates[y])));
+    order.sort_by(|&x, &y| {
+        wins[y]
+            .cmp(&wins[x])
+            .then(candidates[x].cmp(&candidates[y]))
+    });
     Ok(order.into_iter().map(|i| candidates[i]).collect())
 }
 
@@ -372,7 +376,11 @@ pub fn sem_score(
     question: &str,
     score_column: &str,
 ) -> SemResult<DataFrame> {
-    let _span = tag_trace::span(tag_trace::Stage::Exec, "sem_score");
+    // Relevance scoring sits between retrieval and generation in the
+    // SemPlan stage taxonomy, so it traces as `rerank` (not `exec`):
+    // per-stage LM cost tables then attribute scoring work to the same
+    // stage as the Retrieval + LM Rank baseline's rerank step.
+    let _span = tag_trace::span(tag_trace::Stage::Rerank, "sem_score");
     let points = df.to_data_points();
     let prompts: Vec<String> = points
         .iter()
@@ -520,7 +528,9 @@ mod tests {
             vec!["Title".into()],
             vec![
                 vec![Value::text("My favorite lunch spots")],
-                vec![Value::text("Bayesian kernel regression with regularization")],
+                vec![Value::text(
+                    "Bayesian kernel regression with regularization",
+                )],
                 vec![Value::text("Gradient boosting hyperparameter optimization")],
                 vec![Value::text("Pictures of my cat")],
             ],
@@ -626,11 +636,15 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            sem_topk(&e, &df, "t", SemProperty::Positive, 0).unwrap().len(),
+            sem_topk(&e, &df, "t", SemProperty::Positive, 0)
+                .unwrap()
+                .len(),
             0
         );
         assert_eq!(
-            sem_topk(&e, &df, "t", SemProperty::Positive, 10).unwrap().len(),
+            sem_topk(&e, &df, "t", SemProperty::Positive, 10)
+                .unwrap()
+                .len(),
             2
         );
     }
@@ -729,10 +743,7 @@ mod tests {
     fn sem_agg_refine_empty_frame() {
         let e = engine();
         let df = DataFrame::empty(vec!["text".into()]);
-        assert_eq!(
-            sem_agg_refine(&e, &df, "Summarize", None).unwrap(),
-            ""
-        );
+        assert_eq!(sem_agg_refine(&e, &df, "Summarize", None).unwrap(), "");
     }
 
     #[test]
@@ -791,18 +802,29 @@ mod tests {
     #[test]
     fn sem_score_attaches_bounded_scores() {
         let e = engine();
-        let scored = sem_score(
-            &e,
-            &cities(),
-            "Which cities are in California?",
-            "score",
-        )
-        .unwrap();
+        let scored = sem_score(&e, &cities(), "Which cities are in California?", "score").unwrap();
         assert!(scored.columns().contains(&"score".to_string()));
         for r in scored.rows() {
             let s = r[2].as_f64().unwrap();
             assert!((0.0..=1.0).contains(&s));
         }
+    }
+
+    #[test]
+    fn sem_score_traces_as_rerank_stage() {
+        let e = engine();
+        let (trace, sink) = tag_trace::Trace::memory();
+        tag_trace::with_trace(&trace, || {
+            sem_score(&e, &cities(), "Which cities are in California?", "score").unwrap()
+        });
+        let spans = sink.take();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].label, "sem_score");
+        assert_eq!(
+            spans[0].stage,
+            tag_trace::Stage::Rerank,
+            "relevance scoring belongs to the rerank stage"
+        );
     }
 
     #[test]

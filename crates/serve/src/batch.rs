@@ -162,7 +162,8 @@ impl BatchLm {
             .flat_map(|s| s.requests.iter().cloned())
             .collect();
         self.rounds.fetch_add(1, Ordering::Relaxed);
-        self.prompts.fetch_add(merged.len() as u64, Ordering::Relaxed);
+        self.prompts
+            .fetch_add(merged.len() as u64, Ordering::Relaxed);
         self.max_merged
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
         if batch.len() >= 2 {
@@ -173,8 +174,7 @@ impl BatchLm {
                 let mut offset = 0;
                 for sub in &batch {
                     let n = sub.requests.len();
-                    sub.slot
-                        .deliver(Ok(responses[offset..offset + n].to_vec()));
+                    sub.slot.deliver(Ok(responses[offset..offset + n].to_vec()));
                     offset += n;
                 }
             }
@@ -226,10 +226,7 @@ impl LanguageModel for BatchLm {
         let batch = {
             let mut state = self.state.lock();
             while state.pending_prompts < self.max_batch {
-                let timed_out = self
-                    .arrived
-                    .wait_until(&mut state, deadline)
-                    .timed_out();
+                let timed_out = self.arrived.wait_until(&mut state, deadline).timed_out();
                 if timed_out {
                     break;
                 }
@@ -353,8 +350,9 @@ mod tests {
             .map(|t| {
                 let b = Arc::clone(&batch);
                 thread::spawn(move || {
-                    let reqs: Vec<LmRequest> =
-                        (0..3).map(|i| LmRequest::new(format!("t{t}-{i}"))).collect();
+                    let reqs: Vec<LmRequest> = (0..3)
+                        .map(|i| LmRequest::new(format!("t{t}-{i}")))
+                        .collect();
                     let out = b.generate_batch(&reqs).unwrap();
                     for (i, r) in out.iter().enumerate() {
                         assert_eq!(r.text, format!("echo:t{t}-{i}"));

@@ -3,10 +3,12 @@
 //! Reads commands from stdin, one per line:
 //!
 //! ```text
-//! ASK <domain> <method> <question…>   answer one question
-//! STATS                               print the metrics report
-//! TRACE <id> [JSONL]                  print a captured request trace
-//! QUIT                                shut down
+//! ASK <domain> <method> <question…>      answer one question
+//! EXPLAIN <domain> <select>              show the relational plan
+//! EXPLAIN <domain> SEMPLAN <question…>   show the semantic plan
+//! STATS                                  print the metrics report
+//! TRACE <id> [JSONL]                     print a captured request trace
+//! QUIT                                   shut down
 //! ```
 //!
 //! Replies to `ASK` are single lines:
@@ -71,10 +73,7 @@ fn main() {
 
     eprintln!("tag-serve: generating domains (seed {seed})...");
     let server = Server::start(generate_all(seed, scale), SimConfig::default(), config);
-    eprintln!(
-        "tag-serve: ready; domains: {}",
-        server.domains().join(", ")
-    );
+    eprintln!("tag-serve: ready; domains: {}", server.domains().join(", "));
 
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -100,6 +99,12 @@ fn main() {
                 ),
                 Err(e) => println!("ERR {e}"),
             },
+            Ok(Command::Explain { domain, statement }) => {
+                match server.explain(&domain, &statement) {
+                    Ok(plan) => println!("{plan}"),
+                    Err(e) => println!("ERR {e}"),
+                }
+            }
             Ok(Command::Stats) => print!("{}", server.report()),
             Ok(Command::Trace { id, jsonl }) => {
                 let rendered = if jsonl {

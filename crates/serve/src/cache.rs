@@ -135,7 +135,10 @@ mod tests {
             normalize_question("schools with AvgScrMath over 700"),
             normalize_question("schools with AvgScrMath over 705")
         );
-        assert_ne!(normalize_question("Bay Area"), normalize_question("bay area"));
+        assert_ne!(
+            normalize_question("Bay Area"),
+            normalize_question("bay area")
+        );
         // Only ONE trailing punctuation mark is stripped.
         assert_eq!(normalize_question("why?!"), "why?");
     }
@@ -159,7 +162,12 @@ mod tests {
     #[test]
     fn whitespace_variants_share_an_entry() {
         let c = AnswerCache::new(64, 4);
-        c.insert("d", MethodName::HandWritten, "How many  schools?", Answer::Text("5".into()));
+        c.insert(
+            "d",
+            MethodName::HandWritten,
+            "How many  schools?",
+            Answer::Text("5".into()),
+        );
         assert!(c
             .get("d", MethodName::HandWritten, "  How many schools?  ")
             .is_some());
@@ -169,7 +177,12 @@ mod tests {
     fn eviction_counts_aggregate_across_shards() {
         let c = AnswerCache::new(4, 4); // 1 entry per shard
         for i in 0..64 {
-            c.insert("d", MethodName::Rag, &format!("q{i}"), Answer::Text(String::new()));
+            c.insert(
+                "d",
+                MethodName::Rag,
+                &format!("q{i}"),
+                Answer::Text(String::new()),
+            );
         }
         let s = c.stats();
         assert!(s.evictions > 0);

@@ -11,8 +11,8 @@ use std::time::Duration;
 /// Histogram bucket upper bounds, in seconds. Spans 100µs to 10s, log-ish
 /// spacing; the final implicit bucket is +inf.
 const BOUNDS: [f64; 16] = [
-    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
-    2.5, 5.0, 10.0,
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
 ];
 
 /// A fixed-bucket latency histogram (thread-safe, relaxed atomics).
@@ -36,8 +36,10 @@ impl Histogram {
         let idx = BOUNDS.partition_point(|&b| b < secs);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos
-            .fetch_add(d.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(
+            d.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
     }
 
     /// Number of observations.
@@ -72,7 +74,11 @@ impl Histogram {
             let in_bucket = b.load(Ordering::Relaxed);
             if seen + in_bucket >= target {
                 let lo = if i == 0 { 0.0 } else { BOUNDS[i - 1] };
-                let hi = if i < BOUNDS.len() { BOUNDS[i] } else { BOUNDS[BOUNDS.len() - 1] };
+                let hi = if i < BOUNDS.len() {
+                    BOUNDS[i]
+                } else {
+                    BOUNDS[BOUNDS.len() - 1]
+                };
                 if in_bucket == 0 {
                     return hi;
                 }

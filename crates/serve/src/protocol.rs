@@ -84,7 +84,11 @@ pub fn run_method(method: MethodName, question: &str, env: &TagEnv) -> Answer {
     match method {
         MethodName::Text2Sql => Text2Sql.answer(question, env),
         MethodName::Rag => {
-            let m = if aggregation { Rag::aggregation() } else { Rag::default() };
+            let m = if aggregation {
+                Rag::aggregation()
+            } else {
+                Rag::default()
+            };
             m.answer(question, env)
         }
         MethodName::Rerank => {
@@ -124,6 +128,16 @@ pub enum Command {
         method: MethodName,
         /// The natural-language question (rest of the line).
         question: String,
+    },
+    /// `EXPLAIN <domain> <statement…>` — render a plan without running
+    /// it: `EXPLAIN <domain> SELECT …` for relational plans,
+    /// `EXPLAIN <domain> SEMPLAN <question>` for semantic plans.
+    Explain {
+        /// Target domain name.
+        domain: String,
+        /// The statement after the domain (`SELECT …` or
+        /// `SEMPLAN <question>`), passed through to the SQL surface.
+        statement: String,
     },
     /// `STATS` — print the metrics report.
     Stats,
@@ -169,6 +183,22 @@ pub fn parse_line(line: &str) -> Result<Command, String> {
                 question,
             })
         }
+        "EXPLAIN" => {
+            // Re-split: the statement keeps its own interior whitespace.
+            let mut p = line.splitn(3, char::is_whitespace);
+            let _verb = p.next();
+            let domain = p
+                .next()
+                .ok_or_else(|| "EXPLAIN needs: EXPLAIN <domain> <statement>".to_owned())?;
+            let statement = p.next().unwrap_or("").trim().to_owned();
+            if statement.is_empty() {
+                return Err("EXPLAIN needs: EXPLAIN <domain> <statement>".to_owned());
+            }
+            Ok(Command::Explain {
+                domain: domain.to_owned(),
+                statement,
+            })
+        }
         "STATS" => Ok(Command::Stats),
         "TRACE" => {
             let id_tok = parts
@@ -186,7 +216,9 @@ pub fn parse_line(line: &str) -> Result<Command, String> {
         }
         "QUIT" | "EXIT" => Ok(Command::Quit),
         "" => Err("empty line".to_owned()),
-        other => Err(format!("unknown command {other:?} (ASK/STATS/QUIT)")),
+        other => Err(format!(
+            "unknown command {other:?} (ASK/EXPLAIN/STATS/TRACE/QUIT)"
+        )),
     }
 }
 
@@ -232,10 +264,35 @@ mod tests {
     }
 
     #[test]
+    fn explain_line_keeps_statement_intact() {
+        let c = parse_line("EXPLAIN formula_1 SELECT * FROM races WHERE year = 2008").unwrap();
+        assert_eq!(
+            c,
+            Command::Explain {
+                domain: "formula_1".into(),
+                statement: "SELECT * FROM races WHERE year = 2008".into(),
+            }
+        );
+        let c = parse_line("explain debit_card SEMPLAN How many schools are there?").unwrap();
+        assert_eq!(
+            c,
+            Command::Explain {
+                domain: "debit_card".into(),
+                statement: "SEMPLAN How many schools are there?".into(),
+            }
+        );
+        assert!(parse_line("EXPLAIN").is_err());
+        assert!(parse_line("EXPLAIN onlydomain").is_err());
+    }
+
+    #[test]
     fn trace_line_parses_id_and_format() {
         assert_eq!(
             parse_line("TRACE 17").unwrap(),
-            Command::Trace { id: 17, jsonl: false }
+            Command::Trace {
+                id: 17,
+                jsonl: false
+            }
         );
         assert_eq!(
             parse_line("trace 3 jsonl").unwrap(),

@@ -395,6 +395,30 @@ impl Server {
         }
     }
 
+    /// Render a plan for `statement` against `domain` without executing
+    /// it, through the SQL surface's `EXPLAIN`: `SELECT …` statements
+    /// show the relational plan, `SEMPLAN <question>` shows the
+    /// semantic plan a canonical question compiles to (after the
+    /// currently active rewrite rules). Returns the plan one node per
+    /// line; `Err` carries the planner's message verbatim.
+    pub fn explain(&self, domain: &str, statement: &str) -> Result<String, String> {
+        let env = self
+            .shared
+            .envs
+            .get(domain)
+            .ok_or_else(|| ServeError::UnknownDomain(domain.to_owned()).to_string())?;
+        let rs = env
+            .db
+            .query(&format!("EXPLAIN {statement}"))
+            .map_err(|e| e.to_string())?;
+        Ok(rs
+            .rows
+            .iter()
+            .flat_map(|r| r.iter().map(|v| v.to_string()))
+            .collect::<Vec<_>>()
+            .join("\n"))
+    }
+
     /// The raw spans of a captured trace, if still resident in the ring.
     pub fn trace(&self, trace_id: u64) -> Option<Vec<tag_trace::SpanRecord>> {
         self.shared.traces.get(trace_id)
@@ -442,7 +466,10 @@ impl Server {
                 Ok(ReplyHandle { cell: reply })
             }
             Err(TrySendError::Full(_)) => {
-                self.shared.metrics.rejected_queue_full.fetch_add(1, Relaxed);
+                self.shared
+                    .metrics
+                    .rejected_queue_full
+                    .fetch_add(1, Relaxed);
                 Err(ServeError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => Err(ServeError::Shutdown),
@@ -487,8 +514,7 @@ impl Server {
                 out.push_str(&format!(
                     "{name}: invocations={} prompts={} cache_hits={} lm_prompts={} \
                      lm_batches={} evictions={}\n",
-                    s.invocations, s.prompts, s.cache_hits, s.lm_prompts, s.lm_batches,
-                    s.evictions,
+                    s.invocations, s.prompts, s.cache_hits, s.lm_prompts, s.lm_batches, s.evictions,
                 ));
             }
         }
@@ -637,7 +663,10 @@ fn exec_loop(rx: &Mutex<Receiver<ExecJob>>, gen_tx: &SyncSender<GenJob>, shared:
             job.reply.deliver(Err(ServeError::DeadlineExceeded));
             continue;
         }
-        let env = shared.envs.get(&job.req.domain).expect("validated at submit");
+        let env = shared
+            .envs
+            .get(&job.req.domain)
+            .expect("validated at submit");
         let started = Instant::now();
         let (answer, spans, trace_id) = if shared.traces.capacity() > 0 {
             let (trace, sink) = tag_trace::Trace::memory();
@@ -743,10 +772,7 @@ mod tests {
             .next()
             .expect("benchmark non-empty");
         let req = Request::new(q.domain, MethodName::HandWritten, q.question());
-        (
-            Server::start(domains, SimConfig::default(), config),
-            req,
-        )
+        (Server::start(domains, SimConfig::default(), config), req)
     }
 
     #[test]
@@ -757,7 +783,11 @@ mod tests {
         });
         let first = server.ask(req.clone()).unwrap();
         assert!(!first.cache_hit);
-        assert!(!matches!(first.answer, Answer::Error(_)), "{:?}", first.answer);
+        assert!(
+            !matches!(first.answer, Answer::Error(_)),
+            "{:?}",
+            first.answer
+        );
         let second = server.ask(req).unwrap();
         assert!(second.cache_hit);
         assert_eq!(first.answer, second.answer);
@@ -872,6 +902,50 @@ mod tests {
         let second = server.ask(req).unwrap();
         assert!(second.cache_hit);
         assert_eq!(second.trace_id, None);
+    }
+
+    #[test]
+    fn explain_renders_relational_and_semantic_plans() {
+        let (server, req) = tiny_server(ServerConfig::default());
+        let domain = req.domain.clone();
+        let table = server.env(&domain).unwrap().db.catalog().table_names()[0].clone();
+        let sql_plan = server
+            .explain(&domain, &format!("SELECT * FROM {table}"))
+            .unwrap();
+        assert!(sql_plan.contains(&format!("Scan {table}")), "{sql_plan}");
+        let sem_plan = server
+            .explain(&domain, &format!("SEMPLAN {}", req.question))
+            .unwrap();
+        assert!(sem_plan.contains("Scan"), "{sem_plan}");
+        assert!(server
+            .explain("nope", "SELECT 1")
+            .unwrap_err()
+            .contains("unknown domain"),);
+        assert!(server
+            .explain(&domain, "SEMPLAN not a benchmark question")
+            .is_err());
+    }
+
+    #[test]
+    fn rerank_trace_maps_semplan_nodes_to_pipeline_stages() {
+        let (server, req) = tiny_server(ServerConfig::default());
+        let mut req = req;
+        req.method = MethodName::Rerank;
+        let resp = server.ask(req).unwrap();
+        let spans = server.trace(resp.trace_id.expect("traced")).unwrap();
+        // The retrieve → rerank → generate plan nodes surface as spans
+        // tagged with their SemStage, so the serve-side stage breakdown
+        // attributes their cost per pipeline stage.
+        for stage in [
+            tag_trace::Stage::Retrieve,
+            tag_trace::Stage::Rerank,
+            tag_trace::Stage::Gen,
+        ] {
+            assert!(
+                spans.iter().any(|s| s.stage == stage),
+                "missing {stage:?} span: {spans:#?}"
+            );
+        }
     }
 
     #[test]

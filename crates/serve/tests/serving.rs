@@ -52,7 +52,10 @@ fn concurrent_replay_matches_serial_baseline() {
         .count();
     // Sanity: the baseline must actually answer a good share of the
     // labelled queries, or the identity check below proves nothing.
-    let labelled = items.iter().filter(|(id, ..)| harness.truth(*id).is_some()).count();
+    let labelled = items
+        .iter()
+        .filter(|(id, ..)| harness.truth(*id).is_some())
+        .count();
     assert!(
         serial_score * 2 > labelled,
         "serial hand-written baseline too weak: {serial_score}/{labelled}"
@@ -83,7 +86,11 @@ fn concurrent_replay_matches_serial_baseline() {
                     return;
                 };
                 let resp = server
-                    .ask(Request::new(*domain, MethodName::HandWritten, question.clone()))
+                    .ask(Request::new(
+                        *domain,
+                        MethodName::HandWritten,
+                        question.clone(),
+                    ))
                     .expect("queue is deep enough to never shed");
                 *got[i].lock().unwrap() = Some(resp.answer);
             })
@@ -245,13 +252,17 @@ fn saturated_queue_sheds_with_queue_full() {
             Err(e) => panic!("unexpected rejection: {e}"),
         }
     }
-    assert!(shed > 0, "17 instant submissions into a 1-deep queue with 1 busy worker must shed");
+    assert!(
+        shed > 0,
+        "17 instant submissions into a 1-deep queue with 1 busy worker must shed"
+    );
     for h in accepted {
         assert!(h.wait().is_ok());
     }
     let m = server.metrics();
     assert_eq!(
-        m.rejected_queue_full.load(std::sync::atomic::Ordering::Relaxed),
+        m.rejected_queue_full
+            .load(std::sync::atomic::Ordering::Relaxed),
         shed as u64
     );
     assert!(server.report().contains(&format!("shed_queue_full={shed}")));

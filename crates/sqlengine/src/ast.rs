@@ -23,7 +23,10 @@ pub enum Statement {
     /// `DROP TABLE [IF EXISTS] name`
     DropTable { name: String, if_exists: bool },
     /// `DELETE FROM name [WHERE expr]`
-    Delete { table: String, predicate: Option<Expr> },
+    Delete {
+        table: String,
+        predicate: Option<Expr>,
+    },
     /// `UPDATE name SET col = expr, ... [WHERE expr]`
     Update {
         table: String,
@@ -309,18 +312,12 @@ impl Expr {
             Expr::Function { name, args, .. } => {
                 is_aggregate_name(name) || args.iter().any(Expr::contains_aggregate)
             }
-            Expr::Binary { lhs, rhs, .. } => {
-                lhs.contains_aggregate() || rhs.contains_aggregate()
-            }
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
             Expr::Unary { operand, .. } => operand.contains_aggregate(),
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
@@ -334,9 +331,7 @@ impl Expr {
                     || branches
                         .iter()
                         .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
-                    || else_branch
-                        .as_deref()
-                        .is_some_and(Expr::contains_aggregate)
+                    || else_branch.as_deref().is_some_and(Expr::contains_aggregate)
             }
             Expr::Cast { expr, .. } => expr.contains_aggregate(),
             Expr::Literal(_)

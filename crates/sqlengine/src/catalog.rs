@@ -34,8 +34,7 @@ impl Catalog {
 
     /// Replace or insert a table unconditionally.
     pub fn put_table(&mut self, table: Table) {
-        self.tables
-            .insert(table.name().to_ascii_uppercase(), table);
+        self.tables.insert(table.name().to_ascii_uppercase(), table);
     }
 
     /// Remove a table; returns it if present.

@@ -97,9 +97,9 @@ fn infer_type(values: &[&str]) -> DataType {
 pub fn table_from_csv(name: &str, text: &str) -> SqlResult<Table> {
     let records = parse_csv(text)?;
     let mut iter = records.into_iter();
-    let header = iter.next().ok_or_else(|| {
-        SqlError::Parse("CSV must contain a header record".into())
-    })?;
+    let header = iter
+        .next()
+        .ok_or_else(|| SqlError::Parse("CSV must contain a header record".into()))?;
     let data: Vec<Vec<String>> = iter.collect();
 
     let mut columns = Vec::with_capacity(header.len());

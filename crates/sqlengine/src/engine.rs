@@ -5,17 +5,51 @@ use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
 use crate::exec::{execute, execute_profiled};
 use crate::optimizer::optimize;
-use crate::plancache::{normalize_sql, CachedArm, CachedPlan, PlanCache, PlanCacheStats};
-use crate::profile::PlanProfiler;
 use crate::parser::{parse_statement, parse_statements};
+use crate::plan::Plan;
+use crate::plancache::{normalize_sql, CachedArm, CachedPlan, PlanCache, PlanCacheStats};
 use crate::planner::{Planner, Scope};
+use crate::profile::PlanProfiler;
 use crate::result::ResultSet;
 use crate::schema::{Column, Schema};
+use crate::semplan::SemNode;
 use crate::table::{IndexKind, Table};
 use crate::udf::{ScalarUdf, UdfRegistry};
 use crate::value::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Renders `EXPLAIN SEMPLAN <question>` output. Registered by the
+/// semantic runtime: the SQL engine cannot compile NL questions itself.
+pub type SemPlanExplainFn = dyn Fn(&str) -> Result<String, String> + Send + Sync;
+
+/// Interior-mutable slot for the registered semantic-plan explainer.
+#[derive(Default)]
+struct ExplainerSlot(Mutex<Option<Arc<SemPlanExplainFn>>>);
+
+impl ExplainerSlot {
+    fn get(&self) -> Option<Arc<SemPlanExplainFn>> {
+        self.0.lock().expect("explainer lock").clone()
+    }
+
+    fn set(&self, f: Arc<SemPlanExplainFn>) {
+        *self.0.lock().expect("explainer lock") = Some(f);
+    }
+}
+
+impl Clone for ExplainerSlot {
+    fn clone(&self) -> Self {
+        ExplainerSlot(Mutex::new(self.get()))
+    }
+}
+
+impl std::fmt::Debug for ExplainerSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ExplainerSlot")
+            .field(&self.get().map(|_| "<fn>"))
+            .finish()
+    }
+}
 
 /// An in-memory SQL database: catalog + UDF registry + query pipeline.
 ///
@@ -41,7 +75,10 @@ pub struct Database {
     /// catalog/UDF mutation. Part of the plan-cache key.
     schema_epoch: AtomicU64,
     /// Bound + optimized plans keyed on `(schema_epoch, normalized SQL)`.
+    /// Semantic plans share the cache under `semplan:`-prefixed keys.
     plan_cache: PlanCache,
+    /// Registered `EXPLAIN SEMPLAN` renderer.
+    semplan_explainer: ExplainerSlot,
 }
 
 impl Clone for Database {
@@ -54,6 +91,7 @@ impl Clone for Database {
             // Plans are cheap to rebuild; a clone starts with an empty
             // cache rather than sharing or copying entries.
             plan_cache: PlanCache::new(self.plan_cache.capacity()),
+            semplan_explainer: self.semplan_explainer.clone(),
         }
     }
 }
@@ -117,8 +155,14 @@ impl Database {
         self.plan_cache.invalidate();
     }
 
-    /// Parse, plan, optimize, and run one SQL statement.
+    /// Parse, plan, optimize, and run one SQL statement. `EXPLAIN`
+    /// statements (see [`Database::query`]) are answered without
+    /// executing anything.
     pub fn execute(&mut self, sql: &str) -> SqlResult<ResultSet> {
+        if let Some(result) = self.try_explain(sql) {
+            self.statements_run.fetch_add(1, Ordering::Relaxed);
+            return result;
+        }
         let stmt = parse_statement(sql)?;
         self.execute_statement(stmt)
     }
@@ -131,7 +175,15 @@ impl Database {
     /// [`normalize_sql`]) and skip parse/bind/optimize entirely; the
     /// cached [`Plan`](crate::Plan) runs through the same executor, so
     /// results are byte-identical to an uncached run.
+    /// `EXPLAIN <select>` and `EXPLAIN SEMPLAN <question>` statements
+    /// are also accepted here: both are read-only and return the plan
+    /// text as a one-column `plan` result (one row per line, plus a
+    /// trailing `plan_cache: hit|miss` row for `EXPLAIN <select>`).
     pub fn query(&self, sql: &str) -> SqlResult<ResultSet> {
+        if let Some(result) = self.try_explain(sql) {
+            self.statements_run.fetch_add(1, Ordering::Relaxed);
+            return result;
+        }
         let (cached, _hit) = self.plan_for(sql)?;
         self.statements_run.fetch_add(1, Ordering::Relaxed);
         self.execute_cached(&cached)
@@ -170,7 +222,11 @@ impl Database {
             match &mut acc {
                 None => acc = Some(ResultSet::new(arm.columns.clone(), rows)),
                 Some(acc) => {
-                    text.push_str(if arm.union_all { "UNION ALL\n" } else { "UNION\n" });
+                    text.push_str(if arm.union_all {
+                        "UNION ALL\n"
+                    } else {
+                        "UNION\n"
+                    });
                     acc.rows.extend(rows);
                     if !arm.union_all {
                         let mut seen = std::collections::HashSet::new();
@@ -180,7 +236,11 @@ impl Database {
             }
             text.push_str(&profiler.render());
         }
-        text.push_str(if hit { "plan_cache: hit" } else { "plan_cache: miss" });
+        text.push_str(if hit {
+            "plan_cache: hit"
+        } else {
+            "plan_cache: miss"
+        });
         Ok((acc.expect("cached plan has at least one arm"), text))
     }
 
@@ -293,6 +353,90 @@ impl Database {
         }
     }
 
+    /// Register the `EXPLAIN SEMPLAN` renderer. The callback receives
+    /// the question text and returns the rendered semantic plan (or a
+    /// human-readable error, e.g. for an unparseable question).
+    pub fn set_semplan_explainer(&self, f: Arc<SemPlanExplainFn>) {
+        self.semplan_explainer.set(f);
+    }
+
+    /// Fetch the cached semantic plan for `key` (a canonicalized NL
+    /// query plus optimizer tag), or build it via `build` and cache it.
+    /// Shares the relational plan cache — same LRU budget, same
+    /// epoch-based invalidation on DDL/DML — under a `semplan:` key
+    /// prefix so SQL text can never collide with a semantic key. The
+    /// bool is true on a cache hit.
+    pub fn semplan_for(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> SemNode,
+    ) -> (Arc<CachedPlan>, bool) {
+        let epoch = self.schema_epoch.load(Ordering::Acquire);
+        let key = format!("semplan:{key}");
+        if let Some(cached) = self.plan_cache.get(epoch, &key) {
+            return (cached, true);
+        }
+        let cached = Arc::new(CachedPlan {
+            arms: vec![CachedArm {
+                union_all: false,
+                plan: Plan::Sem { root: build() },
+                columns: Vec::new(),
+            }],
+        });
+        self.plan_cache.insert(epoch, key, Arc::clone(&cached));
+        (cached, false)
+    }
+
+    /// Recognize and answer an `EXPLAIN` statement; `None` when `sql`
+    /// is not one. `EXPLAIN <select>` plans through the cache (so it
+    /// reports and affects hit/miss state exactly like a query);
+    /// `EXPLAIN SEMPLAN <question>` routes to the registered explainer.
+    fn try_explain(&self, sql: &str) -> Option<SqlResult<ResultSet>> {
+        let rest = strip_keyword(sql.trim(), "EXPLAIN")?.trim_start();
+        if let Some(question) = strip_keyword(rest, "SEMPLAN") {
+            return Some(self.explain_semplan(question.trim()));
+        }
+        Some(self.explain_select_cached(rest.trim()))
+    }
+
+    fn explain_select_cached(&self, sql: &str) -> SqlResult<ResultSet> {
+        let (cached, hit) = self.plan_for(sql)?;
+        let mut text = String::new();
+        for (i, arm) in cached.arms.iter().enumerate() {
+            if i > 0 {
+                text.push_str(if arm.union_all {
+                    "UNION ALL\n"
+                } else {
+                    "UNION\n"
+                });
+            }
+            text.push_str(&arm.plan.explain());
+        }
+        text.push_str(if hit {
+            "plan_cache: hit"
+        } else {
+            "plan_cache: miss"
+        });
+        Ok(plan_text_result(&text))
+    }
+
+    fn explain_semplan(&self, question: &str) -> SqlResult<ResultSet> {
+        if question.is_empty() {
+            return Err(SqlError::Unsupported(
+                "EXPLAIN SEMPLAN needs a question".into(),
+            ));
+        }
+        let explainer = self.semplan_explainer.get().ok_or_else(|| {
+            SqlError::Unsupported(
+                "EXPLAIN SEMPLAN requires a semantic runtime (no explainer registered)".into(),
+            )
+        })?;
+        match explainer(question) {
+            Ok(text) => Ok(plan_text_result(text.trim_end())),
+            Err(e) => Err(SqlError::Binding(e)),
+        }
+    }
+
     /// Execute an already-parsed statement.
     pub fn execute_statement(&mut self, stmt: Statement) -> SqlResult<ResultSet> {
         if matches!(
@@ -324,16 +468,23 @@ impl Database {
                 let schema = Schema::new(
                     c.columns
                         .iter()
-                        .map(|ColumnDef { name, dtype, not_null, primary_key }| {
-                            let mut col = Column::new(name.clone(), *dtype);
-                            if *not_null {
-                                col = col.not_null();
-                            }
-                            if *primary_key {
-                                col = col.primary_key();
-                            }
-                            col
-                        })
+                        .map(
+                            |ColumnDef {
+                                 name,
+                                 dtype,
+                                 not_null,
+                                 primary_key,
+                             }| {
+                                let mut col = Column::new(name.clone(), *dtype);
+                                if *not_null {
+                                    col = col.not_null();
+                                }
+                                if *primary_key {
+                                    col = col.primary_key();
+                                }
+                                col
+                            },
+                        )
                         .collect(),
                 )?;
                 let mut table = Table::new(c.name.clone(), schema);
@@ -390,9 +541,10 @@ impl Database {
                 };
                 let mut bound_assignments = Vec::with_capacity(assignments.len());
                 for (col, e) in &assignments {
-                    let idx = t.schema().index_of(col).ok_or_else(|| {
-                        SqlError::Binding(format!("no such column: {col}"))
-                    })?;
+                    let idx = t
+                        .schema()
+                        .index_of(col)
+                        .ok_or_else(|| SqlError::Binding(format!("no such column: {col}")))?;
                     bound_assignments.push((idx, planner.bind(e, &scope, None)?));
                 }
                 let t = self.catalog.table_mut(&table)?;
@@ -448,10 +600,7 @@ impl Database {
                 let mut m = Vec::with_capacity(cols.len());
                 for c in cols {
                     m.push(t.schema().index_of(c).ok_or_else(|| {
-                        SqlError::Binding(format!(
-                            "no such column {c:?} in table {}",
-                            ins.table
-                        ))
+                        SqlError::Binding(format!("no such column {c:?} in table {}", ins.table))
                     })?);
                 }
                 Some(m)
@@ -499,6 +648,30 @@ impl Database {
     }
 }
 
+/// Case-insensitive keyword prefix match: returns the text after the
+/// keyword when `text` starts with it as a whole word.
+fn strip_keyword<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
+    if text.len() < keyword.len() || !text[..keyword.len()].eq_ignore_ascii_case(keyword) {
+        return None;
+    }
+    let rest = &text[keyword.len()..];
+    match rest.chars().next() {
+        None => Some(rest),
+        Some(c) if c.is_whitespace() => Some(rest),
+        Some(_) => None,
+    }
+}
+
+/// Plan text as a one-column `plan` result set, one row per line.
+fn plan_text_result(text: &str) -> ResultSet {
+    ResultSet::new(
+        vec!["plan".into()],
+        text.lines()
+            .map(|l| vec![Value::Text(l.to_owned())])
+            .collect(),
+    )
+}
+
 fn scope_for_table(name: &str, table: &Table) -> Scope {
     let mut scope = Scope::default();
     for c in table.schema().columns() {
@@ -523,6 +696,77 @@ mod tests {
         )
         .unwrap();
         db
+    }
+
+    #[test]
+    fn explain_statement_renders_plan_and_cache_state() {
+        let db = db();
+        let rs = db
+            .query("EXPLAIN SELECT * FROM schools WHERE CDSCode = 2")
+            .unwrap();
+        assert_eq!(rs.columns, vec!["plan"]);
+        let lines: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+        assert!(lines.iter().any(|l| l.contains("IndexProbe")), "{lines:?}");
+        assert_eq!(lines.last().unwrap(), "plan_cache: miss");
+        // EXPLAIN planned through the cache, so re-explaining (and the
+        // query itself) now hit.
+        let rs = db
+            .query("explain SELECT * FROM schools WHERE CDSCode = 2")
+            .unwrap();
+        assert_eq!(rs.rows.last().unwrap()[0].to_string(), "plan_cache: hit");
+        // The keyword must be a whole word: a table named EXPLAINER etc.
+        // still parses as SQL.
+        assert!(db.query("EXPLAINSELECT 1").is_err());
+    }
+
+    #[test]
+    fn explain_semplan_requires_registered_explainer() {
+        let db = db();
+        let err = db
+            .query("EXPLAIN SEMPLAN How many schools are there?")
+            .unwrap_err();
+        assert!(err.message().contains("no explainer registered"), "{err:?}");
+
+        db.set_semplan_explainer(Arc::new(|q: &str| {
+            if q.starts_with("How many") {
+                Ok(format!("SemAgg  [gen]\n  Scan schools  [exec]\n# {q}"))
+            } else {
+                Err(format!("not a TAG-Bench question: {q}"))
+            }
+        }));
+        let rs = db
+            .query("EXPLAIN SEMPLAN How many schools are there?")
+            .unwrap();
+        assert_eq!(rs.columns, vec!["plan"]);
+        assert_eq!(rs.rows[0][0].to_string(), "SemAgg  [gen]");
+        let err = db.query("EXPLAIN SEMPLAN gibberish").unwrap_err();
+        assert!(err.message().contains("not a TAG-Bench question"));
+        // Works through the mutable entry point too.
+        let mut db2 = db.clone();
+        assert!(db2
+            .execute("EXPLAIN SEMPLAN How many schools are there?")
+            .is_ok());
+    }
+
+    #[test]
+    fn semplan_cache_shares_epoch_invalidation() {
+        let mut db = db();
+        let build = || SemNode::Scan {
+            table: "schools".into(),
+        };
+        let (plan, hit) = db.semplan_for("q1|p1d1c1", build);
+        assert!(!hit);
+        assert!(matches!(plan.arms[0].plan, Plan::Sem { .. }));
+        let (_, hit) = db.semplan_for("q1|p1d1c1", build);
+        assert!(hit, "same key re-planned");
+        let (_, hit) = db.semplan_for("q1|p0d0c0", build);
+        assert!(!hit, "different optimizer tag must not collide");
+        // DML bumps the epoch: the semantic plan is invalidated with
+        // the relational ones.
+        db.execute("INSERT INTO schools VALUES (7, 'Davis', -121.7)")
+            .unwrap();
+        let (_, hit) = db.semplan_for("q1|p1d1c1", build);
+        assert!(!hit, "epoch bump evicts semantic plans");
     }
 
     #[test]
@@ -616,7 +860,8 @@ mod tests {
     #[test]
     fn create_index_statement() {
         let mut db = db();
-        db.execute("CREATE INDEX idx_city ON schools (City)").unwrap();
+        db.execute("CREATE INDEX idx_city ON schools (City)")
+            .unwrap();
         let explain = db
             .explain("SELECT * FROM schools WHERE City = 'Fresno'")
             .unwrap();
@@ -765,10 +1010,8 @@ mod tests {
     #[test]
     fn unknown_column_still_errors_with_outer_scope() {
         let mut db = Database::new();
-        db.execute_script(
-            "CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1);",
-        )
-        .unwrap();
+        db.execute_script("CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1);")
+            .unwrap();
         let err = db
             .execute("SELECT x FROM t WHERE EXISTS (SELECT nope FROM t)")
             .unwrap_err();
@@ -821,7 +1064,9 @@ mod tests {
         let db = db();
         let a = db.query("SELECT City FROM schools ORDER BY City").unwrap();
         // Re-formatted (whitespace + keyword case) variants share the entry.
-        let b = db.query("select  City\nfrom schools  order by City").unwrap();
+        let b = db
+            .query("select  City\nfrom schools  order by City")
+            .unwrap();
         let c = db.query("SELECT City FROM schools ORDER BY City").unwrap();
         assert_eq!(a.rows, b.rows);
         assert_eq!(a.columns, b.columns);

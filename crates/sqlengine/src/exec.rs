@@ -59,7 +59,11 @@ fn exec_impl(plan: &Plan, catalog: &Catalog, prof: Option<&PlanProfiler>) -> Sql
                     "plan references missing index on {table} col#{key_column}"
                 ))
             })?;
-            Ok(idx.probe(key).into_iter().map(|id| t.row(id).clone()).collect())
+            Ok(idx
+                .probe(key)
+                .into_iter()
+                .map(|id| t.row(id).clone())
+                .collect())
         }
         Plan::IndexRangeScan {
             table,
@@ -75,9 +79,9 @@ fn exec_impl(plan: &Plan, catalog: &Catalog, prof: Option<&PlanProfiler>) -> Sql
             })?;
             let low = bound_as_ref(&range.low);
             let high = bound_as_ref(&range.high);
-            let ids = idx.probe_range(low, high).ok_or_else(|| {
-                SqlError::Eval("range scan requires a B-tree index".into())
-            })?;
+            let ids = idx
+                .probe_range(low, high)
+                .ok_or_else(|| SqlError::Eval("range scan requires a B-tree index".into()))?;
             Ok(ids.into_iter().map(|id| t.row(id).clone()).collect())
         }
         Plan::Values { rows, .. } => {
@@ -180,6 +184,11 @@ fn exec_impl(plan: &Plan, catalog: &Catalog, prof: Option<&PlanProfiler>) -> Sql
             }
             Ok(out)
         }
+        Plan::Sem { .. } => Err(SqlError::Unsupported(
+            "semantic plans execute through a SemDelegate (see tag_sql::execute_sem), \
+             not the relational executor"
+                .into(),
+        )),
     }
 }
 
@@ -489,11 +498,7 @@ fn eval_keys(row: &Row, keys: &[SortKey], ctx: &EvalCtx<'_>) -> SqlResult<Vec<Va
 }
 
 /// Stable sort by the given keys.
-pub(crate) fn sort_rows(
-    rows: &mut Vec<Row>,
-    keys: &[SortKey],
-    ctx: &EvalCtx<'_>,
-) -> SqlResult<()> {
+pub(crate) fn sort_rows(rows: &mut Vec<Row>, keys: &[SortKey], ctx: &EvalCtx<'_>) -> SqlResult<()> {
     let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
     for row in rows.drain(..) {
         keyed.push((eval_keys(&row, keys, ctx)?, row));

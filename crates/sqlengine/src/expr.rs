@@ -98,7 +98,11 @@ impl std::fmt::Debug for BoundExpr {
             BoundExpr::ColumnRef(i) => write!(f, "#{i}"),
             BoundExpr::OuterRef(i) => write!(f, "outer#{i}"),
             BoundExpr::CorrelatedExists { negated, .. } => {
-                write!(f, "({}EXISTS <correlated>)", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "({}EXISTS <correlated>)",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             BoundExpr::CorrelatedScalar { .. } => write!(f, "<correlated scalar>"),
             BoundExpr::CorrelatedIn { expr, negated, .. } => write!(
@@ -112,7 +116,11 @@ impl std::fmt::Debug for BoundExpr {
                 UnOp::Not => write!(f, "(NOT {operand:?})"),
             },
             BoundExpr::IsNull { expr, negated } => {
-                write!(f, "({expr:?} IS {}NULL)", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "({expr:?} IS {}NULL)",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             BoundExpr::Between {
                 expr,
@@ -124,10 +132,20 @@ impl std::fmt::Debug for BoundExpr {
                 "({expr:?} {}BETWEEN {low:?} AND {high:?})",
                 if *negated { "NOT " } else { "" }
             ),
-            BoundExpr::InList { expr, list, negated } => {
-                write!(f, "({expr:?} {}IN {list:?})", if *negated { "NOT " } else { "" })
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "({expr:?} {}IN {list:?})",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            BoundExpr::InSet { expr, set, negated, .. } => write!(
+            BoundExpr::InSet {
+                expr, set, negated, ..
+            } => write!(
                 f,
                 "({expr:?} {}IN <set of {}>)",
                 if *negated { "NOT " } else { "" },
@@ -185,9 +203,7 @@ impl BoundExpr {
                     )));
                 }
                 match rows.into_iter().next() {
-                    Some(r) if r.len() == 1 => {
-                        Ok(r.into_iter().next().expect("one column"))
-                    }
+                    Some(r) if r.len() == 1 => Ok(r.into_iter().next().expect("one column")),
                     Some(r) => Err(SqlError::Eval(format!(
                         "correlated scalar subquery returned {} columns",
                         r.len()
@@ -334,9 +350,8 @@ impl BoundExpr {
                     .iter()
                     .map(|a| a.eval_ctx(row, ctx))
                     .collect::<SqlResult<Vec<_>>>()?;
-                eval_builtin(name, &vals).unwrap_or_else(|| {
-                    Err(SqlError::Binding(format!("unknown built-in {name:?}")))
-                })
+                eval_builtin(name, &vals)
+                    .unwrap_or_else(|| Err(SqlError::Binding(format!("unknown built-in {name:?}"))))
             }
             BoundExpr::Udf { udf, args } => {
                 let vals = args
@@ -410,8 +425,7 @@ impl BoundExpr {
             BoundExpr::ColumnRef(i) | BoundExpr::OuterRef(i) => {
                 out.insert(*i);
             }
-            BoundExpr::CorrelatedExists { plan, .. }
-            | BoundExpr::CorrelatedScalar { plan } => {
+            BoundExpr::CorrelatedExists { plan, .. } | BoundExpr::CorrelatedScalar { plan } => {
                 plan.collect_outer_refs(out);
             }
             BoundExpr::CorrelatedIn { expr, plan, .. } => {
@@ -473,20 +487,18 @@ impl BoundExpr {
     /// — including those inside embedded correlated subplans, which point
     /// at this row — are remapped through the same map.
     pub fn remap_columns(&self, map: &dyn Fn(usize) -> usize) -> BoundExpr {
-        self.rewrite_refs(
-            &|i| BoundExpr::ColumnRef(map(i)),
-            &|i| BoundExpr::OuterRef(map(i)),
-        )
+        self.rewrite_refs(&|i| BoundExpr::ColumnRef(map(i)), &|i| {
+            BoundExpr::OuterRef(map(i))
+        })
     }
 
     /// Replace every outer reference with the corresponding literal from
     /// `outer_row` (performed before a correlated subplan executes).
     /// Column references are untouched — they belong to the subplan.
     pub fn substitute_outer(&self, outer_row: &[Value]) -> BoundExpr {
-        self.rewrite_refs(
-            &|i| BoundExpr::ColumnRef(i),
-            &|i| BoundExpr::Literal(outer_row.get(i).cloned().unwrap_or(Value::Null)),
-        )
+        self.rewrite_refs(&|i| BoundExpr::ColumnRef(i), &|i| {
+            BoundExpr::Literal(outer_row.get(i).cloned().unwrap_or(Value::Null))
+        })
     }
 
     /// Collect outer-reference positions, descending into embedded
@@ -516,8 +528,9 @@ impl BoundExpr {
         f(self);
         match self {
             BoundExpr::Literal(_) | BoundExpr::ColumnRef(_) | BoundExpr::OuterRef(_) => {}
-            BoundExpr::CorrelatedExists { plan, .. }
-            | BoundExpr::CorrelatedScalar { plan } => plan.visit_exprs(f),
+            BoundExpr::CorrelatedExists { plan, .. } | BoundExpr::CorrelatedScalar { plan } => {
+                plan.visit_exprs(f)
+            }
             BoundExpr::CorrelatedIn { expr, plan, .. } => {
                 expr.visit_refs(f);
                 plan.visit_exprs(f);
@@ -680,8 +693,7 @@ fn run_correlated(
 ) -> SqlResult<Vec<Vec<Value>>> {
     let catalog = ctx.catalog.ok_or_else(|| {
         SqlError::Eval(
-            "correlated subquery requires catalog context (evaluated outside the executor)"
-                .into(),
+            "correlated subquery requires catalog context (evaluated outside the executor)".into(),
         )
     })?;
     let bound = plan.substitute_outer(outer_row);

@@ -50,10 +50,11 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Option<SqlResult<Value>> {
             if args.iter().any(Value::is_null) {
                 Ok(Value::Null)
             } else {
-                Ok(Value::Text(args[0].to_string().replace(
-                    &args[1].to_string(),
-                    &args[2].to_string(),
-                )))
+                Ok(Value::Text(
+                    args[0]
+                        .to_string()
+                        .replace(&args[1].to_string(), &args[2].to_string()),
+                ))
             }
         } else {
             Err(arity_err(&upper, 3, args.len()))
@@ -94,11 +95,7 @@ fn arity_err(name: &str, want: usize, got: usize) -> SqlError {
     SqlError::Eval(format!("{name} expects {want} argument(s), got {got}"))
 }
 
-fn unary(
-    args: &[Value],
-    name: &str,
-    f: impl Fn(&Value) -> SqlResult<Value>,
-) -> SqlResult<Value> {
+fn unary(args: &[Value], name: &str, f: impl Fn(&Value) -> SqlResult<Value>) -> SqlResult<Value> {
     if args.len() != 1 {
         return Err(arity_err(name, 1, args.len()));
     }
@@ -233,11 +230,26 @@ mod tests {
     #[test]
     fn substr_positions() {
         let s = Value::text("database");
-        assert_eq!(call("substr", &[s.clone(), Value::Int(1), Value::Int(4)]), Value::text("data"));
-        assert_eq!(call("substr", &[s.clone(), Value::Int(5)]), Value::text("base"));
-        assert_eq!(call("substr", &[s.clone(), Value::Int(-4)]), Value::text("base"));
-        assert_eq!(call("substr", &[s.clone(), Value::Int(100)]), Value::text(""));
-        assert_eq!(call("substr", &[s, Value::Int(0), Value::Int(2)]), Value::text("da"));
+        assert_eq!(
+            call("substr", &[s.clone(), Value::Int(1), Value::Int(4)]),
+            Value::text("data")
+        );
+        assert_eq!(
+            call("substr", &[s.clone(), Value::Int(5)]),
+            Value::text("base")
+        );
+        assert_eq!(
+            call("substr", &[s.clone(), Value::Int(-4)]),
+            Value::text("base")
+        );
+        assert_eq!(
+            call("substr", &[s.clone(), Value::Int(100)]),
+            Value::text("")
+        );
+        assert_eq!(
+            call("substr", &[s, Value::Int(0), Value::Int(2)]),
+            Value::text("da")
+        );
     }
 
     #[test]
@@ -261,10 +273,7 @@ mod tests {
 
     #[test]
     fn nullif_ifnull_typeof() {
-        assert_eq!(
-            call("nullif", &[Value::Int(1), Value::Int(1)]),
-            Value::Null
-        );
+        assert_eq!(call("nullif", &[Value::Int(1), Value::Int(1)]), Value::Null);
         assert_eq!(
             call("nullif", &[Value::Int(1), Value::Int(2)]),
             Value::Int(1)
@@ -286,10 +295,7 @@ mod tests {
             call("max", &[Value::Int(3), Value::Float(3.5)]),
             Value::Float(3.5)
         );
-        assert_eq!(
-            call("max", &[Value::Int(3), Value::Null]),
-            Value::Null
-        );
+        assert_eq!(call("max", &[Value::Int(3), Value::Null]), Value::Null);
     }
 
     #[test]

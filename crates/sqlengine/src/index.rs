@@ -141,11 +141,7 @@ impl BTreeIndex {
     /// Used by property tests.
     pub fn check_invariants(&self) {
         check_rec(&self.root, None, None, true);
-        let total: usize = self
-            .iter_ordered()
-            .iter()
-            .map(|(_, rows)| rows.len())
-            .sum();
+        let total: usize = self.iter_ordered().iter().map(|(_, rows)| rows.len()).sum();
         assert_eq!(total, self.len, "len counter out of sync");
     }
 }

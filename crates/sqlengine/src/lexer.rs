@@ -138,7 +138,11 @@ pub fn tokenize(sql: &str) -> SqlResult<Vec<Token>> {
             '/' => push_sym(&mut out, Sym::Slash, &mut i),
             '%' => push_sym(&mut out, Sym::Percent, &mut i),
             '=' => {
-                i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                i += if bytes.get(i + 1) == Some(&b'=') {
+                    2
+                } else {
+                    1
+                };
                 out.push(Token::Sym(Sym::Eq));
             }
             '!' => {

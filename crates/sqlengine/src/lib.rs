@@ -55,6 +55,8 @@ pub mod planner;
 pub mod profile;
 pub mod result;
 pub mod schema;
+pub mod semopt;
+pub mod semplan;
 pub mod table;
 pub mod udf;
 pub mod value;
@@ -66,6 +68,11 @@ pub use plancache::{normalize_sql, PlanCache, PlanCacheStats};
 pub use profile::{NodeProfile, PlanProfiler};
 pub use result::ResultSet;
 pub use schema::{Column, DataType, Row, Schema};
+pub use semopt::{optimize_sem, SemOptOptions};
+pub use semplan::{
+    execute_sem, execute_sem_profiled, CutSpec, GenFormat, LmCost, RetrieveKind, SemClaimSpec,
+    SemDelegate, SemFrame, SemNode, SemPredicate, SemStage,
+};
 pub use table::{IndexKind, Table};
 pub use udf::{FnUdf, ScalarUdf, UdfRegistry};
 pub use value::Value;

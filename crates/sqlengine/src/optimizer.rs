@@ -127,10 +127,14 @@ fn map_children(plan: Plan, catalog: &Catalog) -> Plan {
         Plan::Distinct { input } => Plan::Distinct {
             input: Box::new(rewrite(*input, catalog)),
         },
+        // Semantic plans have their own rule set (crate::semopt), applied
+        // by the semantic runtime before caching; the relational
+        // optimizer passes them through untouched.
         leaf @ (Plan::TableScan { .. }
         | Plan::IndexProbe { .. }
         | Plan::IndexRangeScan { .. }
-        | Plan::Values { .. }) => leaf,
+        | Plan::Values { .. }
+        | Plan::Sem { .. }) => leaf,
     }
 }
 
@@ -169,7 +173,7 @@ fn rewrite_filter(input: Plan, predicate: BoundExpr, catalog: &Catalog) -> Plan 
         if c.is_constant() {
             match c.eval(&[]) {
                 Ok(v) => match v.truthiness() {
-                    Some(true) => continue,       // always true: drop
+                    Some(true) => continue, // always true: drop
                     Some(false) | None => {
                         // Always-false filter: emit an empty Values node
                         // with the right arity.
@@ -203,9 +207,7 @@ fn rewrite_filter(input: Plan, predicate: BoundExpr, catalog: &Catalog) -> Plan 
             exprs,
             columns,
         } => {
-            let all_colrefs = exprs
-                .iter()
-                .all(|e| matches!(e, BoundExpr::ColumnRef(_)));
+            let all_colrefs = exprs.iter().all(|e| matches!(e, BoundExpr::ColumnRef(_)));
             if all_colrefs {
                 let mapping: Vec<usize> = exprs
                     .iter()
@@ -272,9 +274,7 @@ fn rewrite_filter(input: Plan, predicate: BoundExpr, catalog: &Catalog) -> Plan 
             }
         }),
         // Index selection over a base table scan.
-        Plan::TableScan { table, columns } => {
-            index_select(table, columns, kept, catalog)
-        }
+        Plan::TableScan { table, columns } => index_select(table, columns, kept, catalog),
         other => Plan::Filter {
             input: Box::new(other),
             predicate: conjoin(kept).expect("nonempty"),
@@ -491,17 +491,17 @@ fn as_range_literal(expr: &BoundExpr) -> Option<(usize, IndexRange)> {
             high,
             negated: false,
         } => match (expr.as_ref(), low.as_ref(), high.as_ref()) {
-            (
-                BoundExpr::ColumnRef(i),
-                BoundExpr::Literal(lo),
-                BoundExpr::Literal(hi),
-            ) if !lo.is_null() && !hi.is_null() => Some((
-                *i,
-                IndexRange {
-                    low: Bound::Included(lo.clone()),
-                    high: Bound::Included(hi.clone()),
-                },
-            )),
+            (BoundExpr::ColumnRef(i), BoundExpr::Literal(lo), BoundExpr::Literal(hi))
+                if !lo.is_null() && !hi.is_null() =>
+            {
+                Some((
+                    *i,
+                    IndexRange {
+                        low: Bound::Included(lo.clone()),
+                        high: Bound::Included(hi.clone()),
+                    },
+                ))
+            }
             _ => None,
         },
         _ => None,
@@ -533,17 +533,11 @@ fn try_hash_join(left: Plan, right: Plan, kind: JoinKind, on: BoundExpr) -> Plan
                 let r_left = !rcols.is_empty() && rcols.iter().all(|&i| i < left_width);
                 let r_right = !rcols.is_empty() && rcols.iter().all(|&i| i >= left_width);
                 if l_left && r_right {
-                    key_pair = Some((
-                        (**lhs).clone(),
-                        rhs.remap_columns(&|i| i - left_width),
-                    ));
+                    key_pair = Some(((**lhs).clone(), rhs.remap_columns(&|i| i - left_width)));
                     continue;
                 }
                 if l_right && r_left {
-                    key_pair = Some((
-                        (**rhs).clone(),
-                        lhs.remap_columns(&|i| i - left_width),
-                    ));
+                    key_pair = Some(((**rhs).clone(), lhs.remap_columns(&|i| i - left_width)));
                     continue;
                 }
             }
@@ -792,8 +786,7 @@ mod tests {
                 | Plan::TopK { input, .. }
                 | Plan::Limit { input, .. }
                 | Plan::Distinct { input } => contains_probe(input),
-                Plan::NestedLoopJoin { left, right, .. }
-                | Plan::HashJoin { left, right, .. } => {
+                Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
                     contains_probe(left) || contains_probe(right)
                 }
                 Plan::Aggregate { input, .. } => contains_probe(input),

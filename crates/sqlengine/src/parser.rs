@@ -129,7 +129,9 @@ impl Parser {
             Some(Token::Ident(s, _)) => Ok(s),
             other => Err(SqlError::Parse(format!(
                 "expected identifier, found {}",
-                other.map(|t| format!("`{t}`")).unwrap_or("end of input".into())
+                other
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or("end of input".into())
             ))),
         }
     }
@@ -446,7 +448,9 @@ impl Parser {
             Some(Token::Int(i)) if i >= 0 => Ok(i as u64),
             other => Err(SqlError::Parse(format!(
                 "{ctx} expects a non-negative integer, found {}",
-                other.map(|t| format!("`{t}`")).unwrap_or("end of input".into())
+                other
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or("end of input".into())
             ))),
         }
     }
@@ -801,7 +805,9 @@ impl Parser {
             }
             other => Err(SqlError::Parse(format!(
                 "expected expression, found {}",
-                other.map(|t| format!("`{t}`")).unwrap_or("end of input".into())
+                other
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or("end of input".into())
             ))),
         }
     }
@@ -887,11 +893,9 @@ mod tests {
 
     #[test]
     fn joins() {
-        let s = sel(
-            "SELECT p.name, c.text FROM posts p \
+        let s = sel("SELECT p.name, c.text FROM posts p \
              INNER JOIN comments AS c ON p.Id = c.PostId \
-             LEFT JOIN users u ON c.UserId = u.Id",
-        );
+             LEFT JOIN users u ON c.UserId = u.Id");
         assert_eq!(s.joins.len(), 2);
         assert_eq!(s.joins[0].kind, JoinKind::Inner);
         assert_eq!(s.joins[1].kind, JoinKind::Left);
@@ -917,8 +921,14 @@ mod tests {
         let e = parse_expr("1 + 2 * 3 = 7 AND NOT x OR y").unwrap();
         // ((1 + (2*3)) = 7 AND (NOT x)) OR y
         match e {
-            Expr::Binary { op: BinOp::Or, lhs, .. } => match *lhs {
-                Expr::Binary { op: BinOp::And, lhs, .. } => match *lhs {
+            Expr::Binary {
+                op: BinOp::Or, lhs, ..
+            } => match *lhs {
+                Expr::Binary {
+                    op: BinOp::And,
+                    lhs,
+                    ..
+                } => match *lhs {
                     Expr::Binary { op: BinOp::Eq, .. } => {}
                     other => panic!("expected Eq, got {other:?}"),
                 },
@@ -940,11 +950,17 @@ mod tests {
         ));
         assert!(matches!(
             parse_expr("name LIKE 'T%'").unwrap(),
-            Expr::Binary { op: BinOp::Like, .. }
+            Expr::Binary {
+                op: BinOp::Like,
+                ..
+            }
         ));
         assert!(matches!(
             parse_expr("name NOT LIKE 'T%'").unwrap(),
-            Expr::Binary { op: BinOp::NotLike, .. }
+            Expr::Binary {
+                op: BinOp::NotLike,
+                ..
+            }
         ));
         assert!(matches!(
             parse_expr("x IS NOT NULL").unwrap(),
@@ -978,11 +994,17 @@ mod tests {
         ));
         assert!(matches!(
             parse_expr("CASE x WHEN 1 THEN 'a' END").unwrap(),
-            Expr::Case { operand: Some(_), .. }
+            Expr::Case {
+                operand: Some(_),
+                ..
+            }
         ));
         assert!(matches!(
             parse_expr("CAST(x AS INTEGER)").unwrap(),
-            Expr::Cast { dtype: DataType::Integer, .. }
+            Expr::Cast {
+                dtype: DataType::Integer,
+                ..
+            }
         ));
     }
 
@@ -1007,8 +1029,7 @@ mod tests {
 
     #[test]
     fn insert_multi_row() {
-        let stmt =
-            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match stmt {
             Statement::Insert(i) => {
                 assert_eq!(i.columns.as_ref().unwrap().len(), 2);
@@ -1030,7 +1051,10 @@ mod tests {
         ));
         assert!(matches!(
             parse_statement("DROP TABLE IF EXISTS t").unwrap(),
-            Statement::DropTable { if_exists: true, .. }
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
         ));
         assert!(matches!(
             parse_statement("CREATE UNIQUE INDEX idx ON t (a)").unwrap(),

@@ -159,7 +159,10 @@ pub enum Plan {
         aggs: Vec<AggCall>,
     },
     /// Full sort by keys.
-    Sort { input: Box<Plan>, keys: Vec<SortKey> },
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<SortKey>,
+    },
     /// Heap-based top-k sort: equivalent to Sort + Limit but O(n log k).
     TopK {
         input: Box<Plan>,
@@ -175,6 +178,14 @@ pub enum Plan {
     },
     /// Duplicate elimination over whole rows.
     Distinct { input: Box<Plan> },
+    /// A semantic plan (see [`crate::semplan`]): relational + LM-powered
+    /// operators executed through a [`crate::semplan::SemDelegate`]
+    /// rather than the relational executor. Output columns are runtime-
+    /// determined (they depend on the delegate's data).
+    Sem {
+        /// Root of the semantic node tree.
+        root: crate::semplan::SemNode,
+    },
 }
 
 impl Plan {
@@ -191,8 +202,7 @@ impl Plan {
             | Plan::TopK { input, .. }
             | Plan::Limit { input, .. }
             | Plan::Distinct { input } => input.columns(),
-            Plan::NestedLoopJoin { left, right, .. }
-            | Plan::HashJoin { left, right, .. } => {
+            Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
                 let mut cols = left.columns();
                 cols.extend(right.columns());
                 cols
@@ -204,6 +214,7 @@ impl Plan {
                 cols.extend(aggs.iter().map(|a| a.name.clone()));
                 cols
             }
+            Plan::Sem { .. } => Vec::new(),
         }
     }
 
@@ -220,9 +231,11 @@ impl Plan {
             | Plan::TopK { input, .. }
             | Plan::Limit { input, .. }
             | Plan::Distinct { input } => input.width(),
-            Plan::NestedLoopJoin { left, right, .. }
-            | Plan::HashJoin { left, right, .. } => left.width() + right.width(),
+            Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                left.width() + right.width()
+            }
             Plan::Aggregate { group, aggs, .. } => group.len() + aggs.len(),
+            Plan::Sem { .. } => 0,
         }
     }
 
@@ -231,13 +244,11 @@ impl Plan {
         match self {
             Plan::TableScan { .. }
             | Plan::IndexProbe { .. }
-            | Plan::IndexRangeScan { .. } => self.clone(),
+            | Plan::IndexRangeScan { .. }
+            | Plan::Sem { .. } => self.clone(),
             Plan::Values { columns, rows } => Plan::Values {
                 columns: columns.clone(),
-                rows: rows
-                    .iter()
-                    .map(|r| r.iter().map(f).collect())
-                    .collect(),
+                rows: rows.iter().map(|r| r.iter().map(f).collect()).collect(),
             },
             Plan::Filter { input, predicate } => Plan::Filter {
                 input: Box::new(input.map_exprs(f)),
@@ -346,7 +357,8 @@ impl Plan {
         match self {
             Plan::TableScan { .. }
             | Plan::IndexProbe { .. }
-            | Plan::IndexRangeScan { .. } => {}
+            | Plan::IndexRangeScan { .. }
+            | Plan::Sem { .. } => {}
             Plan::Values { rows, .. } => {
                 for r in rows {
                     for e in r {
@@ -536,7 +548,10 @@ impl Plan {
                 input.explain_into(out, depth + 1);
             }
             Plan::TopK {
-                input, keys, k, offset,
+                input,
+                keys,
+                k,
+                offset,
             } => {
                 let _ = writeln!(out, "{pad}TopK k={k} offset={offset} ({} keys)", keys.len());
                 input.explain_into(out, depth + 1);
@@ -552,6 +567,11 @@ impl Plan {
             Plan::Distinct { input } => {
                 let _ = writeln!(out, "{pad}Distinct");
                 input.explain_into(out, depth + 1);
+            }
+            Plan::Sem { root } => {
+                for line in root.explain().lines() {
+                    let _ = writeln!(out, "{pad}{line}");
+                }
             }
         }
     }

@@ -48,9 +48,9 @@ fn is_kw(tok: &Token, kw: &str) -> bool {
 fn prev_guards_name(prev: Option<&Token>) -> bool {
     match prev {
         None => false,
-        Some(Token::Sym(Sym::Comma)) | Some(Token::Sym(Sym::Dot)) | Some(Token::Sym(Sym::LParen)) => {
-            true
-        }
+        Some(Token::Sym(Sym::Comma))
+        | Some(Token::Sym(Sym::Dot))
+        | Some(Token::Sym(Sym::LParen)) => true,
         Some(t) => is_kw(t, "SELECT") || is_kw(t, "DISTINCT") || is_kw(t, "AS"),
     }
 }
@@ -78,8 +78,7 @@ pub fn normalize_sql(sql: &str) -> String {
         }
         match tok {
             Token::Ident(s, false) => {
-                let followed_by_paren =
-                    matches!(tokens.get(i + 1), Some(Token::Sym(Sym::LParen)));
+                let followed_by_paren = matches!(tokens.get(i + 1), Some(Token::Sym(Sym::LParen)));
                 if followed_by_paren {
                     // Callable position: binding and display both
                     // lowercase the name, so folding is lossless.

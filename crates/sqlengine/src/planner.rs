@@ -7,9 +7,7 @@
 //! physical [`Plan`] tree. The optimizer (see [`crate::optimizer`]) then
 //! rewrites the tree.
 
-use crate::ast::{
-    is_aggregate_name, Expr, Join, OrderKey, SelectItem, SelectStmt, TableRef,
-};
+use crate::ast::{is_aggregate_name, Expr, Join, OrderKey, SelectItem, SelectStmt, TableRef};
 use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
 use crate::exec::execute;
@@ -223,14 +221,8 @@ impl<'a> Planner<'a> {
                 .items
                 .iter()
                 .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
-            || stmt
-                .having
-                .as_ref()
-                .is_some_and(Expr::contains_aggregate)
-            || stmt
-                .order_by
-                .iter()
-                .any(|k| k.expr.contains_aggregate());
+            || stmt.having.as_ref().is_some_and(Expr::contains_aggregate)
+            || stmt.order_by.iter().any(|k| k.expr.contains_aggregate());
 
         // Post-aggregation binding context.
         let (plan, bind_scope, agg_group_asts, agg_asts) = if has_agg {
@@ -526,8 +518,7 @@ impl<'a> Planner<'a> {
                                 Expr::Literal(Value::Text(s)) => separator = s.clone(),
                                 _ => {
                                     return Err(SqlError::Binding(
-                                        "GROUP_CONCAT separator must be a string literal"
-                                            .into(),
+                                        "GROUP_CONCAT separator must be a string literal".into(),
                                     ))
                                 }
                             }
@@ -599,8 +590,7 @@ impl<'a> Planner<'a> {
                 SelectItem::QualifiedWildcard(q) => {
                     if has_agg {
                         return Err(SqlError::Binding(
-                            "qualified * cannot be combined with GROUP BY or aggregates"
-                                .into(),
+                            "qualified * cannot be combined with GROUP BY or aggregates".into(),
                         ));
                     }
                     item_proj.push(None);
@@ -856,9 +846,7 @@ impl<'a> Planner<'a> {
                     });
                 }
                 let rows = self.run_plan(plan)?;
-                Ok(BoundExpr::Literal(Value::from(
-                    rows.is_empty() == *negated,
-                )))
+                Ok(BoundExpr::Literal(Value::from(rows.is_empty() == *negated)))
             }
             Expr::Function {
                 name,
@@ -893,9 +881,7 @@ impl<'a> Planner<'a> {
                     Err(SqlError::Binding(format!("unknown function {name:?}")))
                 }
             }
-            Expr::CountStar => Err(SqlError::Binding(
-                "COUNT(*) is not allowed here".into(),
-            )),
+            Expr::CountStar => Err(SqlError::Binding("COUNT(*) is not allowed here".into())),
             Expr::Case {
                 operand,
                 branches,
@@ -908,7 +894,10 @@ impl<'a> Planner<'a> {
                 branches: branches
                     .iter()
                     .map(|(w, t)| {
-                        Ok((self.bind_outer(w, scope, agg, outer)?, self.bind_outer(t, scope, agg, outer)?))
+                        Ok((
+                            self.bind_outer(w, scope, agg, outer)?,
+                            self.bind_outer(t, scope, agg, outer)?,
+                        ))
                     })
                     .collect::<SqlResult<_>>()?,
                 else_branch: match else_branch {
@@ -992,10 +981,7 @@ fn collect_aggregates(expr: &Expr, out: &mut Vec<Expr>) -> SqlResult<()> {
             }
         }
         Expr::Cast { expr, .. } => collect_aggregates(expr, out)?,
-        Expr::Literal(_)
-        | Expr::Column { .. }
-        | Expr::ScalarSubquery(_)
-        | Expr::Exists { .. } => {}
+        Expr::Literal(_) | Expr::Column { .. } | Expr::ScalarSubquery(_) | Expr::Exists { .. } => {}
     }
     Ok(())
 }
@@ -1005,9 +991,22 @@ fn is_builtin_name(name: &str, arity: usize) -> bool {
     let upper = name.to_ascii_uppercase();
     matches!(
         upper.as_str(),
-        "ABS" | "LOWER" | "UPPER" | "LENGTH" | "TRIM" | "LTRIM" | "RTRIM" | "ROUND"
-            | "COALESCE" | "IFNULL" | "NULLIF" | "SUBSTR" | "SUBSTRING" | "REPLACE"
-            | "INSTR" | "TYPEOF"
+        "ABS"
+            | "LOWER"
+            | "UPPER"
+            | "LENGTH"
+            | "TRIM"
+            | "LTRIM"
+            | "RTRIM"
+            | "ROUND"
+            | "COALESCE"
+            | "IFNULL"
+            | "NULLIF"
+            | "SUBSTR"
+            | "SUBSTRING"
+            | "REPLACE"
+            | "INSTR"
+            | "TYPEOF"
     ) || (matches!(upper.as_str(), "MIN" | "MAX") && arity >= 2)
 }
 
@@ -1117,10 +1116,9 @@ mod tests {
     fn ambiguous_and_missing_columns() {
         let (c, u) = setup();
         let planner = Planner::new(&c, &u);
-        let stmt = crate::parser::parse_statement(
-            "SELECT id FROM t AS a JOIN t AS b ON a.id = b.id",
-        )
-        .unwrap();
+        let stmt =
+            crate::parser::parse_statement("SELECT id FROM t AS a JOIN t AS b ON a.id = b.id")
+                .unwrap();
         let sel = match stmt {
             crate::ast::Statement::Select(s) => s,
             _ => unreachable!(),
@@ -1142,8 +1140,7 @@ mod tests {
         let (c, u) = setup();
         let planner = Planner::new(&c, &u);
         let stmt =
-            crate::parser::parse_statement("SELECT id, COUNT(*) FROM t GROUP BY name")
-                .unwrap();
+            crate::parser::parse_statement("SELECT id, COUNT(*) FROM t GROUP BY name").unwrap();
         let sel = match stmt {
             crate::ast::Statement::Select(s) => s,
             _ => unreachable!(),
@@ -1180,11 +1177,7 @@ mod tests {
             .insert(vec![Value::Int(0), Value::text("zero")])
             .unwrap();
         c.add_table(other).unwrap();
-        let rows = run(
-            &c,
-            &u,
-            "SELECT t.name, u.tag FROM t JOIN u ON t.id = u.id",
-        );
+        let rows = run(&c, &u, "SELECT t.name, u.tag FROM t JOIN u ON t.id = u.id");
         assert_eq!(rows, vec![vec![Value::text("a"), Value::text("zero")]]);
         let rows = run(
             &c,

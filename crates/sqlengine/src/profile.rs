@@ -8,6 +8,7 @@
 //! derived from the children's rows out via parent links.
 
 use crate::plan::Plan;
+use crate::semplan::LmCost;
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -28,6 +29,13 @@ pub struct NodeProfile {
     pub rows_out: usize,
     /// Wall-clock time in this node *including* its children.
     pub elapsed: Duration,
+    /// LM prompts this node caused (semantic plan nodes only; always 0
+    /// for relational operators). Excludes work done by children.
+    pub lm_calls: u64,
+    /// Prompt tokens consumed by this node's LM calls.
+    pub lm_prompt_tokens: u64,
+    /// Completion tokens produced by this node's LM calls.
+    pub lm_completion_tokens: u64,
 }
 
 struct OpenNode {
@@ -78,6 +86,12 @@ impl PlanProfiler {
 
     /// Finish the node `token`, recording its output cardinality.
     pub(crate) fn exit(&self, token: usize, rows_out: usize) {
+        self.exit_lm(token, rows_out, LmCost::default());
+    }
+
+    /// Finish the node `token`, recording output cardinality plus the LM
+    /// cost this node caused (semantic plan nodes).
+    pub(crate) fn exit_lm(&self, token: usize, rows_out: usize, cost: LmCost) {
         let mut s = self.state.borrow_mut();
         // Normally the token is the top of the open stack; pop down to it
         // so error unwinds (which skip exits) cannot wedge the stack.
@@ -90,6 +104,9 @@ impl PlanProfiler {
                 rows_in: 0,
                 rows_out: if done { rows_out } else { 0 },
                 elapsed: open.started.elapsed(),
+                lm_calls: if done { cost.calls } else { 0 },
+                lm_prompt_tokens: if done { cost.prompt_tokens } else { 0 },
+                lm_completion_tokens: if done { cost.completion_tokens } else { 0 },
             };
             s.nodes[idx] = Some(profile);
             if done {
@@ -124,9 +141,18 @@ impl PlanProfiler {
         let mut out = String::new();
         for n in self.nodes() {
             let pad = "  ".repeat(n.depth);
+            let lm = if n.lm_calls > 0 {
+                format!(
+                    " lm_calls={} lm_tokens={}",
+                    n.lm_calls,
+                    n.lm_prompt_tokens + n.lm_completion_tokens
+                )
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "{pad}{}  (in={} out={} time={})",
+                "{pad}{}  (in={} out={} time={}{lm})",
                 n.label,
                 n.rows_in,
                 n.rows_out,
@@ -171,6 +197,7 @@ pub(crate) fn node_label(plan: &Plan) -> String {
         Plan::TopK { k, offset, .. } => format!("TopK k={k} offset={offset}"),
         Plan::Limit { limit, offset, .. } => format!("Limit limit={limit:?} offset={offset}"),
         Plan::Distinct { .. } => "Distinct".to_string(),
+        Plan::Sem { root } => root.label(),
     }
 }
 

@@ -227,13 +227,18 @@ mod tests {
         let row = s
             .check_row(&[Value::text("7"), Value::text("x"), Value::Int(3)])
             .unwrap();
-        assert_eq!(row, vec![Value::Int(7), Value::text("x"), Value::Float(3.0)]);
+        assert_eq!(
+            row,
+            vec![Value::Int(7), Value::text("x"), Value::Float(3.0)]
+        );
     }
 
     #[test]
     fn check_row_enforces_not_null_and_arity() {
         let s = schema();
-        assert!(s.check_row(&[Value::Int(1), Value::Null, Value::Null]).is_err());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Null, Value::Null])
+            .is_err());
         assert!(s.check_row(&[Value::Int(1)]).is_err());
         // score is nullable
         assert!(s
@@ -251,15 +256,12 @@ mod tests {
 
     #[test]
     fn cast_semantics() {
+        assert_eq!(DataType::Integer.coerce(&Value::Float(3.9)), Value::Int(3));
+        assert_eq!(DataType::Text.coerce(&Value::Int(12)), Value::text("12"));
         assert_eq!(
-            DataType::Integer.coerce(&Value::Float(3.9)),
-            Value::Int(3)
+            DataType::Real.coerce(&Value::text("bad")),
+            Value::Float(0.0)
         );
-        assert_eq!(
-            DataType::Text.coerce(&Value::Int(12)),
-            Value::text("12")
-        );
-        assert_eq!(DataType::Real.coerce(&Value::text("bad")), Value::Float(0.0));
         assert_eq!(DataType::Integer.coerce(&Value::Null), Value::Null);
     }
 }

@@ -1,0 +1,413 @@
+//! LM-call-minimizing rewrite rules over [`SemNode`] trees.
+//!
+//! Three rules, each of which provably preserves answers under the
+//! runtime's guarantees (order-preserving filters, stable sorts, and
+//! per-prompt-deterministic LM judgments):
+//!
+//! 1. **Predicate pushdown** — exact predicates sink below semantic
+//!    filters so the LM judges fewer rows. Sound because both filter
+//!    kinds preserve input order and keep/drop decisions are per-row,
+//!    so filters commute.
+//! 2. **Distinct-value rewrite** — semantic filters judge each distinct
+//!    column value once instead of row-wise (the paper's Appendix C
+//!    pattern, promoted from an ad-hoc code path to an optimizer rule).
+//!    Sound because judgments are functions of the value alone.
+//! 3. **Exact pre-cut** — a `Cut` (sort + head-k) directly above a
+//!    semantic filter fuses into the filter as an early-stop spec: sort
+//!    first, judge values in sorted order, stop once `k` rows survive.
+//!    Sound because a stable sort of a filtered subset equals the
+//!    filtered subset of the stably-sorted whole.
+
+use crate::semplan::SemNode;
+
+/// Which SemPlan rewrite rules are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemOptOptions {
+    /// Sink exact predicates below semantic filters.
+    pub pushdown: bool,
+    /// Judge distinct values instead of rows in semantic filters.
+    pub distinct_rewrite: bool,
+    /// Fuse an exact sort+cut into the semantic filter below it.
+    pub precut: bool,
+}
+
+impl Default for SemOptOptions {
+    fn default() -> Self {
+        SemOptOptions::all()
+    }
+}
+
+impl SemOptOptions {
+    /// Every rule enabled (the default).
+    pub fn all() -> Self {
+        SemOptOptions {
+            pushdown: true,
+            distinct_rewrite: true,
+            precut: true,
+        }
+    }
+
+    /// No rules — plans execute exactly as compiled.
+    pub fn none() -> Self {
+        SemOptOptions {
+            pushdown: false,
+            distinct_rewrite: false,
+            precut: false,
+        }
+    }
+
+    /// Compact tag for plan-cache keys, so plans optimized under
+    /// different rule sets never collide.
+    pub fn cache_tag(&self) -> String {
+        format!(
+            "p{}d{}c{}",
+            self.pushdown as u8, self.distinct_rewrite as u8, self.precut as u8
+        )
+    }
+}
+
+/// Apply the enabled rewrite rules to `node`, bottom-up.
+pub fn optimize_sem(node: SemNode, opts: &SemOptOptions) -> SemNode {
+    let node = rewrite_children(node, opts);
+    let node = if opts.pushdown {
+        sink_predicate(node)
+    } else {
+        node
+    };
+    let node = if opts.distinct_rewrite {
+        mark_distinct(node)
+    } else {
+        node
+    };
+    if opts.precut {
+        fuse_precut(node)
+    } else {
+        node
+    }
+}
+
+fn rewrite_children(node: SemNode, opts: &SemOptOptions) -> SemNode {
+    let opt = |b: Box<SemNode>| Box::new(optimize_sem(*b, opts));
+    match node {
+        leaf @ (SemNode::Scan { .. } | SemNode::Input { .. } | SemNode::Retrieve { .. }) => leaf,
+        SemNode::Predicate { input, pred } => SemNode::Predicate {
+            input: opt(input),
+            pred,
+        },
+        SemNode::SemFilter {
+            input,
+            columns,
+            resolve,
+            claim,
+            distinct,
+            early_stop,
+        } => SemNode::SemFilter {
+            input: opt(input),
+            columns,
+            resolve,
+            claim,
+            distinct,
+            early_stop,
+        },
+        SemNode::Cut { input, cut } => SemNode::Cut {
+            input: opt(input),
+            cut,
+        },
+        SemNode::SemTopK {
+            input,
+            on_attr,
+            property,
+            k,
+        } => SemNode::SemTopK {
+            input: opt(input),
+            on_attr,
+            property,
+            k,
+        },
+        SemNode::SemAgg { input, request } => SemNode::SemAgg {
+            input: opt(input),
+            request,
+        },
+        SemNode::SemMap {
+            input,
+            on_attr,
+            instruction,
+            out_column,
+        } => SemNode::SemMap {
+            input: opt(input),
+            on_attr,
+            instruction,
+            out_column,
+        },
+        SemNode::SemJoin {
+            left,
+            right,
+            left_on,
+            right_on,
+            property,
+        } => SemNode::SemJoin {
+            left: opt(left),
+            right: opt(right),
+            left_on,
+            right_on,
+            property,
+        },
+        SemNode::Rerank { input, query, keep } => SemNode::Rerank {
+            input: opt(input),
+            query,
+            keep,
+        },
+        SemNode::Generate {
+            input,
+            request,
+            format,
+            span_name,
+        } => SemNode::Generate {
+            input: opt(input),
+            request,
+            format,
+            span_name,
+        },
+    }
+}
+
+/// Rule 1: `Predicate(SemFilter(X))` → `SemFilter(Predicate(X))`,
+/// recursively, so the predicate sinks past every semantic filter in a
+/// linear chain. Relative order among predicates and among semantic
+/// filters is preserved (a stable partition). Early-stop filters are
+/// left alone: their cut does not commute with filtering.
+fn sink_predicate(node: SemNode) -> SemNode {
+    match node {
+        SemNode::Predicate { input, pred } => match *input {
+            SemNode::SemFilter {
+                input: inner,
+                columns,
+                resolve,
+                claim,
+                distinct,
+                early_stop: None,
+            } => SemNode::SemFilter {
+                input: Box::new(sink_predicate(SemNode::Predicate { input: inner, pred })),
+                columns,
+                resolve,
+                claim,
+                distinct,
+                early_stop: None,
+            },
+            other => SemNode::Predicate {
+                input: Box::new(other),
+                pred,
+            },
+        },
+        other => other,
+    }
+}
+
+/// Rule 2: semantic filters judge distinct values once.
+fn mark_distinct(node: SemNode) -> SemNode {
+    match node {
+        SemNode::SemFilter {
+            input,
+            columns,
+            resolve,
+            claim,
+            distinct: _,
+            early_stop,
+        } => SemNode::SemFilter {
+            input,
+            columns,
+            resolve,
+            claim,
+            distinct: true,
+            early_stop,
+        },
+        other => other,
+    }
+}
+
+/// Rule 3: `Cut(SemFilter(X))` → `SemFilter(X) with early_stop`. The
+/// fused filter judges distinct values in sorted order (so it implies
+/// rule 2 for that node) and stops as soon as `k` rows survive.
+fn fuse_precut(node: SemNode) -> SemNode {
+    match node {
+        SemNode::Cut { input, cut } => match *input {
+            SemNode::SemFilter {
+                input: inner,
+                columns,
+                resolve,
+                claim,
+                distinct: _,
+                early_stop: None,
+            } => SemNode::SemFilter {
+                input: inner,
+                columns,
+                resolve,
+                claim,
+                distinct: true,
+                early_stop: Some(cut),
+            },
+            other => SemNode::Cut {
+                input: Box::new(other),
+                cut,
+            },
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semplan::{CutSpec, SemClaimSpec, SemPredicate};
+
+    fn scan() -> SemNode {
+        SemNode::Scan { table: "t".into() }
+    }
+
+    fn sem_filter(input: SemNode) -> SemNode {
+        SemNode::SemFilter {
+            input: Box::new(input),
+            columns: vec!["c".into()],
+            resolve: true,
+            claim: SemClaimSpec::EuCountry,
+            distinct: false,
+            early_stop: None,
+        }
+    }
+
+    fn predicate(input: SemNode, attr: &str) -> SemNode {
+        SemNode::Predicate {
+            input: Box::new(input),
+            pred: SemPredicate::TextEq {
+                attr: attr.into(),
+                value: "x".into(),
+            },
+        }
+    }
+
+    fn chain_labels(root: &SemNode) -> Vec<String> {
+        let mut out = vec![root.label()];
+        let mut cur = root;
+        while let Some(child) = cur.children().first().copied() {
+            out.push(child.label());
+            cur = child;
+        }
+        out
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let plan = predicate(sem_filter(scan()), "a");
+        assert_eq!(optimize_sem(plan.clone(), &SemOptOptions::none()), plan);
+    }
+
+    #[test]
+    fn pushdown_sinks_predicates_below_sem_filters() {
+        // Execution order (bottom-up): scan, sem_filter, pred(a), pred(b).
+        let plan = predicate(predicate(sem_filter(scan()), "a"), "b");
+        let opts = SemOptOptions {
+            pushdown: true,
+            distinct_rewrite: false,
+            precut: false,
+        };
+        let labels = chain_labels(&optimize_sem(plan, &opts));
+        // Predicates now run first, keeping their relative order.
+        assert_eq!(
+            labels,
+            vec![
+                "SemFilter c [EU country]",
+                "Predicate b = 'x'",
+                "Predicate a = 'x'",
+                "Scan t",
+            ],
+            "predicates sank below the semantic filter"
+        );
+    }
+
+    #[test]
+    fn distinct_rewrite_marks_every_sem_filter() {
+        let plan = sem_filter(predicate(sem_filter(scan()), "a"));
+        let opts = SemOptOptions {
+            pushdown: false,
+            distinct_rewrite: true,
+            precut: false,
+        };
+        let optimized = optimize_sem(plan, &opts);
+        fn all_distinct(node: &SemNode) -> bool {
+            let here = !matches!(
+                node,
+                SemNode::SemFilter {
+                    distinct: false,
+                    ..
+                }
+            );
+            here && node.children().iter().all(|c| all_distinct(c))
+        }
+        assert!(all_distinct(&optimized));
+    }
+
+    #[test]
+    fn precut_fuses_cut_into_sem_filter() {
+        let plan = SemNode::Cut {
+            input: Box::new(sem_filter(scan())),
+            cut: CutSpec {
+                sort_by: "rank".into(),
+                descending: true,
+                k: 1,
+            },
+        };
+        let opts = SemOptOptions {
+            pushdown: false,
+            distinct_rewrite: false,
+            precut: true,
+        };
+        match optimize_sem(plan, &opts) {
+            SemNode::SemFilter {
+                distinct,
+                early_stop: Some(cut),
+                ..
+            } => {
+                assert!(distinct, "fusion implies distinct judging");
+                assert_eq!(cut.sort_by, "rank");
+                assert_eq!(cut.k, 1);
+            }
+            other => panic!("expected fused SemFilter, got {}", other.label()),
+        }
+    }
+
+    #[test]
+    fn all_rules_compose_on_a_superlative_chain() {
+        // Compiled Superlative: Cut(k=1) over sem_filter over predicate
+        // over sem_filter over scan.
+        let plan = SemNode::Cut {
+            input: Box::new(sem_filter(predicate(sem_filter(scan()), "a"))),
+            cut: CutSpec {
+                sort_by: "rank".into(),
+                descending: true,
+                k: 1,
+            },
+        };
+        let optimized = optimize_sem(plan, &SemOptOptions::all());
+        let labels = chain_labels(&optimized);
+        assert_eq!(
+            labels,
+            vec![
+                "SemFilter c [EU country] distinct early_stop(sort=rank desc k=1)",
+                "SemFilter c [EU country] distinct",
+                "Predicate a = 'x'",
+                "Scan t",
+            ],
+            "cut fused into top filter, predicate sank to the bottom"
+        );
+    }
+
+    #[test]
+    fn cache_tags_distinguish_rule_sets() {
+        assert_eq!(SemOptOptions::all().cache_tag(), "p1d1c1");
+        assert_eq!(SemOptOptions::none().cache_tag(), "p0d0c0");
+        assert_ne!(
+            SemOptOptions::all().cache_tag(),
+            SemOptOptions::none().cache_tag()
+        );
+    }
+}

@@ -1,0 +1,668 @@
+//! The SemPlan IR: semantic plan nodes unifying relational computation
+//! with LM-powered operators (the paper's §2 "declarative pipelines of
+//! relational and semantic operators").
+//!
+//! A [`SemNode`] tree is a *data-only* description of a TAG pipeline:
+//! exact predicates and sort/cuts that run on the data system, and
+//! semantic operators (`sem_filter`, `sem_topk`, `sem_agg`, ...) whose
+//! execution is delegated to the semantic-operator runtime through the
+//! [`SemDelegate`] trait. Keeping the nodes free of closures and LM
+//! handles means plans can live in the [plan cache](crate::PlanCache),
+//! render through `EXPLAIN SEMPLAN`, and be rewritten by the optimizer
+//! rules in [`crate::semopt`] — exactly like relational plans.
+//!
+//! The executor ([`execute_sem`]) walks the tree bottom-up, threading an
+//! optional [`PlanProfiler`] so every node records rows in/out, elapsed
+//! wall-clock time, and the LM calls/tokens it caused (via
+//! [`SemDelegate::lm_snapshot`] deltas).
+
+use crate::profile::PlanProfiler;
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// A data-only mirror of the LM layer's semantic claims. The SQL layer
+/// sits below the LM crates, so claims are carried structurally here and
+/// converted back to prompt-level claims by the delegate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SemClaimSpec {
+    /// Value is a city in the given region.
+    CityInRegion {
+        /// Region name.
+        region: String,
+    },
+    /// Value is a film considered a classic.
+    ClassicMovie,
+    /// Value is an EU member country.
+    EuCountry,
+    /// Value is an F1 circuit on the given continent.
+    CircuitInContinent {
+        /// Continent name.
+        continent: String,
+    },
+    /// Value is a company in the given business vertical.
+    CompanyInVertical {
+        /// Vertical name.
+        vertical: String,
+    },
+    /// Value (a height) is greater than the person's height.
+    HeightTallerThan {
+        /// Person to compare against.
+        person: String,
+    },
+    /// Value (text) exhibits the named semantic property
+    /// ("positive", "sarcastic", ...).
+    Property {
+        /// The property word.
+        word: String,
+    },
+}
+
+impl SemClaimSpec {
+    fn describe(&self) -> String {
+        match self {
+            SemClaimSpec::CityInRegion { region } => format!("city in {region}"),
+            SemClaimSpec::ClassicMovie => "classic movie".to_owned(),
+            SemClaimSpec::EuCountry => "EU country".to_owned(),
+            SemClaimSpec::CircuitInContinent { continent } => {
+                format!("circuit in {continent}")
+            }
+            SemClaimSpec::CompanyInVertical { vertical } => {
+                format!("company in {vertical}")
+            }
+            SemClaimSpec::HeightTallerThan { person } => {
+                format!("taller than {person}")
+            }
+            SemClaimSpec::Property { word } => format!("property:{word}"),
+        }
+    }
+}
+
+/// An exact (non-semantic) predicate evaluated with frame semantics
+/// (lenient numeric coercion, case-insensitive text equality) — the
+/// comparisons the hand-written pipelines run on the data system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SemPredicate {
+    /// Numeric comparison `attr > value` / `attr < value`.
+    NumCmp {
+        /// Column name.
+        attr: String,
+        /// True for `>`, false for `<`.
+        over: bool,
+        /// Comparison constant.
+        value: f64,
+    },
+    /// Case-insensitive text equality with numeric fallback.
+    TextEq {
+        /// Column name.
+        attr: String,
+        /// Comparison value.
+        value: String,
+    },
+    /// Case-insensitive text equality on the first existing column of
+    /// `columns` (schema-candidate resolution, no numeric fallback).
+    TextEqAny {
+        /// Column-name candidates, tried in order.
+        columns: Vec<String>,
+        /// Comparison value.
+        value: String,
+    },
+}
+
+impl SemPredicate {
+    fn describe(&self) -> String {
+        match self {
+            SemPredicate::NumCmp { attr, over, value } => {
+                format!("{attr} {} {value}", if *over { ">" } else { "<" })
+            }
+            SemPredicate::TextEq { attr, value } => format!("{attr} = '{value}'"),
+            SemPredicate::TextEqAny { columns, value } => {
+                format!("{} = '{value}'", columns.join("|"))
+            }
+        }
+    }
+}
+
+/// An exact sort + head cut (`ORDER BY sort_by LIMIT k`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutSpec {
+    /// Sort column.
+    pub sort_by: String,
+    /// Sort direction.
+    pub descending: bool,
+    /// Rows kept.
+    pub k: usize,
+}
+
+/// Which phrasing a [`SemNode::Retrieve`] uses for its trace span and
+/// annotation (kept distinct so traces stay identical to the
+/// hand-rolled baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrieveKind {
+    /// RAG-style final retrieval ("row embeddings", `k`).
+    Rows,
+    /// Rerank-style candidate pool ("candidate pool", `pool`).
+    Candidates,
+}
+
+/// Prompt format of a [`SemNode::Generate`] node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenFormat {
+    /// The list-answer prompt.
+    List,
+    /// The free-form prompt.
+    Free,
+    /// Free-form, falling back to hierarchical `sem_agg` when the
+    /// rendered prompt exceeds the model's context window.
+    FreeOrAgg,
+}
+
+/// Pipeline stage of a plan node — the taxonomy `tag-trace` spans,
+/// `trace-report` tables, and the `tag-serve` pipeline derive from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemStage {
+    /// Exact computation + row-transforming semantic operators.
+    Exec,
+    /// Embedding retrieval.
+    Retrieve,
+    /// LM relevance scoring / ordering between retrieval and generation.
+    Rerank,
+    /// Text-producing LM work.
+    Gen,
+}
+
+impl SemStage {
+    /// Stable wire token (matches `tag_trace::Stage::as_str`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SemStage::Exec => "exec",
+            SemStage::Retrieve => "retrieve",
+            SemStage::Rerank => "rerank",
+            SemStage::Gen => "gen",
+        }
+    }
+}
+
+/// One node of a semantic plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SemNode {
+    /// Base scan of an entity table (`SELECT * FROM table` through the
+    /// SQL engine, sharing its plan cache).
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Materialized input rows (e.g. the result of LM-synthesized SQL).
+    Input {
+        /// Column names.
+        columns: Vec<String>,
+        /// Row values.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Exact predicate on the data system.
+    Predicate {
+        /// Input node.
+        input: Box<SemNode>,
+        /// The predicate.
+        pred: SemPredicate,
+    },
+    /// Semantic filter: keep rows whose column value satisfies `claim`
+    /// per the LM.
+    SemFilter {
+        /// Input node.
+        input: Box<SemNode>,
+        /// Column-name candidates (first existing wins when `resolve`).
+        columns: Vec<String>,
+        /// Resolve `columns` as schema candidates (hand-written
+        /// pipelines' schema knowledge) vs use `columns[0]` directly.
+        resolve: bool,
+        /// The claim judged per value.
+        claim: SemClaimSpec,
+        /// Judge each *distinct* value once (the Appendix C rewrite)
+        /// instead of row-wise.
+        distinct: bool,
+        /// When set, the exact cut that follows this filter has been
+        /// fused in: sort first, judge values in sorted order, and stop
+        /// as soon as `k` rows survive.
+        early_stop: Option<CutSpec>,
+    },
+    /// Exact sort + head on the data system.
+    Cut {
+        /// Input node.
+        input: Box<SemNode>,
+        /// The sort/cut.
+        cut: CutSpec,
+    },
+    /// Semantic top-k ordering by an LM-judged property (`sem_topk`).
+    SemTopK {
+        /// Input node.
+        input: Box<SemNode>,
+        /// Column ranked on.
+        on_attr: String,
+        /// Property word ("technical", ...).
+        property: String,
+        /// Rows kept, in ranked order.
+        k: usize,
+    },
+    /// Hierarchical LM aggregation over the rows (`sem_agg`).
+    SemAgg {
+        /// Input node.
+        input: Box<SemNode>,
+        /// The aggregation instruction.
+        request: String,
+    },
+    /// Per-row LM projection (`sem_map`): append a derived column.
+    SemMap {
+        /// Input node.
+        input: Box<SemNode>,
+        /// Column mapped over.
+        on_attr: String,
+        /// Mapping instruction.
+        instruction: String,
+        /// Name of the appended output column.
+        out_column: String,
+    },
+    /// Semantic join (`sem_join`): keep left×right pairs the LM accepts.
+    SemJoin {
+        /// Left input.
+        left: Box<SemNode>,
+        /// Right input.
+        right: Box<SemNode>,
+        /// Left join column.
+        left_on: String,
+        /// Right join column.
+        right_on: String,
+        /// Property word for the pairwise claim.
+        property: String,
+    },
+    /// Embedding retrieval over the row store (leaf).
+    Retrieve {
+        /// The retrieval query (the question text).
+        query: String,
+        /// Rows retrieved.
+        k: usize,
+        /// Span/annotation phrasing.
+        kind: RetrieveKind,
+    },
+    /// LM relevance reranking of retrieved points.
+    Rerank {
+        /// Input node (retrieved points).
+        input: Box<SemNode>,
+        /// The question scored against.
+        query: String,
+        /// Points kept after reranking.
+        keep: usize,
+    },
+    /// Final LM generation over the rows in context.
+    Generate {
+        /// Input node.
+        input: Box<SemNode>,
+        /// The question answered.
+        request: String,
+        /// Prompt format.
+        format: GenFormat,
+        /// Trace span name ("answer", "answer (no data)").
+        span_name: String,
+    },
+}
+
+impl SemNode {
+    /// The node's pipeline stage (see [`SemStage`]).
+    pub fn stage(&self) -> SemStage {
+        match self {
+            SemNode::Scan { .. }
+            | SemNode::Input { .. }
+            | SemNode::Predicate { .. }
+            | SemNode::Cut { .. }
+            | SemNode::SemFilter { .. }
+            | SemNode::SemTopK { .. }
+            | SemNode::SemMap { .. }
+            | SemNode::SemJoin { .. } => SemStage::Exec,
+            SemNode::Retrieve { .. } => SemStage::Retrieve,
+            SemNode::Rerank { .. } => SemStage::Rerank,
+            SemNode::SemAgg { .. } | SemNode::Generate { .. } => SemStage::Gen,
+        }
+    }
+
+    /// One-line operator label (EXPLAIN vocabulary).
+    pub fn label(&self) -> String {
+        match self {
+            SemNode::Scan { table } => format!("Scan {table}"),
+            SemNode::Input { rows, .. } => format!("Input ({} rows)", rows.len()),
+            SemNode::Predicate { pred, .. } => format!("Predicate {}", pred.describe()),
+            SemNode::SemFilter {
+                columns,
+                claim,
+                distinct,
+                early_stop,
+                ..
+            } => {
+                let mut s = format!("SemFilter {} [{}]", columns.join("|"), claim.describe());
+                if *distinct {
+                    s.push_str(" distinct");
+                }
+                if let Some(cut) = early_stop {
+                    let _ = write!(
+                        s,
+                        " early_stop(sort={} {} k={})",
+                        cut.sort_by,
+                        if cut.descending { "desc" } else { "asc" },
+                        cut.k
+                    );
+                }
+                s
+            }
+            SemNode::Cut { cut, .. } => format!(
+                "Cut sort={} {} k={}",
+                cut.sort_by,
+                if cut.descending { "desc" } else { "asc" },
+                cut.k
+            ),
+            SemNode::SemTopK {
+                on_attr,
+                property,
+                k,
+                ..
+            } => format!("SemTopK {on_attr} property={property} k={k}"),
+            SemNode::SemAgg { .. } => "SemAgg".to_owned(),
+            SemNode::SemMap {
+                on_attr,
+                out_column,
+                ..
+            } => format!("SemMap {on_attr} -> {out_column}"),
+            SemNode::SemJoin {
+                left_on,
+                right_on,
+                property,
+                ..
+            } => format!("SemJoin {left_on} x {right_on} property={property}"),
+            SemNode::Retrieve { k, kind, .. } => format!(
+                "Retrieve {}={k}",
+                match kind {
+                    RetrieveKind::Rows => "k",
+                    RetrieveKind::Candidates => "pool",
+                }
+            ),
+            SemNode::Rerank { keep, .. } => format!("Rerank keep={keep}"),
+            SemNode::Generate { format, .. } => format!(
+                "Generate {}",
+                match format {
+                    GenFormat::List => "list",
+                    GenFormat::Free => "free",
+                    GenFormat::FreeOrAgg => "free|agg",
+                }
+            ),
+        }
+    }
+
+    /// Child nodes, in execution order.
+    pub fn children(&self) -> Vec<&SemNode> {
+        match self {
+            SemNode::Scan { .. } | SemNode::Input { .. } | SemNode::Retrieve { .. } => vec![],
+            SemNode::Predicate { input, .. }
+            | SemNode::SemFilter { input, .. }
+            | SemNode::Cut { input, .. }
+            | SemNode::SemTopK { input, .. }
+            | SemNode::SemAgg { input, .. }
+            | SemNode::SemMap { input, .. }
+            | SemNode::Rerank { input, .. }
+            | SemNode::Generate { input, .. } => vec![input],
+            SemNode::SemJoin { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Render the plan tree, root first, two-space indent per level, one
+    /// `[stage]`-tagged line per node.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "{}{}  [{}]",
+            "  ".repeat(depth),
+            self.label(),
+            self.stage().as_str()
+        );
+        for child in self.children() {
+            child.explain_into(depth + 1, out);
+        }
+    }
+}
+
+/// Tabular data flowing between semantic plan nodes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SemFrame {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl SemFrame {
+    /// A frame from columns + rows.
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<Value>>) -> Self {
+        SemFrame { columns, rows }
+    }
+}
+
+/// Cumulative LM cost counters, used as before/after snapshots for
+/// per-node attribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LmCost {
+    /// Prompts that reached the model.
+    pub calls: u64,
+    /// Prompt tokens consumed.
+    pub prompt_tokens: u64,
+    /// Completion tokens produced.
+    pub completion_tokens: u64,
+}
+
+impl LmCost {
+    /// Saturating element-wise difference (`self - earlier`).
+    pub fn since(self, earlier: LmCost) -> LmCost {
+        LmCost {
+            calls: self.calls.saturating_sub(earlier.calls),
+            prompt_tokens: self.prompt_tokens.saturating_sub(earlier.prompt_tokens),
+            completion_tokens: self
+                .completion_tokens
+                .saturating_sub(earlier.completion_tokens),
+        }
+    }
+
+    /// Total tokens (prompt + completion).
+    pub fn tokens(self) -> u64 {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// Executes individual semantic plan nodes. Implemented by the semantic
+/// runtime (over `tag-semops` + the LM); the SQL layer stays free of LM
+/// dependencies.
+pub trait SemDelegate {
+    /// Execute one node given its children's output frames (in
+    /// [`SemNode::children`] order; empty for leaves). Implementations
+    /// must not recurse into the node's children — the executor has
+    /// already run them.
+    fn exec_node(&self, node: &SemNode, inputs: Vec<SemFrame>) -> Result<SemFrame, String>;
+
+    /// Current cumulative LM cost, read before/after each node for
+    /// attribution. A delegate without metering may return the default.
+    fn lm_snapshot(&self) -> LmCost {
+        LmCost::default()
+    }
+}
+
+/// Execute a semantic plan bottom-up through `delegate`.
+pub fn execute_sem(root: &SemNode, delegate: &dyn SemDelegate) -> Result<SemFrame, String> {
+    exec_sem_node(root, delegate, None)
+}
+
+/// [`execute_sem`] with per-node profiling: rows in/out, elapsed time,
+/// and LM calls/tokens land in `profiler`.
+pub fn execute_sem_profiled(
+    root: &SemNode,
+    delegate: &dyn SemDelegate,
+    profiler: &PlanProfiler,
+) -> Result<SemFrame, String> {
+    exec_sem_node(root, delegate, Some(profiler))
+}
+
+fn exec_sem_node(
+    node: &SemNode,
+    delegate: &dyn SemDelegate,
+    prof: Option<&PlanProfiler>,
+) -> Result<SemFrame, String> {
+    let token = prof.map(|p| p.enter(node.label()));
+    let mut inputs = Vec::new();
+    for child in node.children() {
+        inputs.push(exec_sem_node(child, delegate, prof)?);
+    }
+    let before = prof.map(|_| delegate.lm_snapshot());
+    let result = delegate.exec_node(node, inputs);
+    if let (Some(p), Some(token)) = (prof, token) {
+        let cost = before
+            .map(|b| delegate.lm_snapshot().since(b))
+            .unwrap_or_default();
+        let rows_out = result.as_ref().map(|f| f.rows.len()).unwrap_or(0);
+        p.exit_lm(token, rows_out, cost);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(n: usize) -> SemFrame {
+        SemFrame::new(
+            vec!["x".into()],
+            (0..n).map(|i| vec![Value::Int(i as i64)]).collect(),
+        )
+    }
+
+    /// A delegate that halves row counts and charges one LM call per
+    /// semantic node.
+    struct HalvingDelegate(std::cell::Cell<u64>);
+
+    impl SemDelegate for HalvingDelegate {
+        fn exec_node(&self, node: &SemNode, inputs: Vec<SemFrame>) -> Result<SemFrame, String> {
+            match node {
+                SemNode::Scan { .. } => Ok(frame(8)),
+                SemNode::SemFilter { .. } => {
+                    self.0.set(self.0.get() + 1);
+                    let f = &inputs[0];
+                    Ok(SemFrame::new(
+                        f.columns.clone(),
+                        f.rows[..f.rows.len() / 2].to_vec(),
+                    ))
+                }
+                other => Err(format!("unexpected node {}", other.label())),
+            }
+        }
+
+        fn lm_snapshot(&self) -> LmCost {
+            LmCost {
+                calls: self.0.get(),
+                prompt_tokens: 10 * self.0.get(),
+                completion_tokens: self.0.get(),
+            }
+        }
+    }
+
+    fn filter_over_scan() -> SemNode {
+        SemNode::SemFilter {
+            input: Box::new(SemNode::Scan { table: "t".into() }),
+            columns: vec!["x".into()],
+            resolve: true,
+            claim: SemClaimSpec::EuCountry,
+            distinct: false,
+            early_stop: None,
+        }
+    }
+
+    #[test]
+    fn executes_bottom_up() {
+        let d = HalvingDelegate(std::cell::Cell::new(0));
+        let out = execute_sem(&filter_over_scan(), &d).unwrap();
+        assert_eq!(out.rows.len(), 4);
+    }
+
+    #[test]
+    fn profiler_attributes_rows_and_lm_cost() {
+        let d = HalvingDelegate(std::cell::Cell::new(0));
+        let p = PlanProfiler::new();
+        execute_sem_profiled(&filter_over_scan(), &d, &p).unwrap();
+        let nodes = p.nodes();
+        assert_eq!(nodes.len(), 2);
+        assert!(nodes[0].label.starts_with("SemFilter"));
+        assert_eq!(nodes[0].rows_in, 8);
+        assert_eq!(nodes[0].rows_out, 4);
+        assert_eq!(nodes[0].lm_calls, 1, "filter charged one call");
+        assert_eq!(nodes[0].lm_prompt_tokens, 10);
+        assert_eq!(nodes[1].label, "Scan t");
+        assert_eq!(nodes[1].lm_calls, 0, "scan is LM-free");
+        let rendered = p.render();
+        assert!(rendered.contains("lm_calls=1"), "{rendered}");
+    }
+
+    #[test]
+    fn explain_renders_stages_and_indent() {
+        let plan = SemNode::Generate {
+            input: Box::new(SemNode::Rerank {
+                input: Box::new(SemNode::Retrieve {
+                    query: "q".into(),
+                    k: 30,
+                    kind: RetrieveKind::Candidates,
+                }),
+                query: "q".into(),
+                keep: 10,
+            }),
+            request: "q".into(),
+            format: GenFormat::List,
+            span_name: "answer".into(),
+        };
+        let text = plan.explain();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("Generate list"), "{text}");
+        assert!(lines[0].ends_with("[gen]"), "{text}");
+        assert!(lines[1].starts_with("  Rerank keep=10"), "{text}");
+        assert!(lines[1].ends_with("[rerank]"), "{text}");
+        assert!(lines[2].starts_with("    Retrieve pool=30"), "{text}");
+        assert!(lines[2].ends_with("[retrieve]"), "{text}");
+    }
+
+    #[test]
+    fn errors_propagate_and_release_profiler() {
+        let d = HalvingDelegate(std::cell::Cell::new(0));
+        let p = PlanProfiler::new();
+        let bad = SemNode::Cut {
+            input: Box::new(SemNode::Scan { table: "t".into() }),
+            cut: CutSpec {
+                sort_by: "x".into(),
+                descending: true,
+                k: 1,
+            },
+        };
+        assert!(execute_sem_profiled(&bad, &d, &p).is_err());
+        assert_eq!(p.nodes().len(), 2, "profiler flushed on error");
+    }
+
+    #[test]
+    fn stage_taxonomy() {
+        assert_eq!(filter_over_scan().stage(), SemStage::Exec);
+        assert_eq!(
+            SemNode::Retrieve {
+                query: "q".into(),
+                k: 1,
+                kind: RetrieveKind::Rows
+            }
+            .stage(),
+            SemStage::Retrieve
+        );
+        assert_eq!(SemStage::Rerank.as_str(), "rerank");
+    }
+}

@@ -148,7 +148,10 @@ impl Table {
 
     /// Delete rows matching the predicate; returns the number removed.
     /// Row ids are compacted, so all indexes are rebuilt afterwards.
-    pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> SqlResult<bool>) -> SqlResult<usize> {
+    pub fn delete_where(
+        &mut self,
+        mut pred: impl FnMut(&Row) -> SqlResult<bool>,
+    ) -> SqlResult<usize> {
         let mut kept = Vec::with_capacity(self.rows.len());
         let mut removed = 0;
         for row in self.rows.drain(..) {
@@ -198,10 +201,7 @@ impl Table {
             return Err(SqlError::Catalog(format!("index {name} already exists")));
         }
         let column = self.schema.index_of(column_name).ok_or_else(|| {
-            SqlError::Binding(format!(
-                "no column {column_name:?} in table {}",
-                self.name
-            ))
+            SqlError::Binding(format!("no column {column_name:?} in table {}", self.name))
         })?;
         let mut idx = TableIndex {
             name,
@@ -281,8 +281,13 @@ mod tests {
         let mut t = table();
         t.insert(vec![Value::text("1"), Value::text("SF"), Value::Int(10)])
             .unwrap();
-        assert_eq!(t.row(0), &vec![Value::Int(1), Value::text("SF"), Value::Float(10.0)]);
-        assert!(t.insert(vec![Value::Null, Value::Null, Value::Null]).is_err());
+        assert_eq!(
+            t.row(0),
+            &vec![Value::Int(1), Value::text("SF"), Value::Float(10.0)]
+        );
+        assert!(t
+            .insert(vec![Value::Null, Value::Null, Value::Null])
+            .is_err());
     }
 
     #[test]

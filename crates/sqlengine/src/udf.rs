@@ -91,9 +91,9 @@ impl UdfRegistry {
 
     /// Invoke a registered UDF with arity checking.
     pub fn call(&self, name: &str, args: &[Value]) -> SqlResult<Value> {
-        let udf = self.get(name).ok_or_else(|| {
-            SqlError::Binding(format!("unknown function {name:?}"))
-        })?;
+        let udf = self
+            .get(name)
+            .ok_or_else(|| SqlError::Binding(format!("unknown function {name:?}")))?;
         if let Some(n) = udf.arity() {
             if args.len() != n {
                 return Err(SqlError::Udf(format!(

@@ -122,9 +122,7 @@ impl Value {
                 } else if let Ok(f) = t.parse::<f64>() {
                     Ok(Value::Float(f))
                 } else {
-                    Err(SqlError::Type(format!(
-                        "cannot use text {t:?} as a number"
-                    )))
+                    Err(SqlError::Type(format!("cannot use text {t:?} as a number")))
                 }
             }
         }
@@ -451,15 +449,30 @@ mod tests {
 
     #[test]
     fn arithmetic_basics() {
-        assert_eq!(arith::add(&Value::Int(2), &Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            arith::add(&Value::Int(2), &Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
         assert_eq!(
             arith::mul(&Value::Int(2), &Value::Float(1.5)).unwrap(),
             Value::Float(3.0)
         );
-        assert_eq!(arith::div(&Value::Int(7), &Value::Int(2)).unwrap(), Value::Int(3));
-        assert_eq!(arith::div(&Value::Int(7), &Value::Int(0)).unwrap(), Value::Null);
-        assert_eq!(arith::rem(&Value::Int(7), &Value::Int(4)).unwrap(), Value::Int(3));
-        assert_eq!(arith::add(&Value::Null, &Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(
+            arith::div(&Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            arith::div(&Value::Int(7), &Value::Int(0)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            arith::rem(&Value::Int(7), &Value::Int(4)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            arith::add(&Value::Null, &Value::Int(1)).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]

@@ -35,9 +35,8 @@ fn eight_threads_never_observe_a_stale_plan() {
             // Each thread mixes a shared statement (contended cache entry)
             // with a per-thread variant (fills/evicts distinct entries).
             let shared = "SELECT (SELECT COUNT(*) FROM events) AS n FROM events LIMIT 1";
-            let private = format!(
-                "SELECT COUNT(*) AS n FROM events WHERE id > {t} AND weight >= 0"
-            );
+            let private =
+                format!("SELECT COUNT(*) AS n FROM events WHERE id > {t} AND weight >= 0");
             let mut last_count = 0i64;
             let mut reads = 0u64;
             while !stop.load(Ordering::Relaxed) {

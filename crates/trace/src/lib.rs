@@ -33,6 +33,8 @@ mod ctx;
 mod sink;
 mod span;
 
-pub use ctx::{annotate, current_trace_id, is_active, record_lm, span, with_trace, SpanGuard, Trace};
+pub use ctx::{
+    annotate, current_trace_id, is_active, record_lm, span, with_trace, SpanGuard, Trace,
+};
 pub use sink::{MemSink, NullSink, TraceSink};
 pub use span::{render_tree, LmUsage, SpanRecord, Stage};

@@ -288,7 +288,10 @@ mod tests {
         s.label = "quote \" slash \\ newline \n tab \t".into();
         s.annotations.push("ctrl \u{1} char".into());
         let json = s.to_json();
-        assert!(json.contains(r#"quote \" slash \\ newline \n tab \t"#), "{json}");
+        assert!(
+            json.contains(r#"quote \" slash \\ newline \n tab \t"#),
+            "{json}"
+        );
         assert!(json.contains(r"ctrl \u0001 char"), "{json}");
         assert!(json.contains("\"parent\":null"), "{json}");
     }

@@ -32,7 +32,12 @@ fn main() {
             .find(|q| q.id == id)
             .expect("picked id")
             .clone();
-        println!("── Query {} ({}, {})", q.id, q.qtype.label(), q.kind.label());
+        println!(
+            "── Query {} ({}, {})",
+            q.id,
+            q.qtype.label(),
+            q.kind.label()
+        );
         println!("   {}", q.question());
         if let Some(truth) = harness.truth(q.id) {
             println!("   ground truth: [{}]", truth.join(", "));

@@ -14,10 +14,10 @@
 //!   cross-request LM batching, sharded answer cache, metrics)
 
 pub use tag_bench;
-pub use tag_serve;
 pub use tag_core;
 pub use tag_datagen;
 pub use tag_embed;
 pub use tag_lm;
 pub use tag_semops;
+pub use tag_serve;
 pub use tag_sql;

@@ -41,7 +41,10 @@ fn composition_is_20_per_type_and_40_40_kinds() {
         assert_eq!(queries.iter().filter(|q| q.qtype == t).count(), 20);
     }
     assert_eq!(
-        queries.iter().filter(|q| q.kind == QueryKind::Knowledge).count(),
+        queries
+            .iter()
+            .filter(|q| q.kind == QueryKind::Knowledge)
+            .count(),
         40
     );
 }

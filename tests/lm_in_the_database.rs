@@ -60,7 +60,8 @@ fn semantic_operator_over_sql_result() {
     let mut db = domain.db;
     let engine = SemEngine::new(exact_lm() as Arc<dyn LanguageModel>);
     let df = DataFrame::from_result(
-        db.execute("SELECT Id, Text FROM comments WHERE PostId = 2").unwrap(),
+        db.execute("SELECT Id, Text FROM comments WHERE PostId = 2")
+            .unwrap(),
     );
     let sarcastic = sem_filter(
         &engine,
