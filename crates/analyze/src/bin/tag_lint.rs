@@ -1,0 +1,75 @@
+//! `tag-lint` — run the repo's source-level lint rules.
+//!
+//! ```text
+//! cargo run -p tag-analyze --bin tag-lint            # check against the ratchet
+//! cargo run -p tag-analyze --bin tag-lint -- --update  # rewrite the ratchet baseline
+//! cargo run -p tag-analyze --bin tag-lint -- --root /path/to/workspace
+//! ```
+//!
+//! Exit code 0 when clean, 1 on any violation, 2 on usage/IO errors.
+
+use std::path::Path;
+use tag_analyze::lint::{run_lint, LintConfig};
+
+fn main() {
+    let mut update = false;
+    let mut root = String::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update" => update = true,
+            "--root" => match args.next() {
+                Some(r) => root = r,
+                None => {
+                    eprintln!("--root needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other:?} (expected --update / --root <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !Path::new(&root).join("crates").is_dir() {
+        eprintln!("{root:?} does not look like the workspace root (no crates/ directory)");
+        std::process::exit(2);
+    }
+
+    let config = LintConfig::new(&root);
+    let outcome = match run_lint(&config, update) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("tag-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("tag-lint: hot-path unwrap/expect counts");
+    for (file, count) in &outcome.unwrap_counts {
+        println!("  {file} {count}");
+    }
+    let total: usize = outcome.unwrap_counts.values().sum();
+    println!("  total {total}");
+
+    if update {
+        println!(
+            "ratchet baseline rewritten: {}",
+            config.root.join(&config.ratchet_path).display()
+        );
+    }
+
+    if outcome.is_clean() {
+        println!("tag-lint: clean");
+        return;
+    }
+    for f in &outcome.findings {
+        if f.line == 0 {
+            println!("{}: [{}] {}", f.file, f.rule, f.message);
+        } else {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+    }
+    println!("tag-lint: {} violation(s)", outcome.findings.len());
+    std::process::exit(1);
+}

@@ -1,0 +1,931 @@
+//! Typed well-formedness verification over [`SemNode`] plans.
+//!
+//! [`verify_plan`] checks a single plan against a [`SchemaSource`]:
+//! column resolution flows bottom-up through every node (with the same
+//! case-insensitive, first-existing-candidate semantics the runtime
+//! uses), stage tags are legal per operator position, and cardinality
+//! bounds stay monotone through `Cut`/`SemTopK`/`Rerank`/pre-cut.
+//!
+//! [`verify_rewrite`] checks an `optimize_sem` before/after pair: every
+//! predicate, semantic filter, and cut of the input plan is conserved in
+//! the output (so a rewrite can never drop or invent work), each enabled
+//! rule's postcondition holds on the output (pushdown left no predicate
+//! above a fusable filter, distinct marked every filter, precut left no
+//! cut above a fusable filter), fused filters always judge distinct
+//! values, and the static LM-call bound never increased.
+//!
+//! Diagnostics render deterministically: nodes are visited pre-order
+//! (children in execution order, as [`SemNode::children`] yields them),
+//! so repeated runs over the same plan produce byte-identical reports.
+
+use crate::cost::plan_cost;
+use std::fmt::Write as _;
+use tag_sql::{Database, SemNode, SemOptOptions, SemPredicate, SemStage};
+
+/// Where the verifier learns table shapes. Implemented by
+/// [`tag_sql::Database`] (live catalog) and [`NoSchema`] (schema-free
+/// verification, e.g. property tests over synthetic plans).
+pub trait SchemaSource {
+    /// Column names of `table`, or `None` when unknown.
+    fn table_columns(&self, table: &str) -> Option<Vec<String>>;
+    /// Row count of `table`, or `None` when unknown.
+    fn table_rows(&self, table: &str) -> Option<usize>;
+    /// True when `None` from [`Self::table_columns`] means "no such
+    /// table" (an error) rather than "no information" (skip the check).
+    fn authoritative(&self) -> bool {
+        false
+    }
+}
+
+/// A schema source that knows nothing: every column check involving a
+/// scanned table is skipped rather than failed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSchema;
+
+impl SchemaSource for NoSchema {
+    fn table_columns(&self, _table: &str) -> Option<Vec<String>> {
+        None
+    }
+
+    fn table_rows(&self, _table: &str) -> Option<usize> {
+        None
+    }
+}
+
+impl SchemaSource for Database {
+    fn table_columns(&self, table: &str) -> Option<Vec<String>> {
+        // The SQL binder resolves table names case-insensitively; match
+        // that so the verifier never rejects a plan the engine runs.
+        let catalog = self.catalog();
+        if let Ok(t) = catalog.table(table) {
+            return Some(t.schema().names());
+        }
+        catalog
+            .table_names()
+            .iter()
+            .find(|n| n.eq_ignore_ascii_case(table))
+            .and_then(|n| catalog.table(n).ok())
+            .map(|t| t.schema().names())
+    }
+
+    fn table_rows(&self, table: &str) -> Option<usize> {
+        let catalog = self.catalog();
+        if let Ok(t) = catalog.table(table) {
+            return Some(t.len());
+        }
+        catalog
+            .table_names()
+            .iter()
+            .find(|n| n.eq_ignore_ascii_case(table))
+            .and_then(|n| catalog.table(n).ok())
+            .map(|t| t.len())
+    }
+
+    fn authoritative(&self) -> bool {
+        true
+    }
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`unknown-table`, `column-missing`,
+    /// `conservation`, ...).
+    pub code: &'static str,
+    /// Slash-separated pre-order child indexes from the root (`"0"` is
+    /// the root, `"0/1"` its second child, ...).
+    pub path: String,
+    /// Label of the offending node (empty for whole-plan findings).
+    pub node: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn render(&self) -> String {
+        if self.node.is_empty() {
+            format!("[{}] {}", self.code, self.message)
+        } else {
+            format!(
+                "[{}] {} ({}): {}",
+                self.code, self.path, self.node, self.message
+            )
+        }
+    }
+}
+
+/// The outcome of a verification pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Findings, in deterministic pre-order discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// True when no invariant was violated.
+    pub fn is_ok(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// One line per diagnostic (empty string when clean).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}", d.render());
+        }
+        out
+    }
+}
+
+/// What a subtree exposes to the operator above it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ColSet {
+    /// Concrete column names (catalog scan, materialized input, or a
+    /// generation/aggregation result).
+    Known(Vec<String>),
+    /// An opaque retrieved-point frame (`Retrieve`/`Rerank` output):
+    /// only `Rerank` and `Generate` may consume it.
+    Points,
+    /// No schema information (non-authoritative source); column checks
+    /// are skipped.
+    Unknown,
+}
+
+impl ColSet {
+    /// `Some(true/false)` with schema knowledge, `None` when unknown.
+    /// Matches the runtime's case-insensitive column resolution.
+    fn contains(&self, name: &str) -> Option<bool> {
+        match self {
+            ColSet::Known(cols) => Some(cols.iter().any(|c| c.eq_ignore_ascii_case(name))),
+            ColSet::Points => Some(false),
+            ColSet::Unknown => None,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            ColSet::Known(cols) => format!("{cols:?}"),
+            ColSet::Points => "<retrieved points>".to_owned(),
+            ColSet::Unknown => "<unknown>".to_owned(),
+        }
+    }
+}
+
+struct PlanChecker<'a> {
+    schema: &'a dyn SchemaSource,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl PlanChecker<'_> {
+    fn diag(&mut self, code: &'static str, path: &str, node: &SemNode, message: String) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            path: path.to_owned(),
+            node: node.label(),
+            message,
+        });
+    }
+
+    fn require_column(&mut self, path: &str, node: &SemNode, input: &ColSet, name: &str) {
+        if input.contains(name) == Some(false) {
+            self.diag(
+                "column-missing",
+                path,
+                node,
+                format!("column '{name}' not in input columns {}", input.describe()),
+            );
+        }
+    }
+
+    fn require_candidate(
+        &mut self,
+        path: &str,
+        node: &SemNode,
+        input: &ColSet,
+        candidates: &[String],
+    ) {
+        let any = candidates
+            .iter()
+            .map(|c| input.contains(c))
+            .try_fold(false, |acc, x| x.map(|b| acc || b));
+        if any == Some(false) {
+            self.diag(
+                "column-missing",
+                path,
+                node,
+                format!(
+                    "none of the candidate columns {candidates:?} in input columns {}",
+                    input.describe()
+                ),
+            );
+        }
+    }
+
+    fn require_k(&mut self, path: &str, node: &SemNode, what: &str, k: usize) {
+        if k == 0 {
+            self.diag(
+                "empty-cut",
+                path,
+                node,
+                format!("{what} keeps k=0 rows — the plan can never produce output"),
+            );
+        }
+    }
+
+    /// Verify the subtree and return its output column set. `is_root`
+    /// gates the gen-stage placement rule.
+    fn check(&mut self, node: &SemNode, path: &str, is_root: bool) -> ColSet {
+        // Gen-stage operators produce a final answer frame; anything
+        // stacked above one is consuming prose as a table.
+        if !is_root && node.stage() == SemStage::Gen {
+            self.diag(
+                "gen-not-root",
+                path,
+                node,
+                "gen-stage operator below the plan root".to_owned(),
+            );
+        }
+
+        let inputs: Vec<ColSet> = node
+            .children()
+            .iter()
+            .enumerate()
+            .map(|(i, child)| self.check(child, &format!("{path}/{i}"), false))
+            .collect();
+
+        // Exec-stage operators run frame semantics over named columns;
+        // an opaque point frame from retrieval has none.
+        if node.stage() == SemStage::Exec && inputs.contains(&ColSet::Points) {
+            self.diag(
+                "points-input",
+                path,
+                node,
+                "exact operator over opaque retrieved points (only Rerank/Generate may consume retrieval output)"
+                    .to_owned(),
+            );
+        }
+
+        match node {
+            SemNode::Scan { table } => match self.schema.table_columns(table) {
+                Some(cols) => ColSet::Known(cols),
+                None => {
+                    if self.schema.authoritative() {
+                        self.diag(
+                            "unknown-table",
+                            path,
+                            node,
+                            format!("table '{table}' not in the catalog"),
+                        );
+                    }
+                    ColSet::Unknown
+                }
+            },
+            SemNode::Input { columns, .. } => ColSet::Known(columns.clone()),
+            SemNode::Predicate { pred, .. } => {
+                let input = &inputs[0];
+                match pred {
+                    SemPredicate::NumCmp { attr, .. } | SemPredicate::TextEq { attr, .. } => {
+                        self.require_column(path, node, input, attr);
+                    }
+                    SemPredicate::TextEqAny { columns, .. } => {
+                        self.require_candidate(path, node, input, columns);
+                    }
+                }
+                input.clone()
+            }
+            SemNode::SemFilter {
+                columns,
+                resolve,
+                distinct,
+                early_stop,
+                ..
+            } => {
+                let input = &inputs[0];
+                if columns.is_empty() {
+                    self.diag(
+                        "no-column",
+                        path,
+                        node,
+                        "semantic filter without a column".to_owned(),
+                    );
+                } else if *resolve {
+                    self.require_candidate(path, node, input, columns);
+                } else {
+                    self.require_column(path, node, input, &columns[0]);
+                }
+                if let Some(cut) = early_stop {
+                    self.require_column(path, node, input, &cut.sort_by);
+                    self.require_k(path, node, "early_stop", cut.k);
+                    if !distinct {
+                        // fuse_precut always marks fused filters
+                        // distinct; the early-stop executor judges
+                        // distinct values in sorted order, so a
+                        // non-distinct fused filter is malformed IR.
+                        self.diag(
+                            "fused-not-distinct",
+                            path,
+                            node,
+                            "early-stop filter not marked distinct".to_owned(),
+                        );
+                    }
+                }
+                input.clone()
+            }
+            SemNode::Cut { cut, .. } => {
+                let input = &inputs[0];
+                self.require_column(path, node, input, &cut.sort_by);
+                self.require_k(path, node, "Cut", cut.k);
+                input.clone()
+            }
+            SemNode::SemTopK { on_attr, k, .. } => {
+                let input = &inputs[0];
+                self.require_column(path, node, input, on_attr);
+                self.require_k(path, node, "SemTopK", *k);
+                input.clone()
+            }
+            SemNode::SemAgg { .. } => ColSet::Known(vec!["answer".to_owned()]),
+            SemNode::SemMap {
+                on_attr,
+                out_column,
+                ..
+            } => {
+                let input = &inputs[0];
+                self.require_column(path, node, input, on_attr);
+                match input {
+                    ColSet::Known(cols) => {
+                        let mut cols = cols.clone();
+                        cols.push(out_column.clone());
+                        ColSet::Known(cols)
+                    }
+                    other => other.clone(),
+                }
+            }
+            SemNode::SemJoin {
+                left_on, right_on, ..
+            } => {
+                self.require_column(path, node, &inputs[0], left_on);
+                self.require_column(path, node, &inputs[1], right_on);
+                match (&inputs[0], &inputs[1]) {
+                    (ColSet::Known(l), ColSet::Known(r)) => {
+                        let mut cols = l.clone();
+                        cols.extend(r.iter().cloned());
+                        ColSet::Known(cols)
+                    }
+                    _ => ColSet::Unknown,
+                }
+            }
+            SemNode::Retrieve { k, .. } => {
+                self.require_k(path, node, "Retrieve", *k);
+                ColSet::Points
+            }
+            SemNode::Rerank { keep, .. } => {
+                self.require_k(path, node, "Rerank", *keep);
+                if inputs[0] != ColSet::Points {
+                    self.diag(
+                        "rerank-input",
+                        path,
+                        node,
+                        format!(
+                            "Rerank scores retrieved points, but its input produces {}",
+                            inputs[0].describe()
+                        ),
+                    );
+                }
+                ColSet::Points
+            }
+            SemNode::Generate { .. } => ColSet::Known(vec!["answer".to_owned()]),
+        }
+    }
+}
+
+/// Verify one plan's well-formedness against `schema`. See the module
+/// docs for the invariant list.
+pub fn verify_plan(root: &SemNode, schema: &dyn SchemaSource) -> VerifyReport {
+    let mut checker = PlanChecker {
+        schema,
+        diagnostics: Vec::new(),
+    };
+    checker.check(root, "0", true);
+
+    // Cardinality monotonicity: row bounds may never grow through a
+    // row-reducing operator, and cutters are bounded by their k. This is
+    // a consistency check of plan × cost model (a plan whose bounds
+    // violate it indicates a malformed cut spec or a model regression).
+    check_cardinality(root, "0", schema, &mut checker.diagnostics);
+
+    VerifyReport {
+        diagnostics: checker.diagnostics,
+    }
+}
+
+fn check_cardinality(
+    node: &SemNode,
+    path: &str,
+    schema: &dyn SchemaSource,
+    out: &mut Vec<Diagnostic>,
+) {
+    let bound = plan_cost(node, schema).out_rows;
+    let violation = match node {
+        SemNode::Predicate { input, .. }
+        | SemNode::SemFilter { input, .. }
+        | SemNode::Cut { input, .. }
+        | SemNode::SemTopK { input, .. }
+        | SemNode::Rerank { input, .. } => {
+            let in_bound = plan_cost(input, schema).out_rows;
+            let k = match node {
+                SemNode::Cut { cut, .. } => Some(cut.k as u64),
+                SemNode::SemTopK { k, .. } => Some(*k as u64),
+                SemNode::Rerank { keep, .. } => Some(*keep as u64),
+                SemNode::SemFilter {
+                    early_stop: Some(cut),
+                    ..
+                } => Some(cut.k as u64),
+                _ => None,
+            };
+            bound > in_bound || k.is_some_and(|k| bound > k)
+        }
+        SemNode::SemAgg { .. } | SemNode::Generate { .. } => bound > 1,
+        _ => false,
+    };
+    if violation {
+        out.push(Diagnostic {
+            code: "cardinality",
+            path: path.to_owned(),
+            node: node.label(),
+            message: format!("output row bound {bound} exceeds its structural limit"),
+        });
+    }
+    for (i, child) in node.children().iter().enumerate() {
+        check_cardinality(child, &format!("{path}/{i}"), schema, out);
+    }
+}
+
+/// Conservation fingerprint of a plan: the multiset of predicates,
+/// semantic-filter claims, cuts (standalone or fused), and every other
+/// operator's label. The three `semopt` rules may move, mark, and fuse —
+/// never drop or invent.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Fingerprint {
+    predicates: Vec<String>,
+    filters: Vec<String>,
+    cuts: Vec<String>,
+    others: Vec<String>,
+}
+
+impl Fingerprint {
+    fn of(root: &SemNode) -> Fingerprint {
+        let mut fp = Fingerprint::default();
+        fp.collect(root);
+        fp.predicates.sort();
+        fp.filters.sort();
+        fp.cuts.sort();
+        fp.others.sort();
+        fp
+    }
+
+    fn collect(&mut self, node: &SemNode) {
+        match node {
+            SemNode::Predicate { pred, .. } => self.predicates.push(format!("{pred:?}")),
+            SemNode::SemFilter {
+                columns,
+                resolve,
+                claim,
+                early_stop,
+                ..
+            } => {
+                // distinct/early_stop are the rewrite's degrees of
+                // freedom; the judged claim and its columns are not.
+                self.filters
+                    .push(format!("{columns:?} resolve={resolve} {claim:?}"));
+                if let Some(cut) = early_stop {
+                    self.cuts.push(format!("{cut:?}"));
+                }
+            }
+            SemNode::Cut { cut, .. } => self.cuts.push(format!("{cut:?}")),
+            other => self.others.push(other.label()),
+        }
+        for child in node.children() {
+            self.collect(child);
+        }
+    }
+}
+
+fn conservation_diag(what: &str, before: &[String], after: &[String], out: &mut Vec<Diagnostic>) {
+    if before != after {
+        out.push(Diagnostic {
+            code: "conservation",
+            path: String::new(),
+            node: String::new(),
+            message: format!("{what} not conserved: before {before:?}, after {after:?}"),
+        });
+    }
+}
+
+/// Verify an `optimize_sem` rewrite: `after` must conserve `before`'s
+/// work, satisfy each enabled rule's postcondition, and never raise the
+/// static LM-call bound.
+pub fn verify_rewrite(
+    before: &SemNode,
+    after: &SemNode,
+    opts: &SemOptOptions,
+    schema: &dyn SchemaSource,
+) -> VerifyReport {
+    let mut diagnostics = Vec::new();
+
+    let fp_before = Fingerprint::of(before);
+    let fp_after = Fingerprint::of(after);
+    conservation_diag(
+        "predicates",
+        &fp_before.predicates,
+        &fp_after.predicates,
+        &mut diagnostics,
+    );
+    conservation_diag(
+        "semantic filters",
+        &fp_before.filters,
+        &fp_after.filters,
+        &mut diagnostics,
+    );
+    conservation_diag("cuts", &fp_before.cuts, &fp_after.cuts, &mut diagnostics);
+    conservation_diag(
+        "other operators",
+        &fp_before.others,
+        &fp_after.others,
+        &mut diagnostics,
+    );
+
+    check_postconditions(after, "0", opts, &mut diagnostics);
+
+    let cost_before = plan_cost(before, schema);
+    let cost_after = plan_cost(after, schema);
+    if cost_after.lm_calls > cost_before.lm_calls {
+        diagnostics.push(Diagnostic {
+            code: "cost-regression",
+            path: String::new(),
+            node: String::new(),
+            message: format!(
+                "rewrite raised the static LM-call bound: {} -> {}",
+                cost_before.lm_calls, cost_after.lm_calls
+            ),
+        });
+    }
+
+    VerifyReport { diagnostics }
+}
+
+fn check_postconditions(
+    node: &SemNode,
+    path: &str,
+    opts: &SemOptOptions,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut diag = |code: &'static str, message: String| {
+        out.push(Diagnostic {
+            code,
+            path: path.to_owned(),
+            node: node.label(),
+            message,
+        });
+    };
+    match node {
+        // Fused filters are always distinct, regardless of options:
+        // fuse_precut is the only producer of early_stop and marks it.
+        SemNode::SemFilter {
+            distinct: false,
+            early_stop: Some(_),
+            ..
+        } => diag(
+            "fused-not-distinct",
+            "fused early-stop filter not marked distinct".to_owned(),
+        ),
+        // Pushdown fixpoint: no exact predicate may sit directly on a
+        // still-fusable (non-early-stop) semantic filter. A predicate
+        // above an early-stop filter is legal — the fused cut does not
+        // commute with filtering.
+        SemNode::Predicate { input, .. }
+            if opts.pushdown
+                && matches!(
+                    **input,
+                    SemNode::SemFilter {
+                        early_stop: None,
+                        ..
+                    }
+                ) =>
+        {
+            diag(
+                "pushdown-missed",
+                "exact predicate left above a semantic filter".to_owned(),
+            )
+        }
+        // Distinct rewrite marks every semantic filter.
+        SemNode::SemFilter {
+            distinct: false, ..
+        } if opts.distinct_rewrite => diag(
+            "distinct-missed",
+            "semantic filter left judging row-wise".to_owned(),
+        ),
+        // Precut fixpoint: no cut may sit directly on a fusable filter.
+        SemNode::Cut { input, .. }
+            if opts.precut
+                && matches!(
+                    **input,
+                    SemNode::SemFilter {
+                        early_stop: None,
+                        ..
+                    }
+                ) =>
+        {
+            diag(
+                "precut-missed",
+                "exact cut left above a fusable semantic filter".to_owned(),
+            )
+        }
+        _ => {}
+    }
+    for (i, child) in node.children().iter().enumerate() {
+        check_postconditions(child, &format!("{path}/{i}"), opts, out);
+    }
+}
+
+/// Render a plan tree with per-node static bounds.
+///
+/// Output is deterministic: nodes pre-order (children in execution
+/// order), each line `label  [stage]  (rows<=R lm<=C)` where `R` is the
+/// node's output-row bound and `C` the node's *own* LM-call bound
+/// (subtree bound minus its children's). Golden tests may diff this
+/// byte-for-byte.
+pub fn annotated_explain(root: &SemNode, schema: &dyn SchemaSource) -> String {
+    let mut out = String::new();
+    annotate_into(root, schema, 0, &mut out);
+    out
+}
+
+fn annotate_into(node: &SemNode, schema: &dyn SchemaSource, depth: usize, out: &mut String) {
+    let subtree = plan_cost(node, schema);
+    let child_calls: u64 = node
+        .children()
+        .iter()
+        .map(|c| plan_cost(c, schema).lm_calls)
+        .sum();
+    let own = subtree.lm_calls.saturating_sub(child_calls);
+    let _ = writeln!(
+        out,
+        "{}{}  [{}]  (rows<={} lm<={})",
+        "  ".repeat(depth),
+        node.label(),
+        node.stage().as_str(),
+        subtree.out_rows,
+        own
+    );
+    for child in node.children() {
+        annotate_into(child, schema, depth + 1, out);
+    }
+}
+
+/// Full `EXPLAIN VERIFY` report text for a compile → optimize pair:
+/// plan verdict, rewrite verdict, the static LM-call bound (optimized
+/// vs naive), and the annotated plan. Deterministic line order.
+pub fn verify_report_text(
+    naive: &SemNode,
+    optimized: &SemNode,
+    opts: &SemOptOptions,
+    schema: &dyn SchemaSource,
+) -> String {
+    let plan = verify_plan(optimized, schema);
+    let rewrite = verify_rewrite(naive, optimized, opts, schema);
+    let cost_naive = plan_cost(naive, schema);
+    let cost_opt = plan_cost(optimized, schema);
+    let mut out = String::new();
+    if plan.is_ok() {
+        let _ = writeln!(out, "verify: ok");
+    } else {
+        let _ = writeln!(
+            out,
+            "verify: FAILED ({} diagnostics)",
+            plan.diagnostics.len()
+        );
+        for line in plan.render().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    if rewrite.is_ok() {
+        let _ = writeln!(out, "rewrite: ok (rules={})", opts.cache_tag());
+    } else {
+        let _ = writeln!(
+            out,
+            "rewrite: FAILED (rules={}, {} diagnostics)",
+            opts.cache_tag(),
+            rewrite.diagnostics.len()
+        );
+        for line in rewrite.render().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "lm_call_bound: {} (unoptimized: {})",
+        cost_opt.lm_calls, cost_naive.lm_calls
+    );
+    out.push_str(&annotated_explain(optimized, schema));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tag_sql::{optimize_sem, CutSpec, SemClaimSpec};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE schools (School TEXT, City TEXT, Longitude REAL)")
+            .expect("create");
+        db.execute("INSERT INTO schools VALUES ('Gunn', 'Palo Alto', -122.1)")
+            .expect("insert");
+        db
+    }
+
+    fn filter(input: SemNode, columns: &[&str]) -> SemNode {
+        SemNode::SemFilter {
+            input: Box::new(input),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            resolve: true,
+            claim: SemClaimSpec::CityInRegion {
+                region: "Silicon Valley".into(),
+            },
+            distinct: false,
+            early_stop: None,
+        }
+    }
+
+    fn scan() -> SemNode {
+        SemNode::Scan {
+            table: "schools".into(),
+        }
+    }
+
+    #[test]
+    fn well_formed_plan_passes() {
+        let plan = SemNode::Cut {
+            input: Box::new(filter(scan(), &["City", "city"])),
+            cut: CutSpec {
+                sort_by: "Longitude".into(),
+                descending: true,
+                k: 1,
+            },
+        };
+        let report = verify_plan(&plan, &db());
+        assert!(report.is_ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn unknown_table_is_caught_with_authoritative_schema() {
+        let plan = SemNode::Scan {
+            table: "dragons".into(),
+        };
+        let report = verify_plan(&plan, &db());
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, "unknown-table");
+        // ... but skipped without schema knowledge.
+        assert!(verify_plan(&plan, &NoSchema).is_ok());
+    }
+
+    #[test]
+    fn missing_filter_column_is_caught() {
+        let plan = filter(scan(), &["Town", "Municipality"]);
+        let report = verify_plan(&plan, &db());
+        assert_eq!(report.diagnostics[0].code, "column-missing");
+    }
+
+    #[test]
+    fn column_resolution_is_case_insensitive_like_the_runtime() {
+        let plan = filter(scan(), &["CITY"]);
+        assert!(verify_plan(&plan, &db()).is_ok());
+    }
+
+    #[test]
+    fn exec_over_points_is_caught() {
+        let plan = SemNode::Cut {
+            input: Box::new(SemNode::Retrieve {
+                query: "q".into(),
+                k: 10,
+                kind: tag_sql::RetrieveKind::Rows,
+            }),
+            cut: CutSpec {
+                sort_by: "x".into(),
+                descending: false,
+                k: 5,
+            },
+        };
+        let report = verify_plan(&plan, &db());
+        assert!(report.diagnostics.iter().any(|d| d.code == "points-input"));
+    }
+
+    #[test]
+    fn gen_below_root_is_caught() {
+        let plan = SemNode::Cut {
+            input: Box::new(SemNode::Generate {
+                input: Box::new(scan()),
+                request: "q".into(),
+                format: tag_sql::GenFormat::Free,
+                span_name: "answer".into(),
+            }),
+            cut: CutSpec {
+                sort_by: "answer".into(),
+                descending: false,
+                k: 1,
+            },
+        };
+        let report = verify_plan(&plan, &db());
+        assert!(report.diagnostics.iter().any(|d| d.code == "gen-not-root"));
+    }
+
+    #[test]
+    fn zero_k_cut_is_caught() {
+        let plan = SemNode::Cut {
+            input: Box::new(scan()),
+            cut: CutSpec {
+                sort_by: "Longitude".into(),
+                descending: true,
+                k: 0,
+            },
+        };
+        let report = verify_plan(&plan, &db());
+        assert!(report.diagnostics.iter().any(|d| d.code == "empty-cut"));
+    }
+
+    #[test]
+    fn rerank_over_table_rows_is_caught() {
+        let plan = SemNode::Rerank {
+            input: Box::new(scan()),
+            query: "q".into(),
+            keep: 5,
+        };
+        let report = verify_plan(&plan, &db());
+        assert!(report.diagnostics.iter().any(|d| d.code == "rerank-input"));
+    }
+
+    #[test]
+    fn real_rewrite_passes_verify_rewrite() {
+        let naive = SemNode::Cut {
+            input: Box::new(filter(
+                SemNode::Predicate {
+                    input: Box::new(filter(scan(), &["City", "city"])),
+                    pred: SemPredicate::NumCmp {
+                        attr: "Longitude".into(),
+                        over: false,
+                        value: -120.0,
+                    },
+                },
+                &["City", "city"],
+            )),
+            cut: CutSpec {
+                sort_by: "Longitude".into(),
+                descending: true,
+                k: 1,
+            },
+        };
+        let opts = SemOptOptions::all();
+        let optimized = optimize_sem(naive.clone(), &opts);
+        let db = db();
+        let report = verify_rewrite(&naive, &optimized, &opts, &db);
+        assert!(report.is_ok(), "{}", report.render());
+        assert!(verify_plan(&optimized, &db).is_ok());
+    }
+
+    #[test]
+    fn dropped_predicate_breaks_conservation() {
+        let naive = SemNode::Predicate {
+            input: Box::new(filter(scan(), &["City"])),
+            pred: SemPredicate::TextEq {
+                attr: "School".into(),
+                value: "Gunn".into(),
+            },
+        };
+        // A "rewrite" that silently drops the predicate.
+        let broken = filter(scan(), &["City"]);
+        let report = verify_rewrite(&naive, &broken, &SemOptOptions::none(), &NoSchema);
+        assert!(report.diagnostics.iter().any(|d| d.code == "conservation"));
+    }
+
+    #[test]
+    fn annotated_explain_is_deterministic_and_ordered() {
+        let plan = SemNode::Cut {
+            input: Box::new(filter(scan(), &["City"])),
+            cut: CutSpec {
+                sort_by: "Longitude".into(),
+                descending: true,
+                k: 1,
+            },
+        };
+        let db = db();
+        let a = annotated_explain(&plan, &db);
+        let b = annotated_explain(&plan, &db);
+        assert_eq!(a, b);
+        let lines: Vec<&str> = a.lines().collect();
+        // Pre-order: root cut, then filter, then scan; each annotated.
+        assert!(lines[0].starts_with("Cut "), "{a}");
+        assert!(lines[1].trim_start().starts_with("SemFilter "), "{a}");
+        assert!(lines[2].trim_start().starts_with("Scan "), "{a}");
+        assert!(lines.iter().all(|l| l.contains("(rows<=")), "{a}");
+    }
+}

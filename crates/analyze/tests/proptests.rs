@@ -1,0 +1,299 @@
+//! Property-based tests: over randomized well-formed semantic plans,
+//! `optimize_sem` must always produce a tree the verifier accepts, the
+//! rewrite checker must accept every (naive, optimized) pair under
+//! every rule combination, and the static LM-call bound must never be
+//! raised by optimization.
+//!
+//! Plans are grown from a vector of random words: a leaf (scan, input,
+//! or retrieval), a stack of exec-stage operators, and an optional
+//! gen-stage root — the same shapes the compilers in `tag-core` emit,
+//! but with arbitrary structure, columns, and constants.
+
+use proptest::prelude::*;
+use tag_analyze::{plan_cost, verify_plan, verify_rewrite, NoSchema};
+use tag_sql::{
+    optimize_sem, CutSpec, GenFormat, RetrieveKind, SemClaimSpec, SemNode, SemOptOptions,
+    SemPredicate, Value,
+};
+
+/// All 8 rewrite-rule combinations.
+fn all_opts() -> Vec<SemOptOptions> {
+    let mut out = Vec::new();
+    for pushdown in [false, true] {
+        for distinct_rewrite in [false, true] {
+            for precut in [false, true] {
+                out.push(SemOptOptions {
+                    pushdown,
+                    distinct_rewrite,
+                    precut,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn col(w: u64) -> String {
+    ["City", "School", "Circuit", "name", "revenue"][(w % 5) as usize].to_owned()
+}
+
+fn claim(w: u64) -> SemClaimSpec {
+    match w % 4 {
+        0 => SemClaimSpec::CityInRegion {
+            region: "Bay Area".into(),
+        },
+        1 => SemClaimSpec::EuCountry,
+        2 => SemClaimSpec::ClassicMovie,
+        _ => SemClaimSpec::Property {
+            word: "positive".into(),
+        },
+    }
+}
+
+fn cut(w: u64) -> CutSpec {
+    CutSpec {
+        sort_by: col(w / 7),
+        descending: w.is_multiple_of(2),
+        k: 1 + (w % 9) as usize,
+    }
+}
+
+/// A leaf for an exec-stage stack: scan or materialized rows.
+fn exec_leaf(w: u64) -> SemNode {
+    if w.is_multiple_of(3) {
+        SemNode::Input {
+            columns: vec![col(w / 3), col(w / 5 + 1)],
+            rows: (0..(w % 13))
+                .map(|i| vec![Value::Text(format!("r{i}")), Value::Float(i as f64)])
+                .collect(),
+        }
+    } else {
+        SemNode::Scan {
+            table: "schools".into(),
+        }
+    }
+}
+
+/// One exec-stage operator over `input`, picked by `w`.
+fn exec_op(input: SemNode, w: u64) -> SemNode {
+    let input = Box::new(input);
+    match w % 6 {
+        0 => SemNode::Predicate {
+            input,
+            pred: SemPredicate::NumCmp {
+                attr: col(w / 6),
+                over: w.is_multiple_of(2),
+                value: (w % 100) as f64,
+            },
+        },
+        1 => SemNode::Predicate {
+            input,
+            pred: SemPredicate::TextEqAny {
+                columns: vec![col(w / 6), col(w / 11 + 2)],
+                value: "Fresno".into(),
+            },
+        },
+        2 => SemNode::SemFilter {
+            input,
+            columns: vec![col(w / 6), col(w / 11 + 1)],
+            resolve: w.is_multiple_of(2),
+            claim: claim(w / 13),
+            distinct: false,
+            early_stop: None,
+        },
+        3 => SemNode::Cut {
+            input,
+            cut: cut(w / 6),
+        },
+        4 => SemNode::SemTopK {
+            input,
+            on_attr: col(w / 6),
+            property: "memorable".into(),
+            k: 1 + (w % 5) as usize,
+        },
+        _ => SemNode::SemMap {
+            input,
+            on_attr: col(w / 6),
+            instruction: "extract the language".into(),
+            out_column: "language".into(),
+        },
+    }
+}
+
+/// Grow one naive plan from random words: leaf, operator stack, and an
+/// optional gen root; one word in three instead picks a retrieval
+/// pipeline (the RAG / rerank shapes).
+fn build_plan(words: &[u64]) -> SemNode {
+    let first = words.first().copied().unwrap_or(0);
+    if first % 3 == 0 {
+        let retrieve = SemNode::Retrieve {
+            query: "the question".into(),
+            k: 1 + (first % 20) as usize,
+            kind: RetrieveKind::Candidates,
+        };
+        let pool = if first % 2 == 0 {
+            SemNode::Rerank {
+                input: Box::new(retrieve),
+                query: "the question".into(),
+                keep: 1 + (first % 10) as usize,
+            }
+        } else {
+            retrieve
+        };
+        return SemNode::Generate {
+            input: Box::new(pool),
+            request: "the question".into(),
+            format: GenFormat::List,
+            span_name: "answer".into(),
+        };
+    }
+    let mut plan = exec_leaf(first);
+    for &w in &words[1..] {
+        plan = exec_op(plan, w);
+    }
+    match first % 4 {
+        0 => SemNode::SemAgg {
+            input: Box::new(plan),
+            request: "summarize".into(),
+        },
+        1 => SemNode::Generate {
+            input: Box::new(plan),
+            request: "the question".into(),
+            format: if first % 2 == 0 {
+                GenFormat::Free
+            } else {
+                GenFormat::FreeOrAgg
+            },
+            span_name: "answer".into(),
+        },
+        _ => plan,
+    }
+}
+
+proptest! {
+    /// The generator only produces plans the verifier accepts: randomized
+    /// naive trees are well-formed before any rewriting.
+    #[test]
+    fn generated_naive_plans_verify(words in prop::collection::vec(0u64..1_000_000, 1..8)) {
+        let naive = build_plan(&words);
+        let report = verify_plan(&naive, &NoSchema);
+        prop_assert!(report.is_ok(), "naive plan rejected:\n{}\n{}", report.render(), naive.explain());
+    }
+
+    /// Under every rule combination, `optimize_sem` output passes the
+    /// verifier and the rewrite checker (work conservation + per-rule
+    /// postconditions).
+    #[test]
+    fn optimizer_output_always_verifies(words in prop::collection::vec(0u64..1_000_000, 1..8)) {
+        let naive = build_plan(&words);
+        for opts in all_opts() {
+            let optimized = optimize_sem(naive.clone(), &opts);
+            let plan = verify_plan(&optimized, &NoSchema);
+            prop_assert!(
+                plan.is_ok(),
+                "rules={}: optimized plan rejected:\n{}\n{}",
+                opts.cache_tag(), plan.render(), optimized.explain()
+            );
+            let rewrite = verify_rewrite(&naive, &optimized, &opts, &NoSchema);
+            prop_assert!(
+                rewrite.is_ok(),
+                "rules={}: rewrite rejected:\n{}before:\n{}after:\n{}",
+                opts.cache_tag(), rewrite.render(), naive.explain(), optimized.explain()
+            );
+        }
+    }
+
+    /// Optimization never raises the static LM-call bound (and therefore
+    /// never raises the token bound, which is calls x context window).
+    #[test]
+    fn optimizer_never_raises_cost_bound(words in prop::collection::vec(0u64..1_000_000, 1..8)) {
+        let naive = build_plan(&words);
+        let naive_calls = plan_cost(&naive, &NoSchema).lm_calls;
+        for opts in all_opts() {
+            let optimized = optimize_sem(naive.clone(), &opts);
+            let opt_calls = plan_cost(&optimized, &NoSchema).lm_calls;
+            prop_assert!(
+                opt_calls <= naive_calls,
+                "rules={}: bound raised {naive_calls} -> {opt_calls}:\n{}",
+                opts.cache_tag(), optimized.explain()
+            );
+        }
+    }
+
+    /// A deliberately broken rewrite is always caught: fusing a cut into
+    /// a filter without the distinct obligation must be rejected, and
+    /// deleting a predicate must fail work conservation.
+    #[test]
+    fn broken_rewrites_are_caught(words in prop::collection::vec(0u64..1_000_000, 1..8)) {
+        let naive = build_plan(&words);
+        let opts = SemOptOptions::default();
+        let mut optimized = optimize_sem(naive.clone(), &opts);
+        if clear_first_fused_distinct(&mut optimized) {
+            let plan = verify_plan(&optimized, &NoSchema);
+            let rewrite = verify_rewrite(&naive, &optimized, &opts, &NoSchema);
+            prop_assert!(
+                !plan.is_ok() || !rewrite.is_ok(),
+                "fused-not-distinct mutation escaped:\n{}",
+                optimized.explain()
+            );
+        }
+        let mut dropped = optimize_sem(naive.clone(), &opts);
+        if drop_first_predicate(&mut dropped) {
+            let rewrite = verify_rewrite(&naive, &dropped, &opts, &NoSchema);
+            prop_assert!(
+                !rewrite.is_ok(),
+                "dropped-predicate mutation escaped:\n{}",
+                dropped.explain()
+            );
+        }
+    }
+}
+
+/// Clear the `distinct` flag on the first fused early-stop filter.
+fn clear_first_fused_distinct(node: &mut SemNode) -> bool {
+    if let SemNode::SemFilter {
+        distinct,
+        early_stop: Some(_),
+        ..
+    } = node
+    {
+        *distinct = false;
+        return true;
+    }
+    match node {
+        SemNode::Predicate { input, .. }
+        | SemNode::SemFilter { input, .. }
+        | SemNode::Cut { input, .. }
+        | SemNode::SemTopK { input, .. }
+        | SemNode::SemAgg { input, .. }
+        | SemNode::SemMap { input, .. }
+        | SemNode::Rerank { input, .. }
+        | SemNode::Generate { input, .. } => clear_first_fused_distinct(input),
+        SemNode::SemJoin { left, right, .. } => {
+            clear_first_fused_distinct(left) || clear_first_fused_distinct(right)
+        }
+        SemNode::Scan { .. } | SemNode::Input { .. } | SemNode::Retrieve { .. } => false,
+    }
+}
+
+/// Splice the first `Predicate` out of the tree.
+fn drop_first_predicate(node: &mut SemNode) -> bool {
+    if let SemNode::Predicate { input, .. } = node {
+        *node = (**input).clone();
+        return true;
+    }
+    match node {
+        SemNode::Predicate { input, .. }
+        | SemNode::SemFilter { input, .. }
+        | SemNode::Cut { input, .. }
+        | SemNode::SemTopK { input, .. }
+        | SemNode::SemAgg { input, .. }
+        | SemNode::SemMap { input, .. }
+        | SemNode::Rerank { input, .. }
+        | SemNode::Generate { input, .. } => drop_first_predicate(input),
+        SemNode::SemJoin { left, right, .. } => {
+            drop_first_predicate(left) || drop_first_predicate(right)
+        }
+        SemNode::Scan { .. } | SemNode::Input { .. } | SemNode::Retrieve { .. } => false,
+    }
+}

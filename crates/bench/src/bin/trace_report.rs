@@ -20,9 +20,13 @@
 //! `--jsonl` additionally dumps every captured span as JSONL on stdout.
 
 use std::collections::BTreeMap;
-use tag_bench::{Harness, MethodId, QueryType};
+use tag_analyze::plan_cost;
+use tag_bench::{BenchQuery, Harness, MethodId, QueryType};
+use tag_core::env::TagEnv;
+use tag_core::{compile_generate_over, compile_nlq, compile_rag, compile_rerank};
 use tag_datagen::Scale;
 use tag_lm::sim::SimConfig;
+use tag_sql::optimize_sem;
 use tag_trace::{LmUsage, SpanRecord, Stage, Trace};
 
 fn usage() -> ! {
@@ -48,6 +52,40 @@ fn parse_scale(name: &str) -> Scale {
             drivers: 6,
         },
         _ => usage(),
+    }
+}
+
+/// Static upper bound on LM calls for one (method, query) pair, derived
+/// from the semantic IR alone via [`tag_analyze::plan_cost`] — before
+/// anything executes. The engine's prompt cache can only *lower* the
+/// traced actuals, so `actual > bound` means the cost model (or the
+/// optimizer) is wrong and the report fails.
+fn static_bound(method: MethodId, q: &BenchQuery, env: &TagEnv) -> u64 {
+    let opts = env.sem_opt();
+    let list = q.qtype != QueryType::Aggregation;
+    let question = q.question();
+    match method {
+        // One LM call writes the SQL; the engine answers relationally.
+        MethodId::Text2Sql => 1,
+        MethodId::Rag => {
+            let plan = optimize_sem(compile_rag(&question, 10, list), &opts);
+            plan_cost(&plan, &env.db).lm_calls
+        }
+        MethodId::Rerank => {
+            let plan = optimize_sem(compile_rerank(&question, 30, 10, list), &opts);
+            plan_cost(&plan, &env.db).lm_calls
+        }
+        // One call writes the retrieval SQL, then a generate plan over
+        // the materialized rows (one call in either prompt format; the
+        // bound does not depend on how many rows came back).
+        MethodId::Text2SqlLm => {
+            let gen = compile_generate_over(Vec::new(), Vec::new(), &question, list, "answer");
+            1 + plan_cost(&optimize_sem(gen, &opts), &env.db).lm_calls
+        }
+        MethodId::HandWritten => {
+            let plan = optimize_sem(compile_nlq(&q.query), &opts);
+            plan_cost(&plan, &env.db).lm_calls
+        }
     }
 }
 
@@ -176,9 +214,33 @@ fn main() {
     let mut by_qtype: BTreeMap<(String, usize), Agg> = BTreeMap::new();
     let mut all_spans: Vec<SpanRecord> = Vec::new();
     let mut mismatches = 0usize;
+    let mut bound_violations = 0usize;
+    // max(actual) / min(bound headroom) per method, for the summary.
+    let mut bound_stats: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
     for &method in &methods {
         for &id in &ids {
+            let query = harness
+                .queries()
+                .iter()
+                .find(|q| q.id == id)
+                .expect("known id")
+                .clone();
+            let env = harness.env(query.domain);
+            let bound = static_bound(method, &query, env);
             let baseline = harness.run_one(method, id);
+            // `run_one` resets metrics first, so the LM's call counter
+            // now holds exactly this run's submissions.
+            let actual = env.lm.usage().2;
+            let entry = bound_stats.entry(method.label()).or_insert((0, u64::MAX));
+            entry.0 = entry.0.max(actual);
+            entry.1 = entry.1.min(bound);
+            if actual > bound {
+                bound_violations += 1;
+                eprintln!(
+                    "BOUND VIOLATION: {} query {id}: {actual} LM calls > static bound {bound}",
+                    method.label()
+                );
+            }
             let (trace, sink) = Trace::memory();
             let traced = tag_trace::with_trace(&trace, || {
                 let _root = tag_trace::span(Stage::Request, method.label());
@@ -193,12 +255,7 @@ fn main() {
                     baseline.answer
                 );
             }
-            let qtype = harness
-                .queries()
-                .iter()
-                .find(|q| q.id == id)
-                .expect("known id")
-                .qtype;
+            let qtype = query.qtype;
             for span in sink.take() {
                 by_method
                     .entry((method.label().to_owned(), span.stage.index()))
@@ -232,9 +289,23 @@ fn main() {
             println!("{}", s.to_json());
         }
     }
-    if mismatches > 0 {
-        eprintln!("trace-report: {mismatches} traced/untraced answer mismatches");
+    println!();
+    println!("== static LM-call bound vs traced actuals ==");
+    println!("{:<22} {:>12} {:>11}", "method", "max actual", "min bound");
+    for (label, (max_actual, min_bound)) in &bound_stats {
+        println!("{:<22} {:>12} {:>11}", label, max_actual, min_bound);
+    }
+    if mismatches > 0 || bound_violations > 0 {
+        if mismatches > 0 {
+            eprintln!("trace-report: {mismatches} traced/untraced answer mismatches");
+        }
+        if bound_violations > 0 {
+            eprintln!("trace-report: {bound_violations} run(s) exceeded the static LM-call bound");
+        }
         std::process::exit(1);
     }
-    eprintln!("trace-report: all traced answers byte-identical to untraced baseline");
+    eprintln!(
+        "trace-report: all traced answers byte-identical to untraced baseline; \
+         every run within its static LM-call bound"
+    );
 }

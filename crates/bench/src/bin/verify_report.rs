@@ -1,0 +1,339 @@
+//! `verify-report` — sweep the SemPlan verifier over every TAG-Bench
+//! plan under every optimizer-rule combination.
+//!
+//! For each of the 80 benchmark queries and each of the 8
+//! [`SemOptOptions`] combinations, the compiled naive plan is optimized
+//! and checked three ways: the optimized tree must be well-formed
+//! against the domain catalog ([`tag_analyze::verify_plan`]), the
+//! rewrite must preserve the naive plan's work and satisfy each enabled
+//! rule's postcondition ([`tag_analyze::verify_rewrite`]), and the
+//! static LM-call bound must not regress. The RAG and rerank baseline
+//! plans go through the same sweep.
+//!
+//! The sweep then *mutates* one optimized plan two ways — fusing a cut
+//! without marking the filter distinct, and dropping a predicate — and
+//! requires the verifier to reject both. A sweep that can no longer
+//! catch a broken rewrite fails even if every real plan passes.
+//!
+//! ```text
+//! verify-report [--scale tiny|small|standard] [--seed N] [--json PATH]
+//! ```
+//!
+//! `--json PATH` additionally writes a machine-readable summary (the CI
+//! artifact). Exit code 0 when every check passes, 1 otherwise.
+
+use std::collections::BTreeMap;
+use tag_analyze::{plan_cost, verify_plan, verify_rewrite, SchemaSource};
+use tag_bench::Harness;
+use tag_core::{compile_nlq, compile_rag, compile_rerank};
+use tag_datagen::Scale;
+use tag_lm::sim::SimConfig;
+use tag_sql::{optimize_sem, SemNode, SemOptOptions};
+
+fn usage() -> ! {
+    eprintln!("usage: verify-report [--scale tiny|small|standard] [--seed N] [--json PATH]");
+    std::process::exit(2);
+}
+
+fn parse_scale(name: &str) -> Scale {
+    match name {
+        "standard" => Scale::default(),
+        "small" => Scale {
+            schools: 120,
+            players: 150,
+            posts: 60,
+            customers: 120,
+            drivers: 10,
+        },
+        "tiny" => Scale {
+            schools: 40,
+            players: 40,
+            posts: 20,
+            customers: 40,
+            drivers: 6,
+        },
+        _ => usage(),
+    }
+}
+
+/// All 8 rewrite-rule combinations.
+fn all_opts() -> Vec<SemOptOptions> {
+    let mut out = Vec::new();
+    for pushdown in [false, true] {
+        for distinct_rewrite in [false, true] {
+            for precut in [false, true] {
+                out.push(SemOptOptions {
+                    pushdown,
+                    distinct_rewrite,
+                    precut,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[derive(Default)]
+struct Tally {
+    plans: usize,
+    failures: usize,
+}
+
+/// Verify one naive plan under one rule set; returns rendered
+/// diagnostics when anything fails.
+fn check(naive: &SemNode, opts: &SemOptOptions, schema: &dyn SchemaSource) -> Option<String> {
+    let optimized = optimize_sem(naive.clone(), opts);
+    let plan = verify_plan(&optimized, schema);
+    let rewrite = verify_rewrite(naive, &optimized, opts, schema);
+    if plan.is_ok() && rewrite.is_ok() {
+        return None;
+    }
+    Some(format!("{}{}", plan.render(), rewrite.render()))
+}
+
+/// Fuse-without-distinct mutation: find a fused early-stop filter and
+/// clear its distinct flag (the exact bug `fuse_precut` would have if
+/// it forgot the dedup obligation). Returns false when the plan has no
+/// fused filter to corrupt.
+fn break_fused_distinct(node: &mut SemNode) -> bool {
+    if let SemNode::SemFilter {
+        distinct,
+        early_stop: Some(_),
+        ..
+    } = node
+    {
+        *distinct = false;
+        return true;
+    }
+    match node {
+        SemNode::Predicate { input, .. }
+        | SemNode::SemFilter { input, .. }
+        | SemNode::Cut { input, .. }
+        | SemNode::SemTopK { input, .. }
+        | SemNode::SemAgg { input, .. }
+        | SemNode::SemMap { input, .. }
+        | SemNode::Rerank { input, .. }
+        | SemNode::Generate { input, .. } => break_fused_distinct(input),
+        SemNode::SemJoin { left, right, .. } => {
+            break_fused_distinct(left) || break_fused_distinct(right)
+        }
+        SemNode::Scan { .. } | SemNode::Input { .. } | SemNode::Retrieve { .. } => false,
+    }
+}
+
+/// Drop-a-node mutation: splice the first predicate out of the tree
+/// (a pushdown that loses the filter it was supposed to move).
+fn break_drop_predicate(node: &mut SemNode) -> bool {
+    if let SemNode::Predicate { input, .. } = node {
+        *node = (**input).clone();
+        return true;
+    }
+    match node {
+        SemNode::Predicate { input, .. }
+        | SemNode::SemFilter { input, .. }
+        | SemNode::Cut { input, .. }
+        | SemNode::SemTopK { input, .. }
+        | SemNode::SemAgg { input, .. }
+        | SemNode::SemMap { input, .. }
+        | SemNode::Rerank { input, .. }
+        | SemNode::Generate { input, .. } => break_drop_predicate(input),
+        SemNode::SemJoin { left, right, .. } => {
+            break_drop_predicate(left) || break_drop_predicate(right)
+        }
+        SemNode::Scan { .. } | SemNode::Input { .. } | SemNode::Retrieve { .. } => false,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut scale = parse_scale("small");
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--scale" => scale = parse_scale(&val()),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--json" => json_path = Some(val()),
+            _ => usage(),
+        }
+    }
+
+    eprintln!("verify-report: generating domains (seed {seed})...");
+    let harness = Harness::new(seed, scale, SimConfig::default());
+    let combos = all_opts();
+    eprintln!(
+        "verify-report: sweeping {} queries x {} rule combos...",
+        harness.queries().len(),
+        combos.len()
+    );
+
+    let mut by_tag: BTreeMap<String, Tally> = BTreeMap::new();
+    let mut by_family: BTreeMap<&'static str, Tally> = BTreeMap::new();
+    let mut failures: Vec<String> = Vec::new();
+    for q in harness.queries() {
+        let db = &harness.env(q.domain).db;
+        let question = q.question();
+        let list = q.qtype != tag_bench::QueryType::Aggregation;
+        let plans: [(&'static str, SemNode); 3] = [
+            ("handwritten", compile_nlq(&q.query)),
+            ("rag", compile_rag(&question, 10, list)),
+            ("rerank", compile_rerank(&question, 30, 10, list)),
+        ];
+        for opts in &combos {
+            for (family, naive) in &plans {
+                let tag = by_tag.entry(opts.cache_tag()).or_default();
+                let fam = by_family.entry(family).or_default();
+                tag.plans += 1;
+                fam.plans += 1;
+                if let Some(diag) = check(naive, opts, db) {
+                    tag.failures += 1;
+                    fam.failures += 1;
+                    failures.push(format!(
+                        "query {} ({family}, rules={}):\n{diag}",
+                        q.id,
+                        opts.cache_tag()
+                    ));
+                }
+            }
+        }
+    }
+
+    // Mutation checks: the sweep must still be able to reject a broken
+    // rewrite. Use benchmark plans that exercise the relevant shapes.
+    let opts = SemOptOptions::default();
+    let mutant_query = harness
+        .queries()
+        .iter()
+        .find(|q| {
+            let mut plan = optimize_sem(compile_nlq(&q.query), &opts);
+            break_fused_distinct(&mut plan)
+        })
+        .expect("some benchmark plan has a fused early-stop filter");
+    let mutant_db = &harness.env(mutant_query.domain).db;
+    let naive = compile_nlq(&mutant_query.query);
+    let mut fused = optimize_sem(naive.clone(), &opts);
+    assert!(break_fused_distinct(&mut fused));
+    let caught_fused = !verify_plan(&fused, mutant_db).is_ok()
+        || !verify_rewrite(&naive, &fused, &opts, mutant_db).is_ok();
+    if !caught_fused {
+        failures.push(format!(
+            "MUTATION ESCAPED: fused-not-distinct on query {} was not rejected",
+            mutant_query.id
+        ));
+    }
+
+    let pred_query = harness
+        .queries()
+        .iter()
+        .find(|q| {
+            let mut plan = compile_nlq(&q.query);
+            break_drop_predicate(&mut plan)
+        })
+        .expect("some benchmark plan contains a predicate");
+    let pred_db = &harness.env(pred_query.domain).db;
+    let pred_naive = compile_nlq(&pred_query.query);
+    let mut dropped = optimize_sem(pred_naive.clone(), &opts);
+    assert!(break_drop_predicate(&mut dropped));
+    let caught_drop = !verify_rewrite(&pred_naive, &dropped, &opts, pred_db).is_ok();
+    if !caught_drop {
+        failures.push(format!(
+            "MUTATION ESCAPED: dropped predicate on query {} was not rejected",
+            pred_query.id
+        ));
+    }
+
+    // Aggregate restatement of the rewrite check's cost clause on one
+    // sample plan, so a broken cost model fails loudly here too.
+    let sample_q = &harness.queries()[0];
+    let sample = compile_nlq(&sample_q.query);
+    let sample_db = &harness.env(sample_q.domain).db;
+    let naive_cost = plan_cost(&sample, sample_db);
+    let opt_cost = plan_cost(&optimize_sem(sample.clone(), &opts), sample_db);
+    if opt_cost.lm_calls > naive_cost.lm_calls {
+        failures.push(format!(
+            "cost bound regressed on sample plan: {} > {}",
+            opt_cost.lm_calls, naive_cost.lm_calls
+        ));
+    }
+
+    println!("== verifier sweep: per rule combo ==");
+    println!("{:<10} {:>7} {:>9}", "rules", "plans", "failures");
+    for (tag, t) in &by_tag {
+        println!("{:<10} {:>7} {:>9}", tag, t.plans, t.failures);
+    }
+    println!();
+    println!("== verifier sweep: per plan family ==");
+    println!("{:<12} {:>7} {:>9}", "family", "plans", "failures");
+    for (fam, t) in &by_family {
+        println!("{:<12} {:>7} {:>9}", fam, t.plans, t.failures);
+    }
+    println!();
+    println!(
+        "mutation checks: fused-not-distinct {}, dropped-predicate {}",
+        if caught_fused { "caught" } else { "ESCAPED" },
+        if caught_drop { "caught" } else { "ESCAPED" },
+    );
+
+    if let Some(path) = json_path {
+        let mut json = String::from("{\n  \"combos\": {\n");
+        let rows: Vec<String> = by_tag
+            .iter()
+            .map(|(tag, t)| {
+                format!(
+                    "    \"{}\": {{\"plans\": {}, \"failures\": {}}}",
+                    json_escape(tag),
+                    t.plans,
+                    t.failures
+                )
+            })
+            .collect();
+        json.push_str(&rows.join(",\n"));
+        json.push_str("\n  },\n");
+        json.push_str(&format!(
+            "  \"mutation_caught\": {{\"fused_not_distinct\": {caught_fused}, \"dropped_predicate\": {caught_drop}}},\n"
+        ));
+        let fails: Vec<String> = failures
+            .iter()
+            .map(|f| format!("    \"{}\"", json_escape(f)))
+            .collect();
+        json.push_str("  \"failures\": [");
+        if fails.is_empty() {
+            json.push_str("]\n}\n");
+        } else {
+            json.push('\n');
+            json.push_str(&fails.join(",\n"));
+            json.push_str("\n  ]\n}\n");
+        }
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("verify-report: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("verify-report: wrote {path}");
+    }
+
+    if failures.is_empty() {
+        eprintln!("verify-report: all plans verified under every rule combo");
+        return;
+    }
+    for f in &failures {
+        eprintln!("FAIL: {f}");
+    }
+    eprintln!("verify-report: {} failure(s)", failures.len());
+    std::process::exit(1);
+}

@@ -40,9 +40,24 @@ impl TagEnv {
             let q = NlQuery::parse(question).ok_or_else(|| {
                 format!("no semantic plan for: {question} (not a canonical TAG-Bench question)")
             })?;
-            let opts = *explainer_opts.read().expect("sem_opt lock");
+            let opts = *explainer_opts.read().unwrap_or_else(|e| e.into_inner());
             let plan = tag_sql::optimize_sem(crate::semplan::compile_nlq(&q), &opts);
             Ok(plan.explain())
+        }));
+        // `EXPLAIN VERIFY <question>` runs the static checker over that
+        // plan: well-formedness against the live catalog, rewrite
+        // pre/postconditions, and the LM-call upper bound.
+        let verifier_opts = Arc::clone(&sem_opt);
+        db.set_semplan_verifier(Arc::new(move |db: &Database, question: &str| {
+            let q = NlQuery::parse(question).ok_or_else(|| {
+                format!("no semantic plan for: {question} (not a canonical TAG-Bench question)")
+            })?;
+            let opts = *verifier_opts.read().unwrap_or_else(|e| e.into_inner());
+            let naive = crate::semplan::compile_nlq(&q);
+            let optimized = tag_sql::optimize_sem(naive.clone(), &opts);
+            Ok(tag_analyze::verify_report_text(
+                &naive, &optimized, &opts, db,
+            ))
         }));
         TagEnv {
             db,
@@ -57,14 +72,14 @@ impl TagEnv {
 
     /// The SemPlan rewrite rules currently applied before execution.
     pub fn sem_opt(&self) -> SemOptOptions {
-        *self.sem_opt.read().expect("sem_opt lock")
+        *self.sem_opt.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Switch the SemPlan rewrite rules (ablations, the semplan-smoke
     /// replay). Takes effect for subsequent plans; cached plans keyed
     /// under other rule sets are not reused.
     pub fn set_sem_opt(&self, opts: SemOptOptions) {
-        *self.sem_opt.write().expect("sem_opt lock") = opts;
+        *self.sem_opt.write().unwrap_or_else(|e| e.into_inner()) = opts;
     }
 
     /// Override the semantic engine (e.g. for batch-size ablations).
@@ -245,6 +260,36 @@ mod tests {
         assert!(p.contains("CREATE TABLE schools"));
         assert!(p.contains("CDSCode INTEGER not null primary key"));
         assert!(p.contains("City TEXT null"));
+    }
+
+    #[test]
+    fn explain_verify_reports_through_registered_hook() {
+        let e = env();
+        let rs =
+            e.db.query("EXPLAIN VERIFY How many schools are there?")
+                .unwrap();
+        assert_eq!(rs.columns, vec!["plan"]);
+        let lines: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(lines[0], "verify: ok", "{lines:?}");
+        assert!(
+            lines.iter().any(|l| l.starts_with("rewrite: ok")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.starts_with("lm_call_bound: ")),
+            "{lines:?}"
+        );
+        // The annotated plan itself follows the report header, with
+        // per-node cardinality and LM-call annotations.
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("Scan schools") && l.contains("rows<=")),
+            "{lines:?}"
+        );
+        // Non-canonical questions fail the same way EXPLAIN SEMPLAN does.
+        let err = e.db.query("EXPLAIN VERIFY gibberish").unwrap_err();
+        assert!(err.message().contains("no semantic plan"), "{err:?}");
     }
 
     #[test]

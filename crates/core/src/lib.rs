@@ -35,4 +35,7 @@ pub use env::TagEnv;
 pub use methods::{HandWrittenTag, Rag, RetrievalLmRank, Text2Sql, Text2SqlLm};
 pub use model::{AnswerGeneration, QuerySynthesis, TagMethod, TagPipeline};
 pub use multihop::{run_two_hop, TwoHopQuery};
-pub use semplan::{compile_nlq, compile_rag, compile_rerank, run_semplan, SemRuntime};
+pub use semplan::{
+    compile_generate_over, compile_nlq, compile_rag, compile_rerank, optimize_checked, run_semplan,
+    SemRuntime,
+};

@@ -285,6 +285,48 @@ fn gen_format(list_format: bool) -> GenFormat {
     }
 }
 
+/// Optimize a plan, and in debug builds verify the result before it is
+/// cached or executed: the optimized tree must be structurally
+/// well-formed, the rewrite must preserve the naive plan's work
+/// (conservation + per-rule postconditions), and the static LM-call
+/// bound must not regress. A diagnostic here is a compiler bug, so it
+/// panics rather than limping into execution; release builds skip the
+/// sweep entirely.
+///
+/// Structure is checked schema-blind ([`tag_analyze::NoSchema`]): a
+/// handwritten plan naming a missing table or column is *user* input,
+/// and must keep surfacing as the executor's ordinary runtime error.
+/// Catalog-aware diagnostics are the `EXPLAIN VERIFY` surface's job.
+pub fn optimize_checked(
+    naive: SemNode,
+    opts: &tag_sql::SemOptOptions,
+    db: &tag_sql::Database,
+) -> SemNode {
+    #[cfg(debug_assertions)]
+    {
+        let _ = db;
+        let schema = tag_analyze::NoSchema;
+        let optimized = optimize_sem(naive.clone(), opts);
+        let plan = tag_analyze::verify_plan(&optimized, &schema);
+        let rewrite = tag_analyze::verify_rewrite(&naive, &optimized, opts, &schema);
+        if !plan.is_ok() || !rewrite.is_ok() {
+            panic!(
+                "optimize_sem produced an invalid plan (rules={}):\n{}{}plan:\n{}",
+                opts.cache_tag(),
+                plan.render(),
+                rewrite.render(),
+                optimized.explain()
+            );
+        }
+        optimized
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = db;
+        optimize_sem(naive, opts)
+    }
+}
+
 /// Optimize, cache, and execute a semantic plan against an environment.
 ///
 /// `cache_key` opts the plan into the engine's plan cache (keyed on the
@@ -309,7 +351,7 @@ pub fn run_semplan(
             let full_key = format!("{key}|opt={}", opts.cache_tag());
             let (cached, hit) = env
                 .db
-                .semplan_for(&full_key, || optimize_sem(build(), &opts));
+                .semplan_for(&full_key, || optimize_checked(build(), &opts, &env.db));
             let line = if hit {
                 "semplan_cache: hit"
             } else {
@@ -317,7 +359,10 @@ pub fn run_semplan(
             };
             (PlanRef::Cached(cached), Some(line))
         }
-        None => (PlanRef::Owned(optimize_sem(build(), &opts)), None),
+        None => (
+            PlanRef::Owned(optimize_checked(build(), &opts, &env.db)),
+            None,
+        ),
     };
     let root: &SemNode = match &plan {
         PlanRef::Cached(cached) => match &cached.arms[0].plan {

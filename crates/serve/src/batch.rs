@@ -47,10 +47,12 @@ impl ReplySlot {
 
     fn wait(&self) -> LmResult<Vec<LmResponse>> {
         let mut guard = self.result.lock();
-        while guard.is_none() {
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
             self.ready.wait(&mut guard);
         }
-        guard.take().expect("checked above")
     }
 }
 

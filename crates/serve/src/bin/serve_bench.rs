@@ -11,9 +11,10 @@
 //! (`BENCH_plancache.json` by default) so the perf trajectory is tracked
 //! across PRs.
 
+use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tag_bench::build_benchmark;
 use tag_core::answer::Answer;
@@ -115,8 +116,8 @@ fn run_level(
                         Err(e) => panic!("serve-bench request failed: {e}"),
                     }
                 };
-                latencies.lock().unwrap().push(sent.elapsed());
-                *answers[i].lock().unwrap() = Some(resp.answer);
+                latencies.lock().push(sent.elapsed());
+                *answers[i].lock() = Some(resp.answer);
             })
         })
         .collect();
@@ -124,12 +125,12 @@ fn run_level(
         c.join().expect("client thread");
     }
     let wall_s = started.elapsed().as_secs_f64();
-    let mut lats = std::mem::take(&mut *latencies.lock().unwrap());
+    let mut lats = std::mem::take(&mut *latencies.lock());
     lats.sort();
     let mismatches = workload
         .iter()
         .enumerate()
-        .filter(|(i, _)| answers[*i].lock().unwrap().as_ref() != Some(&expected[*i]))
+        .filter(|(i, _)| answers[*i].lock().as_ref() != Some(&expected[*i]))
         .count();
     RunStats {
         wall_s,

@@ -186,10 +186,12 @@ impl ReplyHandle {
     /// Block until the request completes (or is dropped at dequeue).
     pub fn wait(self) -> Result<Response, ServeError> {
         let mut guard = self.cell.result.lock();
-        while guard.is_none() {
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
             self.cell.ready.wait(&mut guard);
         }
-        guard.take().expect("checked above")
     }
 }
 
@@ -399,7 +401,9 @@ impl Server {
     /// it, through the SQL surface's `EXPLAIN`: `SELECT …` statements
     /// show the relational plan, `SEMPLAN <question>` shows the
     /// semantic plan a canonical question compiles to (after the
-    /// currently active rewrite rules). Returns the plan one node per
+    /// currently active rewrite rules), and `VERIFY <question>` runs
+    /// the static checker over that plan (well-formedness, rewrite
+    /// conservation, LM-call bound). Returns the plan one node per
     /// line; `Err` carries the planner's message verbatim.
     pub fn explain(&self, domain: &str, statement: &str) -> Result<String, String> {
         let env = self
@@ -663,10 +667,14 @@ fn exec_loop(rx: &Mutex<Receiver<ExecJob>>, gen_tx: &SyncSender<GenJob>, shared:
             job.reply.deliver(Err(ServeError::DeadlineExceeded));
             continue;
         }
-        let env = shared
-            .envs
-            .get(&job.req.domain)
-            .expect("validated at submit");
+        // Submit validated the domain, but deliver an error rather than
+        // poison the worker if that invariant ever breaks.
+        let Some(env) = shared.envs.get(&job.req.domain) else {
+            shared.pipeline.record(STAGE_EXEC, busy.elapsed());
+            job.reply
+                .deliver(Err(ServeError::UnknownDomain(job.req.domain.clone())));
+            continue;
+        };
         let started = Instant::now();
         let (answer, spans, trace_id) = if shared.traces.capacity() > 0 {
             let (trace, sink) = tag_trace::Trace::memory();
@@ -923,6 +931,17 @@ mod tests {
             .contains("unknown domain"),);
         assert!(server
             .explain(&domain, "SEMPLAN not a benchmark question")
+            .is_err());
+        // VERIFY runs the static checker over the same plan and reports
+        // the verdict, the rewrite verdict, and the LM-call bound.
+        let verify = server
+            .explain(&domain, &format!("VERIFY {}", req.question))
+            .unwrap();
+        assert!(verify.starts_with("verify: ok"), "{verify}");
+        assert!(verify.contains("rewrite: ok"), "{verify}");
+        assert!(verify.contains("lm_call_bound: "), "{verify}");
+        assert!(server
+            .explain(&domain, "VERIFY not a benchmark question")
             .is_err());
     }
 

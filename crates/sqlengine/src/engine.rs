@@ -23,29 +23,41 @@ use std::sync::{Arc, Mutex};
 /// semantic runtime: the SQL engine cannot compile NL questions itself.
 pub type SemPlanExplainFn = dyn Fn(&str) -> Result<String, String> + Send + Sync;
 
-/// Interior-mutable slot for the registered semantic-plan explainer.
-#[derive(Default)]
-struct ExplainerSlot(Mutex<Option<Arc<SemPlanExplainFn>>>);
+/// Renders `EXPLAIN VERIFY <question>` output. Registered by the
+/// semantic runtime; receives the database so the verifier sees the
+/// live catalog (schema and row counts) without a stale copy.
+pub type SemPlanVerifyFn = dyn Fn(&Database, &str) -> Result<String, String> + Send + Sync;
 
-impl ExplainerSlot {
-    fn get(&self) -> Option<Arc<SemPlanExplainFn>> {
-        self.0.lock().expect("explainer lock").clone()
+/// Interior-mutable slot for a registered engine hook. Poison-robust:
+/// the stored `Arc` can't be left half-written, so a panicked thread
+/// must not take the serving path's EXPLAIN surface down with it.
+struct HookSlot<F: ?Sized>(Mutex<Option<Arc<F>>>);
+
+impl<F: ?Sized> HookSlot<F> {
+    fn get(&self) -> Option<Arc<F>> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
-    fn set(&self, f: Arc<SemPlanExplainFn>) {
-        *self.0.lock().expect("explainer lock") = Some(f);
+    fn set(&self, f: Arc<F>) {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner()) = Some(f);
     }
 }
 
-impl Clone for ExplainerSlot {
+impl<F: ?Sized> Default for HookSlot<F> {
+    fn default() -> Self {
+        HookSlot(Mutex::new(None))
+    }
+}
+
+impl<F: ?Sized> Clone for HookSlot<F> {
     fn clone(&self) -> Self {
-        ExplainerSlot(Mutex::new(self.get()))
+        HookSlot(Mutex::new(self.get()))
     }
 }
 
-impl std::fmt::Debug for ExplainerSlot {
+impl<F: ?Sized> std::fmt::Debug for HookSlot<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_tuple("ExplainerSlot")
+        f.debug_tuple("HookSlot")
             .field(&self.get().map(|_| "<fn>"))
             .finish()
     }
@@ -78,7 +90,9 @@ pub struct Database {
     /// Semantic plans share the cache under `semplan:`-prefixed keys.
     plan_cache: PlanCache,
     /// Registered `EXPLAIN SEMPLAN` renderer.
-    semplan_explainer: ExplainerSlot,
+    semplan_explainer: HookSlot<SemPlanExplainFn>,
+    /// Registered `EXPLAIN VERIFY` renderer (the static verifier).
+    semplan_verifier: HookSlot<SemPlanVerifyFn>,
 }
 
 impl Clone for Database {
@@ -92,6 +106,7 @@ impl Clone for Database {
             // cache rather than sharing or copying entries.
             plan_cache: PlanCache::new(self.plan_cache.capacity()),
             semplan_explainer: self.semplan_explainer.clone(),
+            semplan_verifier: self.semplan_verifier.clone(),
         }
     }
 }
@@ -241,7 +256,12 @@ impl Database {
         } else {
             "plan_cache: miss"
         });
-        Ok((acc.expect("cached plan has at least one arm"), text))
+        match acc {
+            Some(rs) => Ok((rs, text)),
+            // The planner never caches an empty arm list; refuse rather
+            // than panic if that invariant ever breaks.
+            None => Err(SqlError::Unsupported("cached plan has no arms".into())),
+        }
     }
 
     /// Fetch the cached plan for `sql`, or parse + bind + optimize and
@@ -324,7 +344,7 @@ impl Database {
                 }
             }
         }
-        Ok(acc.expect("cached plan has at least one arm"))
+        acc.ok_or_else(|| SqlError::Unsupported("cached plan has no arms".into()))
     }
 
     /// Run several semicolon-separated statements; returns the last result.
@@ -358,6 +378,13 @@ impl Database {
     /// human-readable error, e.g. for an unparseable question).
     pub fn set_semplan_explainer(&self, f: Arc<SemPlanExplainFn>) {
         self.semplan_explainer.set(f);
+    }
+
+    /// Register the `EXPLAIN VERIFY` renderer. The callback receives
+    /// this database (live catalog for schema checks) and the question
+    /// text, and returns the rendered verification report.
+    pub fn set_semplan_verifier(&self, f: Arc<SemPlanVerifyFn>) {
+        self.semplan_verifier.set(f);
     }
 
     /// Fetch the cached semantic plan for `key` (a canonicalized NL
@@ -396,6 +423,9 @@ impl Database {
         if let Some(question) = strip_keyword(rest, "SEMPLAN") {
             return Some(self.explain_semplan(question.trim()));
         }
+        if let Some(question) = strip_keyword(rest, "VERIFY") {
+            return Some(self.explain_verify(question.trim()));
+        }
         Some(self.explain_select_cached(rest.trim()))
     }
 
@@ -432,6 +462,23 @@ impl Database {
             )
         })?;
         match explainer(question) {
+            Ok(text) => Ok(plan_text_result(text.trim_end())),
+            Err(e) => Err(SqlError::Binding(e)),
+        }
+    }
+
+    fn explain_verify(&self, question: &str) -> SqlResult<ResultSet> {
+        if question.is_empty() {
+            return Err(SqlError::Unsupported(
+                "EXPLAIN VERIFY needs a question".into(),
+            ));
+        }
+        let verifier = self.semplan_verifier.get().ok_or_else(|| {
+            SqlError::Unsupported(
+                "EXPLAIN VERIFY requires a semantic runtime (no verifier registered)".into(),
+            )
+        })?;
+        match verifier(self, question) {
             Ok(text) => Ok(plan_text_result(text.trim_end())),
             Err(e) => Err(SqlError::Binding(e)),
         }
@@ -745,6 +792,40 @@ mod tests {
         let mut db2 = db.clone();
         assert!(db2
             .execute("EXPLAIN SEMPLAN How many schools are there?")
+            .is_ok());
+    }
+
+    #[test]
+    fn explain_verify_requires_registered_verifier() {
+        let db = db();
+        let err = db
+            .query("EXPLAIN VERIFY How many schools are there?")
+            .unwrap_err();
+        assert!(err.message().contains("no verifier registered"), "{err:?}");
+        assert!(db.query("EXPLAIN VERIFY").is_err());
+
+        // The verifier hook sees the live database, so it can resolve
+        // the catalog the same way the executor would.
+        db.set_semplan_verifier(Arc::new(|db: &Database, q: &str| {
+            if q.starts_with("How many") {
+                let tables = db.catalog().table_names().len();
+                Ok(format!("verify: ok\n# {q} over {tables} table(s)"))
+            } else {
+                Err(format!("not a TAG-Bench question: {q}"))
+            }
+        }));
+        let rs = db
+            .query("EXPLAIN VERIFY How many schools are there?")
+            .unwrap();
+        assert_eq!(rs.columns, vec!["plan"]);
+        assert_eq!(rs.rows[0][0].to_string(), "verify: ok");
+        assert!(rs.rows[1][0].to_string().contains("table(s)"));
+        let err = db.query("EXPLAIN VERIFY gibberish").unwrap_err();
+        assert!(err.message().contains("not a TAG-Bench question"));
+        // Works through the mutable entry point too.
+        let mut db2 = db.clone();
+        assert!(db2
+            .execute("EXPLAIN VERIFY How many schools are there?")
             .is_ok());
     }
 

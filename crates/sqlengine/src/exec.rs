@@ -471,7 +471,9 @@ fn aggregate(
 
     let mut out = Vec::with_capacity(order.len());
     for key in order {
-        let (states, _) = groups.remove(&key).expect("group key present");
+        let Some((states, _)) = groups.remove(&key) else {
+            continue; // every ordered key was inserted above
+        };
         let mut row = key;
         for (s, a) in states.into_iter().zip(aggs) {
             row.push(s.finish(&a.separator));
@@ -550,7 +552,10 @@ fn top_k(
             if heap.len() == want {
                 heap.sort_by(|a, b| ctx.cmp(a, b));
             }
-        } else if ctx.cmp(&entry, heap.last().expect("nonempty")) == Ordering::Less {
+        } else if heap
+            .last()
+            .is_some_and(|worst| ctx.cmp(&entry, worst) == Ordering::Less)
+        {
             // Insert in sorted position; drop the worst. `want` is small
             // (a LIMIT), so the linear insert is fine.
             let pos = heap
