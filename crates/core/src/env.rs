@@ -166,6 +166,13 @@ impl TagEnv {
         })
     }
 
+    /// The row store only if some caller already built it. Metrics
+    /// collectors scrape through this so an idle domain's scrape never
+    /// pays the embedding-index build.
+    pub fn row_store_if_built(&self) -> Option<&RowStore> {
+        self.store.get()
+    }
+
     /// Run a read-only SQL statement through the domain database.
     ///
     /// When a [`tag_trace::Trace`] is active on this thread, the statement

@@ -18,4 +18,4 @@ pub mod store;
 
 pub use embedder::{cosine, dot, l2_sq, Embedder, EmbedderConfig};
 pub use index::{FlatIndex, Hit, IvfIndex};
-pub use store::{serialize_row, RowStore, StoredRow};
+pub use store::{serialize_row, RetrievalStats, RowStore, StoredRow};

@@ -7,9 +7,31 @@
 
 use crate::embedder::Embedder;
 use crate::index::{FlatIndex, Hit};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One stored row: ordered `(column, value)` pairs.
 pub type StoredRow = Vec<(String, String)>;
+
+/// Snapshot of a store's retrieval counters (cumulative since build).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetrievalStats {
+    /// Retrieval probes served.
+    pub probes: u64,
+    /// Candidate rows returned across all probes (≤ probes × k).
+    pub candidates: u64,
+    /// Stored vectors scanned across all probes (flat index: the whole
+    /// store per probe).
+    pub rows_scanned: u64,
+}
+
+/// Hot-path retrieval counters: three relaxed atomics, bumped on every
+/// [`RowStore::retrieve`], scraped by the serving layer's metrics hub.
+#[derive(Debug, Default)]
+struct RetrievalCounters {
+    probes: AtomicU64,
+    candidates: AtomicU64,
+    rows_scanned: AtomicU64,
+}
 
 /// Serialize a row the way the paper's RAG baseline does.
 pub fn serialize_row(row: &StoredRow) -> String {
@@ -24,6 +46,7 @@ pub struct RowStore {
     embedder: Embedder,
     index: FlatIndex,
     rows: Vec<StoredRow>,
+    retrievals: RetrievalCounters,
 }
 
 impl RowStore {
@@ -34,6 +57,7 @@ impl RowStore {
             embedder,
             index: FlatIndex::new(dims),
             rows: Vec::new(),
+            retrievals: RetrievalCounters::default(),
         }
     }
 
@@ -64,11 +88,29 @@ impl RowStore {
     /// Retrieve the `k` most similar rows to a natural-language query.
     pub fn retrieve(&self, query: &str, k: usize) -> Vec<(&StoredRow, f32)> {
         let q = self.embedder.embed(query);
-        self.index
+        let hits: Vec<(&StoredRow, f32)> = self
+            .index
             .search(&q, k)
             .into_iter()
             .map(|Hit { id, score }| (&self.rows[id], score))
-            .collect()
+            .collect();
+        self.retrievals.probes.fetch_add(1, Ordering::Relaxed);
+        self.retrievals
+            .candidates
+            .fetch_add(hits.len() as u64, Ordering::Relaxed);
+        self.retrievals
+            .rows_scanned
+            .fetch_add(self.rows.len() as u64, Ordering::Relaxed);
+        hits
+    }
+
+    /// Cumulative retrieval counters.
+    pub fn retrieval_stats(&self) -> RetrievalStats {
+        RetrievalStats {
+            probes: self.retrievals.probes.load(Ordering::Relaxed),
+            candidates: self.retrievals.candidates.load(Ordering::Relaxed),
+            rows_scanned: self.retrievals.rows_scanned.load(Ordering::Relaxed),
+        }
     }
 
     /// The stored rows (insertion order).
@@ -144,6 +186,18 @@ mod tests {
             .filter_map(|(r, _)| r.iter().find(|(c, _)| c == "year").map(|(_, v)| v.as_str()))
             .collect();
         assert!(years.len() < 19);
+    }
+
+    #[test]
+    fn retrieval_counters_accumulate() {
+        let s = store();
+        assert_eq!(s.retrieval_stats(), RetrievalStats::default());
+        s.retrieve("Sepang races", 10);
+        s.retrieve("Monza races", 5);
+        let stats = s.retrieval_stats();
+        assert_eq!(stats.probes, 2);
+        assert_eq!(stats.candidates, 15);
+        assert_eq!(stats.rows_scanned, 2 * s.len() as u64);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Injectable time source so window rotation is testable.
+//!
+//! Production code uses [`Clock::real`] (monotonic, anchored at clock
+//! creation). Tests use [`Clock::mock`] and drive time by hand, which
+//! makes per-second slot rotation deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Clone, Debug)]
+enum Inner {
+    Real(Instant),
+    Mock(Arc<AtomicU64>),
+}
+
+/// A millisecond clock: real (monotonic) or mock (test-driven).
+#[derive(Clone, Debug)]
+pub struct Clock(Inner);
+
+impl Clock {
+    /// A monotonic clock anchored at creation time.
+    pub fn real() -> Clock {
+        Clock(Inner::Real(Instant::now()))
+    }
+
+    /// A mock clock starting at 0 ms, plus the handle that advances it.
+    pub fn mock() -> (Clock, MockClock) {
+        let cell = Arc::new(AtomicU64::new(0));
+        (Clock(Inner::Mock(cell.clone())), MockClock(cell))
+    }
+
+    /// Milliseconds since the clock's epoch.
+    pub fn now_millis(&self) -> u64 {
+        match &self.0 {
+            Inner::Real(epoch) => epoch.elapsed().as_millis() as u64,
+            Inner::Mock(cell) => cell.load(Ordering::Acquire),
+        }
+    }
+
+    /// Whole seconds since the clock's epoch.
+    pub fn now_seconds(&self) -> u64 {
+        self.now_millis() / 1000
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::real()
+    }
+}
+
+/// Handle that drives a mock [`Clock`] forward.
+#[derive(Clone, Debug)]
+pub struct MockClock(Arc<AtomicU64>);
+
+impl MockClock {
+    /// Advance the clock by `ms` milliseconds.
+    pub fn advance_millis(&self, ms: u64) {
+        self.0.fetch_add(ms, Ordering::Release);
+    }
+
+    /// Set the clock to an absolute millisecond timestamp.
+    pub fn set_millis(&self, ms: u64) {
+        self.0.store(ms, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_clock_advances() {
+        let (clock, handle) = Clock::mock();
+        assert_eq!(clock.now_seconds(), 0);
+        handle.advance_millis(1500);
+        assert_eq!(clock.now_millis(), 1500);
+        assert_eq!(clock.now_seconds(), 1);
+        handle.set_millis(61_000);
+        assert_eq!(clock.now_seconds(), 61);
+    }
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let clock = Clock::real();
+        let a = clock.now_millis();
+        let b = clock.now_millis();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,211 @@
+//! Prometheus-text exposition.
+//!
+//! Deterministic by construction: families render in name order, series
+//! in canonical-label order, and floats through Rust's shortest
+//! round-trip `Display`. The same hub state always renders the same
+//! bytes, which the golden test pins.
+//!
+//! Histogram families render the standard `_bucket{le=...}` /`_sum`/
+//! `_count` triple (bucket counts are cumulative-in-le, per the text
+//! format), with OpenMetrics-style `# {trace_id="..."} <value>`
+//! exemplars appended to bucket lines that have one. Each histogram
+//! family additionally yields two synthetic gauge families carrying the
+//! rolling windows: `<base>_window_seconds{window=,quantile=}` and
+//! `<base>_window_rate{window=}`, where `<base>` is the family name
+//! with a trailing `_seconds` stripped.
+
+use crate::hub::{Family, Instrument, InstrumentKind, Sample};
+use crate::window::{WindowedHistogram, BOUNDS, WINDOWS};
+use std::collections::BTreeMap;
+
+/// Quantiles exposed for every rolling window.
+pub(crate) const WINDOW_QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
+
+/// Escape a label value per the exposition format.
+pub(crate) fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// `name{key} value`, eliding empty braces.
+fn line(name: &str, key: &str, value: &str) -> String {
+    if key.is_empty() {
+        format!("{name} {value}\n")
+    } else {
+        format!("{name}{{{key}}} {value}\n")
+    }
+}
+
+/// Join a series key with extra `k="v"` pairs.
+fn join_key(key: &str, extra: &str) -> String {
+    if key.is_empty() {
+        extra.to_string()
+    } else if extra.is_empty() {
+        key.to_string()
+    } else {
+        format!("{key},{extra}")
+    }
+}
+
+#[derive(Default)]
+struct Block {
+    help: String,
+    kind: Option<InstrumentKind>,
+    lines: Vec<String>,
+}
+
+fn histogram_lines(name: &str, key: &str, hist: &WindowedHistogram) -> Vec<String> {
+    let counts = hist.bucket_counts();
+    let exemplars: BTreeMap<usize, (u64, f64)> = hist
+        .exemplars()
+        .into_iter()
+        .map(|(i, id, secs)| (i, (id, secs)))
+        .collect();
+    let mut out = Vec::new();
+    let mut cum = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        cum += c;
+        let le = if i < BOUNDS.len() {
+            fmt_f64(BOUNDS[i])
+        } else {
+            "+Inf".to_string()
+        };
+        let series = join_key(key, &format!("le=\"{le}\""));
+        let mut l = format!("{name}_bucket{{{series}}} {cum}");
+        if let Some((id, secs)) = exemplars.get(&i) {
+            l.push_str(&format!(" # {{trace_id=\"{id}\"}} {}", fmt_f64(*secs)));
+        }
+        l.push('\n');
+        out.push(l);
+    }
+    out.push(line(
+        &format!("{name}_sum"),
+        key,
+        &fmt_f64(hist.sum_seconds()),
+    ));
+    out.push(line(
+        &format!("{name}_count"),
+        key,
+        &hist.count().to_string(),
+    ));
+    out
+}
+
+fn window_blocks(
+    name: &str,
+    series: &BTreeMap<String, &WindowedHistogram>,
+    blocks: &mut BTreeMap<String, Block>,
+) {
+    let base = name.strip_suffix("_seconds").unwrap_or(name);
+    let qname = format!("{base}_window_seconds");
+    let rname = format!("{base}_window_rate");
+    let qblock = blocks.entry(qname.clone()).or_default();
+    qblock.help = format!("Rolling-window quantiles of {name}.");
+    qblock.kind = Some(InstrumentKind::Gauge);
+    for (key, hist) in series {
+        for w in WINDOWS {
+            let snap = hist.window(w);
+            for q in WINDOW_QUANTILES {
+                let extra = format!("window=\"{w}s\",quantile=\"{}\"", fmt_f64(q));
+                qblock.lines.push(line(
+                    &qname,
+                    &join_key(key, &extra),
+                    &fmt_f64(snap.quantile(q).seconds),
+                ));
+            }
+        }
+    }
+    let rblock = blocks.entry(rname.clone()).or_default();
+    rblock.help = format!("Rolling-window observation rate of {name} (1/s).");
+    rblock.kind = Some(InstrumentKind::Gauge);
+    for (key, hist) in series {
+        for w in WINDOWS {
+            let snap = hist.window(w);
+            rblock.lines.push(line(
+                &rname,
+                &join_key(key, &format!("window=\"{w}s\"")),
+                &fmt_f64(snap.rate()),
+            ));
+        }
+    }
+}
+
+/// Render registered families plus collector samples.
+pub(crate) fn render(families: &BTreeMap<String, Family>, collected: Vec<Sample>) -> String {
+    let mut blocks: BTreeMap<String, Block> = BTreeMap::new();
+
+    for (name, fam) in families {
+        let block = blocks.entry(name.clone()).or_default();
+        block.help = fam.help.clone();
+        block.kind = Some(fam.kind);
+        let mut hist_series: BTreeMap<String, &WindowedHistogram> = BTreeMap::new();
+        for (key, inst) in &fam.series {
+            match inst {
+                Instrument::Counter(c) => block.lines.push(line(name, key, &c.get().to_string())),
+                Instrument::Gauge(g) => block.lines.push(line(name, key, &fmt_f64(g.get()))),
+                Instrument::Histogram(h) => {
+                    block.lines.extend(histogram_lines(name, key, h));
+                    hist_series.insert(key.clone(), h.as_ref());
+                }
+            }
+        }
+        if !hist_series.is_empty() {
+            window_blocks(name, &hist_series, &mut blocks);
+        }
+    }
+
+    // Collector samples: group under their family name, sorted within.
+    let mut pulled: BTreeMap<String, Vec<Sample>> = BTreeMap::new();
+    for s in collected {
+        pulled.entry(s.name.clone()).or_default().push(s);
+    }
+    for (name, mut samples) in pulled {
+        let block = blocks.entry(name.clone()).or_default();
+        if block.kind.is_none() {
+            block.help = samples[0].help.clone();
+            block.kind = Some(samples[0].kind);
+        }
+        samples.sort_by_key(|s| crate::hub::label_key(&s.labels));
+        for s in samples {
+            block.lines.push(line(
+                &name,
+                &crate::hub::label_key(&s.labels),
+                &fmt_f64(s.value),
+            ));
+        }
+    }
+
+    let mut out = String::new();
+    for (name, block) in &blocks {
+        let kind = block.kind.unwrap_or(InstrumentKind::Gauge);
+        out.push_str(&format!("# HELP {name} {}\n", block.help));
+        out.push_str(&format!("# TYPE {name} {}\n", kind.type_str()));
+        for l in &block.lines {
+            out.push_str(l);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label("x\ny"), "x\\ny");
+    }
+
+    #[test]
+    fn float_formatting_is_shortest_roundtrip() {
+        assert_eq!(fmt_f64(1.0), "1");
+        assert_eq!(fmt_f64(0.0001), "0.0001");
+        assert_eq!(fmt_f64(2.5), "2.5");
+    }
+}

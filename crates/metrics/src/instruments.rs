@@ -1,0 +1,136 @@
+//! Scalar instruments: counters and gauges.
+//!
+//! Both are a single relaxed atomic plus an `active` flag. Instruments
+//! handed out by a no-op hub carry `active = false`, so the hot path
+//! pays one predictable branch and no memory traffic — that is the
+//! "null registry" arm of the obs-bench overhead gate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    active: bool,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// An active counter starting at zero.
+    pub fn new() -> Counter {
+        Counter {
+            active: true,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// A counter that drops every increment (null-registry arm).
+    pub fn noop() -> Counter {
+        Counter {
+            active: false,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        if self.active {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A gauge holding the latest `f64` (stored as bits in an atomic).
+#[derive(Debug)]
+pub struct Gauge {
+    active: bool,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// An active gauge starting at 0.0.
+    pub fn new() -> Gauge {
+        Gauge {
+            active: true,
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// A gauge that drops every set (null-registry arm).
+    pub fn noop() -> Gauge {
+        Gauge {
+            active: false,
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        if self.active {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn noop_counter_stays_zero() {
+        let c = Counter::noop();
+        c.inc();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_holds_latest() {
+        let g = Gauge::new();
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set(-1.0);
+        assert_eq!(g.get(), -1.0);
+    }
+
+    #[test]
+    fn noop_gauge_stays_zero() {
+        let g = Gauge::noop();
+        g.set(9.0);
+        assert_eq!(g.get(), 0.0);
+    }
+}

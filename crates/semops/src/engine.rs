@@ -33,6 +33,21 @@ pub struct EngineStats {
     pub evictions: u64,
 }
 
+impl EngineStats {
+    /// Mean batch-round occupancy: prompts that reached the model per
+    /// batch round, as a fraction of `batch_size`. 1.0 means every
+    /// round went out full; low values mean the engine is paying
+    /// per-round latency for underfilled batches. 0.0 when no batch
+    /// has been sent.
+    pub fn round_occupancy(&self, batch_size: usize) -> f64 {
+        if self.lm_batches == 0 || batch_size == 0 {
+            0.0
+        } else {
+            self.lm_prompts as f64 / (self.lm_batches * batch_size as u64) as f64
+        }
+    }
+}
+
 /// Counters for one named semantic operator (`sem_filter`, `sem_topk`,
 /// ...). The aggregate [`EngineStats`] answers "how much LM work"; these
 /// answer "which operator caused it".
@@ -121,6 +136,12 @@ impl SemEngine {
         let mut s = *self.stats.lock();
         s.evictions = self.cache.lock().evictions();
         s
+    }
+
+    /// Mean batch-round occupancy so far (see
+    /// [`EngineStats::round_occupancy`]).
+    pub fn round_occupancy(&self) -> f64 {
+        self.stats().round_occupancy(self.batch_size)
     }
 
     /// Clear cache and statistics (aggregate and per-operator).
@@ -503,5 +524,25 @@ mod tests {
         }
         let engine = SemEngine::new(Arc::new(FailLm));
         assert!(engine.complete("x").is_err());
+    }
+
+    #[test]
+    fn round_occupancy_tracks_batch_fill() {
+        let stats = EngineStats {
+            lm_prompts: 96,
+            lm_batches: 2,
+            ..EngineStats::default()
+        };
+        assert_eq!(stats.round_occupancy(64), 0.75);
+        assert_eq!(EngineStats::default().round_occupancy(64), 0.0);
+        assert_eq!(stats.round_occupancy(0), 0.0);
+
+        // Live engine: 3 distinct prompts with batch size 2 → two
+        // rounds (2 + 1) → 3 / 4 occupancy.
+        let engine = SemEngine::with_batch_size(Arc::new(EchoLm::new()), 2);
+        engine
+            .complete_batch(&["a".into(), "b".into(), "c".into()])
+            .unwrap();
+        assert_eq!(engine.round_occupancy(), 0.75);
     }
 }

@@ -30,7 +30,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve-bench [--seed N] [--scale tiny|small|standard] \
          [--method text2sql|rag|rerank|text2sql_lm|handwritten|all] \
-         [--concurrency 1,8] [--workers N] [--queue N] [--json PATH] [--smoke]"
+         [--concurrency 1,8] [--workers N] [--queue N] [--json PATH] \
+         [--metrics-out PATH] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -163,6 +164,31 @@ fn json_plan_cache(pc: &PlanCacheStats) -> String {
     )
 }
 
+/// Rolling 10s per-stage quantiles from the server's windowed stage
+/// histograms, captured right after a replay finishes (the window is
+/// still hot). Stages with no traffic in the window are omitted.
+fn json_stage_windows(server: &Server) -> String {
+    let stages = server.stage_metrics();
+    let mut out: Vec<String> = Vec::new();
+    for stage in tag_trace::Stage::ALL {
+        let w = stages.window(stage, 10);
+        if w.count() == 0 {
+            continue;
+        }
+        out.push(format!(
+            "{{\"stage\":\"{}\",\"n\":{},\"rate\":{:.2},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\
+             \"p99_ms\":{:.3}}}",
+            stage.as_str(),
+            w.count(),
+            w.rate(),
+            w.quantile(0.50).seconds * 1e3,
+            w.quantile(0.95).seconds * 1e3,
+            w.quantile(0.99).seconds * 1e3,
+        ));
+    }
+    format!("[{}]", out.join(","))
+}
+
 fn json_pipeline(snap: &[PipelineStageSnapshot; 3]) -> String {
     let stages: Vec<String> = snap
         .iter()
@@ -189,6 +215,7 @@ fn main() {
     let mut workers = 8usize;
     let mut queue = 256usize;
     let mut json_path = "BENCH_plancache.json".to_owned();
+    let mut metrics_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut val = || args.next().unwrap_or_else(|| usage());
@@ -215,6 +242,7 @@ fn main() {
             "--workers" => workers = val().parse().unwrap_or_else(|_| usage()),
             "--queue" => queue = val().parse().unwrap_or_else(|_| usage()),
             "--json" => json_path = val(),
+            "--metrics-out" => metrics_out = Some(val()),
             // CI smoke preset: tiny data, one method, two levels.
             "--smoke" => {
                 scale_name = "tiny".to_owned();
@@ -312,6 +340,7 @@ fn main() {
         let mut pipeline_on: Option<[PipelineStageSnapshot; 3]> = None;
         let mut report_on = String::new();
         let mut answer_hits_on = 0u64;
+        let mut stage_windows_on = "[]".to_owned();
         for cache_on in [false, true] {
             let server = Arc::new(Server::start(
                 generate_all(seed, scale),
@@ -359,7 +388,14 @@ fn main() {
                 pipeline_on = Some(server.pipeline_snapshot());
                 report_on = server.report();
                 answer_hits_on = c.hits;
+                stage_windows_on = json_stage_windows(&server);
                 throughputs.push((level, stats.rps));
+                if let Some(path) = &metrics_out {
+                    match std::fs::write(path, server.metrics_text()) {
+                        Ok(()) => eprintln!("serve-bench: wrote {path}"),
+                        Err(e) => eprintln!("serve-bench: could not write {path}: {e}"),
+                    }
+                }
             }
             runs.push((cache_on, stats, pc));
             server.shutdown();
@@ -377,7 +413,7 @@ fn main() {
             obj,
             "{{\"concurrency\":{level},\"cache_off\":{},\"cache_on\":{},\
              \"plan_cache\":{},\"speedup\":{speedup:.3},\"answer_cache_hits\":{answer_hits_on},\
-             \"pipeline\":{}}}",
+             \"pipeline\":{},\"stage_windows\":{stage_windows_on}}}",
             json_run(&off.1),
             json_run(&on.1),
             json_plan_cache(&on.2),

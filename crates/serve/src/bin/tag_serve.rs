@@ -7,6 +7,7 @@
 //! EXPLAIN <domain> <select>              show the relational plan
 //! EXPLAIN <domain> SEMPLAN <question…>   show the semantic plan
 //! STATS                                  print the metrics report
+//! METRICS                                print the Prometheus exposition
 //! TRACE <id> [JSONL]                     print a captured request trace
 //! QUIT                                   shut down
 //! ```
@@ -20,12 +21,12 @@ use std::io::BufRead;
 use std::time::Duration;
 use tag_datagen::{generate_all, Scale};
 use tag_lm::sim::SimConfig;
-use tag_serve::{format_answer, parse_line, Command, Request, Server, ServerConfig};
+use tag_serve::{format_answer, parse_line, Command, Request, Server, ServerConfig, TraceLookup};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tag-serve [--workers N] [--queue N] [--seed N] [--scale tiny|small|standard] \
-         [--deadline-ms N]"
+         [--deadline-ms N] [--trace-capacity N] [--tail-traces N] [--no-metrics]"
     );
     std::process::exit(2);
 }
@@ -67,6 +68,9 @@ fn main() {
                 config.default_deadline =
                     Duration::from_millis(val().parse().unwrap_or_else(|_| usage()))
             }
+            "--trace-capacity" => config.trace_capacity = val().parse().unwrap_or_else(|_| usage()),
+            "--tail-traces" => config.tail_traces = val().parse().unwrap_or_else(|_| usage()),
+            "--no-metrics" => config.metrics_enabled = false,
             _ => usage(),
         }
     }
@@ -106,6 +110,7 @@ fn main() {
                 }
             }
             Ok(Command::Stats) => print!("{}", server.report()),
+            Ok(Command::Metrics) => print!("{}", server.metrics_text()),
             Ok(Command::Trace { id, jsonl }) => {
                 let rendered = if jsonl {
                     server.trace_jsonl(id)
@@ -114,7 +119,13 @@ fn main() {
                 };
                 match rendered {
                     Some(text) => print!("{text}"),
-                    None => println!("ERR no resident trace {id}"),
+                    None => match server.trace_lookup(id) {
+                        TraceLookup::Evicted => println!(
+                            "ERR trace {id} evicted (aged out of the ring and tail \
+                             reservoir; widen --trace-capacity to keep more)"
+                        ),
+                        _ => println!("ERR unknown trace id {id}"),
+                    },
                 }
             }
             Ok(Command::Quit) => break,

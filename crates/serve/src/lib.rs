@@ -19,16 +19,21 @@
 //!   `(domain, method, normalized question)`.
 //! - [`MetricsRegistry`] counts admissions, sheds, cache traffic, and
 //!   latency histograms (queue wait / exec / end-to-end) with a text
-//!   report.
+//!   report. A shared [`tag_metrics::MetricsHub`] adds rolling 10s/60s
+//!   windowed twins of every latency surface and renders the
+//!   Prometheus-text exposition behind the `METRICS` command.
 //! - Every executed request is traced through `tag-trace`: the captured
-//!   span tree is kept in a bounded [`TraceStore`] ring (`TRACE <id>`
-//!   retrieves it, as a tree or JSONL), and per-stage aggregates
+//!   span tree is kept in a bounded [`TraceStore`] ring with a
+//!   tail-sampling reservoir for slow/error traces (`TRACE <id>`
+//!   retrieves it, as a tree or JSONL; [`TraceLookup`] distinguishes
+//!   evicted ids from unknown ones), and per-stage aggregates
 //!   accumulate in [`StageMetrics`] for the `STATS` report.
 //!
-//! Two binaries ship with the crate: `tag-serve`, a stdin/stdout line
-//! server speaking `ASK <domain> <method> <question>`, and
-//! `serve-bench`, a load generator replaying the 80 TAG-Bench queries
-//! at configurable concurrency.
+//! Three binaries ship with the crate: `tag-serve`, a stdin/stdout line
+//! server speaking `ASK <domain> <method> <question>`; `serve-bench`, a
+//! load generator replaying the 80 TAG-Bench queries at configurable
+//! concurrency; and `obs-bench`, the observability overhead gate that
+//! replays the benchmark with the hub enabled vs the null registry.
 
 #![warn(missing_docs)]
 
@@ -47,4 +52,4 @@ pub use metrics::{
 };
 pub use protocol::{format_answer, parse_line, run_method, Command, MethodName};
 pub use server::{ReplyHandle, Request, Response, ServeError, Server, ServerConfig};
-pub use trace::TraceStore;
+pub use trace::{TraceLookup, TraceStore};

@@ -4,9 +4,19 @@
 //! Every hot-path touch is a handful of relaxed atomic operations; the
 //! report renders percentiles by linear interpolation inside the bucket
 //! that crosses the target rank (the usual fixed-bucket estimate).
+//! Observations past the 10s bound land in a +inf overflow bucket; its
+//! count is surfaced in reports and any percentile whose rank falls in
+//! it renders with a `+` suffix (a lower bound, not an estimate).
+//!
+//! Alongside each cumulative histogram, the registry and the stage/
+//! pipeline tables keep [`tag_metrics::WindowedHistogram`] twins that
+//! feed rolling 10s/60s views and, through a shared
+//! [`tag_metrics::MetricsHub`], the Prometheus exposition surface.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+use tag_metrics::{MetricsHub, WindowSnapshot, WindowedHistogram, WINDOWS};
 
 /// Histogram bucket upper bounds, in seconds. Spans 100µs to 10s, log-ish
 /// spacing; the final implicit bucket is +inf.
@@ -56,38 +66,56 @@ impl Histogram {
         self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9 / n as f64
     }
 
+    /// Observations above the largest finite bound (10s), i.e. the
+    /// +inf bucket count. Quantiles that land here are lower bounds.
+    pub fn overflow(&self) -> u64 {
+        self.buckets[BOUNDS.len()].load(Ordering::Relaxed)
+    }
+
     /// Estimated quantile in seconds (`q` in 0..=1; 0 when empty).
     ///
     /// Degenerate inputs are defanged rather than surfaced: an empty
     /// histogram and a NaN `q` both return 0, out-of-range `q` is
     /// clamped, and the computed rank is clamped to `1..=count` so
     /// `q = 1.0` lands exactly on the last observation instead of
-    /// walking past it into the overflow bound.
+    /// walking past it into the overflow bound. When the rank falls in
+    /// the +inf overflow bucket the value (10s) is only a *lower bound*
+    /// on the true latency — use
+    /// [`Histogram::quantile_seconds_bounded`] to see the flag.
     pub fn quantile_seconds(&self, q: f64) -> f64 {
+        self.quantile_seconds_bounded(q).0
+    }
+
+    /// Like [`Histogram::quantile_seconds`], but the bool is true when
+    /// the rank landed in the +inf overflow bucket: the true quantile
+    /// is *at least* the returned value. Reports render such values
+    /// with a `+` suffix instead of presenting 10s as an estimate.
+    pub fn quantile_seconds_bounded(&self, q: f64) -> (f64, bool) {
         let total = self.count();
         if total == 0 || q.is_nan() {
-            return 0.0;
+            return (0.0, false);
         }
         let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             let in_bucket = b.load(Ordering::Relaxed);
             if seen + in_bucket >= target {
+                if i == BOUNDS.len() {
+                    // Overflow bucket: no finite upper bound to
+                    // interpolate toward; clamp and flag.
+                    return (BOUNDS[BOUNDS.len() - 1], true);
+                }
                 let lo = if i == 0 { 0.0 } else { BOUNDS[i - 1] };
-                let hi = if i < BOUNDS.len() {
-                    BOUNDS[i]
-                } else {
-                    BOUNDS[BOUNDS.len() - 1]
-                };
+                let hi = BOUNDS[i];
                 if in_bucket == 0 {
-                    return hi;
+                    return (hi, false);
                 }
                 let frac = (target - seen) as f64 / in_bucket as f64;
-                return lo + frac * (hi - lo);
+                return (lo + frac * (hi - lo), false);
             }
             seen += in_bucket;
         }
-        BOUNDS[BOUNDS.len() - 1]
+        (BOUNDS[BOUNDS.len() - 1], true)
     }
 
     /// `p50/p95/p99` in milliseconds, for reports.
@@ -98,13 +126,33 @@ impl Histogram {
             self.quantile_seconds(0.99) * 1e3,
         )
     }
+
+    /// `p50/p95/p99` rendered in milliseconds with a trailing `+` on
+    /// any value that is only a lower bound (rank in the overflow
+    /// bucket).
+    pub fn percentiles_ms_display(&self) -> (String, String, String) {
+        let fmt = |q: f64| {
+            let (secs, lower_bound) = self.quantile_seconds_bounded(q);
+            if lower_bound {
+                format!("{:.3}+", secs * 1e3)
+            } else {
+                format!("{:.3}", secs * 1e3)
+            }
+        };
+        (fmt(0.50), fmt(0.95), fmt(0.99))
+    }
 }
 
 /// Per-stage aggregates derived from request traces: wall-clock and
 /// virtual LM time, call and token counts, bucketed by
 /// [`tag_trace::Stage`]. Fed by the server after each traced request;
 /// all relaxed atomics, so recording never contends with serving.
-#[derive(Debug, Default)]
+///
+/// Each stage also owns a [`WindowedHistogram`] of span wall time, so
+/// STATS can show *rolling* 10s/60s load next to the lifetime totals.
+/// Spans carry their trace id into the histogram as a bucket exemplar,
+/// which is how a slow window quantile links back to `TRACE <id>`.
+#[derive(Debug)]
 pub struct StageMetrics {
     spans: [AtomicU64; 6],
     wall_us: [AtomicU64; 6],
@@ -112,12 +160,36 @@ pub struct StageMetrics {
     lm_calls: [AtomicU64; 6],
     prompt_tokens: [AtomicU64; 6],
     completion_tokens: [AtomicU64; 6],
+    windows: [Arc<WindowedHistogram>; 6],
 }
 
 impl StageMetrics {
-    /// A zeroed table.
+    /// A zeroed table with detached (hub-less) rolling windows.
     pub fn new() -> Self {
-        Self::default()
+        StageMetrics {
+            spans: Default::default(),
+            wall_us: Default::default(),
+            virtual_us: Default::default(),
+            lm_calls: Default::default(),
+            prompt_tokens: Default::default(),
+            completion_tokens: Default::default(),
+            windows: std::array::from_fn(|_| Arc::new(WindowedHistogram::new())),
+        }
+    }
+
+    /// A zeroed table whose rolling windows are registered on `hub` as
+    /// `tag_serve_stage_seconds{stage=...}`. On a no-op hub the
+    /// windows are inactive, so recording costs one branch per span.
+    pub fn with_hub(hub: &MetricsHub) -> Self {
+        let mut m = StageMetrics::new();
+        m.windows = std::array::from_fn(|i| {
+            hub.histogram(
+                "tag_serve_stage_seconds",
+                "Span wall time by trace stage.",
+                &[("stage", tag_trace::Stage::ALL[i].as_str())],
+            )
+        });
+        m
     }
 
     /// Fold one span into the per-stage totals.
@@ -130,6 +202,55 @@ impl StageMetrics {
         self.lm_calls[i].fetch_add(span.lm.calls, r);
         self.prompt_tokens[i].fetch_add(span.lm.prompt_tokens, r);
         self.completion_tokens[i].fetch_add(span.lm.completion_tokens, r);
+        self.windows[i].observe_with_exemplar(span.wall, span.trace_id);
+    }
+
+    /// Rolling view of one stage's span wall time.
+    pub fn window(&self, stage: tag_trace::Stage, window_secs: u64) -> WindowSnapshot {
+        self.windows[stage.index()].window(window_secs)
+    }
+
+    /// The most recent slow exemplar for a stage: `(trace_id, seconds)`
+    /// from the slowest populated bucket.
+    pub fn exemplar(&self, stage: tag_trace::Stage) -> Option<(u64, f64)> {
+        self.windows[stage.index()].slowest_exemplar()
+    }
+
+    /// One line per seen stage with rolling 10s/60s counts, rates and
+    /// quantiles, plus the slowest resident exemplar trace id:
+    ///
+    /// ```text
+    /// == stage windows (rolling) ==
+    /// request  10s: n=4 rate=0.4/s p50=2.5ms p95=10.0ms p99=10.0ms | 60s: ... | exemplar trace=17 (9.8ms)
+    /// ```
+    pub fn windows_report(&self) -> String {
+        let mut out = String::from("== stage windows (rolling) ==\n");
+        for stage in tag_trace::Stage::ALL {
+            let i = stage.index();
+            if self.spans[i].load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            out.push_str(&format!("{:<8}", stage.as_str()));
+            for (wi, w) in WINDOWS.iter().enumerate() {
+                let snap = self.windows[i].window(*w);
+                if wi > 0 {
+                    out.push_str(" |");
+                }
+                out.push_str(&format!(
+                    " {w}s: n={} rate={:.1}/s p50={}ms p95={}ms p99={}ms",
+                    snap.count(),
+                    snap.rate(),
+                    snap.quantile(0.50).display_ms(),
+                    snap.quantile(0.95).display_ms(),
+                    snap.quantile(0.99).display_ms(),
+                ));
+            }
+            if let Some((id, secs)) = self.windows[i].slowest_exemplar() {
+                out.push_str(&format!(" | exemplar trace={id} ({:.1}ms)", secs * 1e3));
+            }
+            out.push('\n');
+        }
+        out
     }
 
     /// True when no span has been recorded yet.
@@ -162,6 +283,12 @@ impl StageMetrics {
     }
 }
 
+impl Default for StageMetrics {
+    fn default() -> Self {
+        StageMetrics::new()
+    }
+}
+
 /// Index of the `syn` pipeline stage (admission, deadline, answer cache).
 pub const STAGE_SYN: usize = 0;
 /// Index of the `exec` pipeline stage (method execution).
@@ -177,10 +304,12 @@ pub const PIPELINE_STAGE_NAMES: [&str; 3] = ["syn", "exec", "gen"];
 /// stage *is* occupancy), so
 /// `occupancy = busy / (workers × elapsed)` shows which pool is the
 /// bottleneck.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PipelineMetrics {
     busy_us: [AtomicU64; 3],
     processed: [AtomicU64; 3],
+    /// Rolling per-stage busy-time windows (count = items in window).
+    windows: [Arc<WindowedHistogram>; 3],
 }
 
 /// Point-in-time view of one pipeline stage.
@@ -199,9 +328,33 @@ pub struct PipelineStageSnapshot {
 }
 
 impl PipelineMetrics {
-    /// A zeroed table.
+    /// A zeroed table with detached (hub-less) rolling windows.
     pub fn new() -> Self {
-        Self::default()
+        PipelineMetrics {
+            busy_us: Default::default(),
+            processed: Default::default(),
+            windows: std::array::from_fn(|_| Arc::new(WindowedHistogram::new())),
+        }
+    }
+
+    /// A zeroed table whose rolling windows are registered on `hub` as
+    /// `tag_serve_pipeline_busy_seconds{stage=...}`.
+    pub fn with_hub(hub: &MetricsHub) -> Self {
+        let mut m = PipelineMetrics::new();
+        m.windows = std::array::from_fn(|i| {
+            hub.histogram(
+                "tag_serve_pipeline_busy_seconds",
+                "Worker busy time per handled item by pipeline stage.",
+                &[("stage", PIPELINE_STAGE_NAMES[i])],
+            )
+        });
+        m
+    }
+
+    /// Rolling view of one stage's busy time (`stage` is a
+    /// [`STAGE_SYN`]-style index).
+    pub fn window(&self, stage: usize, window_secs: u64) -> WindowSnapshot {
+        self.windows[stage].window(window_secs)
     }
 
     /// Record one handled item for `stage` (a [`STAGE_SYN`]-style index).
@@ -212,6 +365,7 @@ impl PipelineMetrics {
         let r = Ordering::Relaxed;
         self.busy_us[stage].fetch_add(busy.as_micros().min(u128::from(u64::MAX)) as u64, r);
         self.processed[stage].fetch_add(1, r);
+        self.windows[stage].observe(busy);
     }
 
     /// Fold extra busy time into `stage` without counting an item —
@@ -240,25 +394,35 @@ impl PipelineMetrics {
         })
     }
 
-    /// One line per stage: `stage: workers=.. processed=.. busy=..ms occupancy=..%`.
+    /// One line per stage:
+    /// `stage: workers=.. processed=.. busy=..ms occupancy=..% rate10s=../s`
+    /// — the trailing rate is the rolling 10s throughput, so a STATS
+    /// reader sees live load next to the lifetime totals.
     pub fn report(&self, workers: [usize; 3], elapsed: Duration) -> String {
         let mut out = String::from("== pipeline ==\n");
-        for s in self.snapshot(workers, elapsed) {
+        for (i, s) in self.snapshot(workers, elapsed).into_iter().enumerate() {
             out.push_str(&format!(
-                "{:<5} workers={} processed={} busy={:.3}ms occupancy={:.1}%\n",
+                "{:<5} workers={} processed={} busy={:.3}ms occupancy={:.1}% rate10s={:.1}/s\n",
                 s.name,
                 s.workers,
                 s.processed,
                 s.busy.as_secs_f64() * 1e3,
                 s.occupancy * 100.0,
+                self.windows[i].window(10).rate(),
             ));
         }
         out
     }
 }
 
+impl Default for PipelineMetrics {
+    fn default() -> Self {
+        PipelineMetrics::new()
+    }
+}
+
 /// All counters the serving runtime exposes.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
     /// Requests accepted into the queue.
     pub requests_admitted: AtomicU64,
@@ -280,12 +444,55 @@ pub struct MetricsRegistry {
     pub exec_time: Histogram,
     /// End-to-end time from admission to reply.
     pub total_time: Histogram,
+    /// Rolling-window twin of [`MetricsRegistry::queue_wait`].
+    pub queue_wait_window: Arc<WindowedHistogram>,
+    /// Rolling-window twin of [`MetricsRegistry::exec_time`].
+    pub exec_time_window: Arc<WindowedHistogram>,
+    /// Rolling-window twin of [`MetricsRegistry::total_time`].
+    pub total_time_window: Arc<WindowedHistogram>,
 }
 
 impl MetricsRegistry {
-    /// A zeroed registry.
+    /// A zeroed registry with detached (hub-less) rolling windows.
     pub fn new() -> Self {
-        Self::default()
+        MetricsRegistry {
+            requests_admitted: AtomicU64::new(0),
+            requests_ok: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            answer_cache_hits: AtomicU64::new(0),
+            answer_cache_misses: AtomicU64::new(0),
+            answer_cache_evictions: AtomicU64::new(0),
+            queue_wait: Histogram::new(),
+            exec_time: Histogram::new(),
+            total_time: Histogram::new(),
+            queue_wait_window: Arc::new(WindowedHistogram::new()),
+            exec_time_window: Arc::new(WindowedHistogram::new()),
+            total_time_window: Arc::new(WindowedHistogram::new()),
+        }
+    }
+
+    /// A zeroed registry whose rolling windows are registered on `hub`
+    /// as `tag_serve_{queue_wait,exec,total}_seconds`. On a no-op hub
+    /// the windows are inactive (one branch per observation).
+    pub fn with_hub(hub: &MetricsHub) -> Self {
+        let mut m = MetricsRegistry::new();
+        m.queue_wait_window = hub.histogram(
+            "tag_serve_queue_wait_seconds",
+            "Time from admission to dequeue.",
+            &[],
+        );
+        m.exec_time_window = hub.histogram(
+            "tag_serve_exec_seconds",
+            "Method execution time (answer-cache misses only).",
+            &[],
+        );
+        m.total_time_window = hub.histogram(
+            "tag_serve_total_seconds",
+            "End-to-end time from admission to reply.",
+            &[],
+        );
+        m
     }
 
     /// Answer-cache hit rate in 0..=1 (0 when no lookups).
@@ -299,12 +506,12 @@ impl MetricsRegistry {
         }
     }
 
-    /// Render the standard text report.
+    /// Render the standard text report. Percentile values carry a `+`
+    /// suffix when they are only lower bounds (rank in the +inf
+    /// overflow bucket); each histogram line surfaces its overflow
+    /// count so overload is visible instead of silently clamped.
     pub fn report(&self) -> String {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        let (qw50, qw95, qw99) = self.queue_wait.percentiles_ms();
-        let (ex50, ex95, ex99) = self.exec_time.percentiles_ms();
-        let (to50, to95, to99) = self.total_time.percentiles_ms();
         let mut out = String::new();
         out.push_str("== serving metrics ==\n");
         out.push_str(&format!(
@@ -321,28 +528,25 @@ impl MetricsRegistry {
             load(&self.answer_cache_evictions),
             self.cache_hit_rate() * 100.0,
         ));
-        out.push_str(&format!(
-            "queue wait ms: mean={:.3} p50={:.3} p95={:.3} p99={:.3}\n",
-            self.queue_wait.mean_seconds() * 1e3,
-            qw50,
-            qw95,
-            qw99,
-        ));
-        out.push_str(&format!(
-            "exec time ms: mean={:.3} p50={:.3} p95={:.3} p99={:.3}\n",
-            self.exec_time.mean_seconds() * 1e3,
-            ex50,
-            ex95,
-            ex99,
-        ));
-        out.push_str(&format!(
-            "total time ms: mean={:.3} p50={:.3} p95={:.3} p99={:.3}\n",
-            self.total_time.mean_seconds() * 1e3,
-            to50,
-            to95,
-            to99,
-        ));
+        for (name, hist) in [
+            ("queue wait ms", &self.queue_wait),
+            ("exec time ms", &self.exec_time),
+            ("total time ms", &self.total_time),
+        ] {
+            let (p50, p95, p99) = hist.percentiles_ms_display();
+            out.push_str(&format!(
+                "{name}: mean={:.3} p50={p50} p95={p95} p99={p99} overflow={}\n",
+                hist.mean_seconds() * 1e3,
+                hist.overflow(),
+            ));
+        }
         out
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
     }
 }
 
@@ -371,6 +575,28 @@ mod tests {
         h.observe(Duration::from_secs(30));
         assert_eq!(h.count(), 1);
         assert!(h.quantile_seconds(0.5) >= 9.99);
+        assert_eq!(h.overflow(), 1);
+        let (secs, lower_bound) = h.quantile_seconds_bounded(0.5);
+        assert_eq!(secs, 10.0);
+        assert!(lower_bound, "overflow quantile must be flagged");
+    }
+
+    #[test]
+    fn overflow_surfaces_in_report_with_lower_bound_marker() {
+        let m = MetricsRegistry::new();
+        for _ in 0..9 {
+            m.total_time.observe(Duration::from_millis(5));
+        }
+        // Overload: most observations past the 10s bound.
+        for _ in 0..20 {
+            m.total_time.observe(Duration::from_secs(60));
+        }
+        let r = m.report();
+        assert!(r.contains("overflow=20"), "{r}");
+        // p50 rank lands in the +inf bucket → lower-bound marker.
+        assert!(r.contains("p50=10000.000+"), "{r}");
+        // Unaffected histograms report overflow=0 without markers.
+        assert!(r.contains("queue wait ms: mean=0.000 p50=0.000 p95=0.000 p99=0.000 overflow=0"));
     }
 
     #[test]
@@ -463,6 +689,63 @@ mod tests {
         p.record(STAGE_GEN, Duration::from_secs(10));
         let snap = p.snapshot([1, 1, 1], Duration::from_secs(1));
         assert_eq!(snap[STAGE_GEN].occupancy, 1.0);
+    }
+
+    #[test]
+    fn stage_windows_roll_and_carry_exemplars() {
+        use tag_trace::{LmUsage, SpanRecord, Stage};
+        let s = StageMetrics::new();
+        let span = |id: u64, ms: u64| SpanRecord {
+            trace_id: id,
+            id: 1,
+            parent: None,
+            stage: Stage::Exec,
+            label: "exec".into(),
+            start_us: 0,
+            wall: Duration::from_millis(ms),
+            lm: LmUsage::default(),
+            annotations: vec![],
+        };
+        s.record(&span(7, 2));
+        s.record(&span(9, 400));
+        let w = s.window(Stage::Exec, 10);
+        assert_eq!(w.count(), 2);
+        assert_eq!(s.exemplar(Stage::Exec), Some((9, 0.4)));
+        let r = s.windows_report();
+        assert!(r.contains("== stage windows (rolling) =="), "{r}");
+        assert!(r.contains("exec"), "{r}");
+        assert!(r.contains("10s: n=2"), "{r}");
+        assert!(r.contains("60s: n=2"), "{r}");
+        assert!(r.contains("exemplar trace=9"), "{r}");
+    }
+
+    #[test]
+    fn hub_backed_registry_feeds_exposition() {
+        let hub = MetricsHub::new();
+        let m = MetricsRegistry::with_hub(&hub);
+        m.total_time_window.observe(Duration::from_millis(3));
+        let text = hub.render();
+        assert!(text.contains("tag_serve_total_seconds_count 1"), "{text}");
+        assert!(text.contains("tag_serve_total_window_seconds"), "{text}");
+    }
+
+    #[test]
+    fn noop_hub_registry_windows_are_inactive() {
+        let hub = MetricsHub::noop();
+        let m = MetricsRegistry::with_hub(&hub);
+        m.total_time_window.observe(Duration::from_millis(3));
+        assert_eq!(m.total_time_window.count(), 0);
+        let s = StageMetrics::with_hub(&hub);
+        assert!(!s.windows[0].is_active());
+    }
+
+    #[test]
+    fn pipeline_report_includes_rolling_rate() {
+        let p = PipelineMetrics::new();
+        p.record(STAGE_EXEC, Duration::from_millis(10));
+        let r = p.report([1, 1, 1], Duration::from_millis(100));
+        assert!(r.contains("rate10s="), "{r}");
+        assert_eq!(p.window(STAGE_EXEC, 10).count(), 1);
     }
 
     #[test]

@@ -141,6 +141,8 @@ pub enum Command {
     },
     /// `STATS` — print the metrics report.
     Stats,
+    /// `METRICS` — print the Prometheus-text exposition.
+    Metrics,
     /// `TRACE <id> [JSONL]` — print a captured request trace as a span
     /// tree, or as JSONL when the `JSONL` token is present.
     Trace {
@@ -200,6 +202,7 @@ pub fn parse_line(line: &str) -> Result<Command, String> {
             })
         }
         "STATS" => Ok(Command::Stats),
+        "METRICS" => Ok(Command::Metrics),
         "TRACE" => {
             let id_tok = parts
                 .next()
@@ -217,7 +220,7 @@ pub fn parse_line(line: &str) -> Result<Command, String> {
         "QUIT" | "EXIT" => Ok(Command::Quit),
         "" => Err("empty line".to_owned()),
         other => Err(format!(
-            "unknown command {other:?} (ASK/EXPLAIN/STATS/TRACE/QUIT)"
+            "unknown command {other:?} (ASK/EXPLAIN/STATS/METRICS/TRACE/QUIT)"
         )),
     }
 }
@@ -259,8 +262,11 @@ mod tests {
         assert!(parse_line("ASK d badmethod q").is_err());
         assert!(parse_line("ASK d rag").is_err());
         assert_eq!(parse_line("stats").unwrap(), Command::Stats);
+        assert_eq!(parse_line("metrics").unwrap(), Command::Metrics);
         assert_eq!(parse_line("QUIT").unwrap(), Command::Quit);
         assert!(parse_line("").is_err());
+        let err = parse_line("FROB").unwrap_err();
+        assert!(err.contains("METRICS"), "{err}");
     }
 
     #[test]

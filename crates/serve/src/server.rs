@@ -26,18 +26,20 @@ use crate::metrics::{
     STAGE_SYN,
 };
 use crate::protocol::{run_method, MethodName};
-use crate::trace::TraceStore;
+use crate::trace::{TraceLookup, TraceStore};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tag_core::answer::Answer;
 use tag_core::env::TagEnv;
 use tag_datagen::DomainData;
 use tag_lm::sim::{SimConfig, SimLm};
+use tag_metrics::{MetricsHub, Sample};
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -67,6 +69,14 @@ pub struct ServerConfig {
     /// Most recent request traces kept for `TRACE <id>` (0 disables
     /// per-request tracing entirely).
     pub trace_capacity: usize,
+    /// Slots in the tail-sampling reservoir that keeps the slowest and
+    /// error traces after they age out of the FIFO ring, so the trace
+    /// ids that windowed exemplars point at stay resolvable.
+    pub tail_traces: usize,
+    /// Record hub-backed windowed metrics and serve the `METRICS`
+    /// exposition. When false the hub is the null registry: instruments
+    /// are inactive (one branch per touch) and `METRICS` renders empty.
+    pub metrics_enabled: bool,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +93,8 @@ impl Default for ServerConfig {
             batch_window: Duration::from_millis(1),
             max_batch: 64,
             trace_capacity: 256,
+            tail_traces: 16,
+            metrics_enabled: true,
         }
     }
 }
@@ -225,8 +237,13 @@ struct GenJob {
 /// State shared by the admission path and every worker.
 struct Shared {
     envs: HashMap<String, Arc<TagEnv>>,
-    cache: AnswerCache,
-    metrics: MetricsRegistry,
+    cache: Arc<AnswerCache>,
+    /// The workspace metrics hub (the null registry when
+    /// [`ServerConfig::metrics_enabled`] is off). Its collectors
+    /// capture only the individual `Arc`s they sample — never this
+    /// struct — so the hub cannot keep the server alive through itself.
+    hub: Arc<MetricsHub>,
+    metrics: Arc<MetricsRegistry>,
     stages: StageMetrics,
     pipeline: PipelineMetrics,
     batch: Arc<BatchLm>,
@@ -256,6 +273,11 @@ impl Server {
     /// Retrieval indexes are built eagerly so the first request pays no
     /// warm-up cost (the paper builds its FAISS indexes offline too).
     pub fn start(domains: Vec<DomainData>, lm_config: SimConfig, config: ServerConfig) -> Self {
+        let hub = Arc::new(if config.metrics_enabled {
+            MetricsHub::new()
+        } else {
+            MetricsHub::noop()
+        });
         let sim: Arc<dyn tag_lm::model::LanguageModel> = Arc::new(SimLm::new(lm_config));
         let batch = BatchLm::new(sim, config.batch_window, config.max_batch);
         let mut envs = HashMap::new();
@@ -265,6 +287,9 @@ impl Server {
                 Arc::clone(&batch) as Arc<dyn tag_lm::model::LanguageModel>,
             );
             let _ = env.row_store();
+            if hub.is_enabled() {
+                env.db.install_metrics_hub(Arc::clone(&hub));
+            }
             envs.insert(d.name.to_owned(), Arc::new(env));
         }
         let stage_workers = [
@@ -272,17 +297,22 @@ impl Server {
             config.workers.max(1),
             config.gen_workers.max(1),
         ];
+        let started = Instant::now();
+        let cache = Arc::new(AnswerCache::new(config.cache_capacity, config.cache_shards));
+        let metrics = Arc::new(MetricsRegistry::with_hub(&hub));
+        register_collectors(&hub, &metrics, &cache, &batch, &envs, started);
         let shared = Arc::new(Shared {
+            stages: StageMetrics::with_hub(&hub),
+            pipeline: PipelineMetrics::with_hub(&hub),
             envs,
-            cache: AnswerCache::new(config.cache_capacity, config.cache_shards),
-            metrics: MetricsRegistry::new(),
-            stages: StageMetrics::new(),
-            pipeline: PipelineMetrics::new(),
+            cache,
+            hub,
+            metrics,
             batch,
-            traces: TraceStore::new(config.trace_capacity),
+            traces: TraceStore::with_tail(config.trace_capacity, config.tail_traces),
             default_deadline: config.default_deadline,
             stage_workers,
-            started: Instant::now(),
+            started,
         });
         let (tx, syn_rx) = sync_channel::<Job>(config.queue_capacity.max(1));
         let (exec_tx, exec_rx) = sync_channel::<ExecJob>(config.stage_capacity.max(1));
@@ -423,7 +453,27 @@ impl Server {
             .join("\n"))
     }
 
-    /// The raw spans of a captured trace, if still resident in the ring.
+    /// The metrics hub behind this server (the null registry when
+    /// metrics are disabled).
+    pub fn metrics_hub(&self) -> &Arc<MetricsHub> {
+        &self.shared.hub
+    }
+
+    /// The Prometheus-text exposition served by the `METRICS` protocol
+    /// command. Empty when metrics are disabled.
+    pub fn metrics_text(&self) -> String {
+        self.shared.hub.render()
+    }
+
+    /// Three-way trace lookup: resident spans, evicted (the id was
+    /// real but aged out of the ring and the tail reservoir), or never
+    /// seen.
+    pub fn trace_lookup(&self, trace_id: u64) -> TraceLookup {
+        self.shared.traces.lookup(trace_id)
+    }
+
+    /// The raw spans of a captured trace, if still resident in the ring
+    /// or the tail reservoir.
     pub fn trace(&self, trace_id: u64) -> Option<Vec<tag_trace::SpanRecord>> {
         self.shared.traces.get(trace_id)
     }
@@ -524,6 +574,7 @@ impl Server {
         }
         if !self.shared.stages.is_empty() {
             out.push_str(&self.shared.stages.report());
+            out.push_str(&self.shared.stages.windows_report());
         }
         out.push_str(
             &self
@@ -543,9 +594,11 @@ impl Server {
             pc.hit_rate() * 100.0,
         ));
         out.push_str(&format!(
-            "traces resident: {} (capacity {})\n",
+            "traces resident: {} (ring capacity {}, tail {}/{})\n",
             self.shared.traces.len(),
             self.shared.traces.capacity(),
+            self.shared.traces.tail_len(),
+            self.shared.traces.tail_capacity(),
         ));
         out
     }
@@ -569,6 +622,196 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Wire scrape-time collectors into the hub: subsystems that already
+/// keep their own relaxed-atomic counters (serving registry, answer
+/// cache, LM batcher, and per-domain plan cache / semantic operators /
+/// retrieval) are sampled at render time, adding zero hot-path work.
+///
+/// Each closure captures only the `Arc`s it samples, and the domain
+/// environments only *weakly*: an env holds the hub (through its
+/// installed SQL-engine metrics sink), so a strong capture here would
+/// close a reference cycle and leak the hub past server shutdown.
+fn register_collectors(
+    hub: &MetricsHub,
+    metrics: &Arc<MetricsRegistry>,
+    cache: &Arc<AnswerCache>,
+    batch: &Arc<BatchLm>,
+    envs: &HashMap<String, Arc<TagEnv>>,
+    started: Instant,
+) {
+    if !hub.is_enabled() {
+        return;
+    }
+    let m = Arc::clone(metrics);
+    let c = Arc::clone(cache);
+    hub.register_collector(move |out| {
+        let load = |a: &AtomicU64| a.load(Relaxed);
+        for (outcome, v) in [
+            ("admitted", load(&m.requests_admitted)),
+            ("ok", load(&m.requests_ok)),
+            ("shed_queue_full", load(&m.rejected_queue_full)),
+            ("shed_deadline", load(&m.rejected_deadline)),
+        ] {
+            out.push(Sample::counter(
+                "tag_serve_requests_total",
+                "Requests by admission/serving outcome.",
+                &[("outcome", outcome)],
+                v,
+            ));
+        }
+        let cs = c.stats();
+        for (event, v) in [
+            ("hit", cs.hits),
+            ("miss", cs.misses),
+            ("eviction", cs.evictions),
+        ] {
+            out.push(Sample::counter(
+                "tag_serve_answer_cache_total",
+                "Answer-cache lookups and evictions by event.",
+                &[("event", event)],
+                v,
+            ));
+        }
+        out.push(Sample::gauge(
+            "tag_serve_answer_cache_entries",
+            "Answer-cache resident entries.",
+            &[],
+            cs.len as f64,
+        ));
+        out.push(Sample::gauge(
+            "tag_serve_uptime_seconds",
+            "Seconds since the server started.",
+            &[],
+            started.elapsed().as_secs_f64(),
+        ));
+    });
+    let b = Arc::clone(batch);
+    hub.register_collector(move |out| {
+        let s = b.stats();
+        for (name, help, v) in [
+            (
+                "tag_lm_batch_submissions_total",
+                "Prompt-batch submissions to the shared LM.",
+                s.submissions,
+            ),
+            (
+                "tag_lm_batch_rounds_total",
+                "Merged inference rounds executed.",
+                s.rounds,
+            ),
+            (
+                "tag_lm_batch_cross_request_rounds_total",
+                "Rounds that merged prompts from more than one request.",
+                s.cross_request_rounds,
+            ),
+            (
+                "tag_lm_batch_prompts_total",
+                "Prompts pushed through merged rounds.",
+                s.prompts,
+            ),
+            (
+                "tag_lm_batch_fallback_rounds_total",
+                "Rounds executed on the submitting thread (window fallback).",
+                s.fallback_rounds,
+            ),
+        ] {
+            out.push(Sample::counter(name, help, &[], v));
+        }
+    });
+    let weak_envs: Vec<(String, Weak<TagEnv>)> = envs
+        .iter()
+        .map(|(name, env)| (name.clone(), Arc::downgrade(env)))
+        .collect();
+    hub.register_collector(move |out| {
+        for (domain, env) in &weak_envs {
+            let Some(env) = env.upgrade() else { continue };
+            let domain_label = [("domain", domain.as_str())];
+            let pc = env.db.plan_cache_stats();
+            for (name, help, v) in [
+                (
+                    "tag_sqlengine_plan_cache_hits_total",
+                    "Plan-cache hits.",
+                    pc.hits,
+                ),
+                (
+                    "tag_sqlengine_plan_cache_misses_total",
+                    "Plan-cache misses (statement re-planned).",
+                    pc.misses,
+                ),
+                (
+                    "tag_sqlengine_plan_cache_evictions_total",
+                    "Plan-cache LRU evictions.",
+                    pc.evictions,
+                ),
+                (
+                    "tag_sqlengine_plan_cache_invalidations_total",
+                    "Whole-plan-cache invalidations (schema-epoch bumps).",
+                    pc.invalidations,
+                ),
+            ] {
+                out.push(Sample::counter(name, help, &domain_label, v));
+            }
+            out.push(Sample::gauge(
+                "tag_sqlengine_plan_cache_entries",
+                "Plan-cache resident entries.",
+                &domain_label,
+                pc.entries as f64,
+            ));
+            for (op, s) in env.engine.op_stats() {
+                let labels = [("domain", domain.as_str()), ("op", op)];
+                out.push(Sample::counter(
+                    "tag_semops_op_invocations_total",
+                    "Semantic-operator invocations.",
+                    &labels,
+                    s.invocations,
+                ));
+                out.push(Sample::counter(
+                    "tag_semops_op_lm_prompts_total",
+                    "Prompts semantic operators sent to the LM.",
+                    &labels,
+                    s.lm_prompts,
+                ));
+                out.push(Sample::counter(
+                    "tag_semops_op_cache_hits_total",
+                    "Semantic-operator prompt-cache hits.",
+                    &labels,
+                    s.cache_hits,
+                ));
+            }
+            out.push(Sample::gauge(
+                "tag_semops_round_occupancy",
+                "LM batch-round fill fraction (prompts / rounds x batch size).",
+                &domain_label,
+                env.engine.round_occupancy(),
+            ));
+            // `row_store_if_built` never triggers the lazy index build:
+            // scraping must not embed a whole domain as a side effect.
+            if let Some(rs) = env.row_store_if_built() {
+                let r = rs.retrieval_stats();
+                for (name, help, v) in [
+                    (
+                        "tag_embed_retrieval_probes_total",
+                        "Retrieval probes served.",
+                        r.probes,
+                    ),
+                    (
+                        "tag_embed_retrieval_candidates_total",
+                        "Candidate rows returned by retrieval.",
+                        r.candidates,
+                    ),
+                    (
+                        "tag_embed_retrieval_rows_scanned_total",
+                        "Stored vectors scanned by retrieval.",
+                        r.rows_scanned,
+                    ),
+                ] {
+                    out.push(Sample::counter(name, help, &domain_label, v));
+                }
+            }
+        }
+    });
 }
 
 /// `syn` stage: admission bookkeeping, deadline check, answer-cache
@@ -613,6 +856,7 @@ fn syn_stage(shared: &Shared, job: Job) -> SynOutcome {
     let m = &shared.metrics;
     let queue_wait = job.enqueued.elapsed();
     m.queue_wait.observe(queue_wait);
+    m.queue_wait_window.observe(queue_wait);
     let deadline = job.req.deadline.unwrap_or(shared.default_deadline);
     if queue_wait > deadline {
         m.rejected_deadline.fetch_add(1, Relaxed);
@@ -626,6 +870,7 @@ fn syn_stage(shared: &Shared, job: Job) -> SynOutcome {
         m.requests_ok.fetch_add(1, Relaxed);
         let total = job.enqueued.elapsed();
         m.total_time.observe(total);
+        m.total_time_window.observe(total);
         return SynOutcome::Reply(
             job.reply,
             Ok(Response {
@@ -696,6 +941,13 @@ fn exec_loop(rx: &Mutex<Receiver<ExecJob>>, gen_tx: &SyncSender<GenJob>, shared:
         };
         let exec = started.elapsed();
         shared.metrics.exec_time.observe(exec);
+        match trace_id {
+            Some(id) => shared
+                .metrics
+                .exec_time_window
+                .observe_with_exemplar(exec, id),
+            None => shared.metrics.exec_time_window.observe(exec),
+        }
         shared.pipeline.record(STAGE_EXEC, busy.elapsed());
         let handoff = Instant::now();
         let _ = gen_tx.send(GenJob {
@@ -727,12 +979,15 @@ fn gen_loop(rx: &Mutex<Receiver<GenJob>>, shared: &Shared) {
         for span in &job.spans {
             shared.stages.record(span);
         }
+        let is_error = matches!(job.answer, Answer::Error(_));
         if let Some(trace_id) = job.trace_id {
-            shared.traces.insert(trace_id, job.spans);
+            shared
+                .traces
+                .insert_with_outcome(trace_id, job.spans, is_error);
         }
         // Errors are not cached: they may be transient (e.g.
         // load-dependent) and re-asking should re-execute.
-        if !matches!(job.answer, Answer::Error(_)) {
+        if !is_error {
             shared.cache.insert(
                 &job.req.domain,
                 job.req.method,
@@ -743,6 +998,10 @@ fn gen_loop(rx: &Mutex<Receiver<GenJob>>, shared: &Shared) {
         m.requests_ok.fetch_add(1, Relaxed);
         let total = job.enqueued.elapsed();
         m.total_time.observe(total);
+        match job.trace_id {
+            Some(id) => m.total_time_window.observe_with_exemplar(total, id),
+            None => m.total_time_window.observe(total),
+        }
         // Count before replying (same reasoning as in `syn_loop`).
         shared.pipeline.record(STAGE_GEN, busy.elapsed());
         job.reply.deliver(Ok(Response {
@@ -965,6 +1224,74 @@ mod tests {
                 "missing {stage:?} span: {spans:#?}"
             );
         }
+    }
+
+    #[test]
+    fn metrics_exposition_covers_every_layer() {
+        let (server, req) = tiny_server(ServerConfig::default());
+        let resp = server.ask(req.clone()).unwrap();
+        let second = server.ask(req).unwrap();
+        assert!(second.cache_hit);
+        let text = server.metrics_text();
+        // Serving counters (collector) and hub-registered windows.
+        assert!(
+            text.contains("tag_serve_requests_total{outcome=\"ok\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tag_serve_answer_cache_total{event=\"hit\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("tag_serve_total_seconds_count 2"), "{text}");
+        assert!(text.contains("tag_serve_total_window_seconds"), "{text}");
+        assert!(text.contains("tag_serve_stage_seconds_bucket"), "{text}");
+        assert!(text.contains("tag_serve_pipeline_busy_seconds"), "{text}");
+        // Per-domain subsystem collectors.
+        assert!(
+            text.contains("tag_sqlengine_plan_cache_hits_total"),
+            "{text}"
+        );
+        assert!(text.contains("tag_semops_round_occupancy"), "{text}");
+        assert!(text.contains("tag_lm_batch_rounds_total"), "{text}");
+        // Per-operator instrumentation installed into the SQL engine.
+        assert!(text.contains("tag_sqlengine_operator_seconds"), "{text}");
+        // The executed request's trace id surfaces as an exemplar and
+        // resolves through the three-way lookup.
+        let id = resp.trace_id.expect("traced");
+        assert!(
+            text.contains(&format!("trace_id=\"{id}\"")),
+            "exemplar missing: {text}"
+        );
+        assert!(matches!(server.trace_lookup(id), TraceLookup::Found(_)));
+        assert!(matches!(
+            server.trace_lookup(u64::MAX),
+            TraceLookup::Unknown
+        ));
+        // STATS carries the rolling windowed view with the exemplar id.
+        let r = server.report();
+        assert!(r.contains("== stage windows (rolling) =="), "{r}");
+        assert!(r.contains("exemplar trace="), "{r}");
+        assert!(r.contains("tail 0/16"), "{r}");
+    }
+
+    #[test]
+    fn disabled_metrics_serve_identically_and_render_nothing() {
+        let (server, req) = tiny_server(ServerConfig {
+            metrics_enabled: false,
+            ..ServerConfig::default()
+        });
+        let resp = server.ask(req).unwrap();
+        assert!(
+            !matches!(resp.answer, Answer::Error(_)),
+            "{:?}",
+            resp.answer
+        );
+        assert!(!server.metrics_hub().is_enabled());
+        assert_eq!(server.metrics_text(), "");
+        // Cumulative STATS still work without the hub.
+        let r = server.report();
+        assert!(r.contains("serving metrics"), "{r}");
+        assert!(r.contains("== plan cache =="), "{r}");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::ast::{ColumnDef, InsertStmt, Statement};
 use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
 use crate::exec::{execute, execute_profiled};
+use crate::metrics::ExecMetrics;
 use crate::optimizer::optimize;
 use crate::parser::{parse_statement, parse_statements};
 use crate::plan::Plan;
@@ -93,6 +94,9 @@ pub struct Database {
     semplan_explainer: HookSlot<SemPlanExplainFn>,
     /// Registered `EXPLAIN VERIFY` renderer (the static verifier).
     semplan_verifier: HookSlot<SemPlanVerifyFn>,
+    /// Per-operator metrics sink, installed once by the serving
+    /// runtime; profiled queries feed it, plain queries never touch it.
+    exec_metrics: std::sync::OnceLock<Arc<ExecMetrics>>,
 }
 
 impl Clone for Database {
@@ -107,6 +111,9 @@ impl Clone for Database {
             plan_cache: PlanCache::new(self.plan_cache.capacity()),
             semplan_explainer: self.semplan_explainer.clone(),
             semplan_verifier: self.semplan_verifier.clone(),
+            // Clones share the sink: instruments are per-operator-kind
+            // aggregates, not per-handle state.
+            exec_metrics: self.exec_metrics.clone(),
         }
     }
 }
@@ -153,6 +160,15 @@ impl Database {
     /// Plan-cache counter snapshot.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plan_cache.stats()
+    }
+
+    /// Install a metrics hub: profiled queries
+    /// ([`Database::query_profiled`]) then feed per-operator counters
+    /// and windowed latency histograms (see [`crate::metrics`]). First
+    /// install wins. Takes `&self` like the other engine hooks so a
+    /// shared handle can be instrumented after construction.
+    pub fn install_metrics_hub(&self, hub: Arc<tag_metrics::MetricsHub>) {
+        let _ = self.exec_metrics.set(Arc::new(ExecMetrics::new(hub)));
     }
 
     /// Resize the plan cache (0 disables it). Takes `&self` so a shared
@@ -234,6 +250,9 @@ impl Database {
         for arm in &cached.arms {
             let profiler = PlanProfiler::new();
             let rows = execute_profiled(&arm.plan, &self.catalog, &profiler)?;
+            if let Some(sink) = self.exec_metrics.get() {
+                sink.record(&profiler.nodes());
+            }
             match &mut acc {
                 None => acc = Some(ResultSet::new(arm.columns.clone(), rows)),
                 Some(acc) => {

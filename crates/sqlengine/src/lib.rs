@@ -47,6 +47,7 @@ pub mod expr;
 pub mod functions;
 pub mod index;
 pub mod lexer;
+pub mod metrics;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
@@ -64,6 +65,7 @@ pub mod value;
 pub use catalog::Catalog;
 pub use engine::Database;
 pub use error::{SqlError, SqlResult};
+pub use metrics::ExecMetrics;
 pub use plancache::{normalize_sql, PlanCache, PlanCacheStats};
 pub use profile::{NodeProfile, PlanProfiler};
 pub use result::ResultSet;
