@@ -19,6 +19,13 @@
 //!    must not cascade into every later reader. `parking_lot` locks
 //!    (no poisoning) and `unwrap_or_else(|e| e.into_inner())` recovery
 //!    both pass.
+//! 4. **`row-ratchet`** — `Vec<Row>` occurrences inside the columnar
+//!    executor files ([`CHUNK_PATHS`]) are counted per file and
+//!    ratcheted like rule 1 (baseline keys carry a `vec-row:` prefix).
+//!    The chunked operators must stay columnar end to end; the
+//!    baseline covers only the executor's row-boundary API (plan
+//!    entry/exit and delegation to the serial scans), and any new
+//!    intermediate row materialization fails the build.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -40,6 +47,20 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/sqlengine/src/profile.rs",
     "crates/sqlengine/src/semplan.rs",
 ];
+
+/// Columnar-executor files covered by the `Vec<Row>` ratchet (rule 4):
+/// chunk storage, vectorized kernels, morsel dispatch, and the chunked
+/// operators themselves.
+pub const CHUNK_PATHS: &[&str] = &[
+    "crates/sqlengine/src/chunk.rs",
+    "crates/sqlengine/src/chunk_exec.rs",
+    "crates/sqlengine/src/morsel.rs",
+    "crates/sqlengine/src/vector.rs",
+];
+
+/// Baseline-key prefix distinguishing rule-4 entries from rule-1
+/// entries in the shared ratchet file.
+const ROW_RATCHET_PREFIX: &str = "vec-row:";
 
 /// Known stage tags for `complete_op`/`complete_batch_op` (rule 2) —
 /// the vocabulary `SemEngine::op_stats()` aggregates by.
@@ -99,6 +120,8 @@ pub struct LintOutcome {
     pub findings: Vec<LintFinding>,
     /// Current `.unwrap()`/`.expect(` counts per hot-path file.
     pub unwrap_counts: BTreeMap<String, usize>,
+    /// Current `Vec<Row>` counts per columnar-executor file (rule 4).
+    pub row_counts: BTreeMap<String, usize>,
 }
 
 impl LintOutcome {
@@ -115,6 +138,12 @@ impl LintOutcome {
         );
         for (file, count) in &self.unwrap_counts {
             let _ = writeln!(out, "{file} {count}");
+        }
+        out.push_str(
+            "# vec-row ratchet: non-test Vec<Row> occurrences in the columnar executor.\n",
+        );
+        for (file, count) in &self.row_counts {
+            let _ = writeln!(out, "{ROW_RATCHET_PREFIX}{file} {count}");
         }
         out
     }
@@ -325,6 +354,13 @@ fn count_unwraps(code: &str) -> usize {
     find_all(code, ".unwrap()").len() + find_all(code, ".expect(").len()
 }
 
+/// Count rule-4 hits: `Vec<Row>` in non-test code. rustfmt normalizes
+/// generic spacing, so the literal spelling is the only one that
+/// appears in formatted sources.
+fn count_row_vecs(code: &str) -> usize {
+    find_all(code, "Vec<Row>").len()
+}
+
 /// Rule 3: `.lock()` immediately followed (modulo whitespace) by
 /// `.unwrap()` or `.expect(`.
 fn find_poison_panics(code: &str) -> Vec<usize> {
@@ -461,6 +497,12 @@ pub fn run_lint(config: &LintConfig, update_ratchet: bool) -> Result<LintOutcome
                 .insert(rel.clone(), count_unwraps(&code));
         }
 
+        if CHUNK_PATHS.contains(&rel.as_str()) {
+            outcome
+                .row_counts
+                .insert(rel.clone(), count_row_vecs(&code));
+        }
+
         // Rule 3 covers the whole serve crate (bins included) plus the
         // sqlengine hot paths.
         if rel.starts_with(serve_prefix) || is_hot {
@@ -514,6 +556,30 @@ pub fn run_lint(config: &LintConfig, update_ratchet: bool) -> Result<LintOutcome
                     line: 0,
                     message: "hot-path file missing from the ratchet baseline; run \
                               tag-lint --update"
+                        .to_owned(),
+                }),
+            }
+        }
+        // Rule 4: the Vec<Row> ratchet over the columnar executor.
+        for (file, &count) in &outcome.row_counts {
+            match baseline.get(&format!("{ROW_RATCHET_PREFIX}{file}")) {
+                Some(&limit) if count > limit => outcome.findings.push(LintFinding {
+                    rule: "row-ratchet",
+                    file: file.clone(),
+                    line: 0,
+                    message: format!(
+                        "{count} Vec<Row> occurrences exceed the ratchet baseline of \
+                         {limit}; chunked operators must stay columnar — pass Chunk / \
+                         Batch between stages instead of materializing rows"
+                    ),
+                }),
+                Some(_) => {}
+                None => outcome.findings.push(LintFinding {
+                    rule: "row-ratchet",
+                    file: file.clone(),
+                    line: 0,
+                    message: "columnar-executor file missing from the ratchet baseline; \
+                              run tag-lint --update"
                         .to_owned(),
                 }),
             }
@@ -601,11 +667,29 @@ fn complete_op(&self, op: &str) {}
     fn ratchet_roundtrip() {
         let mut outcome = LintOutcome::default();
         outcome.unwrap_counts.insert("a.rs".into(), 3);
+        outcome.row_counts.insert("b.rs".into(), 2);
         let dir = std::env::temp_dir().join("tag-lint-test");
         fs::create_dir_all(&dir).expect("tempdir");
         let path = dir.join("ratchet.txt");
         fs::write(&path, outcome.ratchet_text()).expect("write");
         let loaded = load_ratchet(&path).expect("load");
         assert_eq!(loaded.get("a.rs"), Some(&3));
+        assert_eq!(loaded.get("vec-row:b.rs"), Some(&2));
+    }
+
+    #[test]
+    fn row_vecs_counted_outside_tests_and_strings() {
+        let src = "
+fn hot(rows: Vec<Row>) -> Vec<Row> { rows }
+// Vec<Row> in a comment
+let s = \"Vec<Row> in a string\";
+#[cfg(test)]
+mod tests {
+    fn t(rows: Vec<Row>) {}
+}
+";
+        let scanned = scan_source(src);
+        let code = blank_ranges(&scanned.code, &test_ranges(&scanned.code));
+        assert_eq!(count_row_vecs(&code), 2);
     }
 }

@@ -91,6 +91,36 @@ impl Default for Scale {
     }
 }
 
+impl Scale {
+    /// The `small` tier: a fast-everything dataset for smoke tests.
+    pub fn small() -> Scale {
+        Scale {
+            schools: 60,
+            players: 80,
+            posts: 25,
+            customers: 50,
+            drivers: 8,
+        }
+    }
+
+    /// The seeded `huge` tier: ≥10⁶ rows in each scalable domain's
+    /// largest table (schools/players/customers directly; community
+    /// via its ≈4× comments fan-out; F1 stays fixed — its cardinality
+    /// is circuit history, not a knob). Generating this tier through
+    /// the per-row SQL path takes minutes; the scale sweep uses the
+    /// bulk fast path ([`schools::generate_bulk`]) instead, which
+    /// draws the identical rows through the typed row API.
+    pub fn huge() -> Scale {
+        Scale {
+            schools: 1_000_000,
+            players: 1_000_000,
+            posts: 250_000,
+            customers: 1_000_000,
+            drivers: 18,
+        }
+    }
+}
+
 /// Generate every benchmark domain (plus movies) at the given scale.
 pub fn generate_all(seed: u64, scale: Scale) -> Vec<DomainData> {
     vec![

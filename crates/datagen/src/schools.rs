@@ -42,18 +42,7 @@ fn city_pool(kb: &KnowledgeBase) -> Vec<(String, f64)> {
         .collect()
 }
 
-/// Generate the domain with `n` schools.
-pub fn generate(seed: u64, n: usize) -> DomainData {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5C00);
-    let kb = KnowledgeBase::new(KnowledgeConfig {
-        coverage: 1.0,
-        enumeration_coverage: 1.0,
-        seed: 0,
-    });
-    let cities = city_pool(&kb);
-    let mut db = Database::new();
-    db.execute(
-        "CREATE TABLE schools (
+const SCHOOLS_DDL: &str = "CREATE TABLE schools (
             CDSCode INTEGER PRIMARY KEY,
             School TEXT NOT NULL,
             City TEXT,
@@ -77,10 +66,49 @@ pub fn generate(seed: u64, n: usize) -> DomainData {
             AdmLName TEXT,
             AdmEmail TEXT,
             LastUpdate TEXT
-        )",
-    )
-    .expect("create schools");
+        )";
 
+/// One drawn `schools` row. Both generation paths (per-row SQL and the
+/// bulk typed-row fast path) consume this, so the RNG stream — and the
+/// data — is identical regardless of path.
+struct SchoolDraw {
+    id: usize,
+    name: String,
+    city: String,
+    lon: f64,
+    lat: f64,
+    math: i64,
+    read: i64,
+    enrollment: i64,
+    grades: &'static str,
+    charter: i64,
+    funding: &'static str,
+    doc: i64,
+    soc: i64,
+    magnet: i64,
+    phone: i64,
+    zip: i64,
+    day: i64,
+}
+
+/// One drawn `frpm` + `satscores` row pair.
+struct AuxDraw {
+    id: i64,
+    enroll: i64,
+    free: i64,
+    free_extra: i64,
+    charter: i64,
+    takers: i64,
+    verbal: i64,
+    ge1500: i64,
+}
+
+fn draw_school(
+    rng: &mut StdRng,
+    cities: &[(String, f64)],
+    bay_cities: &[&str],
+    id: usize,
+) -> SchoolDraw {
     const NAME_PARTS: &[&str] = &[
         "Washington",
         "Lincoln",
@@ -101,73 +129,90 @@ pub fn generate(seed: u64, n: usize) -> DomainData {
     const KINDS: &[&str] = &["Elementary", "Middle", "High", "Charter Academy"];
     const GRADES: &[&str] = &["K-5", "K-8", "K-12", "6-8", "9-12"];
 
-    let bay_cities: Vec<&str> = kb.true_cities_in_region("Bay Area").to_vec();
-    for id in 0..n {
-        let (city, base_lon) = &cities[rng.gen_range(0..cities.len())];
-        // Anchor rows: a few schools are pinned to a Bay Area city with a
-        // top math score so the benchmark's rare conjunctions (Bay Area
-        // AND AvgScrMath over 700/705) stay well-posed at every seed.
-        // Draws happen first so the stream stays identical either way.
-        let (city, base_lon) = if id < 3 && !bay_cities.is_empty() {
-            let c = bay_cities[id % bay_cities.len()];
-            let lon = cities
-                .iter()
-                .find(|(name, _)| name == c)
-                .map(|(_, l)| *l)
-                .unwrap_or(*base_lon);
-            (c.to_owned(), lon)
+    let (city, base_lon) = &cities[rng.gen_range(0..cities.len())];
+    // Anchor rows: a few schools are pinned to a Bay Area city with a
+    // top math score so the benchmark's rare conjunctions (Bay Area
+    // AND AvgScrMath over 700/705) stay well-posed at every seed.
+    // Draws happen first so the stream stays identical either way.
+    let (city, base_lon) = if id < 3 && !bay_cities.is_empty() {
+        let c = bay_cities[id % bay_cities.len()];
+        let lon = cities
+            .iter()
+            .find(|(name, _)| name == c)
+            .map(|(_, l)| *l)
+            .unwrap_or(*base_lon);
+        (c.to_owned(), lon)
+    } else {
+        (city.clone(), *base_lon)
+    };
+    let name = format!(
+        "{} {} {}",
+        NAME_PARTS[rng.gen_range(0..NAME_PARTS.len())],
+        &city,
+        KINDS[rng.gen_range(0..KINDS.len())]
+    );
+    let lon = base_lon + rng.gen_range(-0.05..0.05);
+    let lat = 37.0 + rng.gen_range(-4.5..4.5);
+    let math: i64 = {
+        let drawn = rng.gen_range(380..720);
+        if id < 3 {
+            706 + id as i64 * 4
         } else {
-            (city.clone(), *base_lon)
-        };
-        let name = format!(
-            "{} {} {}",
-            NAME_PARTS[rng.gen_range(0..NAME_PARTS.len())],
-            &city,
-            KINDS[rng.gen_range(0..KINDS.len())]
-        );
-        let lon = base_lon + rng.gen_range(-0.05..0.05);
-        let lat = 37.0 + rng.gen_range(-4.5..4.5);
-        let math: i64 = {
-            let drawn = rng.gen_range(380..720);
-            if id < 3 {
-                706 + id as i64 * 4
-            } else {
-                drawn
-            }
-        };
-        let read: i64 = math + rng.gen_range(-60..60);
-        let enrollment: i64 = rng.gen_range(120..3200);
-        let grades = GRADES[rng.gen_range(0..GRADES.len())];
-        let charter = i64::from(rng.gen_bool(0.2));
-        let funding = [
-            "Directly funded",
-            "Locally funded",
-            "Not in CS funding model",
-        ][rng.gen_range(0..3)];
-        db.execute(&format!(
-            "INSERT INTO schools VALUES ({}, '{}', '{}', '{} County', {:.4}, {:.4}, \
-             {math}, {read}, {enrollment}, '{grades}', {charter}, '{funding}', \
-             '{:02}', '{:02}', 'Traditional', 'N', {}, '(555) 555-{:04}', \
-             '9{:04}', 'Alex', 'Rivera', 'admin{}@example.edu', '2015-06-{:02}')",
-            id + 1,
-            name.replace('\'', "''"),
-            city.replace('\'', "''"),
-            city.replace('\'', "''"),
-            lon,
-            lat,
-            rng.gen_range(52..66),
-            rng.gen_range(60..70),
-            i64::from(rng.gen_bool(0.1)),
-            rng.gen_range(0..9999),
-            rng.gen_range(1000..5999),
-            id + 1,
-            rng.gen_range(1..28),
-        ))
-        .expect("insert school");
+            drawn
+        }
+    };
+    let read: i64 = math + rng.gen_range(-60..60);
+    let enrollment: i64 = rng.gen_range(120..3200);
+    let grades = GRADES[rng.gen_range(0..GRADES.len())];
+    let charter = i64::from(rng.gen_bool(0.2));
+    let funding = [
+        "Directly funded",
+        "Locally funded",
+        "Not in CS funding model",
+    ][rng.gen_range(0..3)];
+    SchoolDraw {
+        id,
+        name,
+        city,
+        lon,
+        lat,
+        math,
+        read,
+        enrollment,
+        grades,
+        charter,
+        funding,
+        doc: rng.gen_range(52..66),
+        soc: rng.gen_range(60..70),
+        magnet: i64::from(rng.gen_bool(0.1)),
+        phone: rng.gen_range(0..9999),
+        zip: rng.gen_range(1000..5999),
+        day: rng.gen_range(1..28),
     }
-    // Auxiliary BIRD tables (frpm, satscores): referenced by Text2SQL
-    // prompts and indexed by RAG, widening schemas to realistic BIRD
-    // proportions. Benchmark queries only target `schools`.
+}
+
+fn draw_aux(rng: &mut StdRng, id: i64) -> AuxDraw {
+    let enroll = rng.gen_range(120..3200);
+    let free = rng.gen_range(0..enroll);
+    let free_extra = rng.gen_range(0..50);
+    let charter = i64::from(rng.gen_bool(0.2));
+    let takers = rng.gen_range(20..600);
+    AuxDraw {
+        id,
+        enroll,
+        free,
+        free_extra,
+        charter,
+        takers,
+        verbal: rng.gen_range(380..720),
+        ge1500: rng.gen_range(0..takers),
+    }
+}
+
+/// Create the auxiliary BIRD tables (frpm, satscores): referenced by
+/// Text2SQL prompts and indexed by RAG, widening schemas to realistic
+/// BIRD proportions. Benchmark queries only target `schools`.
+fn create_aux_tables(db: &mut Database) {
     db.execute(
         "CREATE TABLE frpm (
             CDSCode INTEGER PRIMARY KEY,
@@ -188,23 +233,153 @@ pub fn generate(seed: u64, n: usize) -> DomainData {
         )",
     )
     .expect("create satscores");
-    for id in 1..=(n as i64) {
-        let enroll = rng.gen_range(120..3200);
-        let free = rng.gen_range(0..enroll);
+}
+
+fn setup(seed: u64) -> (StdRng, Vec<(String, f64)>, Vec<&'static str>, Database) {
+    let rng = StdRng::seed_from_u64(seed ^ 0x5C00);
+    let kb = KnowledgeBase::new(KnowledgeConfig {
+        coverage: 1.0,
+        enumeration_coverage: 1.0,
+        seed: 0,
+    });
+    let cities = city_pool(&kb);
+    let bay_cities: Vec<&'static str> = kb.true_cities_in_region("Bay Area").to_vec();
+    let mut db = Database::new();
+    db.execute(SCHOOLS_DDL).expect("create schools");
+    (rng, cities, bay_cities, db)
+}
+
+/// Generate the domain with `n` schools.
+pub fn generate(seed: u64, n: usize) -> DomainData {
+    let (mut rng, cities, bay_cities, mut db) = setup(seed);
+    for id in 0..n {
+        let d = draw_school(&mut rng, &cities, &bay_cities, id);
         db.execute(&format!(
-            "INSERT INTO frpm VALUES ({id}, '2014-2015', {free}, {}, {enroll}, {})",
-            free + rng.gen_range(0..50),
-            i64::from(rng.gen_bool(0.2)),
+            "INSERT INTO schools VALUES ({}, '{}', '{}', '{} County', {:.4}, {:.4}, \
+             {}, {}, {}, '{}', {}, '{}', \
+             '{:02}', '{:02}', 'Traditional', 'N', {}, '(555) 555-{:04}', \
+             '9{:04}', 'Alex', 'Rivera', 'admin{}@example.edu', '2015-06-{:02}')",
+            d.id + 1,
+            d.name.replace('\'', "''"),
+            d.city.replace('\'', "''"),
+            d.city.replace('\'', "''"),
+            d.lon,
+            d.lat,
+            d.math,
+            d.read,
+            d.enrollment,
+            d.grades,
+            d.charter,
+            d.funding,
+            d.doc,
+            d.soc,
+            d.magnet,
+            d.phone,
+            d.zip,
+            d.id + 1,
+            d.day,
+        ))
+        .expect("insert school");
+    }
+    create_aux_tables(&mut db);
+    for id in 1..=(n as i64) {
+        let a = draw_aux(&mut rng, id);
+        db.execute(&format!(
+            "INSERT INTO frpm VALUES ({}, '2014-2015', {}, {}, {}, {})",
+            a.id,
+            a.free,
+            a.free + a.free_extra,
+            a.enroll,
+            a.charter,
         ))
         .expect("insert frpm");
-        let takers = rng.gen_range(20..600);
         db.execute(&format!(
-            "INSERT INTO satscores VALUES ({id}, {takers}, {}, {})",
-            rng.gen_range(380..720),
-            rng.gen_range(0..takers),
+            "INSERT INTO satscores VALUES ({}, {}, {}, {})",
+            a.id, a.takers, a.verbal, a.ge1500,
         ))
         .expect("insert satscores");
     }
+    DomainData::new("california_schools", db)
+}
+
+/// Round like the SQL path's `{:.4}` literal formatting, so bulk rows
+/// carry the identical stored float.
+fn round4(x: f64) -> f64 {
+    format!("{x:.4}").parse().expect("formatted float")
+}
+
+/// Generate the domain with `n` schools through the typed row API —
+/// the same seed draws the same data as [`generate`], but rows bypass
+/// per-row SQL parsing/planning. This is what makes the `huge` scale
+/// tier (10⁶ rows, [`crate::Scale::huge`]) practical: bulk generation
+/// is ~2 orders of magnitude faster than the SQL path.
+pub fn generate_bulk(seed: u64, n: usize) -> DomainData {
+    use tag_sql::Value;
+    let (mut rng, cities, bay_cities, mut db) = setup(seed);
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(n);
+    for id in 0..n {
+        let d = draw_school(&mut rng, &cities, &bay_cities, id);
+        rows.push(vec![
+            Value::Int(d.id as i64 + 1),
+            Value::Text(d.name),
+            Value::Text(d.city.clone()),
+            Value::Text(format!("{} County", d.city)),
+            Value::Float(round4(d.lon)),
+            Value::Float(round4(d.lat)),
+            Value::Int(d.math),
+            Value::Int(d.read),
+            Value::Int(d.enrollment),
+            Value::text(d.grades),
+            Value::Int(d.charter),
+            Value::text(d.funding),
+            Value::Text(format!("{:02}", d.doc)),
+            Value::Text(format!("{:02}", d.soc)),
+            Value::text("Traditional"),
+            Value::text("N"),
+            Value::Int(d.magnet),
+            Value::Text(format!("(555) 555-{:04}", d.phone)),
+            Value::Text(format!("9{:04}", d.zip)),
+            Value::text("Alex"),
+            Value::text("Rivera"),
+            Value::Text(format!("admin{}@example.edu", d.id + 1)),
+            Value::Text(format!("2015-06-{:02}", d.day)),
+        ]);
+    }
+    db.catalog_mut()
+        .table_mut("schools")
+        .expect("schools table")
+        .insert_all(rows)
+        .expect("bulk insert schools");
+    create_aux_tables(&mut db);
+    let mut frpm_rows: Vec<Vec<Value>> = Vec::with_capacity(n);
+    let mut sat_rows: Vec<Vec<Value>> = Vec::with_capacity(n);
+    for id in 1..=(n as i64) {
+        let a = draw_aux(&mut rng, id);
+        frpm_rows.push(vec![
+            Value::Int(a.id),
+            Value::text("2014-2015"),
+            Value::Int(a.free),
+            Value::Int(a.free + a.free_extra),
+            Value::Int(a.enroll),
+            Value::Int(a.charter),
+        ]);
+        sat_rows.push(vec![
+            Value::Int(a.id),
+            Value::Int(a.takers),
+            Value::Int(a.verbal),
+            Value::Int(a.ge1500),
+        ]);
+    }
+    db.catalog_mut()
+        .table_mut("frpm")
+        .expect("frpm table")
+        .insert_all(frpm_rows)
+        .expect("bulk insert frpm");
+    db.catalog_mut()
+        .table_mut("satscores")
+        .expect("satscores table")
+        .insert_all(sat_rows)
+        .expect("bulk insert satscores");
     DomainData::new("california_schools", db)
 }
 
@@ -233,6 +408,19 @@ mod tests {
             a.db.catalog().table("schools").unwrap().rows(),
             c.db.catalog().table("schools").unwrap().rows()
         );
+    }
+
+    #[test]
+    fn bulk_path_draws_identical_data() {
+        let sql = generate(11, 120);
+        let bulk = generate_bulk(11, 120);
+        for table in ["schools", "frpm", "satscores"] {
+            assert_eq!(
+                sql.db.catalog().table(table).unwrap().rows(),
+                bulk.db.catalog().table(table).unwrap().rows(),
+                "{table} diverged between SQL and bulk generation"
+            );
+        }
     }
 
     #[test]

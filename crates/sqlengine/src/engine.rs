@@ -2,9 +2,11 @@
 
 use crate::ast::{ColumnDef, InsertStmt, Statement};
 use crate::catalog::Catalog;
+use crate::chunk_exec::{execute_chunked, execute_chunked_profiled};
 use crate::error::{SqlError, SqlResult};
 use crate::exec::{execute, execute_profiled};
 use crate::metrics::ExecMetrics;
+use crate::morsel::{ExecPolicy, DEFAULT_MORSEL_ROWS};
 use crate::optimizer::optimize;
 use crate::parser::{parse_statement, parse_statements};
 use crate::plan::Plan;
@@ -12,12 +14,13 @@ use crate::plancache::{normalize_sql, CachedArm, CachedPlan, PlanCache, PlanCach
 use crate::planner::{Planner, Scope};
 use crate::profile::PlanProfiler;
 use crate::result::ResultSet;
+use crate::schema::Row;
 use crate::schema::{Column, Schema};
 use crate::semplan::SemNode;
 use crate::table::{IndexKind, Table};
 use crate::udf::{ScalarUdf, UdfRegistry};
 use crate::value::Value;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Renders `EXPLAIN SEMPLAN <question>` output. Registered by the
@@ -97,6 +100,13 @@ pub struct Database {
     /// Per-operator metrics sink, installed once by the serving
     /// runtime; profiled queries feed it, plain queries never touch it.
     exec_metrics: std::sync::OnceLock<Arc<ExecMetrics>>,
+    /// Execution policy, stored as atomics so read-only `query()` can
+    /// consult (and embedders can flip) it under a shared borrow.
+    /// Defaults decode as the serial row-at-a-time path (see
+    /// [`Database::exec_policy`]).
+    exec_chunked: AtomicBool,
+    exec_workers: AtomicUsize,
+    exec_morsel_rows: AtomicUsize,
 }
 
 impl Clone for Database {
@@ -114,6 +124,9 @@ impl Clone for Database {
             // Clones share the sink: instruments are per-operator-kind
             // aggregates, not per-handle state.
             exec_metrics: self.exec_metrics.clone(),
+            exec_chunked: AtomicBool::new(self.exec_chunked.load(Ordering::Relaxed)),
+            exec_workers: AtomicUsize::new(self.exec_workers.load(Ordering::Relaxed)),
+            exec_morsel_rows: AtomicUsize::new(self.exec_morsel_rows.load(Ordering::Relaxed)),
         }
     }
 }
@@ -169,6 +182,50 @@ impl Database {
     /// shared handle can be instrumented after construction.
     pub fn install_metrics_hub(&self, hub: Arc<tag_metrics::MetricsHub>) {
         let _ = self.exec_metrics.set(Arc::new(ExecMetrics::new(hub)));
+    }
+
+    /// Set how relational plans execute: the serial row-at-a-time path
+    /// (the default and reference semantics) or the columnar chunked
+    /// executor with morsel-driven parallelism. Takes `&self` so a
+    /// shared handle can flip paths (e.g. for an A/B sweep); results
+    /// are byte-identical either way — see [`crate::chunk_exec`].
+    pub fn set_exec_policy(&self, policy: ExecPolicy) {
+        self.exec_chunked.store(policy.chunked, Ordering::Relaxed);
+        self.exec_workers
+            .store(policy.workers.max(1), Ordering::Relaxed);
+        self.exec_morsel_rows
+            .store(policy.morsel_rows.max(1), Ordering::Relaxed);
+    }
+
+    /// The current execution policy (zero-valued atomics decode as the
+    /// defaults: serial, 1 worker, [`DEFAULT_MORSEL_ROWS`]).
+    pub fn exec_policy(&self) -> ExecPolicy {
+        let workers = self.exec_workers.load(Ordering::Relaxed);
+        let morsel_rows = self.exec_morsel_rows.load(Ordering::Relaxed);
+        ExecPolicy {
+            chunked: self.exec_chunked.load(Ordering::Relaxed),
+            workers: workers.max(1),
+            morsel_rows: if morsel_rows == 0 {
+                DEFAULT_MORSEL_ROWS
+            } else {
+                morsel_rows
+            },
+        }
+    }
+
+    /// Run one optimized plan through the configured executor.
+    fn run_plan(&self, plan: &Plan) -> SqlResult<Vec<Row>> {
+        let policy = self.exec_policy();
+        if policy.chunked {
+            execute_chunked(
+                plan,
+                &self.catalog,
+                policy,
+                self.exec_metrics.get().map(Arc::as_ref),
+            )
+        } else {
+            execute(plan, &self.catalog)
+        }
     }
 
     /// Resize the plan cache (0 disables it). Takes `&self` so a shared
@@ -247,9 +304,20 @@ impl Database {
         self.statements_run.fetch_add(1, Ordering::Relaxed);
         let mut acc: Option<ResultSet> = None;
         let mut text = String::new();
+        let policy = self.exec_policy();
         for arm in &cached.arms {
             let profiler = PlanProfiler::new();
-            let rows = execute_profiled(&arm.plan, &self.catalog, &profiler)?;
+            let rows = if policy.chunked {
+                execute_chunked_profiled(
+                    &arm.plan,
+                    &self.catalog,
+                    policy,
+                    self.exec_metrics.get().map(Arc::as_ref),
+                    &profiler,
+                )?
+            } else {
+                execute_profiled(&arm.plan, &self.catalog, &profiler)?
+            };
             if let Some(sink) = self.exec_metrics.get() {
                 sink.record(&profiler.nodes());
             }
@@ -351,7 +419,7 @@ impl Database {
     fn execute_cached(&self, cached: &CachedPlan) -> SqlResult<ResultSet> {
         let mut acc: Option<ResultSet> = None;
         for arm in &cached.arms {
-            let rows = execute(&arm.plan, &self.catalog)?;
+            let rows = self.run_plan(&arm.plan)?;
             match &mut acc {
                 None => acc = Some(ResultSet::new(arm.columns.clone(), rows)),
                 Some(acc) => {
@@ -1239,6 +1307,39 @@ mod tests {
         assert!(text.ends_with("plan_cache: miss"), "{text}");
         let (_, text) = db.query_profiled(sql).unwrap();
         assert!(text.ends_with("plan_cache: hit"), "{text}");
+    }
+
+    #[test]
+    fn chunked_policy_is_byte_identical_and_survives_dml() {
+        let mut serial = db();
+        let mut chunked = db();
+        chunked.set_exec_policy(ExecPolicy::chunked(8));
+        assert!(chunked.exec_policy().chunked);
+        let queries = [
+            "SELECT * FROM schools",
+            "SELECT City, COUNT(*) AS n FROM schools GROUP BY City ORDER BY n DESC, City",
+            "SELECT s.City, t.City FROM schools s JOIN schools t ON s.City = t.City \
+             WHERE s.CDSCode < t.CDSCode",
+            "SELECT City FROM schools ORDER BY Longitude LIMIT 2",
+            "SELECT DISTINCT City FROM schools",
+        ];
+        for sql in queries {
+            let a = serial.query(sql).unwrap();
+            let b = chunked.query(sql).unwrap();
+            assert_eq!(a.rows, b.rows, "{sql}");
+            let (bp, _) = chunked.query_profiled(sql).unwrap();
+            assert_eq!(a.rows, bp.rows, "profiled {sql}");
+        }
+        // DML through the engine invalidates the columnar cache too.
+        for db in [&mut serial, &mut chunked] {
+            db.execute("UPDATE schools SET City = 'Fresno' WHERE CDSCode = 1")
+                .unwrap();
+        }
+        let sql = "SELECT City, COUNT(*) FROM schools GROUP BY City ORDER BY City";
+        assert_eq!(
+            serial.query(sql).unwrap().rows,
+            chunked.query(sql).unwrap().rows
+        );
     }
 
     #[test]

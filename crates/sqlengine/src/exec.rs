@@ -300,9 +300,11 @@ fn hash_join(
     Ok(out)
 }
 
-/// Accumulator for one aggregate call.
+/// Accumulator for one aggregate call. Shared with the chunked executor
+/// (`crate::chunk_exec`), whose per-morsel partial aggregates feed the
+/// same state machine so results stay byte-identical.
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Count(i64),
     Sum { acc: Value, saw: bool },
     Total(f64),
@@ -312,7 +314,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> AggState {
+    pub(crate) fn new(func: AggFunc) -> AggState {
         match func {
             AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => AggState::Sum {
@@ -333,7 +335,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: &Value) -> SqlResult<()> {
+    pub(crate) fn update(&mut self, v: &Value) -> SqlResult<()> {
         // SQL aggregates skip NULL inputs (COUNT(*) passes a non-null marker).
         if v.is_null() {
             return Ok(());
@@ -376,7 +378,48 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(self, separator: &str) -> Value {
+    /// Merge another partial state of the same variant into this one.
+    /// Only defined for states whose merge is *exact* (order-insensitive
+    /// up to morsel-order concatenation): Count sums, Min/Max keeps the
+    /// earlier value on ties (strict compare, so a later equal value
+    /// never replaces an earlier one), Concat appends parts in morsel
+    /// order. Sum/Total/Avg are order-sensitive (float addition is
+    /// non-associative; integer SUM can transiently promote on
+    /// overflow), so the chunked executor replays their inputs in row
+    /// order instead of merging states.
+    pub(crate) fn merge(&mut self, other: AggState) -> SqlResult<()> {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::MinMax { best, want_min }, AggState::MinMax { best: theirs, .. }) => {
+                if let Some(v) = theirs {
+                    let replace = match best {
+                        None => true,
+                        Some(b) => {
+                            if *want_min {
+                                v < *b
+                            } else {
+                                v > *b
+                            }
+                        }
+                    };
+                    if replace {
+                        *best = Some(v);
+                    }
+                }
+            }
+            (AggState::Concat { parts }, AggState::Concat { parts: theirs }) => {
+                parts.extend(theirs);
+            }
+            _ => {
+                return Err(SqlError::Eval(
+                    "aggregate partial merge on order-sensitive or mismatched states".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn finish(self, separator: &str) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),
             AggState::Sum { acc, saw } => {
@@ -417,16 +460,26 @@ fn aggregate(
     let ctx = EvalCtx {
         catalog: Some(catalog),
     };
+    aggregate_rows(&rows, group, aggs, &ctx)
+}
 
+/// Row-level aggregation, split out so the chunked executor can replay
+/// the exact serial semantics (including error order) on its inputs.
+pub(crate) fn aggregate_rows(
+    rows: &[Row],
+    group: &[BoundExpr],
+    aggs: &[AggCall],
+    ctx: &EvalCtx<'_>,
+) -> SqlResult<Vec<Row>> {
     // Group key -> (representative key values, states, distinct sets)
     type DistinctSets = Vec<Option<std::collections::HashSet<Value>>>;
     let mut groups: HashMap<Vec<Value>, (Vec<AggState>, DistinctSets)> = HashMap::new();
     let mut order: Vec<Vec<Value>> = Vec::new(); // first-seen group order
 
-    for row in &rows {
+    for row in rows {
         let key: Vec<Value> = group
             .iter()
-            .map(|g| g.eval_ctx(row, &ctx))
+            .map(|g| g.eval_ctx(row, ctx))
             .collect::<SqlResult<_>>()?;
         let entry = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key.clone());
@@ -445,7 +498,7 @@ fn aggregate(
         });
         for (i, agg) in aggs.iter().enumerate() {
             let v = match &agg.arg {
-                Some(e) => e.eval_ctx(row, &ctx)?,
+                Some(e) => e.eval_ctx(row, ctx)?,
                 None => Value::Int(1), // COUNT(*) marker
             };
             if let Some(seen) = &mut entry.1[i] {
@@ -484,7 +537,28 @@ fn aggregate(
 }
 
 /// Compare two rows under the given sort keys (keys already evaluated).
-fn compare_keys(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
+///
+/// # Ordering contract
+///
+/// This comparison is a *partial* order over rows: rows with equal keys
+/// compare `Equal`. The executor turns it into a total, deterministic
+/// order with an explicit tiebreak on **input sequence** (`seq`, the
+/// 0-based position of the row in the operator's input):
+///
+/// - [`sort_rows`] uses a stable sort, which is exactly
+///   `compare_keys(a, b).then(a.seq.cmp(&b.seq))` — ties keep input
+///   order, for ascending *and* descending keys (descending reverses
+///   the key comparison only, never the tiebreak).
+/// - [`top_k`] makes the same tiebreak explicit in its heap ordering
+///   (`(key, seq)`), which is what makes `TopK` byte-identical to
+///   `Sort + Limit` at every `k`/`offset` split point.
+///
+/// The chunked executor (`crate::chunk_exec`) relies on this contract:
+/// its parallel sort/merge orders by `(key, global seq)` — a total
+/// order — so output bytes are independent of morsel boundaries and
+/// worker count. `sort_contract_regression` in this module's tests pins
+/// the behavior.
+pub(crate) fn compare_keys(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
     for (i, k) in keys.iter().enumerate() {
         let ord = a[i].total_cmp(&b[i]);
         let ord = if k.descending { ord.reverse() } else { ord };
@@ -495,11 +569,12 @@ fn compare_keys(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
     Ordering::Equal
 }
 
-fn eval_keys(row: &Row, keys: &[SortKey], ctx: &EvalCtx<'_>) -> SqlResult<Vec<Value>> {
+pub(crate) fn eval_keys(row: &Row, keys: &[SortKey], ctx: &EvalCtx<'_>) -> SqlResult<Vec<Value>> {
     keys.iter().map(|k| k.expr.eval_ctx(row, ctx)).collect()
 }
 
-/// Stable sort by the given keys.
+/// Stable sort by the given keys: equal-key rows keep their input order
+/// (see the [`compare_keys`] ordering contract).
 pub(crate) fn sort_rows(rows: &mut Vec<Row>, keys: &[SortKey], ctx: &EvalCtx<'_>) -> SqlResult<()> {
     let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
     for row in rows.drain(..) {
@@ -511,6 +586,8 @@ pub(crate) fn sort_rows(rows: &mut Vec<Row>, keys: &[SortKey], ctx: &EvalCtx<'_>
 }
 
 /// Heap-based top-(offset + k), then a final sort of the survivors.
+/// Ties are broken by input sequence (`seq`), which makes the result
+/// byte-identical to `Sort + Limit` — see the [`compare_keys`] contract.
 fn top_k(
     input: &Plan,
     keys: &[SortKey],
@@ -742,6 +819,78 @@ mod tests {
         let rows = execute(&plan, &c).unwrap();
         let ids: Vec<Value> = rows.iter().map(|r| r[0].clone()).collect();
         assert_eq!(ids, vec![Value::Int(8), Value::Int(7), Value::Int(6)]);
+    }
+
+    /// Pins the sort determinism contract: equal-key rows keep input
+    /// order (ascending and descending), and TopK's `(key, seq)` heap
+    /// ordering matches Sort + Limit across every offset split. The
+    /// chunked executor's parallel merge depends on this.
+    #[test]
+    fn sort_contract_regression() {
+        // Duplicate keys with distinct payloads so tie order is visible.
+        let mut t = Table::new(
+            "ties",
+            Schema::new(vec![
+                Column::new("k", DataType::Integer),
+                Column::new("payload", DataType::Integer),
+            ])
+            .unwrap(),
+        );
+        for (i, k) in [3i64, 1, 3, 2, 1, 3, 2, 1].iter().enumerate() {
+            t.insert(vec![Value::Int(*k), Value::Int(i as i64)])
+                .unwrap();
+        }
+        let mut c = Catalog::new();
+        c.add_table(t).unwrap();
+        let scan = Plan::TableScan {
+            table: "ties".into(),
+            columns: vec!["k".into(), "payload".into()],
+        };
+        for descending in [false, true] {
+            let keys = vec![SortKey {
+                expr: colref(0),
+                descending,
+            }];
+            let sorted = execute(
+                &Plan::Sort {
+                    input: Box::new(scan.clone()),
+                    keys: keys.clone(),
+                },
+                &c,
+            )
+            .unwrap();
+            // Ties keep input order: within each key group, payloads
+            // (input positions) are strictly increasing.
+            for w in sorted.windows(2) {
+                if w[0][0] == w[1][0] {
+                    assert!(
+                        w[0][1] < w[1][1],
+                        "tie broke input order (descending={descending}): {sorted:?}"
+                    );
+                }
+            }
+            // TopK == Sort + Limit at every (k, offset) split, including
+            // splits that land inside a tie group.
+            for offset in 0..sorted.len() {
+                for k in 0..=sorted.len() - offset {
+                    let via_topk = execute(
+                        &Plan::TopK {
+                            input: Box::new(scan.clone()),
+                            keys: keys.clone(),
+                            k,
+                            offset,
+                        },
+                        &c,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        via_topk,
+                        sorted[offset..offset + k].to_vec(),
+                        "k={k} offset={offset} descending={descending}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,8 @@
 
 pub mod ast;
 pub mod catalog;
+pub mod chunk;
+pub mod chunk_exec;
 pub mod csv;
 pub mod engine;
 pub mod error;
@@ -48,6 +50,7 @@ pub mod functions;
 pub mod index;
 pub mod lexer;
 pub mod metrics;
+pub mod morsel;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
@@ -61,11 +64,13 @@ pub mod semplan;
 pub mod table;
 pub mod udf;
 pub mod value;
+pub mod vector;
 
 pub use catalog::Catalog;
 pub use engine::Database;
 pub use error::{SqlError, SqlResult};
 pub use metrics::ExecMetrics;
+pub use morsel::{ExecPolicy, DEFAULT_MORSEL_ROWS};
 pub use plancache::{normalize_sql, PlanCache, PlanCacheStats};
 pub use profile::{NodeProfile, PlanProfiler};
 pub use result::ResultSet;

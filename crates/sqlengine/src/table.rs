@@ -1,9 +1,11 @@
 //! Heap tables with optional secondary indexes.
 
+use crate::chunk::Chunk;
 use crate::error::{SqlError, SqlResult};
 use crate::index::{BTreeIndex, HashIndex};
 use crate::schema::{Row, Schema};
 use crate::value::Value;
+use std::sync::{Arc, OnceLock};
 
 /// Which physical structure backs an index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +71,10 @@ pub struct Table {
     schema: Schema,
     rows: Vec<Row>,
     indexes: Vec<TableIndex>,
+    /// Lazily built columnar image of `rows` for the chunked executor;
+    /// invalidated by every mutation. Cloning the table clones the Arc,
+    /// which stays valid because the rows are cloned identically.
+    columnar: OnceLock<Arc<Chunk>>,
 }
 
 impl Table {
@@ -79,6 +85,7 @@ impl Table {
             schema,
             rows: Vec::new(),
             indexes: Vec::new(),
+            columnar: OnceLock::new(),
         }
     }
 
@@ -112,6 +119,16 @@ impl Table {
         &self.rows[id]
     }
 
+    /// The columnar image of this table, built on first use and shared
+    /// (zero-copy) with every scan until the next mutation.
+    pub fn columnar(&self) -> Arc<Chunk> {
+        Arc::clone(
+            self.columnar.get_or_init(|| {
+                Arc::new(Chunk::from_rows(self.schema.columns().len(), &self.rows))
+            }),
+        )
+    }
+
     /// Validate, coerce, and append a row; maintains indexes.
     pub fn insert(&mut self, row: Row) -> SqlResult<()> {
         let row = self.schema.check_row(&row)?;
@@ -133,6 +150,7 @@ impl Table {
             }
         }
         self.rows.push(row);
+        self.columnar = OnceLock::new();
         Ok(())
     }
 
@@ -162,6 +180,7 @@ impl Table {
             }
         }
         self.rows = kept;
+        self.columnar = OnceLock::new();
         self.rebuild_indexes();
         Ok(removed)
     }
@@ -182,6 +201,7 @@ impl Table {
             }
         }
         if changed > 0 {
+            self.columnar = OnceLock::new();
             self.rebuild_indexes();
         }
         Ok(changed)
