@@ -26,6 +26,13 @@
 //!    baseline covers only the executor's row-boundary API (plan
 //!    entry/exit and delegation to the serial scans), and any new
 //!    intermediate row materialization fails the build.
+//! 5. **`tagenv-ratchet`** — direct `TagEnv::new(` construction in
+//!    non-test code anywhere under `crates/serve/src/` is counted per
+//!    file and ratcheted (baseline keys carry a `tagenv:` prefix; a
+//!    file absent from the baseline has limit 0). Serving code must
+//!    build environments through `ShardSet`, so every served domain
+//!    gets a coordinator and scatter wiring — a bare env would
+//!    silently opt a path out of sharding.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -61,6 +68,11 @@ pub const CHUNK_PATHS: &[&str] = &[
 /// Baseline-key prefix distinguishing rule-4 entries from rule-1
 /// entries in the shared ratchet file.
 const ROW_RATCHET_PREFIX: &str = "vec-row:";
+
+/// Baseline-key prefix for rule-5 entries. Files absent from the
+/// baseline have an implicit limit of 0, so the rule is a prohibition
+/// by default and the committed baseline stays empty.
+const TAGENV_RATCHET_PREFIX: &str = "tagenv:";
 
 /// Known stage tags for `complete_op`/`complete_batch_op` (rule 2) —
 /// the vocabulary `SemEngine::op_stats()` aggregates by.
@@ -122,6 +134,9 @@ pub struct LintOutcome {
     pub unwrap_counts: BTreeMap<String, usize>,
     /// Current `Vec<Row>` counts per columnar-executor file (rule 4).
     pub row_counts: BTreeMap<String, usize>,
+    /// Current `TagEnv::new(` counts per serve-crate file (rule 5).
+    /// Only files with a nonzero count appear.
+    pub tagenv_counts: BTreeMap<String, usize>,
 }
 
 impl LintOutcome {
@@ -144,6 +159,13 @@ impl LintOutcome {
         );
         for (file, count) in &self.row_counts {
             let _ = writeln!(out, "{ROW_RATCHET_PREFIX}{file} {count}");
+        }
+        out.push_str(
+            "# tagenv ratchet: non-test TagEnv::new( calls in crates/serve (limit 0 when\n\
+             # absent; serving code must build environments through ShardSet).\n",
+        );
+        for (file, count) in &self.tagenv_counts {
+            let _ = writeln!(out, "{TAGENV_RATCHET_PREFIX}{file} {count}");
         }
         out
     }
@@ -361,6 +383,12 @@ fn count_row_vecs(code: &str) -> usize {
     find_all(code, "Vec<Row>").len()
 }
 
+/// Count rule-5 hits: direct `TagEnv::new(` construction in non-test
+/// code (serving must go through `ShardSet`).
+fn count_tagenv_news(code: &str) -> usize {
+    find_all(code, "TagEnv::new(").len()
+}
+
 /// Rule 3: `.lock()` immediately followed (modulo whitespace) by
 /// `.unwrap()` or `.expect(`.
 fn find_poison_panics(code: &str) -> Vec<usize> {
@@ -503,6 +531,16 @@ pub fn run_lint(config: &LintConfig, update_ratchet: bool) -> Result<LintOutcome
                 .insert(rel.clone(), count_row_vecs(&code));
         }
 
+        // Rule 5 covers the whole serve crate (bins included). Only
+        // offending files are recorded, so the clean state is an empty
+        // map and an empty baseline section.
+        if rel.starts_with(serve_prefix) {
+            let n = count_tagenv_news(&code);
+            if n > 0 {
+                outcome.tagenv_counts.insert(rel.clone(), n);
+            }
+        }
+
         // Rule 3 covers the whole serve crate (bins included) plus the
         // sqlengine hot paths.
         if rel.starts_with(serve_prefix) || is_hot {
@@ -582,6 +620,27 @@ pub fn run_lint(config: &LintConfig, update_ratchet: bool) -> Result<LintOutcome
                               run tag-lint --update"
                         .to_owned(),
                 }),
+            }
+        }
+        // Rule 5: the TagEnv ratchet over the serve crate. Absent
+        // baseline keys mean limit 0 — the rule forbids new direct
+        // constructions outright.
+        for (file, &count) in &outcome.tagenv_counts {
+            let limit = baseline
+                .get(&format!("{TAGENV_RATCHET_PREFIX}{file}"))
+                .copied()
+                .unwrap_or(0);
+            if count > limit {
+                outcome.findings.push(LintFinding {
+                    rule: "tagenv-ratchet",
+                    file: file.clone(),
+                    line: 0,
+                    message: format!(
+                        "{count} direct TagEnv::new( calls exceed the ratchet baseline of \
+                         {limit}; serving code must build environments through ShardSet \
+                         so every domain gets a coordinator and scatter wiring"
+                    ),
+                });
             }
         }
     }
@@ -668,6 +727,7 @@ fn complete_op(&self, op: &str) {}
         let mut outcome = LintOutcome::default();
         outcome.unwrap_counts.insert("a.rs".into(), 3);
         outcome.row_counts.insert("b.rs".into(), 2);
+        outcome.tagenv_counts.insert("c.rs".into(), 1);
         let dir = std::env::temp_dir().join("tag-lint-test");
         fs::create_dir_all(&dir).expect("tempdir");
         let path = dir.join("ratchet.txt");
@@ -675,6 +735,23 @@ fn complete_op(&self, op: &str) {}
         let loaded = load_ratchet(&path).expect("load");
         assert_eq!(loaded.get("a.rs"), Some(&3));
         assert_eq!(loaded.get("vec-row:b.rs"), Some(&2));
+        assert_eq!(loaded.get("tagenv:c.rs"), Some(&1));
+    }
+
+    #[test]
+    fn tagenv_news_counted_outside_tests_and_strings() {
+        let src = "
+fn serve() { let e = TagEnv::new(db, lm); }
+// TagEnv::new( in a comment
+let s = \"TagEnv::new( in a string\";
+#[cfg(test)]
+mod tests {
+    fn t() { let e = TagEnv::new(db, lm); }
+}
+";
+        let scanned = scan_source(src);
+        let code = blank_ranges(&scanned.code, &test_ranges(&scanned.code));
+        assert_eq!(count_tagenv_news(&code), 1);
     }
 
     #[test]

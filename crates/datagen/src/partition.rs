@@ -1,0 +1,287 @@
+//! Deterministic hash partitioning of generated domains across shards.
+//!
+//! Each domain declares which tables partition (the large, generated
+//! ones) and on which column — the *partition key*. A row lives on
+//! shard [`partition_for`]`(key, n)`; every other table is small and
+//! replicated in full on every shard. Slices are cut from the
+//! deterministically generated tables row-by-row, so the union of all
+//! shard slices, re-interleaved by their recorded global row indices,
+//! is byte-identical to the unsharded table — the RNG stream never
+//! depends on the shard count.
+
+use crate::DomainData;
+use std::collections::HashMap;
+use tag_sql::{Database, Table, Value};
+
+/// Which shard (of `n`) owns a row whose partition key is `key`.
+///
+/// The hash mirrors [`Value`]'s own `Hash`/`Eq` unification: `Int(5)`
+/// and `Float(5.0)` are equal values in this engine, so they must land
+/// on the same shard — both hash through the f64 bit pattern. The
+/// function is a fixed FNV-1a over a tag byte plus the value's bytes,
+/// so placements are stable across runs, platforms, and compiler
+/// versions (a re-partition must not silently reshuffle a deployment).
+pub fn partition_for(key: &Value, n: usize) -> usize {
+    debug_assert!(n > 0, "shard count must be positive");
+    if n <= 1 {
+        return 0;
+    }
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    };
+    match key {
+        Value::Null => eat(0),
+        Value::Int(i) => {
+            eat(1);
+            for b in (*i as f64).to_bits().to_le_bytes() {
+                eat(b);
+            }
+        }
+        Value::Float(f) => {
+            eat(1);
+            for b in f.to_bits().to_le_bytes() {
+                eat(b);
+            }
+        }
+        Value::Text(s) => {
+            eat(2);
+            for b in s.as_bytes() {
+                eat(*b);
+            }
+        }
+    }
+    (h % n as u64) as usize
+}
+
+/// One table's partitioning declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Table name (as created by the domain generator).
+    pub table: &'static str,
+    /// The partition-key column.
+    pub column: &'static str,
+}
+
+/// The partitioned tables of a domain (by the domain's BIRD name).
+/// Tables not listed are replicated in full on every shard. `schools`
+/// partitions on `City` — the column the benchmark's point lookups
+/// filter on, so a keyed query prunes to one shard; the other large
+/// tables partition on their generated key.
+pub fn partition_spec(domain: &str) -> &'static [PartitionSpec] {
+    match domain {
+        "california_schools" => &[
+            PartitionSpec {
+                table: "schools",
+                column: "City",
+            },
+            PartitionSpec {
+                table: "frpm",
+                column: "CDSCode",
+            },
+            PartitionSpec {
+                table: "satscores",
+                column: "cds",
+            },
+        ],
+        "european_football_2" => &[
+            PartitionSpec {
+                table: "players",
+                column: "id",
+            },
+            PartitionSpec {
+                table: "matches",
+                column: "match_id",
+            },
+        ],
+        "codebase_community" => &[
+            PartitionSpec {
+                table: "posts",
+                column: "Id",
+            },
+            PartitionSpec {
+                table: "comments",
+                column: "Id",
+            },
+        ],
+        "debit_card_specializing" => &[
+            PartitionSpec {
+                table: "customers",
+                column: "CustomerID",
+            },
+            PartitionSpec {
+                table: "yearmonth",
+                column: "CustomerID",
+            },
+        ],
+        // formula_1 cardinality is circuit history and movies is the
+        // fixed Figure 1 table: both stay replicated.
+        _ => &[],
+    }
+}
+
+/// One shard's slice of a domain: partitioned tables hold only the
+/// rows this shard owns; replicated tables are full copies.
+#[derive(Debug, Clone)]
+pub struct ShardSlice {
+    /// This shard's index in `0..n`.
+    pub shard: usize,
+    /// The slice database (same schemas and indexes as the original).
+    pub db: Database,
+    /// For each *partitioned* table (key: upper-cased name), the global
+    /// row index of each local row, in local storage order. Replicated
+    /// tables are absent (local order *is* global order).
+    pub seq: HashMap<String, Vec<u64>>,
+}
+
+/// Cut `domain` into `n` shard slices using its registered
+/// [`partition_spec`]. See [`partition_tables`].
+pub fn partition_domain(domain: &DomainData, n: usize) -> Vec<ShardSlice> {
+    let specs: Vec<(&str, &str)> = partition_spec(domain.name)
+        .iter()
+        .map(|s| (s.table, s.column))
+        .collect();
+    partition_tables(&domain.db, &specs, n)
+}
+
+/// Cut a database into `n` shard slices: each `(table, column)` spec
+/// partitions that table by [`partition_for`] over the column; all
+/// indexes are recreated per slice; unspecified tables are replicated
+/// whole. Panics on `n == 0` or a spec naming a missing column (a
+/// generator/spec mismatch is a bug, not an input error).
+pub fn partition_tables(db: &Database, specs: &[(&str, &str)], n: usize) -> Vec<ShardSlice> {
+    assert!(n > 0, "shard count must be positive");
+    let mut shards: Vec<ShardSlice> = (0..n)
+        .map(|shard| ShardSlice {
+            shard,
+            db: Database::new(),
+            seq: HashMap::new(),
+        })
+        .collect();
+    for name in db.catalog().table_names() {
+        let table = db.catalog().table(&name).expect("listed table");
+        let spec = specs
+            .iter()
+            .find(|(t, _)| t.eq_ignore_ascii_case(table.name()));
+        match spec {
+            Some((_, column)) => {
+                let key_col = table
+                    .schema()
+                    .index_of(column)
+                    .unwrap_or_else(|| panic!("no column {column:?} in table {}", table.name()));
+                let mut slices: Vec<Table> = (0..n).map(|_| empty_like(table)).collect();
+                let mut seqs: Vec<Vec<u64>> = vec![Vec::new(); n];
+                for (global, row) in table.rows().iter().enumerate() {
+                    let shard = partition_for(&row[key_col], n);
+                    slices[shard].insert(row.clone()).expect("re-insert row");
+                    seqs[shard].push(global as u64);
+                }
+                for (shard, (slice, seq)) in slices.into_iter().zip(seqs).enumerate() {
+                    shards[shard]
+                        .seq
+                        .insert(table.name().to_ascii_uppercase(), seq);
+                    shards[shard].db.catalog_mut().put_table(slice);
+                }
+            }
+            None => {
+                for s in &mut shards {
+                    s.db.catalog_mut().put_table(table.clone());
+                }
+            }
+        }
+    }
+    shards
+}
+
+/// An empty table with the same name, schema, and index definitions.
+fn empty_like(table: &Table) -> Table {
+    let mut t = Table::new(table.name(), table.schema().clone());
+    for idx in table.indexes() {
+        let column = &table.schema().column(idx.column).name;
+        t.create_index(idx.name.clone(), column, idx.kind(), idx.unique)
+            .expect("recreate index");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_float_keys_colocate() {
+        for n in [1usize, 2, 3, 8] {
+            assert_eq!(
+                partition_for(&Value::Int(5), n),
+                partition_for(&Value::Float(5.0), n)
+            );
+            assert_eq!(
+                partition_for(&Value::Int(-3), n),
+                partition_for(&Value::Float(-3.0), n)
+            );
+        }
+    }
+
+    #[test]
+    fn placement_is_fixed() {
+        // Pinned values: a reshuffle would repartition deployments.
+        assert_eq!(partition_for(&Value::text("Palo Alto"), 8), 1);
+        assert_eq!(partition_for(&Value::Int(42), 8), 1);
+        assert_eq!(partition_for(&Value::Null, 8), 7);
+    }
+
+    #[test]
+    fn union_of_slices_reconstructs_each_table() {
+        let domain = crate::schools::generate(9, 120);
+        for n in [1usize, 2, 3, 8] {
+            let shards = partition_domain(&domain, n);
+            for name in domain.db.catalog().table_names() {
+                let original = domain.db.catalog().table(&name).unwrap();
+                let mut rebuilt = vec![None; original.len()];
+                for s in &shards {
+                    let slice = s.db.catalog().table(&name).unwrap();
+                    let seq = &s.seq[&name.to_ascii_uppercase()];
+                    assert_eq!(seq.len(), slice.len());
+                    for (local, global) in seq.iter().enumerate() {
+                        rebuilt[*global as usize] = Some(slice.row(local).clone());
+                    }
+                    assert_eq!(slice.indexes().len(), original.indexes().len());
+                }
+                for (global, row) in rebuilt.into_iter().enumerate() {
+                    assert_eq!(row.as_ref(), Some(original.row(global)), "row {global}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_tables_are_full_copies() {
+        let domain = crate::formula1::generate(4, 8);
+        let shards = partition_domain(&domain, 3);
+        for s in &shards {
+            assert!(s.seq.is_empty());
+            for name in domain.db.catalog().table_names() {
+                assert_eq!(
+                    s.db.catalog().table(&name).unwrap().rows(),
+                    domain.db.catalog().table(&name).unwrap().rows()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rows_route_by_partition_key() {
+        let domain = crate::schools::generate(5, 90);
+        let shards = partition_domain(&domain, 4);
+        for s in &shards {
+            let slice = s.db.catalog().table("schools").unwrap();
+            let city = slice.schema().index_of("City").unwrap();
+            for row in slice.rows() {
+                assert_eq!(partition_for(&row[city], 4), s.shard);
+            }
+        }
+    }
+}

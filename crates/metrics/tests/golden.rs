@@ -42,6 +42,38 @@ fn build_hub() -> (MetricsHub, MockClock) {
     stage.observe_with_exemplar(Duration::from_millis(250), 42);
     stage.observe_with_exemplar(Duration::from_secs(30), 43);
 
+    // Shard-labeled serving instruments, as registered by the sharded
+    // server: pipeline busy time is always the coordinator series, and
+    // answer-cache traffic carries its internal cache-shard index.
+    let pipeline = hub.histogram(
+        "tag_serve_pipeline_busy_seconds",
+        "Worker busy time per handled item by pipeline stage.",
+        &[("stage", "exec"), ("shard", "coord")],
+    );
+    pipeline.observe(Duration::from_millis(4));
+    hub.register_collector(|out| {
+        for (shard, hits) in [("0", 2u64), ("1", 7)] {
+            out.push(Sample::counter(
+                "tag_serve_answer_cache_total",
+                "Answer-cache lookups and evictions by event and cache shard.",
+                &[("event", "hit"), ("shard", shard)],
+                hits,
+            ));
+        }
+        out.push(Sample::counter(
+            "tag_serve_scatter_total",
+            "Scatter-gather plan executions by outcome.",
+            &[("domain", "bird_f1"), ("outcome", "pruned")],
+            4,
+        ));
+        out.push(Sample::gauge(
+            "tag_serve_shard_rows",
+            "Partitioned-table rows resident on each data shard.",
+            &[("domain", "bird_f1"), ("shard", "1")],
+            128.0,
+        ));
+    });
+
     // The chunked-executor morsel instruments, as registered by
     // tag_sql::metrics::ExecMetrics::record_morsels / workers_gauge.
     let morsels = hub.counter(

@@ -28,7 +28,15 @@ pub struct CacheStats {
 
 /// A sharded, bounded answer cache safe for concurrent workers.
 pub struct AnswerCache {
-    shards: Vec<Mutex<LruCache<String, Answer>>>,
+    shards: Vec<CacheShard>,
+}
+
+/// One cache shard: its LRU plus its own hit/miss counters, so STATS
+/// and the `METRICS` exposition can show per-shard traffic (a skewed
+/// key distribution shows up as one hot shard) instead of one
+/// aggregate instrument.
+struct CacheShard {
+    entries: Mutex<LruCache<String, Answer>>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
 }
@@ -50,10 +58,12 @@ impl AnswerCache {
         let per_shard = (capacity / shards).max(1);
         AnswerCache {
             shards: (0..shards)
-                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .map(|_| CacheShard {
+                    entries: Mutex::new(LruCache::new(per_shard)),
+                    hits: std::sync::atomic::AtomicU64::new(0),
+                    misses: std::sync::atomic::AtomicU64::new(0),
+                })
                 .collect(),
-            hits: std::sync::atomic::AtomicU64::new(0),
-            misses: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -67,7 +77,7 @@ impl AnswerCache {
         )
     }
 
-    fn shard_for(&self, key: &str) -> &Mutex<LruCache<String, Answer>> {
+    fn shard_for(&self, key: &str) -> &CacheShard {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
@@ -77,10 +87,11 @@ impl AnswerCache {
     pub fn get(&self, domain: &str, method: MethodName, question: &str) -> Option<Answer> {
         use std::sync::atomic::Ordering::Relaxed;
         let key = Self::key(domain, method, question);
-        let found = self.shard_for(&key).lock().get(&key).cloned();
+        let shard = self.shard_for(&key);
+        let found = shard.entries.lock().get(&key).cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Relaxed),
-            None => self.misses.fetch_add(1, Relaxed),
+            Some(_) => shard.hits.fetch_add(1, Relaxed),
+            None => shard.misses.fetch_add(1, Relaxed),
         };
         found
     }
@@ -88,35 +99,48 @@ impl AnswerCache {
     /// Insert an answer (errors are the caller's choice to cache or not).
     pub fn insert(&self, domain: &str, method: MethodName, question: &str, answer: Answer) {
         let key = Self::key(domain, method, question);
-        self.shard_for(&key).lock().insert(key, answer);
+        self.shard_for(&key).entries.lock().insert(key, answer);
+    }
+
+    /// Number of internal shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Counters of one internal shard.
+    pub fn shard_stats(&self, shard: usize) -> CacheStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = &self.shards[shard];
+        let entries = s.entries.lock();
+        CacheStats {
+            hits: s.hits.load(Relaxed),
+            misses: s.misses.load(Relaxed),
+            evictions: entries.evictions(),
+            len: entries.len() as u64,
+        }
     }
 
     /// Aggregate counters over all shards.
     pub fn stats(&self) -> CacheStats {
-        use std::sync::atomic::Ordering::Relaxed;
-        let mut evictions = 0;
-        let mut len = 0;
-        for s in &self.shards {
-            let s = s.lock();
-            evictions += s.evictions();
-            len += s.len() as u64;
+        let mut total = CacheStats::default();
+        for shard in 0..self.shards.len() {
+            let s = self.shard_stats(shard);
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.len += s.len;
         }
-        CacheStats {
-            hits: self.hits.load(Relaxed),
-            misses: self.misses.load(Relaxed),
-            evictions,
-            len,
-        }
+        total
     }
 
     /// Drop every entry and reset counters.
     pub fn clear(&self) {
         use std::sync::atomic::Ordering::Relaxed;
         for s in &self.shards {
-            s.lock().clear();
+            s.entries.lock().clear();
+            s.hits.store(0, Relaxed);
+            s.misses.store(0, Relaxed);
         }
-        self.hits.store(0, Relaxed);
-        self.misses.store(0, Relaxed);
     }
 }
 
@@ -171,6 +195,30 @@ mod tests {
         assert!(c
             .get("d", MethodName::HandWritten, "  How many schools?  ")
             .is_some());
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_the_aggregate() {
+        let c = AnswerCache::new(64, 4);
+        for i in 0..16 {
+            let q = format!("q{i}");
+            assert!(c.get("d", MethodName::Rag, &q).is_none());
+            c.insert("d", MethodName::Rag, &q, Answer::Text(String::new()));
+            assert!(c.get("d", MethodName::Rag, &q).is_some());
+        }
+        assert_eq!(c.shard_count(), 4);
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut len = 0;
+        for shard in 0..c.shard_count() {
+            let s = c.shard_stats(shard);
+            hits += s.hits;
+            misses += s.misses;
+            len += s.len;
+        }
+        let total = c.stats();
+        assert_eq!((hits, misses, len), (16, 16, 16));
+        assert_eq!((total.hits, total.misses, total.len), (16, 16, 16));
     }
 
     #[test]

@@ -338,14 +338,17 @@ impl PipelineMetrics {
     }
 
     /// A zeroed table whose rolling windows are registered on `hub` as
-    /// `tag_serve_pipeline_busy_seconds{stage=...}`.
+    /// `tag_serve_pipeline_busy_seconds{stage=...,shard="coord"}`. The
+    /// pipeline runs only at the coordinator — shard environments do
+    /// relational work inside scattered fragments, never pipeline
+    /// stages — so the shard label is the fixed `coord` series.
     pub fn with_hub(hub: &MetricsHub) -> Self {
         let mut m = PipelineMetrics::new();
         m.windows = std::array::from_fn(|i| {
             hub.histogram(
                 "tag_serve_pipeline_busy_seconds",
                 "Worker busy time per handled item by pipeline stage.",
-                &[("stage", PIPELINE_STAGE_NAMES[i])],
+                &[("stage", PIPELINE_STAGE_NAMES[i]), ("shard", "coord")],
             )
         });
         m

@@ -40,6 +40,7 @@ use tag_core::env::TagEnv;
 use tag_datagen::DomainData;
 use tag_lm::sim::{SimConfig, SimLm};
 use tag_metrics::{MetricsHub, Sample};
+use tag_shard::{Coordinator, ShardSet};
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -77,6 +78,12 @@ pub struct ServerConfig {
     /// exposition. When false the hub is the null registry: instruments
     /// are inactive (one branch per touch) and `METRICS` renders empty.
     pub metrics_enabled: bool,
+    /// Data shards per domain. Each domain becomes a [`ShardSet`]: a
+    /// coordinator environment over the full database plus this many
+    /// hash-partitioned shard environments that scatterable plan
+    /// fragments fan out to. `1` keeps a single (trivially pruned)
+    /// shard; answers are byte-identical at every count.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +102,7 @@ impl Default for ServerConfig {
             trace_capacity: 256,
             tail_traces: 16,
             metrics_enabled: true,
+            shards: 1,
         }
     }
 }
@@ -236,7 +244,10 @@ struct GenJob {
 
 /// State shared by the admission path and every worker.
 struct Shared {
-    envs: HashMap<String, Arc<TagEnv>>,
+    /// Per-domain shard sets. Requests execute against the set's
+    /// *coordinator* env; its database scatters eligible fragments
+    /// across the shard envs transparently.
+    envs: HashMap<String, ShardSet>,
     cache: Arc<AnswerCache>,
     /// The workspace metrics hub (the null registry when
     /// [`ServerConfig::metrics_enabled`] is off). Its collectors
@@ -269,6 +280,11 @@ pub struct Server {
 impl Server {
     /// Start a server over `domains`, sharing one simulated LM (behind
     /// the cross-request [`BatchLm`]) across every domain environment.
+    /// Each domain is partitioned into [`ServerConfig::shards`] shards
+    /// behind a coordinator; only the coordinator env builds a row
+    /// store or reports to the metrics hub (scattered fragments do
+    /// their shard-side work inside the coordinator's instrumented
+    /// query).
     ///
     /// Retrieval indexes are built eagerly so the first request pays no
     /// warm-up cost (the paper builds its FAISS indexes offline too).
@@ -282,15 +298,17 @@ impl Server {
         let batch = BatchLm::new(sim, config.batch_window, config.max_batch);
         let mut envs = HashMap::new();
         for d in domains {
-            let env = TagEnv::new(
-                d.db,
+            let name = d.name;
+            let set = ShardSet::new(
+                d,
                 Arc::clone(&batch) as Arc<dyn tag_lm::model::LanguageModel>,
+                config.shards.max(1),
             );
-            let _ = env.row_store();
+            let _ = set.env().row_store();
             if hub.is_enabled() {
-                env.db.install_metrics_hub(Arc::clone(&hub));
+                set.env().db.install_metrics_hub(Arc::clone(&hub));
             }
-            envs.insert(d.name.to_owned(), Arc::new(env));
+            envs.insert(name.to_owned(), set);
         }
         let stage_workers = [
             config.syn_workers.max(1),
@@ -378,8 +396,14 @@ impl Server {
         v
     }
 
-    /// The shared environment for `domain`, if served.
+    /// The shared coordinator environment for `domain`, if served.
     pub fn env(&self, domain: &str) -> Option<&Arc<TagEnv>> {
+        self.shared.envs.get(domain).map(ShardSet::env)
+    }
+
+    /// The full shard set for `domain` (coordinator plus shard envs,
+    /// scatter counters), if served.
+    pub fn shard_set(&self, domain: &str) -> Option<&ShardSet> {
         self.shared.envs.get(domain)
     }
 
@@ -410,20 +434,29 @@ impl Server {
             .snapshot(self.shared.stage_workers, self.shared.started.elapsed())
     }
 
-    /// Plan-cache counters aggregated across every served domain.
+    /// Plan-cache counters aggregated across every served domain —
+    /// each domain's coordinator env plus all of its shard envs (which
+    /// own independent caches).
     pub fn plan_cache_stats(&self) -> tag_sql::PlanCacheStats {
         let mut total = tag_sql::PlanCacheStats::default();
-        for env in self.shared.envs.values() {
-            total.add(&env.db.plan_cache_stats());
+        for set in self.shared.envs.values() {
+            total.add(&set.env().db.plan_cache_stats());
+            for env in set.shard_envs() {
+                total.add(&env.db.plan_cache_stats());
+            }
         }
         total
     }
 
     /// Resize every domain's plan cache (0 disables them) — the A/B
     /// switch serve-bench uses to measure the cache's contribution.
+    /// Applies to coordinator and shard envs alike.
     pub fn set_plan_cache_capacity(&self, capacity: usize) {
-        for env in self.shared.envs.values() {
-            env.db.set_plan_cache_capacity(capacity);
+        for set in self.shared.envs.values() {
+            set.env().db.set_plan_cache_capacity(capacity);
+            for env in set.shard_envs() {
+                env.db.set_plan_cache_capacity(capacity);
+            }
         }
     }
 
@@ -440,6 +473,7 @@ impl Server {
             .shared
             .envs
             .get(domain)
+            .map(ShardSet::env)
             .ok_or_else(|| ServeError::UnknownDomain(domain.to_owned()).to_string())?;
         let rs = env
             .db
@@ -548,11 +582,24 @@ impl Server {
         out.push_str(&b.report_line());
         out.push('\n');
         out.push_str(&format!("answer cache resident entries: {}\n", cache.len));
+        let per_shard: Vec<String> = (0..self.shared.cache.shard_count())
+            .map(|i| {
+                let s = self.shared.cache.shard_stats(i);
+                format!("{}/{}", s.hits, s.misses)
+            })
+            .collect();
+        out.push_str(&format!(
+            "answer cache shard hits/misses: [{}]\n",
+            per_shard.join(", ")
+        ));
         // Per-operator semantic-engine counters, merged across domains.
+        // Semantic operators run only at coordinators (fragments that
+        // scatter are purely relational), so shard envs contribute
+        // nothing here.
         let mut ops: std::collections::BTreeMap<&'static str, tag_semops::OpStats> =
             std::collections::BTreeMap::new();
-        for env in self.shared.envs.values() {
-            for (name, stat) in env.engine.op_stats() {
+        for set in self.shared.envs.values() {
+            for (name, stat) in set.env().engine.op_stats() {
                 let e = ops.entry(name).or_default();
                 e.invocations += stat.invocations;
                 e.prompts += stat.prompts;
@@ -593,6 +640,21 @@ impl Server {
             pc.entries,
             pc.hit_rate() * 100.0,
         ));
+        out.push_str("== shards ==\n");
+        let mut names: Vec<&String> = self.shared.envs.keys().collect();
+        names.sort();
+        for name in names {
+            let set = &self.shared.envs[name.as_str()];
+            let s = set.scatter_stats();
+            out.push_str(&format!(
+                "{name}: shards={} scattered={} pruned={} fallbacks={} rows={:?}\n",
+                set.shards(),
+                s.scattered,
+                s.pruned,
+                s.fallbacks,
+                set.shard_rows(),
+            ));
+        }
         out.push_str(&format!(
             "traces resident: {} (ring capacity {}, tail {}/{})\n",
             self.shared.traces.len(),
@@ -638,7 +700,7 @@ fn register_collectors(
     metrics: &Arc<MetricsRegistry>,
     cache: &Arc<AnswerCache>,
     batch: &Arc<BatchLm>,
-    envs: &HashMap<String, Arc<TagEnv>>,
+    envs: &HashMap<String, ShardSet>,
     started: Instant,
 ) {
     if !hub.is_enabled() {
@@ -661,25 +723,31 @@ fn register_collectors(
                 v,
             ));
         }
-        let cs = c.stats();
-        for (event, v) in [
-            ("hit", cs.hits),
-            ("miss", cs.misses),
-            ("eviction", cs.evictions),
-        ] {
-            out.push(Sample::counter(
-                "tag_serve_answer_cache_total",
-                "Answer-cache lookups and evictions by event.",
-                &[("event", event)],
-                v,
+        // One series per internal cache shard: a skewed key
+        // distribution shows up as one hot `shard` label instead of
+        // hiding inside an aggregate.
+        for shard in 0..c.shard_count() {
+            let cs = c.shard_stats(shard);
+            let shard_label = shard.to_string();
+            for (event, v) in [
+                ("hit", cs.hits),
+                ("miss", cs.misses),
+                ("eviction", cs.evictions),
+            ] {
+                out.push(Sample::counter(
+                    "tag_serve_answer_cache_total",
+                    "Answer-cache lookups and evictions by event and cache shard.",
+                    &[("event", event), ("shard", shard_label.as_str())],
+                    v,
+                ));
+            }
+            out.push(Sample::gauge(
+                "tag_serve_answer_cache_entries",
+                "Answer-cache resident entries per cache shard.",
+                &[("shard", shard_label.as_str())],
+                cs.len as f64,
             ));
         }
-        out.push(Sample::gauge(
-            "tag_serve_answer_cache_entries",
-            "Answer-cache resident entries.",
-            &[],
-            cs.len as f64,
-        ));
         out.push(Sample::gauge(
             "tag_serve_uptime_seconds",
             "Seconds since the server started.",
@@ -720,14 +788,68 @@ fn register_collectors(
             out.push(Sample::counter(name, help, &[], v));
         }
     });
-    let weak_envs: Vec<(String, Weak<TagEnv>)> = envs
-        .iter()
-        .map(|(name, env)| (name.clone(), Arc::downgrade(env)))
-        .collect();
+    // Per-env series: each domain's coordinator env reports under
+    // `shard="coord"` with the full set of series; each data-shard env
+    // reports under `shard="<i>"` with plan-cache series only — shard
+    // envs run no semantic operators and build no row store. Scatter
+    // executors are captured strongly: a [`Coordinator`] holds no
+    // reference back to the hub, so no cycle closes. Shard row counts
+    // are sampled at registration — slices are cut once at load time
+    // and serving is read-only.
+    let mut weak_envs: Vec<(String, String, Weak<TagEnv>, bool)> = Vec::new();
+    let mut scatters: Vec<(String, usize, Vec<u64>, Arc<Coordinator>)> = Vec::new();
+    for (name, set) in envs {
+        weak_envs.push((
+            name.clone(),
+            "coord".to_owned(),
+            Arc::downgrade(set.env()),
+            true,
+        ));
+        for (i, env) in set.shard_envs().iter().enumerate() {
+            weak_envs.push((name.clone(), i.to_string(), Arc::downgrade(env), false));
+        }
+        scatters.push((
+            name.clone(),
+            set.shards(),
+            set.shard_rows(),
+            set.scatter_exec(),
+        ));
+    }
     hub.register_collector(move |out| {
-        for (domain, env) in &weak_envs {
-            let Some(env) = env.upgrade() else { continue };
+        for (domain, shards, rows, exec) in &scatters {
             let domain_label = [("domain", domain.as_str())];
+            let s = exec.stats();
+            for (outcome, v) in [
+                ("scattered", s.scattered),
+                ("pruned", s.pruned),
+                ("fallback", s.fallbacks),
+            ] {
+                out.push(Sample::counter(
+                    "tag_serve_scatter_total",
+                    "Scatter-gather plan executions by outcome.",
+                    &[("domain", domain.as_str()), ("outcome", outcome)],
+                    v,
+                ));
+            }
+            out.push(Sample::gauge(
+                "tag_serve_shards",
+                "Configured data shards for the domain.",
+                &domain_label,
+                *shards as f64,
+            ));
+            for (i, r) in rows.iter().enumerate() {
+                let shard = i.to_string();
+                out.push(Sample::gauge(
+                    "tag_serve_shard_rows",
+                    "Partitioned-table rows resident on each data shard.",
+                    &[("domain", domain.as_str()), ("shard", shard.as_str())],
+                    *r as f64,
+                ));
+            }
+        }
+        for (domain, shard, env, full) in &weak_envs {
+            let Some(env) = env.upgrade() else { continue };
+            let labels = [("domain", domain.as_str()), ("shard", shard.as_str())];
             let pc = env.db.plan_cache_stats();
             for (name, help, v) in [
                 (
@@ -751,39 +873,46 @@ fn register_collectors(
                     pc.invalidations,
                 ),
             ] {
-                out.push(Sample::counter(name, help, &domain_label, v));
+                out.push(Sample::counter(name, help, &labels, v));
             }
             out.push(Sample::gauge(
                 "tag_sqlengine_plan_cache_entries",
                 "Plan-cache resident entries.",
-                &domain_label,
+                &labels,
                 pc.entries as f64,
             ));
+            if !*full {
+                continue;
+            }
             for (op, s) in env.engine.op_stats() {
-                let labels = [("domain", domain.as_str()), ("op", op)];
+                let op_labels = [
+                    ("domain", domain.as_str()),
+                    ("shard", shard.as_str()),
+                    ("op", op),
+                ];
                 out.push(Sample::counter(
                     "tag_semops_op_invocations_total",
                     "Semantic-operator invocations.",
-                    &labels,
+                    &op_labels,
                     s.invocations,
                 ));
                 out.push(Sample::counter(
                     "tag_semops_op_lm_prompts_total",
                     "Prompts semantic operators sent to the LM.",
-                    &labels,
+                    &op_labels,
                     s.lm_prompts,
                 ));
                 out.push(Sample::counter(
                     "tag_semops_op_cache_hits_total",
                     "Semantic-operator prompt-cache hits.",
-                    &labels,
+                    &op_labels,
                     s.cache_hits,
                 ));
             }
             out.push(Sample::gauge(
                 "tag_semops_round_occupancy",
                 "LM batch-round fill fraction (prompts / rounds x batch size).",
-                &domain_label,
+                &labels,
                 env.engine.round_occupancy(),
             ));
             // `row_store_if_built` never triggers the lazy index build:
@@ -807,7 +936,7 @@ fn register_collectors(
                         r.rows_scanned,
                     ),
                 ] {
-                    out.push(Sample::counter(name, help, &domain_label, v));
+                    out.push(Sample::counter(name, help, &labels, v));
                 }
             }
         }
@@ -914,7 +1043,7 @@ fn exec_loop(rx: &Mutex<Receiver<ExecJob>>, gen_tx: &SyncSender<GenJob>, shared:
         }
         // Submit validated the domain, but deliver an error rather than
         // poison the worker if that invariant ever breaks.
-        let Some(env) = shared.envs.get(&job.req.domain) else {
+        let Some(env) = shared.envs.get(&job.req.domain).map(ShardSet::env) else {
             shared.pipeline.record(STAGE_EXEC, busy.elapsed());
             job.reply
                 .deliver(Err(ServeError::UnknownDomain(job.req.domain.clone())));
@@ -1109,6 +1238,8 @@ mod tests {
         assert!(r.contains("stage breakdown"), "{r}");
         assert!(r.contains("== pipeline =="), "{r}");
         assert!(r.contains("== plan cache =="), "{r}");
+        assert!(r.contains("== shards =="), "{r}");
+        assert!(r.contains("answer cache shard hits/misses"), "{r}");
         assert!(r.contains("traces resident"), "{r}");
     }
 
@@ -1238,19 +1369,40 @@ mod tests {
             text.contains("tag_serve_requests_total{outcome=\"ok\"} 2"),
             "{text}"
         );
-        assert!(
-            text.contains("tag_serve_answer_cache_total{event=\"hit\"} 1"),
-            "{text}"
-        );
+        // Cache lookups are labeled per internal cache shard; the hit
+        // sums to 1 across the shard series.
+        let hit_total: f64 = text
+            .lines()
+            .filter(|l| l.starts_with("tag_serve_answer_cache_total{event=\"hit\""))
+            .filter_map(|l| l.rsplit(' ').next())
+            .filter_map(|v| v.parse::<f64>().ok())
+            .sum();
+        assert_eq!(hit_total, 1.0, "{text}");
         assert!(text.contains("tag_serve_total_seconds_count 2"), "{text}");
         assert!(text.contains("tag_serve_total_window_seconds"), "{text}");
         assert!(text.contains("tag_serve_stage_seconds_bucket"), "{text}");
         assert!(text.contains("tag_serve_pipeline_busy_seconds"), "{text}");
-        // Per-domain subsystem collectors.
+        // Pipeline instruments carry the coordinator shard label.
+        assert!(text.contains("shard=\"coord\""), "{text}");
+        // Scatter-gather series exist even at the default single shard.
+        assert!(text.contains("tag_serve_scatter_total"), "{text}");
+        assert!(text.contains("tag_serve_shard_rows"), "{text}");
+        assert!(text.contains("tag_serve_shards"), "{text}");
+        // Per-domain subsystem collectors, labeled by shard.
         assert!(
             text.contains("tag_sqlengine_plan_cache_hits_total"),
             "{text}"
         );
+        // Both the coordinator env and the data-shard envs report
+        // plan-cache series under their own shard label.
+        for shard in ["coord", "0"] {
+            assert!(
+                text.lines()
+                    .any(|l| l.starts_with("tag_sqlengine_plan_cache_hits_total{")
+                        && l.contains(&format!("shard=\"{shard}\""))),
+                "missing shard={shard} plan-cache series: {text}"
+            );
+        }
         assert!(text.contains("tag_semops_round_occupancy"), "{text}");
         assert!(text.contains("tag_lm_batch_rounds_total"), "{text}");
         // Per-operator instrumentation installed into the SQL engine.
@@ -1292,6 +1444,48 @@ mod tests {
         let r = server.report();
         assert!(r.contains("serving metrics"), "{r}");
         assert!(r.contains("== plan cache =="), "{r}");
+    }
+
+    #[test]
+    fn sharded_server_matches_unsharded_and_scatters() {
+        let (unsharded, req) = tiny_server(ServerConfig::default());
+        let sharded = Server::start(
+            generate_all(42, tiny_scale()),
+            SimConfig::default(),
+            ServerConfig {
+                shards: 3,
+                ..ServerConfig::default()
+            },
+        );
+        let a = unsharded.ask(req.clone()).unwrap();
+        let b = sharded.ask(req).unwrap();
+        assert_eq!(a.answer, b.answer);
+        let set = sharded.shard_set("california_schools").expect("served");
+        assert_eq!(set.shards(), 3);
+        // A keyed aggregate through the coordinator scatters and prunes
+        // to the single owning shard.
+        let before = set.scatter_stats();
+        set.env()
+            .db
+            .query("SELECT COUNT(*) FROM schools WHERE City = 'Fresno'")
+            .unwrap();
+        let after = set.scatter_stats();
+        assert_eq!(after.scattered, before.scattered + 1);
+        assert_eq!(after.pruned, before.pruned + 1);
+        assert_eq!(after.fallbacks, before.fallbacks);
+        let r = sharded.report();
+        assert!(r.contains("shards=3"), "{r}");
+        let text = sharded.metrics_text();
+        assert!(
+            text.contains(
+                "tag_serve_scatter_total{domain=\"california_schools\",outcome=\"scattered\"}"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("tag_serve_shard_rows{domain=\"california_schools\",shard=\"2\"}"),
+            "{text}"
+        );
     }
 
     #[test]

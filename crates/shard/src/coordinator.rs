@@ -1,0 +1,538 @@
+//! The scatter-gather coordinator: plan rewriting, per-shard chain
+//! execution, partial-aggregate merging, and partition pruning.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tag_core::env::TagEnv;
+use tag_datagen::partition::partition_for;
+use tag_sql::error::{SqlError, SqlResult};
+use tag_sql::expr::EvalCtx;
+use tag_sql::partial::{merge_partials, GroupPartials, GroupPartialsBuilder};
+use tag_sql::plan::AggCall;
+use tag_sql::scatter::{collect_expr_tables, plan_references};
+use tag_sql::{BoundExpr, Database, Plan, Row, ScatterExec, Value};
+
+/// Scatter-gather counters (monotone since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScatterStats {
+    /// Plans the coordinator claimed and executed by scatter-gather.
+    pub scattered: u64,
+    /// Scattered fragments pruned to a single shard by a
+    /// `partition_col = literal` filter or index probe.
+    pub pruned: u64,
+    /// Claimed plans that fell back to local execution (an error
+    /// anywhere in the scattered path; the local replay reproduces the
+    /// serial result or error exactly).
+    pub fallbacks: u64,
+}
+
+/// The coordinator's scatter executor, installed on the coordinator
+/// database via [`Database::set_scatter_exec`]. See the crate docs for
+/// the execution contract.
+pub struct Coordinator {
+    shards: Vec<Arc<TagEnv>>,
+    /// Upper-cased partitioned table name → partition-key column
+    /// position in the table schema.
+    parts: HashMap<String, usize>,
+    /// Per shard: upper-cased table name → global row index of each
+    /// local row (local storage order).
+    seqs: Vec<HashMap<String, Vec<u64>>>,
+    scattered: AtomicU64,
+    pruned: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+/// One stage of a scatterable chain, applied bottom-up above the
+/// anchor scan.
+enum Stage<'p> {
+    Filter(&'p BoundExpr),
+    Project(&'p [BoundExpr]),
+}
+
+/// A scatterable plan fragment: a Filter/Project chain over one
+/// partitioned table, anchored at a full scan or an equality probe on
+/// the partition column.
+struct Chain<'p> {
+    /// Upper-cased table name (the seq-map and parts key).
+    table: String,
+    /// Partition-key column position in the table schema.
+    key_col: usize,
+    /// Stages in application order (closest to the anchor first).
+    stages: Vec<Stage<'p>>,
+    /// Probe key when anchored at `IndexProbe` on the partition column
+    /// (all matching rows live on one shard).
+    probe: Option<&'p Value>,
+}
+
+impl Coordinator {
+    /// Build a coordinator over shard environments, the partitioned
+    /// table map, and the per-shard seq maps from partitioning.
+    pub(crate) fn new(
+        shards: Vec<Arc<TagEnv>>,
+        parts: HashMap<String, usize>,
+        seqs: Vec<HashMap<String, Vec<u64>>>,
+    ) -> Coordinator {
+        Coordinator {
+            shards,
+            parts,
+            seqs,
+            scattered: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ScatterStats {
+        ScatterStats {
+            scattered: self.scattered.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    fn is_partitioned(&self, table: &str) -> bool {
+        self.parts.contains_key(&table.to_ascii_uppercase())
+    }
+
+    /// Is `expr` safe to evaluate on a shard? Bare outer references
+    /// mean the fragment sits inside a correlated subquery (never true
+    /// for a top-level plan, but cheap to refuse), and correlated
+    /// subplans over *partitioned* tables would see a partial slice —
+    /// correlated subplans over replicated tables are fine, every
+    /// shard holds full copies.
+    fn expr_scatterable(&self, expr: &BoundExpr) -> bool {
+        let mut tables = BTreeSet::new();
+        collect_expr_tables(expr, &mut tables);
+        if tables.iter().any(|t| self.is_partitioned(t)) {
+            return false;
+        }
+        !has_bare_outer_ref(expr)
+    }
+
+    /// Parse `plan` as a scatterable chain, or `None`.
+    fn chain_of<'p>(&self, mut plan: &'p Plan) -> Option<Chain<'p>> {
+        let mut stages = Vec::new();
+        loop {
+            match plan {
+                Plan::Filter { input, predicate } => {
+                    if !self.expr_scatterable(predicate) {
+                        return None;
+                    }
+                    stages.push(Stage::Filter(predicate));
+                    plan = input;
+                }
+                Plan::Project {
+                    input,
+                    exprs,
+                    columns: _,
+                } => {
+                    if !exprs.iter().all(|e| self.expr_scatterable(e)) {
+                        return None;
+                    }
+                    stages.push(Stage::Project(exprs));
+                    plan = input;
+                }
+                Plan::TableScan { table, .. } => {
+                    let key_col = *self.parts.get(&table.to_ascii_uppercase())?;
+                    stages.reverse();
+                    return Some(Chain {
+                        table: table.to_ascii_uppercase(),
+                        key_col,
+                        stages,
+                        probe: None,
+                    });
+                }
+                Plan::IndexProbe {
+                    table,
+                    key_column,
+                    key,
+                    ..
+                } => {
+                    let key_col = *self.parts.get(&table.to_ascii_uppercase())?;
+                    // A probe on any other column would return rows
+                    // spread over shards in index order; only the
+                    // partition column guarantees a single owner.
+                    if *key_column != key_col {
+                        return None;
+                    }
+                    stages.reverse();
+                    return Some(Chain {
+                        table: table.to_ascii_uppercase(),
+                        key_col,
+                        stages,
+                        probe: Some(key),
+                    });
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Which shards must run `chain`: one shard when the probe key or
+    /// a pre-projection `partition_col = literal` conjunct pins the
+    /// owner (the chain's own filter would drop every other shard's
+    /// rows anyway), otherwise all of them.
+    fn targets(&self, chain: &Chain<'_>) -> Vec<usize> {
+        let n = self.shards.len();
+        if let Some(key) = chain.probe {
+            self.pruned.fetch_add(1, Ordering::Relaxed);
+            return vec![partition_for(key, n)];
+        }
+        for stage in &chain.stages {
+            match stage {
+                Stage::Filter(pred) => {
+                    if let Some(key) = prune_key(pred, chain.key_col) {
+                        self.pruned.fetch_add(1, Ordering::Relaxed);
+                        return vec![partition_for(key, n)];
+                    }
+                }
+                // Past a projection, column positions no longer map to
+                // the table schema; stop looking.
+                Stage::Project(_) => break,
+            }
+        }
+        (0..n).collect()
+    }
+
+    /// Run `chain` on one shard, returning `(global_seq, row)` pairs in
+    /// local storage order (ascending seq — slices preserve the global
+    /// row order).
+    fn run_chain_on(&self, shard: usize, chain: &Chain<'_>) -> SqlResult<Vec<(u64, Row)>> {
+        let env = &self.shards[shard];
+        let catalog = env.db.catalog();
+        let table = catalog.table(&chain.table)?;
+        let seq = self.seqs[shard]
+            .get(&chain.table)
+            .ok_or_else(|| SqlError::Catalog(format!("no seq map for table {}", chain.table)))?;
+        let ctx = EvalCtx {
+            catalog: Some(catalog),
+        };
+        let locals: Vec<usize> = match chain.probe {
+            Some(key) => table
+                .index_on(chain.key_col)
+                .ok_or_else(|| {
+                    SqlError::Catalog(format!("no index on partition column of {}", chain.table))
+                })?
+                .probe(key),
+            None => (0..table.len()).collect(),
+        };
+        let mut out = Vec::with_capacity(locals.len());
+        'rows: for local in locals {
+            let mut row: Row = table.row(local).clone();
+            for stage in &chain.stages {
+                match stage {
+                    Stage::Filter(pred) => {
+                        if !pred.eval_predicate_ctx(&row, &ctx)? {
+                            continue 'rows;
+                        }
+                    }
+                    Stage::Project(exprs) => {
+                        row = exprs
+                            .iter()
+                            .map(|e| e.eval_ctx(&row, &ctx))
+                            .collect::<SqlResult<Row>>()?;
+                    }
+                }
+            }
+            out.push((seq[local], row));
+        }
+        Ok(out)
+    }
+
+    /// Scatter a chain and gather its rows into a literal `Values`
+    /// node, in global row order (seqs are disjoint across shards).
+    fn scatter_values(&self, chain: &Chain<'_>, columns: Vec<String>) -> SqlResult<Plan> {
+        let targets = self.targets(chain);
+        annotate_scatter(&chain.table, &targets);
+        let mut gathered: Vec<(u64, Row)> = Vec::new();
+        for shard in targets {
+            let _span = shard_span(shard);
+            gathered.extend(self.run_chain_on(shard, chain)?);
+        }
+        gathered.sort_unstable_by_key(|(seq, _)| *seq);
+        Ok(Plan::Values {
+            columns,
+            rows: gathered
+                .into_iter()
+                .map(|(_, row)| row.into_iter().map(BoundExpr::Literal).collect())
+                .collect(),
+        })
+    }
+
+    /// Decompose an aggregate over a chain: each shard folds its slice
+    /// into [`GroupPartials`], the states cross the shard boundary
+    /// through the byte codec, and the coordinator merges and finishes
+    /// them — AVG merges as (sum, count), group order is global
+    /// first-seen order, and in-group value order is global row order.
+    fn scatter_aggregate(
+        &self,
+        chain: &Chain<'_>,
+        group: &[BoundExpr],
+        aggs: &[AggCall],
+        columns: Vec<String>,
+    ) -> SqlResult<Plan> {
+        let targets = self.targets(chain);
+        annotate_scatter(&chain.table, &targets);
+        let mut parts: Vec<GroupPartials> = Vec::new();
+        for shard in targets {
+            let _span = shard_span(shard);
+            let rows = self.run_chain_on(shard, chain)?;
+            let catalog = self.shards[shard].db.catalog();
+            let ctx = EvalCtx {
+                catalog: Some(catalog),
+            };
+            let mut builder = GroupPartialsBuilder::new(aggs);
+            for (seq, row) in &rows {
+                let key = group
+                    .iter()
+                    .map(|e| e.eval_ctx(row, &ctx))
+                    .collect::<SqlResult<Vec<Value>>>()?;
+                let args = aggs
+                    .iter()
+                    .map(|a| match &a.arg {
+                        Some(e) => e.eval_ctx(row, &ctx),
+                        // COUNT(*): count the row itself.
+                        None => Ok(Value::Int(1)),
+                    })
+                    .collect::<SqlResult<Vec<Value>>>()?;
+                builder.add(*seq, key, args);
+            }
+            // Round-trip through the wire codec: partial states are
+            // what crosses a real shard boundary, so exercise the
+            // serialization on every scatter.
+            parts.push(GroupPartials::decode(&builder.build().encode())?);
+        }
+        let merged = merge_partials(parts)?;
+        let rows = tag_sql::partial::finish_partials(merged, group.len(), aggs)?;
+        Ok(Plan::Values {
+            columns,
+            rows: rows
+                .into_iter()
+                .map(|row| row.into_iter().map(BoundExpr::Literal).collect())
+                .collect(),
+        })
+    }
+
+    /// Rewrite `plan` so every scatterable fragment becomes a gathered
+    /// `Values` node; the rewritten plan then runs locally at the
+    /// coordinator. Subtrees that touch no partitioned table are kept
+    /// as-is (the coordinator catalog holds the full tables), as are
+    /// non-scatterable partitioned leaves (range scans, probes on
+    /// non-partition columns).
+    fn rewrite(&self, plan: &Plan) -> SqlResult<Plan> {
+        if !plan_references(plan, &|t| self.is_partitioned(t)) {
+            return Ok(plan.clone());
+        }
+        if let Plan::Aggregate {
+            input,
+            group,
+            aggs,
+            group_names: _,
+        } = plan
+        {
+            if let Some(chain) = self.chain_of(input) {
+                if group.iter().all(|e| self.expr_scatterable(e))
+                    && aggs
+                        .iter()
+                        .all(|a| a.arg.as_ref().is_none_or(|e| self.expr_scatterable(e)))
+                {
+                    return self.scatter_aggregate(&chain, group, aggs, plan.columns());
+                }
+            }
+        }
+        if let Some(chain) = self.chain_of(plan) {
+            return self.scatter_values(&chain, plan.columns());
+        }
+        Ok(match plan {
+            Plan::Filter { input, predicate } => Plan::Filter {
+                input: Box::new(self.rewrite(input)?),
+                predicate: predicate.clone(),
+            },
+            Plan::Project {
+                input,
+                exprs,
+                columns,
+            } => Plan::Project {
+                input: Box::new(self.rewrite(input)?),
+                exprs: exprs.clone(),
+                columns: columns.clone(),
+            },
+            Plan::NestedLoopJoin {
+                left,
+                right,
+                kind,
+                on,
+            } => Plan::NestedLoopJoin {
+                left: Box::new(self.rewrite(left)?),
+                right: Box::new(self.rewrite(right)?),
+                kind: *kind,
+                on: on.clone(),
+            },
+            Plan::HashJoin {
+                left,
+                right,
+                kind,
+                left_key,
+                right_key,
+                residual,
+            } => Plan::HashJoin {
+                left: Box::new(self.rewrite(left)?),
+                right: Box::new(self.rewrite(right)?),
+                kind: *kind,
+                left_key: left_key.clone(),
+                right_key: right_key.clone(),
+                residual: residual.clone(),
+            },
+            Plan::Aggregate {
+                input,
+                group,
+                group_names,
+                aggs,
+            } => Plan::Aggregate {
+                input: Box::new(self.rewrite(input)?),
+                group: group.clone(),
+                group_names: group_names.clone(),
+                aggs: aggs.clone(),
+            },
+            Plan::Sort { input, keys } => Plan::Sort {
+                input: Box::new(self.rewrite(input)?),
+                keys: keys.clone(),
+            },
+            Plan::TopK {
+                input,
+                keys,
+                k,
+                offset,
+            } => Plan::TopK {
+                input: Box::new(self.rewrite(input)?),
+                keys: keys.clone(),
+                k: *k,
+                offset: *offset,
+            },
+            Plan::Limit {
+                input,
+                limit,
+                offset,
+            } => Plan::Limit {
+                input: Box::new(self.rewrite(input)?),
+                limit: *limit,
+                offset: *offset,
+            },
+            Plan::Distinct { input } => Plan::Distinct {
+                input: Box::new(self.rewrite(input)?),
+            },
+            // Leaves, and plans whose partitioned references sit only
+            // inside correlated expressions: the coordinator's full
+            // catalog executes them with unsharded semantics.
+            other => other.clone(),
+        })
+    }
+}
+
+impl ScatterExec for Coordinator {
+    fn handles(&self, plan: &Plan) -> bool {
+        plan_references(plan, &|t| self.is_partitioned(t))
+    }
+
+    fn execute(&self, plan: &Plan, db: &Database) -> SqlResult<Vec<Row>> {
+        self.scattered.fetch_add(1, Ordering::Relaxed);
+        let scattered = self
+            .rewrite(plan)
+            .and_then(|rewritten| db.execute_plan_local(&rewritten));
+        match scattered {
+            Ok(rows) => Ok(rows),
+            // Any scatter-path error: replay the original plan locally
+            // against the coordinator's full tables. This reproduces
+            // the serial result or error byte-for-byte (scatter may
+            // observe failures in a different row order than a serial
+            // scan would).
+            Err(_) => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                db.execute_plan_local(plan)
+            }
+        }
+    }
+}
+
+/// An `exec`-stage trace span labeled `shard=<i>`, so scattered work
+/// is attributed per shard in `TRACE <id>` output. Inert (and free of
+/// the label formatting) when no trace is installed on the thread.
+fn shard_span(shard: usize) -> Option<tag_trace::SpanGuard> {
+    tag_trace::is_active()
+        .then(|| tag_trace::span(tag_trace::Stage::Exec, &format!("shard={shard}")))
+}
+
+/// Annotate the enclosing SQL span with the scatter fan-out (which
+/// table, which shards), so a trace shows pruning decisions inline.
+fn annotate_scatter(table: &str, targets: &[usize]) {
+    if tag_trace::is_active() {
+        tag_trace::annotate(format!("scatter {table} -> shards {targets:?}"));
+    }
+}
+
+/// A `partition_col = literal` conjunct (either operand order) proves
+/// every surviving row's key equals that literal: SQL `=` is total_cmp
+/// equality, the same equality [`partition_for`] hashes by, so all
+/// matches live on the literal's shard. NULL literals never match
+/// anything; leave them unpruned for clarity.
+fn prune_key(pred: &BoundExpr, key_col: usize) -> Option<&Value> {
+    use tag_sql::ast::BinOp;
+    if let BoundExpr::Binary { op, lhs, rhs } = pred {
+        match op {
+            BinOp::And => {
+                return prune_key(lhs, key_col).or_else(|| prune_key(rhs, key_col));
+            }
+            BinOp::Eq => match (lhs.as_ref(), rhs.as_ref()) {
+                (BoundExpr::ColumnRef(c), BoundExpr::Literal(v))
+                | (BoundExpr::Literal(v), BoundExpr::ColumnRef(c))
+                    if *c == key_col && !v.is_null() =>
+                {
+                    return Some(v);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does `expr` contain an outer reference at *this* query level?
+/// References inside embedded correlated subplans bind to the chain's
+/// own rows and are fine — don't descend into those plans.
+fn has_bare_outer_ref(expr: &BoundExpr) -> bool {
+    match expr {
+        BoundExpr::OuterRef(_) => true,
+        BoundExpr::Literal(_)
+        | BoundExpr::ColumnRef(_)
+        | BoundExpr::InSet { .. }
+        | BoundExpr::CorrelatedExists { .. }
+        | BoundExpr::CorrelatedScalar { .. } => false,
+        BoundExpr::CorrelatedIn { expr, .. } => has_bare_outer_ref(expr),
+        BoundExpr::Binary { lhs, rhs, .. } => has_bare_outer_ref(lhs) || has_bare_outer_ref(rhs),
+        BoundExpr::Unary { operand, .. } => has_bare_outer_ref(operand),
+        BoundExpr::IsNull { expr, .. } | BoundExpr::Cast { expr, .. } => has_bare_outer_ref(expr),
+        BoundExpr::Between {
+            expr, low, high, ..
+        } => has_bare_outer_ref(expr) || has_bare_outer_ref(low) || has_bare_outer_ref(high),
+        BoundExpr::InList { expr, list, .. } => {
+            has_bare_outer_ref(expr) || list.iter().any(has_bare_outer_ref)
+        }
+        BoundExpr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            operand.as_deref().is_some_and(has_bare_outer_ref)
+                || branches
+                    .iter()
+                    .any(|(w, t)| has_bare_outer_ref(w) || has_bare_outer_ref(t))
+                || else_branch.as_deref().is_some_and(has_bare_outer_ref)
+        }
+        BoundExpr::Builtin { args, .. } | BoundExpr::Udf { args, .. } => {
+            args.iter().any(has_bare_outer_ref)
+        }
+    }
+}

@@ -22,12 +22,14 @@
 //!
 //! - [`crate::morsel::parallel_map`] returns per-batch results in batch
 //!   order; every merge folds them in that order.
-//! - Aggregates keep per-(group, call) partials that are either merged
-//!   exactly (COUNT/MIN/MAX/GROUP_CONCAT) or replayed through the
-//!   serial [`AggState`] in row order (SUM/TOTAL/AVG and all DISTINCT
-//!   aggregates), so float non-associativity and integer-overflow
-//!   promotion can never reorder. Group output order is first-seen
-//!   under the morsel-order merge — the serial order.
+//! - Aggregates keep per-(group, call) [`PartialAgg`] accumulators —
+//!   the public scatter-gather partials — fed with global row seqs, so
+//!   COUNT/MIN/MAX merge exactly and order-sensitive states
+//!   (SUM/TOTAL/AVG/GROUP_CONCAT and all DISTINCT aggregates) replay
+//!   through the serial [`AggState`] in seq order; float
+//!   non-associativity and integer-overflow promotion can never
+//!   reorder. Group output order is first-seen under the morsel-order
+//!   merge — the serial order.
 //! - The parallel sort orders by `(key, global seq)` — a total order
 //!   equal to the serial stable sort (see
 //!   [`crate::exec::compare_keys`]'s ordering contract).
@@ -46,7 +48,8 @@ use crate::exec::{aggregate_rows, compare_keys, eval_keys, AggState};
 use crate::expr::{BoundExpr, EvalCtx};
 use crate::metrics::ExecMetrics;
 use crate::morsel::{collect_ordered, parallel_map, ExecPolicy, NoObserver, PoolObserver};
-use crate::plan::{AggCall, AggFunc, Plan, SortKey};
+use crate::partial::PartialAgg;
+use crate::plan::{AggCall, Plan, SortKey};
 use crate::profile::{node_label, PlanProfiler};
 use crate::schema::Row;
 use crate::value::Value;
@@ -304,8 +307,17 @@ impl<'a> ChunkCtx<'a> {
     ) -> SqlResult<Vec<Batch>> {
         let batches = self.exec_node(input)?;
         let ctx = self.eval();
+        // Global row seq of each batch's first row: the batch-order
+        // prefix sum, so partials merge under the seq contract of
+        // [`PartialAgg`].
+        let mut bases = Vec::with_capacity(batches.len());
+        let mut base = 0u64;
+        for b in &batches {
+            bases.push(base);
+            base += b.len() as u64;
+        }
         let locals = match self.fan(batches.len(), |i| {
-            local_aggregate(&batches[i], group, aggs, &ctx)
+            local_aggregate(&batches[i], bases[i], group, aggs, &ctx)
         }) {
             Ok(locals) => locals,
             // Exact serial error: replay the whole aggregate row-wise.
@@ -320,7 +332,7 @@ impl<'a> ChunkCtx<'a> {
         // representative keys, exactly like the serial single pass.
         let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
         let mut keys: Vec<Vec<Value>> = Vec::new();
-        let mut states: Vec<Vec<Partial>> = Vec::new();
+        let mut states: Vec<Vec<PartialAgg>> = Vec::new();
         for local in locals {
             for (key, partials) in local.keys.into_iter().zip(local.states) {
                 match index.get(&key) {
@@ -719,98 +731,18 @@ fn probe_batch(
     Ok(pairs)
 }
 
-/// A per-(group, aggregate-call) partial result. See the module docs:
-/// exact-mergeable states merge; order-sensitive ones replay.
-enum Partial {
-    /// Exactly mergeable serial state (COUNT / MIN / MAX / GROUP_CONCAT).
-    Exact(AggState),
-    /// Non-null inputs in row order (SUM / TOTAL / AVG): replayed
-    /// through a fresh [`AggState`] at finish so float addition order
-    /// and integer overflow promotion match the serial path.
-    Ordered(Vec<Value>),
-    /// DISTINCT aggregates: first-occurrence values in row order plus
-    /// the dedup set.
-    Distinct {
-        order: Vec<Value>,
-        seen: std::collections::HashSet<Value>,
-    },
-}
-
-impl Partial {
-    fn new(agg: &AggCall) -> Partial {
-        if agg.distinct {
-            return Partial::Distinct {
-                order: Vec::new(),
-                seen: std::collections::HashSet::new(),
-            };
-        }
-        match agg.func {
-            AggFunc::Sum | AggFunc::Total | AggFunc::Avg => Partial::Ordered(Vec::new()),
-            _ => Partial::Exact(AggState::new(agg.func)),
-        }
-    }
-
-    fn update(&mut self, v: Value) -> SqlResult<()> {
-        match self {
-            Partial::Exact(s) => s.update(&v),
-            Partial::Ordered(vals) => {
-                if !v.is_null() {
-                    vals.push(v);
-                }
-                Ok(())
-            }
-            Partial::Distinct { order, seen } => {
-                if !v.is_null() && seen.insert(v.clone()) {
-                    order.push(v);
-                }
-                Ok(())
-            }
-        }
-    }
-
-    fn merge(&mut self, other: Partial) -> SqlResult<()> {
-        match (self, other) {
-            (Partial::Exact(a), Partial::Exact(b)) => a.merge(b),
-            (Partial::Ordered(a), Partial::Ordered(b)) => {
-                a.extend(b);
-                Ok(())
-            }
-            (Partial::Distinct { order, seen }, Partial::Distinct { order: theirs, .. }) => {
-                for v in theirs {
-                    if seen.insert(v.clone()) {
-                        order.push(v);
-                    }
-                }
-                Ok(())
-            }
-            _ => Err(SqlError::Eval(
-                "mismatched aggregate partial variants in morsel merge".into(),
-            )),
-        }
-    }
-
-    fn finish(self, agg: &AggCall) -> SqlResult<Value> {
-        match self {
-            Partial::Exact(s) => Ok(s.finish(&agg.separator)),
-            Partial::Ordered(vals) | Partial::Distinct { order: vals, .. } => {
-                let mut s = AggState::new(agg.func);
-                for v in &vals {
-                    s.update(v)?;
-                }
-                Ok(s.finish(&agg.separator))
-            }
-        }
-    }
-}
-
 /// One batch's local aggregation: first-seen keys plus partial states.
+/// The partials are the public scatter-gather accumulators
+/// ([`PartialAgg`]), fed with global row seqs (`base_seq` + local
+/// offset) so the batch-order merge is just the seq-order merge.
 struct LocalAgg {
     keys: Vec<Vec<Value>>,
-    states: Vec<Vec<Partial>>,
+    states: Vec<Vec<PartialAgg>>,
 }
 
 fn local_aggregate(
     batch: &Batch,
+    base_seq: u64,
     group: &[BoundExpr],
     aggs: &[AggCall],
     ctx: &EvalCtx<'_>,
@@ -856,7 +788,9 @@ fn local_aggregate(
     };
     let new_states = |local: &mut LocalAgg, key: Vec<Value>| -> usize {
         local.keys.push(key);
-        local.states.push(aggs.iter().map(Partial::new).collect());
+        local
+            .states
+            .push(aggs.iter().map(PartialAgg::new).collect());
         local.keys.len() - 1
     };
 
@@ -943,7 +877,7 @@ fn local_aggregate(
                 Some(c) => c.value_at(i),
                 None => Value::Int(1), // COUNT(*) marker
             };
-            local.states[gi][a].update(v)?;
+            local.states[gi][a].update(base_seq + i as u64, v);
         }
     }
     Ok(local)

@@ -14,6 +14,7 @@ use crate::plancache::{normalize_sql, CachedArm, CachedPlan, PlanCache, PlanCach
 use crate::planner::{Planner, Scope};
 use crate::profile::PlanProfiler;
 use crate::result::ResultSet;
+use crate::scatter::ScatterExec;
 use crate::schema::Row;
 use crate::schema::{Column, Schema};
 use crate::semplan::SemNode;
@@ -107,6 +108,10 @@ pub struct Database {
     exec_chunked: AtomicBool,
     exec_workers: AtomicUsize,
     exec_morsel_rows: AtomicUsize,
+    /// Registered scatter-gather executor (see [`crate::scatter`]).
+    /// Consulted before every local plan execution; plans it claims run
+    /// across shards instead, byte-identical by contract.
+    scatter: HookSlot<dyn ScatterExec>,
 }
 
 impl Clone for Database {
@@ -127,6 +132,7 @@ impl Clone for Database {
             exec_chunked: AtomicBool::new(self.exec_chunked.load(Ordering::Relaxed)),
             exec_workers: AtomicUsize::new(self.exec_workers.load(Ordering::Relaxed)),
             exec_morsel_rows: AtomicUsize::new(self.exec_morsel_rows.load(Ordering::Relaxed)),
+            scatter: self.scatter.clone(),
         }
     }
 }
@@ -213,8 +219,23 @@ impl Database {
         }
     }
 
-    /// Run one optimized plan through the configured executor.
+    /// Run one optimized plan: offer it to the registered scatter
+    /// executor first, then fall back to the local executor.
     fn run_plan(&self, plan: &Plan) -> SqlResult<Vec<Row>> {
+        if let Some(scatter) = self.scatter.get() {
+            if scatter.handles(plan) {
+                return scatter.execute(plan, self);
+            }
+        }
+        self.execute_plan_local(plan)
+    }
+
+    /// Run one optimized plan through the configured local executor,
+    /// bypassing any registered scatter hook. Scatter executors call
+    /// this on the coordinator database to run rewritten
+    /// (partition-free) plans, and on shard databases to run scattered
+    /// subplans.
+    pub fn execute_plan_local(&self, plan: &Plan) -> SqlResult<Vec<Row>> {
         let policy = self.exec_policy();
         if policy.chunked {
             execute_chunked(
@@ -226,6 +247,15 @@ impl Database {
         } else {
             execute(plan, &self.catalog)
         }
+    }
+
+    /// Register a scatter-gather executor. Every subsequent plan
+    /// execution — `query`, `query_statement`, and the profiled serving
+    /// path — first offers the plan to the executor; plans it claims run
+    /// across shards. Results must be byte-identical to local execution
+    /// (see [`crate::scatter::ScatterExec`]).
+    pub fn set_scatter_exec(&self, exec: Arc<dyn ScatterExec>) {
+        self.scatter.set(exec);
     }
 
     /// Resize the plan cache (0 disables it). Takes `&self` so a shared
@@ -305,9 +335,19 @@ impl Database {
         let mut acc: Option<ResultSet> = None;
         let mut text = String::new();
         let policy = self.exec_policy();
+        let scatter = self.scatter.get();
         for arm in &cached.arms {
             let profiler = PlanProfiler::new();
-            let rows = if policy.chunked {
+            let scattered = scatter.as_ref().filter(|s| s.handles(&arm.plan));
+            let rows = if let Some(scatter) = scattered {
+                // Scatter-gather executes across shard databases the
+                // profiler cannot see into; record the whole arm as one
+                // coordinator-side node.
+                let token = profiler.enter("ScatterGather".to_string());
+                let rows = scatter.execute(&arm.plan, self)?;
+                profiler.exit(token, rows.len());
+                rows
+            } else if policy.chunked {
                 execute_chunked_profiled(
                     &arm.plan,
                     &self.catalog,

@@ -378,47 +378,6 @@ impl AggState {
         Ok(())
     }
 
-    /// Merge another partial state of the same variant into this one.
-    /// Only defined for states whose merge is *exact* (order-insensitive
-    /// up to morsel-order concatenation): Count sums, Min/Max keeps the
-    /// earlier value on ties (strict compare, so a later equal value
-    /// never replaces an earlier one), Concat appends parts in morsel
-    /// order. Sum/Total/Avg are order-sensitive (float addition is
-    /// non-associative; integer SUM can transiently promote on
-    /// overflow), so the chunked executor replays their inputs in row
-    /// order instead of merging states.
-    pub(crate) fn merge(&mut self, other: AggState) -> SqlResult<()> {
-        match (self, other) {
-            (AggState::Count(a), AggState::Count(b)) => *a += b,
-            (AggState::MinMax { best, want_min }, AggState::MinMax { best: theirs, .. }) => {
-                if let Some(v) = theirs {
-                    let replace = match best {
-                        None => true,
-                        Some(b) => {
-                            if *want_min {
-                                v < *b
-                            } else {
-                                v > *b
-                            }
-                        }
-                    };
-                    if replace {
-                        *best = Some(v);
-                    }
-                }
-            }
-            (AggState::Concat { parts }, AggState::Concat { parts: theirs }) => {
-                parts.extend(theirs);
-            }
-            _ => {
-                return Err(SqlError::Eval(
-                    "aggregate partial merge on order-sensitive or mismatched states".into(),
-                ))
-            }
-        }
-        Ok(())
-    }
-
     pub(crate) fn finish(self, separator: &str) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),

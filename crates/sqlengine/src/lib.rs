@@ -53,11 +53,13 @@ pub mod metrics;
 pub mod morsel;
 pub mod optimizer;
 pub mod parser;
+pub mod partial;
 pub mod plan;
 pub mod plancache;
 pub mod planner;
 pub mod profile;
 pub mod result;
+pub mod scatter;
 pub mod schema;
 pub mod semopt;
 pub mod semplan;
@@ -69,11 +71,17 @@ pub mod vector;
 pub use catalog::Catalog;
 pub use engine::Database;
 pub use error::{SqlError, SqlResult};
+pub use expr::{BoundExpr, EvalCtx};
 pub use metrics::ExecMetrics;
 pub use morsel::{ExecPolicy, DEFAULT_MORSEL_ROWS};
+pub use partial::{
+    finish_partials, merge_partials, GroupPartials, GroupPartialsBuilder, PartialAgg,
+};
+pub use plan::{AggCall, AggFunc, IndexRange, Plan, SortKey};
 pub use plancache::{normalize_sql, PlanCache, PlanCacheStats};
 pub use profile::{NodeProfile, PlanProfiler};
 pub use result::ResultSet;
+pub use scatter::{collect_expr_tables, collect_plan_tables, plan_references, ScatterExec};
 pub use schema::{Column, DataType, Row, Schema};
 pub use semopt::{optimize_sem, SemOptOptions};
 pub use semplan::{

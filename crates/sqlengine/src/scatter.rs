@@ -1,0 +1,230 @@
+//! The scatter-gather execution hook.
+//!
+//! A [`ScatterExec`] is installed on a coordinator [`Database`] by a
+//! sharding runtime (see `crates/shard`). Every relational plan about
+//! to execute — through `query`, `query_statement`, or the profiled
+//! serving path — is first offered to the hook; when it claims the
+//! plan (typically because the plan references a hash-partitioned
+//! table), the hook executes it by scattering subplans across shards
+//! and gathering the merged rows, byte-identical to local execution.
+//!
+//! The helpers here walk a [`Plan`] for the table names it touches,
+//! including tables referenced from correlated subquery plans embedded
+//! in expressions — a scatter executor must see those too, since they
+//! re-execute per outer row through the same catalog.
+
+use crate::engine::Database;
+use crate::error::SqlResult;
+use crate::expr::BoundExpr;
+use crate::plan::Plan;
+use crate::schema::Row;
+use std::collections::BTreeSet;
+
+/// A pluggable scatter-gather executor consulted before local plan
+/// execution (see [`Database::set_scatter_exec`]).
+pub trait ScatterExec: Send + Sync {
+    /// Should this executor take over `plan`?
+    fn handles(&self, plan: &Plan) -> bool;
+
+    /// Execute `plan` against the sharded data, returning rows
+    /// byte-identical to what local execution over the unsharded
+    /// catalog would produce. `db` is the coordinator database the
+    /// plan was bound against; implementations use it to run rewritten
+    /// (partition-free) plans locally via
+    /// [`Database::execute_plan_local`].
+    fn execute(&self, plan: &Plan, db: &Database) -> SqlResult<Vec<Row>>;
+}
+
+/// Collect every table name `plan` touches, including tables inside
+/// correlated subquery plans embedded in expressions.
+pub fn collect_plan_tables(plan: &Plan, out: &mut BTreeSet<String>) {
+    match plan {
+        Plan::TableScan { table, .. }
+        | Plan::IndexProbe { table, .. }
+        | Plan::IndexRangeScan { table, .. } => {
+            out.insert(table.clone());
+        }
+        Plan::Values { rows, .. } => {
+            for row in rows {
+                for e in row {
+                    collect_expr_tables(e, out);
+                }
+            }
+        }
+        Plan::Filter { input, predicate } => {
+            collect_expr_tables(predicate, out);
+            collect_plan_tables(input, out);
+        }
+        Plan::Project { input, exprs, .. } => {
+            for e in exprs {
+                collect_expr_tables(e, out);
+            }
+            collect_plan_tables(input, out);
+        }
+        Plan::NestedLoopJoin {
+            left, right, on, ..
+        } => {
+            if let Some(e) = on {
+                collect_expr_tables(e, out);
+            }
+            collect_plan_tables(left, out);
+            collect_plan_tables(right, out);
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+            ..
+        } => {
+            collect_expr_tables(left_key, out);
+            collect_expr_tables(right_key, out);
+            if let Some(e) = residual {
+                collect_expr_tables(e, out);
+            }
+            collect_plan_tables(left, out);
+            collect_plan_tables(right, out);
+        }
+        Plan::Aggregate {
+            input, group, aggs, ..
+        } => {
+            for e in group {
+                collect_expr_tables(e, out);
+            }
+            for a in aggs {
+                if let Some(e) = &a.arg {
+                    collect_expr_tables(e, out);
+                }
+            }
+            collect_plan_tables(input, out);
+        }
+        Plan::Sort { input, keys } | Plan::TopK { input, keys, .. } => {
+            for k in keys {
+                collect_expr_tables(&k.expr, out);
+            }
+            collect_plan_tables(input, out);
+        }
+        Plan::Limit { input, .. } | Plan::Distinct { input } => collect_plan_tables(input, out),
+        // Semantic plans scan through the runtime's own SQL round trip
+        // (`SELECT * FROM <table>`), which re-enters the hook; nothing
+        // to collect here.
+        Plan::Sem { .. } => {}
+    }
+}
+
+/// Collect table names referenced from correlated subquery plans (and
+/// any expression nested around them).
+pub fn collect_expr_tables(expr: &BoundExpr, out: &mut BTreeSet<String>) {
+    match expr {
+        BoundExpr::Literal(_)
+        | BoundExpr::ColumnRef(_)
+        | BoundExpr::OuterRef(_)
+        | BoundExpr::InSet { .. } => {}
+        BoundExpr::Binary { lhs, rhs, .. } => {
+            collect_expr_tables(lhs, out);
+            collect_expr_tables(rhs, out);
+        }
+        BoundExpr::Unary { operand, .. } => collect_expr_tables(operand, out),
+        BoundExpr::IsNull { expr, .. } => collect_expr_tables(expr, out),
+        BoundExpr::Between {
+            expr, low, high, ..
+        } => {
+            collect_expr_tables(expr, out);
+            collect_expr_tables(low, out);
+            collect_expr_tables(high, out);
+        }
+        BoundExpr::InList { expr, list, .. } => {
+            collect_expr_tables(expr, out);
+            for e in list {
+                collect_expr_tables(e, out);
+            }
+        }
+        BoundExpr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            if let Some(e) = operand {
+                collect_expr_tables(e, out);
+            }
+            for (w, t) in branches {
+                collect_expr_tables(w, out);
+                collect_expr_tables(t, out);
+            }
+            if let Some(e) = else_branch {
+                collect_expr_tables(e, out);
+            }
+        }
+        BoundExpr::Cast { expr, .. } => collect_expr_tables(expr, out),
+        BoundExpr::CorrelatedExists { plan, .. } | BoundExpr::CorrelatedScalar { plan } => {
+            collect_plan_tables(plan, out);
+        }
+        BoundExpr::CorrelatedIn { expr, plan, .. } => {
+            collect_expr_tables(expr, out);
+            collect_plan_tables(plan, out);
+        }
+        BoundExpr::Builtin { args, .. } | BoundExpr::Udf { args, .. } => {
+            for e in args {
+                collect_expr_tables(e, out);
+            }
+        }
+    }
+}
+
+/// Does `plan` reference any table for which `pred` holds? Table names
+/// are passed exactly as plans store them (the name the catalog
+/// resolved, preserving its declared case).
+pub fn plan_references(plan: &Plan, pred: &dyn Fn(&str) -> bool) -> bool {
+    let mut tables = BTreeSet::new();
+    collect_plan_tables(plan, &mut tables);
+    tables.iter().any(|t| pred(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Database;
+
+    fn plan_of(db: &Database, sql: &str) -> Plan {
+        let stmt = crate::parser::parse_statement(sql).unwrap();
+        let crate::ast::Statement::Select(sel) = stmt else {
+            panic!("not a select");
+        };
+        let planner = crate::planner::Planner::new(db.catalog(), db.udfs());
+        crate::optimizer::optimize(planner.plan_select(&sel).unwrap(), db.catalog())
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (a INTEGER, b TEXT);
+             CREATE TABLE u (a INTEGER, c TEXT);
+             INSERT INTO t VALUES (1, 'x');
+             INSERT INTO u VALUES (1, 'y')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn collects_tables_from_scans_and_joins() {
+        let db = db();
+        let plan = plan_of(&db, "SELECT * FROM t JOIN u ON t.a = u.a WHERE t.b = 'x'");
+        let mut tables = BTreeSet::new();
+        collect_plan_tables(&plan, &mut tables);
+        assert!(tables.contains("t") && tables.contains("u"), "{tables:?}");
+        assert!(plan_references(&plan, &|t| t == "u"));
+        assert!(!plan_references(&plan, &|t| t == "v"));
+    }
+
+    #[test]
+    fn collects_tables_from_correlated_subqueries() {
+        let db = db();
+        let plan = plan_of(
+            &db,
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.a = t.a)",
+        );
+        assert!(plan_references(&plan, &|t| t == "u"), "{plan:?}");
+    }
+}
