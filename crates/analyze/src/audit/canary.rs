@@ -1,0 +1,268 @@
+//! Seeded mutation canaries for `tag-audit`.
+//!
+//! Each canary builds a miniature workspace fixture in a temp
+//! directory — a clean worker pool + merge executor with a declared
+//! hierarchy — then applies one seeded concurrency/determinism bug and
+//! asserts the audit catches it with the expected rule id. This is the
+//! analyzer's own regression harness: a scanner change that silently
+//! stops detecting lock inversions fails the canary sweep, not a
+//! future incident.
+
+use super::{run_audit, AuditConfig};
+use std::fs;
+use std::path::Path;
+
+/// The clean fixture's pool file: ordered lock nesting, a
+/// predicate-loop condvar wait, try_send under the admission lock, and
+/// a sender-dropping shutdown.
+const POOL_BASE: &str = r#"
+pub struct Pool {
+    state: Mutex<State>,
+    slots: Mutex<Vec<Slot>>,
+    ready: Condvar,
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Pool {
+    fn acquire_in_order(&self) {
+        let state = self.state.lock();
+        let slots = self.slots.lock();
+        use_both(state, slots);
+    }
+
+    fn wait_ready(&self) {
+        let mut state = self.state.lock();
+        loop {
+            if state.ready_count > 0 {
+                return;
+            }
+            self.ready.wait(&mut state);
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        let tx = self.tx.lock();
+        if let Some(tx) = tx.as_ref() {
+            let _ = tx.try_send(job);
+        }
+    }
+
+    fn shutdown(&self) {
+        *self.tx.lock() = None;
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+"#;
+
+/// The clean fixture's merge file: group merge keyed by a first-seen
+/// order vec; the index map is lookup-only.
+const EXEC_BASE: &str = r#"
+pub fn merge_groups(rows: Vec<(Key, Val)>) -> Vec<(Key, Val)> {
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut out: Vec<(Key, Val)> = Vec::new();
+    for (key, val) in rows {
+        if let Some(&at) = index.get(&key) {
+            out[at].1 = merge(&out[at].1, val);
+        } else {
+            index.insert(key.clone(), out.len());
+            out.push((key, val));
+        }
+    }
+    out
+}
+"#;
+
+/// The fixture's declared hierarchy.
+const HIERARCHY: &str = "\
+# canary fixture lock hierarchy
+class pool.state = crates/serve/src/pool.rs:state
+class pool.slots = crates/serve/src/pool.rs:slots
+class pool.admission = crates/serve/src/pool.rs:tx
+class pool.workers = crates/serve/src/pool.rs:workers
+attr pool.slots no-send-held
+order pool.state < pool.slots
+";
+
+/// The fixture's determinism baseline: everything at zero.
+const DET_RATCHET: &str = "\
+hash-iter:crates/sqlengine/src/exec.rs 0
+ambient:crates/sqlengine/src/exec.rs 0
+";
+
+/// One seeded-mutation result.
+#[derive(Debug, Clone)]
+pub struct CanaryReport {
+    /// Canary name.
+    pub name: &'static str,
+    /// The rule id the mutation must trigger.
+    pub expected_rule: &'static str,
+    /// Whether the clean fixture audited clean.
+    pub base_clean: bool,
+    /// Whether the mutated fixture produced the expected rule.
+    pub caught: bool,
+}
+
+impl CanaryReport {
+    /// Canary passed: clean base, mutation caught.
+    pub fn passed(&self) -> bool {
+        self.base_clean && self.caught
+    }
+}
+
+struct Canary {
+    name: &'static str,
+    expected_rule: &'static str,
+    /// (fixture-relative path, mutated contents).
+    mutation: (&'static str, &'static str),
+}
+
+/// Mutation 1: inverted lock nesting — `slots` held while acquiring
+/// `state`, against the declared `state < slots`.
+const POOL_INVERTED: &str = r#"
+pub struct Pool {
+    state: Mutex<State>,
+    slots: Mutex<Vec<Slot>>,
+}
+
+impl Pool {
+    fn acquire_in_order(&self) {
+        let slots = self.slots.lock();
+        let state = self.state.lock();
+        use_both(state, slots);
+    }
+}
+"#;
+
+/// Mutation 2: group merge emitted straight out of HashMap iteration —
+/// output row order now depends on hash seeding.
+const EXEC_HASH_ORDER: &str = r#"
+pub fn merge_groups(rows: Vec<(Key, Val)>) -> Vec<(Key, Val)> {
+    let mut index: HashMap<Key, Val> = HashMap::new();
+    for (key, val) in rows {
+        index.insert(key, val);
+    }
+    let mut out: Vec<(Key, Val)> = Vec::new();
+    for (key, val) in index {
+        out.push((key, val));
+    }
+    out
+}
+"#;
+
+/// Mutation 3: condvar wait guarded by a plain `if` — a spurious
+/// wakeup or a missed signal races past the predicate.
+const POOL_LOCKLESS_WAIT: &str = r#"
+pub struct Pool {
+    state: Mutex<State>,
+    ready: Condvar,
+}
+
+impl Pool {
+    fn wait_ready(&self) {
+        let mut state = self.state.lock();
+        if state.ready_count == 0 {
+            self.ready.wait(&mut state);
+        }
+    }
+}
+"#;
+
+const CANARIES: &[Canary] = &[
+    Canary {
+        name: "lock-inversion",
+        expected_rule: "lock-cycle",
+        mutation: ("crates/serve/src/pool.rs", POOL_INVERTED),
+    },
+    Canary {
+        name: "hashmap-ordered-merge",
+        expected_rule: "det-hash-iter",
+        mutation: ("crates/sqlengine/src/exec.rs", EXEC_HASH_ORDER),
+    },
+    Canary {
+        name: "lockless-predicate-wait",
+        expected_rule: "condvar-wait-loop",
+        mutation: ("crates/serve/src/pool.rs", POOL_LOCKLESS_WAIT),
+    },
+];
+
+fn write_fixture(root: &Path, pool: &str, exec: &str) -> Result<(), String> {
+    let files = [
+        ("crates/serve/src/pool.rs", pool),
+        ("crates/sqlengine/src/exec.rs", exec),
+        ("crates/analyze/lock-order.txt", HIERARCHY),
+        ("crates/analyze/det-ratchet.txt", DET_RATCHET),
+    ];
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        let dir = path.parent().expect("fixture paths have parents");
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        fs::write(&path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+fn audit_fixture(root: &Path) -> Result<super::AuditOutcome, String> {
+    run_audit(&AuditConfig::new(root), false)
+}
+
+/// Run the full canary sweep in a scratch directory. Every report must
+/// pass ([`CanaryReport::passed`]) for the analyzer to be trusted.
+pub fn run_canaries() -> Result<Vec<CanaryReport>, String> {
+    let scratch = std::env::temp_dir().join(format!("tag-audit-canary-{}", std::process::id()));
+    let result = run_canaries_in(&scratch);
+    let _ = fs::remove_dir_all(&scratch);
+    result
+}
+
+fn run_canaries_in(scratch: &Path) -> Result<Vec<CanaryReport>, String> {
+    let mut reports = Vec::new();
+    for canary in CANARIES {
+        let root = scratch.join(canary.name);
+        write_fixture(&root, POOL_BASE, EXEC_BASE)?;
+        let base = audit_fixture(&root)?;
+        let base_clean = base.is_clean();
+
+        let (rel, mutated) = canary.mutation;
+        fs::write(root.join(rel), mutated)
+            .map_err(|e| format!("cannot write mutation {rel}: {e}"))?;
+        let outcome = audit_fixture(&root)?;
+        let caught = outcome
+            .findings
+            .iter()
+            .any(|f| f.rule == canary.expected_rule);
+        reports.push(CanaryReport {
+            name: canary.name,
+            expected_rule: canary.expected_rule,
+            base_clean,
+            caught,
+        });
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_canaries_pass() {
+        let scratch =
+            std::env::temp_dir().join(format!("tag-audit-canary-unit-{}", std::process::id()));
+        let reports = run_canaries_in(&scratch);
+        let _ = fs::remove_dir_all(&scratch);
+        let reports = reports.expect("canary sweep");
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert!(r.base_clean, "{}: clean fixture produced findings", r.name);
+            assert!(
+                r.caught,
+                "{}: mutation not caught as {}",
+                r.name, r.expected_rule
+            );
+        }
+    }
+}

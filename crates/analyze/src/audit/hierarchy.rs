@@ -1,0 +1,281 @@
+//! Parser for the declared lock hierarchy (`lock-order.txt`).
+//!
+//! Line-oriented, `#` comments. Directives:
+//!
+//! ```text
+//! class <name> = <file>:<ident>[,<ident>...]
+//! attr <name> <attribute>
+//! order <a> < <b>
+//! ignore <file>:<ident>
+//! ```
+//!
+//! `class` maps receiver identifiers in one file to a lock class
+//! (repeatable — a class may span files). `attr` attaches a named
+//! attribute (currently `no-send-held`: blocking channel sends are
+//! forbidden while a lock of this class is held). `order a < b`
+//! declares that a lock of class `a` may be held while acquiring class
+//! `b`; the permitted-edge relation is the transitive closure, and the
+//! declared order itself must be acyclic. `ignore` exempts one
+//! receiver in one file from class resolution (e.g. `stdin.lock()`,
+//! which is not a mutex).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::Path;
+
+/// Attribute marking classes that forbid blocking sends while held.
+pub const NO_SEND_HELD: &str = "no-send-held";
+
+/// The parsed, validated lock hierarchy.
+#[derive(Debug, Clone, Default)]
+pub struct Hierarchy {
+    /// (file, receiver ident) → class name.
+    pub map: BTreeMap<(String, String), String>,
+    /// All declared class names.
+    pub classes: BTreeSet<String>,
+    /// Class → attribute set.
+    pub attrs: BTreeMap<String, BTreeSet<String>>,
+    /// Declared order edges (`a` may be held while acquiring `b`).
+    pub order: Vec<(String, String)>,
+    /// (file, receiver ident) pairs exempt from resolution.
+    pub ignores: BTreeSet<(String, String)>,
+}
+
+impl Hierarchy {
+    /// Load and validate a hierarchy file.
+    pub fn load(path: &Path) -> Result<Hierarchy, String> {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// Parse and validate hierarchy text.
+    pub fn parse(text: &str) -> Result<Hierarchy, String> {
+        let mut h = Hierarchy::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("lock-order.txt:{}: {what}: {line:?}", idx + 1);
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("class") => {
+                    let rest = line["class".len()..].trim();
+                    let (name, target) = rest
+                        .split_once('=')
+                        .ok_or_else(|| err("expected `class <name> = <file>:<idents>`"))?;
+                    let name = name.trim().to_owned();
+                    let (file, idents) = target
+                        .trim()
+                        .rsplit_once(':')
+                        .ok_or_else(|| err("expected `<file>:<ident>[,<ident>...]`"))?;
+                    for ident in idents.split(',') {
+                        let ident = ident.trim();
+                        if ident.is_empty() {
+                            return Err(err("empty receiver ident"));
+                        }
+                        let key = (file.trim().to_owned(), ident.to_owned());
+                        if let Some(prev) = h.map.get(&key) {
+                            if prev != &name {
+                                return Err(err(&format!(
+                                    "receiver already mapped to class {prev}"
+                                )));
+                            }
+                        }
+                        h.map.insert(key, name.clone());
+                    }
+                    h.classes.insert(name);
+                }
+                Some("attr") => {
+                    let (Some(name), Some(attr), None) = (words.next(), words.next(), words.next())
+                    else {
+                        return Err(err("expected `attr <class> <attribute>`"));
+                    };
+                    h.attrs
+                        .entry(name.to_owned())
+                        .or_default()
+                        .insert(attr.to_owned());
+                }
+                Some("order") => {
+                    let (Some(a), Some(lt), Some(b), None) =
+                        (words.next(), words.next(), words.next(), words.next())
+                    else {
+                        return Err(err("expected `order <a> < <b>`"));
+                    };
+                    if lt != "<" {
+                        return Err(err("expected `<` between classes"));
+                    }
+                    h.order.push((a.to_owned(), b.to_owned()));
+                }
+                Some("ignore") => {
+                    let rest = line["ignore".len()..].trim();
+                    let (file, ident) = rest
+                        .rsplit_once(':')
+                        .ok_or_else(|| err("expected `ignore <file>:<ident>`"))?;
+                    h.ignores.insert((file.to_owned(), ident.to_owned()));
+                }
+                _ => return Err(err("unknown directive")),
+            }
+        }
+        h.validate()?;
+        Ok(h)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (a, b) in &self.order {
+            for name in [a, b] {
+                if !self.classes.contains(name) {
+                    return Err(format!("order references undeclared class {name}"));
+                }
+            }
+        }
+        for name in self.attrs.keys() {
+            if !self.classes.contains(name) {
+                return Err(format!("attr references undeclared class {name}"));
+            }
+        }
+        let permitted = self.permitted_edges();
+        for class in &self.classes {
+            if permitted.contains(&(class.clone(), class.clone())) {
+                return Err(format!(
+                    "declared lock order contains a cycle through {class}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Transitive closure of the declared order edges.
+    pub fn permitted_edges(&self) -> BTreeSet<(String, String)> {
+        let mut closed: BTreeSet<(String, String)> = self.order.iter().cloned().collect();
+        loop {
+            let mut added = Vec::new();
+            for (a, b) in &closed {
+                for (c, d) in &closed {
+                    if b == c && !closed.contains(&(a.clone(), d.clone())) {
+                        added.push((a.clone(), d.clone()));
+                    }
+                }
+            }
+            if added.is_empty() {
+                return closed;
+            }
+            closed.extend(added);
+        }
+    }
+
+    /// True when `class` carries `attr`.
+    pub fn has_attr(&self, class: &str, attr: &str) -> bool {
+        self.attrs.get(class).is_some_and(|set| set.contains(attr))
+    }
+
+    /// Resolve a (file, receiver) acquisition site to its class.
+    pub fn class_of(&self, file: &str, ident: &str) -> Option<&str> {
+        self.map
+            .get(&(file.to_owned(), ident.to_owned()))
+            .map(String::as_str)
+    }
+
+    /// True when a (file, receiver) site is exempt.
+    pub fn is_ignored(&self, file: &str, ident: &str) -> bool {
+        self.ignores.contains(&(file.to_owned(), ident.to_owned()))
+    }
+}
+
+/// Find one cycle in the union of declared and observed edges, if any,
+/// as the list of classes along the cycle (first element repeated at
+/// the end).
+pub fn find_cycle(edges: &BTreeSet<(String, String)>) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default();
+    }
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for &start in adj.keys() {
+        if done.contains(start) {
+            continue;
+        }
+        // Iterative DFS; each stack frame is (node, next-successor
+        // index). `path` mirrors the stack for cycle extraction.
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut on_path: BTreeSet<&str> = [start].into_iter().collect();
+        while let Some((node, next)) = stack.last().copied() {
+            let succs = &adj[node];
+            if next < succs.len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let succ = succs[next];
+                if on_path.contains(succ) {
+                    let at = stack.iter().position(|&(n, _)| n == succ).expect("on path");
+                    let mut cycle: Vec<String> =
+                        stack[at..].iter().map(|&(n, _)| n.to_owned()).collect();
+                    cycle.push(succ.to_owned());
+                    return Some(cycle);
+                }
+                if !done.contains(succ) {
+                    stack.push((succ, 0));
+                    on_path.insert(succ);
+                }
+            } else {
+                stack.pop();
+                on_path.remove(node);
+                done.insert(node);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_directives() {
+        let h = Hierarchy::parse(
+            "# comment\n\
+             class a.state = crates/x/src/a.rs:state,inner\n\
+             class a.slots = crates/x/src/a.rs:slots\n\
+             attr a.slots no-send-held\n\
+             order a.state < a.slots\n\
+             ignore crates/x/src/bin/cli.rs:stdin\n",
+        )
+        .expect("parse");
+        assert_eq!(h.class_of("crates/x/src/a.rs", "inner"), Some("a.state"));
+        assert!(h.has_attr("a.slots", NO_SEND_HELD));
+        assert!(h.is_ignored("crates/x/src/bin/cli.rs", "stdin"));
+        assert!(h
+            .permitted_edges()
+            .contains(&("a.state".into(), "a.slots".into())));
+    }
+
+    #[test]
+    fn transitive_closure_and_cycle_rejection() {
+        let h = Hierarchy::parse(
+            "class a = f.rs:a\nclass b = f.rs:b\nclass c = f.rs:c\n\
+             order a < b\norder b < c\n",
+        )
+        .expect("parse");
+        assert!(h.permitted_edges().contains(&("a".into(), "c".into())));
+
+        let cyclic =
+            Hierarchy::parse("class a = f.rs:a\nclass b = f.rs:b\norder a < b\norder b < a\n");
+        assert!(cyclic.is_err());
+    }
+
+    #[test]
+    fn find_cycle_reports_the_loop() {
+        let edges: BTreeSet<(String, String)> = [
+            ("a".to_owned(), "b".to_owned()),
+            ("b".to_owned(), "c".to_owned()),
+            ("c".to_owned(), "a".to_owned()),
+        ]
+        .into_iter()
+        .collect();
+        let cycle = find_cycle(&edges).expect("cycle");
+        assert_eq!(cycle.len(), 4);
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(find_cycle(&[("a".to_owned(), "b".to_owned())].into_iter().collect()).is_none());
+    }
+}

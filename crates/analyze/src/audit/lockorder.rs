@@ -1,0 +1,325 @@
+//! Lock-order pass: acquisition extraction, guard extents, and the
+//! held-while-acquiring edge check against the declared hierarchy.
+//!
+//! Every `.lock()` call in scope must resolve — via its receiver
+//! identifier — to a class declared in `lock-order.txt` (or an
+//! `ignore` entry); `.read()`/`.write()` sites are counted only when
+//! declared, since those method names are shared with io traits. Guard
+//! extents are approximated from statement structure:
+//!
+//! - `let g = <recv>.lock();` (optionally followed by the poison
+//!   recovery suffix `.unwrap_or_else(|e| e.into_inner())`) binds the
+//!   guard — held to the end of the enclosing block;
+//! - anything else is a statement temporary — held to the end of the
+//!   statement, which for a guard created in a `for`/`match` head
+//!   correctly extends through the block-terminated statement's body.
+//!
+//! An acquisition B inside acquisition A's held extent yields the edge
+//! `class(A) → class(B)`. Same-class nesting, an edge outside the
+//! declared order's transitive closure, and any cycle in the union of
+//! declared and observed edges are findings.
+
+use super::hierarchy::{find_cycle, Hierarchy};
+use super::{AuditFinding, AuditOutcome, FileScan};
+use crate::scanner::{block_end, find_all, line_of, receiver_ident, statement_end};
+use std::collections::BTreeSet;
+
+/// One lock acquisition site with its approximated held extent.
+pub(crate) struct Acquisition {
+    /// Index into the scan list (file identity).
+    pub(crate) file_idx: usize,
+    /// Resolved lock class, when declared.
+    pub(crate) class: Option<String>,
+    /// Byte offset of the acquisition's `.`.
+    pub(crate) pos: usize,
+    /// One past the end of the held extent.
+    pub(crate) span_end: usize,
+}
+
+/// The poison-recovery chain allowed after `.lock()` without demoting
+/// a `let` binding to a temporary.
+const RECOVERY_SUFFIX: &str = ".unwrap_or_else(|e|e.into_inner())";
+
+/// Extract acquisitions, count class sites, and check edges.
+pub(crate) fn run(
+    scans: &[FileScan],
+    hierarchy: &Hierarchy,
+    outcome: &mut AuditOutcome,
+) -> Vec<Acquisition> {
+    for class in &hierarchy.classes {
+        outcome.lock_classes.insert(class.clone(), 0);
+    }
+    let mut acqs: Vec<Acquisition> = Vec::new();
+    for (file_idx, scan) in scans.iter().enumerate() {
+        let code = &scan.code;
+        for (method, must_resolve) in [(".lock()", true), (".read()", false), (".write()", false)] {
+            for pos in find_all(code, method) {
+                let recv = receiver_ident(code, pos);
+                let Some(recv) = recv else {
+                    if must_resolve {
+                        outcome.findings.push(unresolved(scan, pos, method));
+                    }
+                    continue;
+                };
+                if hierarchy.is_ignored(&scan.rel, &recv) {
+                    continue;
+                }
+                match hierarchy.class_of(&scan.rel, &recv) {
+                    Some(class) => {
+                        *outcome.lock_classes.entry(class.to_owned()).or_default() += 1;
+                        acqs.push(Acquisition {
+                            file_idx,
+                            class: Some(class.to_owned()),
+                            pos,
+                            span_end: held_extent(code, pos, method),
+                        });
+                    }
+                    None if must_resolve => {
+                        outcome.findings.push(AuditFinding {
+                            rule: "lock-undeclared",
+                            file: scan.rel.clone(),
+                            line: line_of(code, pos),
+                            function: scan.fn_at(pos),
+                            message: format!(
+                                "{method} on receiver `{recv}` is not mapped to any lock \
+                                 class in lock-order.txt (declare a class or an ignore \
+                                 entry for {}:{recv})",
+                                scan.rel
+                            ),
+                        });
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+    acqs.sort_by_key(|a| (a.file_idx, a.pos));
+
+    // Observed held-while-acquiring edges, with one representative
+    // site each for the finding message.
+    let mut observed: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut sites: Vec<(String, String, usize, usize)> = Vec::new();
+    for a in &acqs {
+        let Some(ca) = &a.class else { continue };
+        for b in &acqs {
+            let Some(cb) = &b.class else { continue };
+            if a.file_idx == b.file_idx
+                && a.pos < b.pos
+                && b.pos < a.span_end
+                && observed.insert((ca.clone(), cb.clone()))
+            {
+                sites.push((ca.clone(), cb.clone(), b.file_idx, b.pos));
+            }
+        }
+    }
+
+    let permitted = hierarchy.permitted_edges();
+    let mut union: BTreeSet<(String, String)> = hierarchy.order.iter().cloned().collect();
+    for (a, b, file_idx, pos) in &sites {
+        let scan = &scans[*file_idx];
+        let declared = permitted.contains(&(a.clone(), b.clone()));
+        outcome.lock_edges.insert((a.clone(), b.clone()), declared);
+        if a == b {
+            outcome.findings.push(AuditFinding {
+                rule: "lock-cycle",
+                file: scan.rel.clone(),
+                line: line_of(&scan.code, *pos),
+                function: scan.fn_at(*pos),
+                message: format!("lock class {a} acquired while already held (self-deadlock)"),
+            });
+            continue;
+        }
+        union.insert((a.clone(), b.clone()));
+        if !declared {
+            outcome.findings.push(AuditFinding {
+                rule: "lock-edge-undeclared",
+                file: scan.rel.clone(),
+                line: line_of(&scan.code, *pos),
+                function: scan.fn_at(*pos),
+                message: format!(
+                    "acquiring {b} while holding {a} is not covered by the declared \
+                     lock order; add `order {a} < {b}` to lock-order.txt only if the \
+                     combined order stays acyclic"
+                ),
+            });
+        }
+    }
+
+    if let Some(cycle) = find_cycle(&union) {
+        // Anchor the finding on a representative observed site inside
+        // the cycle, if any (a declared-only cycle is caught at load).
+        let anchor = sites
+            .iter()
+            .find(|(a, b, _, _)| cycle.windows(2).any(|w| &w[0] == a && &w[1] == b));
+        let (file, line, function) = match anchor {
+            Some((_, _, file_idx, pos)) => {
+                let scan = &scans[*file_idx];
+                (
+                    scan.rel.clone(),
+                    line_of(&scan.code, *pos),
+                    scan.fn_at(*pos),
+                )
+            }
+            None => (String::from("lock-order.txt"), 0, String::new()),
+        };
+        outcome.findings.push(AuditFinding {
+            rule: "lock-cycle",
+            file,
+            line,
+            function,
+            message: format!(
+                "lock acquisition order cycles: {} (declared ∪ observed edges)",
+                cycle.join(" → ")
+            ),
+        });
+    }
+    acqs
+}
+
+fn unresolved(scan: &FileScan, pos: usize, method: &str) -> AuditFinding {
+    AuditFinding {
+        rule: "lock-undeclared",
+        file: scan.rel.clone(),
+        line: line_of(&scan.code, pos),
+        function: scan.fn_at(pos),
+        message: format!("{method} receiver could not be resolved to an identifier"),
+    }
+}
+
+/// The held extent of an acquisition at `pos`: block end for a
+/// `let`-bound guard, statement end for a temporary.
+fn held_extent(code: &str, pos: usize, method: &str) -> usize {
+    let stmt_end = statement_end(code, pos);
+    // Statement start: just past the nearest `;`, `{`, or `}`.
+    let stmt_start = code[..pos]
+        .rfind([';', '{', '}'])
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let head = code[stmt_start..pos].trim_start();
+    if head.starts_with("let ") || head.starts_with("let\n") {
+        // The guard is bound only when the lock call (plus at most the
+        // poison-recovery suffix) is the whole initializer.
+        let after = &code[pos + method.len()..stmt_end];
+        let tail: String = after.chars().filter(|c| !c.is_whitespace()).collect();
+        if tail == ";" || tail == format!("{RECOVERY_SUFFIX};") {
+            return block_end(code, pos);
+        }
+    }
+    stmt_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::{fn_spans, scan_source};
+
+    fn scan(rel: &str, src: &str) -> FileScan {
+        let s = scan_source(src);
+        let fns = fn_spans(&s.code);
+        FileScan {
+            rel: rel.to_owned(),
+            code: s.code,
+            fns,
+        }
+    }
+
+    fn hier(text: &str) -> Hierarchy {
+        Hierarchy::parse(text).expect("hierarchy")
+    }
+
+    #[test]
+    fn let_bound_guards_hold_to_block_end() {
+        let src =
+            "fn f(&self) {\n    let a = self.state.lock();\n    let b = self.slots.lock();\n}";
+        let scans = vec![scan("crates/x/src/a.rs", src)];
+        let h = hier(
+            "class st = crates/x/src/a.rs:state\nclass sl = crates/x/src/a.rs:slots\n\
+             order st < sl\n",
+        );
+        let mut out = AuditOutcome::default();
+        run(&scans, &h, &mut out);
+        assert!(out.is_clean(), "{:?}", out.findings);
+        assert_eq!(out.lock_edges.get(&("st".into(), "sl".into())), Some(&true));
+    }
+
+    #[test]
+    fn inverted_order_is_a_cycle() {
+        let src =
+            "fn f(&self) {\n    let b = self.slots.lock();\n    let a = self.state.lock();\n}";
+        let scans = vec![scan("crates/x/src/a.rs", src)];
+        let h = hier(
+            "class st = crates/x/src/a.rs:state\nclass sl = crates/x/src/a.rs:slots\n\
+             order st < sl\n",
+        );
+        let mut out = AuditOutcome::default();
+        run(&scans, &h, &mut out);
+        assert!(out.findings.iter().any(|f| f.rule == "lock-cycle"));
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.rule == "lock-edge-undeclared"));
+    }
+
+    #[test]
+    fn temporaries_do_not_span_statements() {
+        let src = "fn f(&self) {\n    *self.state.lock() = 1;\n    let b = self.slots.lock();\n}";
+        let scans = vec![scan("crates/x/src/a.rs", src)];
+        let h = hier("class st = crates/x/src/a.rs:state\nclass sl = crates/x/src/a.rs:slots\n");
+        let mut out = AuditOutcome::default();
+        run(&scans, &h, &mut out);
+        assert!(out.is_clean(), "{:?}", out.findings);
+        assert!(out.lock_edges.is_empty());
+    }
+
+    #[test]
+    fn chained_let_initializer_is_a_temporary() {
+        // `let v = m.lock().get(k).cloned();` drops the guard at the
+        // semicolon — must not create an edge to the next statement.
+        let src = "fn f(&self) {\n    let v = self.state.lock().clone();\n    let b = self.slots.lock();\n}";
+        let scans = vec![scan("crates/x/src/a.rs", src)];
+        let h = hier("class st = crates/x/src/a.rs:state\nclass sl = crates/x/src/a.rs:slots\n");
+        let mut out = AuditOutcome::default();
+        run(&scans, &h, &mut out);
+        assert!(out.is_clean(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn recovery_suffix_keeps_the_binding() {
+        let src = "fn f(&self) {\n    let g = self.state.lock().unwrap_or_else(|e| e.into_inner());\n    let b = self.slots.lock();\n}";
+        let scans = vec![scan("crates/x/src/a.rs", src)];
+        let h = hier(
+            "class st = crates/x/src/a.rs:state\nclass sl = crates/x/src/a.rs:slots\n\
+             order st < sl\n",
+        );
+        let mut out = AuditOutcome::default();
+        run(&scans, &h, &mut out);
+        assert!(out.is_clean(), "{:?}", out.findings);
+        assert_eq!(out.lock_edges.len(), 1);
+    }
+
+    #[test]
+    fn undeclared_receiver_is_flagged_and_ignorable() {
+        let src = "fn f(&self) { self.mystery.lock(); stdin.lock(); }";
+        let scans = vec![scan("crates/x/src/a.rs", src)];
+        let h = hier("class st = crates/x/src/a.rs:state\nignore crates/x/src/a.rs:stdin\n");
+        let mut out = AuditOutcome::default();
+        run(&scans, &h, &mut out);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].rule, "lock-undeclared");
+        assert!(out.findings[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn same_class_nesting_is_a_self_deadlock() {
+        let src =
+            "fn f(&self) {\n    let a = self.state.lock();\n    let b = self.state.lock();\n}";
+        let scans = vec![scan("crates/x/src/a.rs", src)];
+        let h = hier("class st = crates/x/src/a.rs:state\n");
+        let mut out = AuditOutcome::default();
+        run(&scans, &h, &mut out);
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.rule == "lock-cycle" && f.message.contains("self-deadlock")));
+    }
+}

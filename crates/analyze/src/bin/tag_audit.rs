@@ -1,0 +1,132 @@
+//! `tag-audit` — run the workspace concurrency & determinism audit.
+//!
+//! ```text
+//! cargo run -p tag-analyze --bin tag-audit                 # audit the workspace
+//! cargo run -p tag-analyze --bin tag-audit -- --update     # rewrite det-ratchet.txt
+//! cargo run -p tag-analyze --bin tag-audit -- --json AUDIT_report.json
+//! cargo run -p tag-analyze --bin tag-audit -- --canaries   # seeded-mutation sweep
+//! cargo run -p tag-analyze --bin tag-audit -- --root /path/to/workspace
+//! ```
+//!
+//! Exit code 0 when clean (and every canary passes), 1 on any finding
+//! or missed canary, 2 on usage/IO errors.
+
+use std::path::Path;
+use tag_analyze::audit::{canary, run_audit, AuditConfig};
+
+fn main() {
+    let mut update = false;
+    let mut canaries = false;
+    let mut root = String::from(".");
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update" => update = true,
+            "--canaries" => canaries = true,
+            "--root" => match args.next() {
+                Some(r) => root = r,
+                None => usage_err("--root needs a path"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => usage_err("--json needs a path"),
+            },
+            other => usage_err(&format!(
+                "unknown flag {other:?} (expected --update / --canaries / \
+                 --json <path> / --root <path>)"
+            )),
+        }
+    }
+    if !Path::new(&root).join("crates").is_dir() {
+        eprintln!("{root:?} does not look like the workspace root (no crates/ directory)");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+
+    let config = AuditConfig::new(&root);
+    let outcome = match run_audit(&config, update) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("tag-audit: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "tag-audit: {} files, {} lock classes, {} observed edges",
+        outcome.files_scanned,
+        outcome.lock_classes.len(),
+        outcome.lock_edges.len()
+    );
+    println!(
+        "tag-audit: {} condvar waits, {} sends, {} join paths checked",
+        outcome.condvar_waits, outcome.sends_checked, outcome.joins_checked
+    );
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, outcome.to_json()) {
+            eprintln!("tag-audit: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("tag-audit: report written to {path}");
+    }
+    if update {
+        println!(
+            "determinism ratchet rewritten: {}",
+            config.root.join(&config.ratchet_path).display()
+        );
+    }
+
+    if outcome.is_clean() {
+        println!("tag-audit: clean");
+    } else {
+        for f in &outcome.findings {
+            let at = if f.line == 0 {
+                f.file.clone()
+            } else {
+                format!("{}:{}", f.file, f.line)
+            };
+            let scope = if f.function.is_empty() {
+                String::new()
+            } else {
+                format!(" (fn {})", f.function)
+            };
+            println!("{at}: [{}]{scope} {}", f.rule, f.message);
+        }
+        println!("tag-audit: {} violation(s)", outcome.findings.len());
+        failed = true;
+    }
+
+    if canaries {
+        match canary::run_canaries() {
+            Ok(reports) => {
+                for r in &reports {
+                    let status = if r.passed() {
+                        "caught"
+                    } else if !r.base_clean {
+                        "FIXTURE NOT CLEAN"
+                    } else {
+                        "MISSED"
+                    };
+                    println!("canary {} ({}): {status}", r.name, r.expected_rule);
+                    failed |= !r.passed();
+                }
+            }
+            Err(e) => {
+                eprintln!("tag-audit: canary sweep failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn usage_err(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

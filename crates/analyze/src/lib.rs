@@ -1,6 +1,6 @@
 //! Static analysis for the TAG stack.
 //!
-//! Three analyses, all computed from artifacts alone — no execution:
+//! Four analyses, all computed from artifacts alone — no execution:
 //!
 //! 1. **SemPlan verifier** ([`verify_plan`], [`verify_rewrite`]): a typed
 //!    well-formedness pass over [`tag_sql::SemNode`] trees. Column
@@ -22,13 +22,24 @@
 //!    serve/sqlengine hot paths (ratcheted), every
 //!    `complete_op`/`complete_batch_op` call site carries a known stage
 //!    tag, and no poison-panicking `std::sync` lock use in serve.
+//! 4. **`tag-audit`** ([`audit`]): a multi-pass concurrency &
+//!    determinism analyzer over the same [`scanner`] infrastructure —
+//!    a lock-order pass against the declared hierarchy
+//!    (`crates/analyze/lock-order.txt`), a determinism pass over
+//!    result-producing executor paths (ratcheted in
+//!    `crates/analyze/det-ratchet.txt`), and a liveness pass for the
+//!    serve/shard pools (predicate-loop condvar waits, no blocking
+//!    sends under hub/cache locks, sender-drop-before-join shutdown).
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cost;
 pub mod lint;
+pub mod scanner;
 pub mod verifier;
 
+pub use audit::{run_audit, AuditConfig, AuditFinding, AuditOutcome};
 pub use cost::{plan_cost, topk_call_bound, CostBound, DEFAULT_SCAN_ROWS};
 pub use lint::{run_lint, LintConfig, LintFinding, LintOutcome};
 pub use verifier::{

@@ -1,9 +1,9 @@
 //! `tag-lint`: a hand-rolled source-level linter for repo invariants.
 //!
-//! No parser dependency: like the SQL lexer, the linter scans source
-//! byte-by-byte, blanking comments and string/char literals (and, via
-//! brace tracking, `#[cfg(test)]` modules) so rules match real code
-//! only. Three rules:
+//! No parser dependency: the linter runs on [`crate::scanner`]'s
+//! blanked view of each source file (comments and string/char literals
+//! spaced out; `#[cfg(test)]` modules excluded via brace tracking) so
+//! rules match real code only. Five rules:
 //!
 //! 1. **`unwrap-ratchet`** — `.unwrap()` / `.expect(` on the serve and
 //!    sqlengine hot paths (the files in [`HOT_PATHS`]) are counted per
@@ -34,13 +34,15 @@
 //!    gets a coordinator and scatter wiring — a bare env would
 //!    silently opt a path out of sharding.
 
+use crate::scanner::{blank_ranges, find_all, line_of, scan_source, test_ranges};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Hot-path files covered by the unwrap ratchet (rule 1) and the lock
-/// rule (rule 3): the serve request path and the sqlengine executor.
+/// rule (rule 3): the serve request path, the sqlengine executor, and
+/// the shard scatter-gather path.
 pub const HOT_PATHS: &[&str] = &[
     "crates/serve/src/batch.rs",
     "crates/serve/src/cache.rs",
@@ -48,6 +50,8 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/serve/src/protocol.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/trace.rs",
+    "crates/shard/src/coordinator.rs",
+    "crates/shard/src/lib.rs",
     "crates/sqlengine/src/engine.rs",
     "crates/sqlengine/src/exec.rs",
     "crates/sqlengine/src/plancache.rs",
@@ -171,206 +175,6 @@ impl LintOutcome {
     }
 }
 
-/// Source text with comments/strings blanked (and, separately, with
-/// only comments blanked, for rules that need literal strings). Blanked
-/// bytes become spaces so byte offsets and line numbers are preserved.
-struct ScannedSource {
-    /// Comments, strings, and char literals blanked.
-    code: String,
-    /// Comments blanked; string literals kept.
-    with_strings: String,
-}
-
-/// Blank comments and (optionally into `with_strings`) literals.
-fn scan_source(src: &str) -> ScannedSource {
-    let bytes = src.as_bytes();
-    let mut code: Vec<u8> = bytes.to_vec();
-    let mut with_strings: Vec<u8> = bytes.to_vec();
-    let blank = |buf: &mut [u8], from: usize, to: usize| {
-        for b in buf.iter_mut().take(to).skip(from) {
-            if *b != b'\n' {
-                *b = b' ';
-            }
-        }
-    };
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                let start = i;
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    i += 1;
-                }
-                blank(&mut code, start, i);
-                blank(&mut with_strings, start, i);
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                // Rust block comments nest.
-                let start = i;
-                let mut depth = 1;
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        i += 2;
-                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-                blank(&mut code, start, i);
-                blank(&mut with_strings, start, i);
-            }
-            b'"' => {
-                let start = i;
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                // Keep the quotes so literal boundaries stay visible.
-                blank(&mut code, start + 1, i.saturating_sub(1));
-            }
-            b'r' if bytes.get(i + 1) == Some(&b'"') || bytes.get(i + 1) == Some(&b'#') => {
-                // Raw string: r"..." or r#"..."# (any # depth).
-                let start = i;
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while bytes.get(j) == Some(&b'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                if bytes.get(j) == Some(&b'"') {
-                    j += 1;
-                    'outer: while j < bytes.len() {
-                        if bytes[j] == b'"' {
-                            let mut k = j + 1;
-                            let mut seen = 0;
-                            while seen < hashes && bytes.get(k) == Some(&b'#') {
-                                seen += 1;
-                                k += 1;
-                            }
-                            if seen == hashes {
-                                j = k;
-                                break 'outer;
-                            }
-                        }
-                        j += 1;
-                    }
-                    blank(&mut code, start + 1, j.saturating_sub(1 + hashes));
-                    i = j;
-                } else {
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal vs lifetime: a literal closes within a
-                // few bytes ('x', '\n', '\u{..}'); a lifetime doesn't.
-                let start = i;
-                let close = if bytes.get(i + 1) == Some(&b'\\') {
-                    bytes[i + 2..]
-                        .iter()
-                        .take(8)
-                        .position(|&b| b == b'\'')
-                        .map(|p| i + 2 + p)
-                } else if bytes.get(i + 2) == Some(&b'\'') && bytes.get(i + 1) != Some(&b'\'') {
-                    Some(i + 2)
-                } else {
-                    None
-                };
-                match close {
-                    Some(end) => {
-                        blank(&mut code, start + 1, end);
-                        i = end + 1;
-                    }
-                    None => i += 1, // lifetime
-                }
-            }
-            _ => i += 1,
-        }
-    }
-    ScannedSource {
-        code: String::from_utf8_lossy(&code).into_owned(),
-        with_strings: String::from_utf8_lossy(&with_strings).into_owned(),
-    }
-}
-
-/// Byte ranges of `#[cfg(test)]`-gated items (modules or functions),
-/// found on the blanked code via brace tracking.
-fn test_ranges(code: &str) -> Vec<(usize, usize)> {
-    let bytes = code.as_bytes();
-    let needle = b"#[cfg(test)]";
-    let mut ranges = Vec::new();
-    let mut i = 0;
-    while i + needle.len() <= bytes.len() {
-        if &bytes[i..i + needle.len()] == needle {
-            // Skip to the item's opening brace, then to its match.
-            let mut j = i + needle.len();
-            while j < bytes.len() && bytes[j] != b'{' {
-                j += 1;
-            }
-            let mut depth = 0;
-            while j < bytes.len() {
-                match bytes[j] {
-                    b'{' => depth += 1,
-                    b'}' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                j += 1;
-            }
-            ranges.push((i, (j + 1).min(bytes.len())));
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    ranges
-}
-
-fn blank_ranges(text: &str, ranges: &[(usize, usize)]) -> String {
-    let mut bytes = text.as_bytes().to_vec();
-    for &(from, to) in ranges {
-        for b in bytes.iter_mut().take(to).skip(from) {
-            if *b != b'\n' {
-                *b = b' ';
-            }
-        }
-    }
-    String::from_utf8_lossy(&bytes).into_owned()
-}
-
-fn line_of(text: &str, offset: usize) -> usize {
-    text.as_bytes()[..offset.min(text.len())]
-        .iter()
-        .filter(|&&b| b == b'\n')
-        .count()
-        + 1
-}
-
-/// Occurrences of `pattern` in `code` (already blanked), as offsets.
-fn find_all(code: &str, pattern: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(pattern) {
-        out.push(from + pos);
-        from += pos + pattern.len();
-    }
-    out
-}
-
 /// Count rule-1 hits: `.unwrap()` and `.expect(` in non-test code.
 fn count_unwraps(code: &str) -> usize {
     find_all(code, ".unwrap()").len() + find_all(code, ".expect(").len()
@@ -467,7 +271,8 @@ fn load_ratchet(path: &Path) -> Result<BTreeMap<String, usize>, String> {
 }
 
 /// Every `.rs` file under `crates/*/src`, workspace-relative, sorted.
-fn workspace_sources(root: &Path) -> Result<Vec<String>, String> {
+/// Shared with `tag-audit`, which filters the same walk by crate.
+pub fn workspace_sources(root: &Path) -> Result<Vec<String>, String> {
     let mut out = Vec::new();
     let crates = root.join("crates");
     let entries =

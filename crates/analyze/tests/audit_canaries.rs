@@ -1,0 +1,30 @@
+//! Seeded-mutation canary sweep, run as an integration test so CI
+//! exercises the same path as `tag-audit --canaries`.
+//!
+//! Each canary audits a clean miniature workspace fixture, applies one
+//! seeded concurrency/determinism bug, and requires the audit to catch
+//! it with the expected rule id:
+//!
+//! - `lock-inversion` → `lock-cycle`
+//! - `hashmap-ordered-merge` → `det-hash-iter`
+//! - `lockless-predicate-wait` → `condvar-wait-loop`
+
+use tag_analyze::audit::canary::run_canaries;
+
+#[test]
+fn seeded_mutations_are_caught() {
+    let reports = run_canaries().expect("canary sweep runs");
+    assert_eq!(reports.len(), 3, "expected three canaries");
+    for r in &reports {
+        assert!(
+            r.base_clean,
+            "canary {}: clean fixture produced findings",
+            r.name
+        );
+        assert!(
+            r.caught,
+            "canary {}: seeded mutation not caught as {}",
+            r.name, r.expected_rule
+        );
+    }
+}

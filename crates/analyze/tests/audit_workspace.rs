@@ -1,0 +1,85 @@
+//! Workspace-level integration tests for `tag-audit`.
+//!
+//! The audit must pass on the workspace itself (modulo the committed
+//! ratchet baselines), its JSON report must match the committed golden
+//! byte for byte, and the report must be identical regardless of the
+//! order the source files are walked in.
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use tag_analyze::audit::run_audit_files;
+use tag_analyze::lint::workspace_sources;
+use tag_analyze::{run_audit, AuditConfig};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_audits_clean() {
+    let outcome = run_audit(&AuditConfig::new(workspace_root()), false).expect("audit runs");
+    assert!(
+        outcome.is_clean(),
+        "tag-audit found violations in the workspace:\n{}",
+        outcome
+            .findings
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(outcome.files_scanned > 0, "no files in audit scope");
+    assert!(!outcome.lock_classes.is_empty(), "no lock classes loaded");
+}
+
+#[test]
+fn report_matches_golden() {
+    let actual = run_audit(&AuditConfig::new(workspace_root()), false)
+        .expect("audit runs")
+        .to_json();
+    // Regenerate with:
+    //   TAG_AUDIT_UPDATE_GOLDEN=1 cargo test -p tag-analyze --test audit_workspace
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/audit-golden.json");
+    if std::env::var_os("TAG_AUDIT_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).expect("read audit-golden.json");
+    assert_eq!(
+        actual, expected,
+        "audit report drifted from crates/analyze/audit-golden.json;\n\
+         if the change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn report_is_byte_stable_across_runs() {
+    let config = AuditConfig::new(workspace_root());
+    let first = run_audit(&config, false).expect("audit runs").to_json();
+    let second = run_audit(&config, false).expect("audit runs").to_json();
+    assert_eq!(first, second);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Shuffling the file walk order must not change a byte of the
+    /// report: every aggregate is re-sorted internally. The sampled
+    /// u64 vector seeds a Fisher–Yates shuffle of the walk list.
+    #[test]
+    fn report_is_walk_order_independent(
+        seed in prop::collection::vec(any::<u64>(), 1..64)
+    ) {
+        let config = AuditConfig::new(workspace_root());
+        let baseline = run_audit(&config, false).expect("audit runs").to_json();
+        let mut shuffled = workspace_sources(&workspace_root()).expect("walk workspace");
+        for i in (1..shuffled.len()).rev() {
+            let j = (seed[i % seed.len()] as usize) % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let shuffled_report = run_audit_files(&config, false, shuffled)
+            .expect("audit runs")
+            .to_json();
+        prop_assert_eq!(baseline, shuffled_report);
+    }
+}

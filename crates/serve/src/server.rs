@@ -340,9 +340,9 @@ impl Server {
         let gen_rx = Arc::new(Mutex::new(gen_rx));
         let spawn = |name: String, f: Box<dyn FnOnce() + Send>| {
             std::thread::Builder::new()
-                .name(name)
+                .name(name.clone())
                 .spawn(f)
-                .expect("spawn worker")
+                .unwrap_or_else(|e| panic!("cannot spawn stage worker {name}: {e}"))
         };
         let syn_pool = (0..stage_workers[STAGE_SYN])
             .map(|i| {

@@ -87,6 +87,7 @@ impl ShardSet {
         // Resolve each partitioned table's key column position before
         // the database moves into the coordinator env.
         let mut parts: HashMap<String, usize> = HashMap::new();
+        let mut partitioned: Vec<String> = Vec::new();
         for (table_name, column) in specs {
             if let Ok(table) = db.catalog().table(table_name) {
                 let col = table
@@ -94,9 +95,11 @@ impl ShardSet {
                     .index_of(column)
                     .unwrap_or_else(|| panic!("no column {column:?} in table {table_name}"));
                 parts.insert(table_name.to_ascii_uppercase(), col);
+                partitioned.push(table_name.to_ascii_uppercase());
             }
         }
-        let partitioned: Vec<String> = parts.keys().cloned().collect();
+        partitioned.sort();
+        partitioned.dedup();
         let slices = partition_tables(&db, specs, n);
         let mut shards = Vec::with_capacity(n);
         let mut seqs = Vec::with_capacity(n);
